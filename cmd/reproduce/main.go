@@ -1,0 +1,220 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation (see the experiment index in DESIGN.md and the recorded
+// outcomes in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	reproduce [-experiment all|tab1|tab2|fig1|fig2a|fig2b|fig6|fig7|fig8|
+//	           fig9|fig10a|fig10bc|fig10d|fig11|fig11b|fig12|fig13|appb|
+//	           ext|drift|seeds]
+//	          [-quick] [-seed N] [-duration S]
+//
+// -quick shortens run durations ~4x for a fast smoke pass; the shapes
+// survive, the converged values get noisier.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chrono/internal/experiments"
+	"chrono/internal/report"
+	"chrono/internal/simclock"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "experiment id (see doc) or comma list")
+		quick    = flag.Bool("quick", false, "short runs (~4x faster, noisier)")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		duration = flag.Float64("duration", 0, "override virtual run seconds (0 = per-experiment default)")
+		jsonOut  = flag.String("json", "", "also write all tables as JSON to this file")
+	)
+	flag.Parse()
+
+	var emitted []*report.Table
+	emit := func(ts ...*report.Table) {
+		for _, t := range ts {
+			t.Fprint(os.Stdout)
+			emitted = append(emitted, t)
+		}
+	}
+
+	o := experiments.RunOpts{Seed: *seed}
+	longDur := simclock.Duration(1500) * simclock.Second
+	if *quick {
+		o.Duration = 240 * simclock.Second
+		longDur = 400 * simclock.Second
+	}
+	if *duration > 0 {
+		o.Duration = simclock.FromSeconds(*duration)
+		longDur = o.Duration
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"tab1", "tab2", "fig1", "fig2a", "fig2b", "fig6", "fig7", "fig8",
+			"fig9", "fig10a", "fig10bc", "fig10d", "fig11", "fig11b", "fig12", "fig13", "appb",
+			"ext", "drift", "seeds"}
+	}
+
+	// Figures 6, 7 and 8 share their runs; cache the sweep.
+	var sweep *experiments.PmbenchSweep
+	getSweep := func() *experiments.PmbenchSweep {
+		if sweep == nil {
+			var err error
+			sweep, err = experiments.RunPmbenchSweep(
+				experiments.Fig6a, experiments.StandardPolicies, experiments.RWRatios, o)
+			fail(err)
+		}
+		return sweep
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		switch strings.TrimSpace(id) {
+		case "tab1":
+			emit(experiments.Table1())
+		case "tab2":
+			emit(experiments.Table2())
+		case "fig1":
+			rows, err := experiments.RunFig1(o)
+			fail(err)
+			emit(experiments.Fig1Table(rows))
+		case "fig2a":
+			t, err := experiments.RunFig2a(experiments.StandardPolicies, o)
+			fail(err)
+			emit(t)
+		case "fig2b":
+			t, err := experiments.RunFig2b(o)
+			fail(err)
+			emit(t)
+		case "fig6":
+			s := getSweep()
+			emit(s.ThroughputTable())
+			// The 6b/6c panels run their own (smaller) grids.
+			for _, cfg := range []experiments.PmbenchConfig{experiments.Fig6b, experiments.Fig6c} {
+				sw, err := experiments.RunPmbenchSweep(cfg, experiments.StandardPolicies, experiments.RWRatios, o)
+				fail(err)
+				emit(sw.ThroughputTable())
+			}
+		case "fig7":
+			s := getSweep()
+			emit(s.BaselineLatencyCDF())
+			for _, t := range s.LatencyTables() {
+				emit(t)
+			}
+		case "fig8":
+			emit(getSweep().RuntimeCharacteristics())
+		case "fig9":
+			ro := o
+			if ro.Duration == 0 {
+				ro.Duration = longDur
+			}
+			results, err := experiments.RunFig9(experiments.StandardPolicies, ro)
+			fail(err)
+			for _, t := range experiments.Fig9Tables(results) {
+				emit(t)
+			}
+		case "fig10a":
+			f, err := experiments.RunFig10a(o)
+			fail(err)
+			emit(experiments.Fig10aTable(f))
+		case "fig10bc":
+			ro := o
+			if ro.Duration == 0 {
+				ro.Duration = longDur
+			}
+			th, rl, err := experiments.RunFig10bc(ro)
+			fail(err)
+			for _, t := range experiments.Fig10bcTables(th, rl) {
+				emit(t)
+			}
+		case "fig10d":
+			ro := shortened(o, 300)
+			t, err := experiments.RunFig10d(ro)
+			fail(err)
+			emit(t)
+		case "fig11":
+			t, err := experiments.RunFig11a(experiments.StandardPolicies, o)
+			fail(err)
+			emit(t)
+		case "fig11b":
+			ro := shortened(o, 300)
+			t, err := experiments.RunFig11b(ro)
+			fail(err)
+			emit(t)
+		case "fig12":
+			ts, err := experiments.RunFig12(experiments.StandardPolicies, o)
+			fail(err)
+			for _, t := range ts {
+				emit(t)
+			}
+		case "fig13":
+			// The semi-automatic variants converge at a fixed 120 MB/s
+			// rate limit; the design-choice comparison needs the paper's
+			// full run length.
+			ro := o
+			if ro.Duration == 0 {
+				ro.Duration = longDur
+			}
+			t, err := experiments.RunFig13(ro)
+			fail(err)
+			emit(t)
+		case "seeds":
+			tbl, err := experiments.RunSeedStability(nil, o)
+			fail(err)
+			emit(tbl)
+		case "ext":
+			t, err := experiments.RunExtendedComparison(o)
+			fail(err)
+			emit(t)
+		case "drift":
+			ro := o
+			if ro.Duration == 0 {
+				ro.Duration = 1200 * simclock.Second
+			}
+			results, err := experiments.RunDrift(
+				[]string{"Linux-NB", "Memtis", "Chrono"}, 240, ro)
+			fail(err)
+			emit(experiments.DriftTable(results))
+		case "appb":
+			emit(experiments.AppB1Table(*seed, 20000))
+			emit(experiments.FigB1Table())
+			emit(experiments.FigB2Table())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		fail(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(emitted))
+		fail(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %d tables to %s\n", len(emitted), *jsonOut)
+	}
+}
+
+// shortened caps the duration of sweep-heavy experiments.
+func shortened(o experiments.RunOpts, seconds float64) experiments.RunOpts {
+	if o.Duration == 0 || o.Duration > simclock.FromSeconds(seconds) {
+		o.Duration = simclock.FromSeconds(seconds)
+	}
+	return o
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}

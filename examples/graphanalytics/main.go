@@ -1,0 +1,42 @@
+// Graph analytics example: the §5.2 scenario — Graph500-style BFS/SSSP
+// over a degree-skewed graph at three memory-pressure levels, showing how
+// every policy's advantage shrinks as the working set approaches DRAM.
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chrono/internal/experiments"
+	"chrono/internal/report"
+	"chrono/internal/simclock"
+	"chrono/internal/workload"
+)
+
+func main() {
+	opts := experiments.RunOpts{Seed: 11, Duration: 5 * simclock.Minute}
+	policies := []string{"Linux-NB", "TPP", "Chrono"}
+
+	t := report.NewTable("Graph500 execution time (s) — lower is better",
+		append([]string{"Working set"}, policies...)...)
+	for _, size := range []float64{128, 192, 256} {
+		cells := []any{fmt.Sprintf("%.0f GB", size)}
+		for _, pol := range policies {
+			w := &workload.Graph500{
+				TotalGB: size,
+				Mode:    experiments.DefaultModeFor(pol),
+			}
+			res, err := experiments.Run(pol, w, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cells = append(cells, w.ExecutionTime(res.Metrics))
+		}
+		t.AddRow(cells...)
+	}
+	t.Note = "vertex metadata and high-degree adjacency lists are the hot set; " +
+		"frequency-aware promotion keeps them in DRAM across BFS rounds"
+	fmt.Print(t.String())
+}

@@ -1,0 +1,3 @@
+module chrono
+
+go 1.22

@@ -1,0 +1,454 @@
+// Package core implements Chrono, the paper's contribution: an OS-level
+// tiering system built on timer-based hotness measurement.
+//
+// Components (paper §3, Figure 3):
+//
+//   - Meticulous page promotion (§3.1): the Ticking-scan poisons slow-tier
+//     pages and captures the idle time (CIT) between the scan and the next
+//     access — a per-page metric that is statistically proportional to the
+//     access interval, decoupling frequency resolution from the scan rate.
+//     A two-round candidate filter (an XArray of candidates re-evaluated
+//     on the following scan pass) and a rate-limited promotion queue turn
+//     CIT classifications into stable migrations.
+//   - Adaptive parameter tuning (§3.2): semi-automatic tuning adjusts the
+//     CIT threshold against a user rate limit via
+//     TH ← (1−δ+δ·r)·TH with r = rate_limit / enqueue_rate; the default
+//     fully automatic mode adds Dynamic CIT Statistic Collection (DCSC):
+//     random victim probing builds per-tier CIT heat maps whose overlap
+//     point yields both the threshold and the rate limit.
+//   - Proactive page demotion (§3.3): a promotion-aware "pro" watermark
+//     above the high watermark triggers LRU demotion early, keeping free
+//     fast-tier memory for promotions, and a thrashing monitor halves the
+//     promotion rate when recently demoted pages re-qualify too often.
+//   - Huge-page support (§3.4): thresholds scale by page size
+//     (TH_2MB = TH_4KB/512) and DCSC redistributes huge-page samples into
+//     the base-page heat-map buckets (bucket i → i+9, ×512 pages).
+package core
+
+import (
+	"chrono/internal/mem"
+	"chrono/internal/policy"
+	"chrono/internal/policy/scan"
+	"chrono/internal/simclock"
+	"chrono/internal/stats"
+	"chrono/internal/vm"
+	"chrono/internal/xarray"
+)
+
+// Tuning selects the parameter tuning mode (§3.2).
+type Tuning int
+
+// Tuning modes.
+const (
+	// TuneDCSC is the default fully automatic mode: DCSC statistics tune
+	// both the CIT threshold and the promotion rate limit.
+	TuneDCSC Tuning = iota
+	// TuneSemiAuto keeps the user's rate limit fixed and auto-tunes only
+	// the CIT threshold against it.
+	TuneSemiAuto
+)
+
+// Options configures Chrono. Zero values take the Table 2 defaults.
+type Options struct {
+	// Scan configures the Ticking-scan pacing (scan step / scan period;
+	// Table 2: 256 MB step, 60 s period).
+	Scan scan.Config
+	// Rounds is the candidate-filter depth (default 2; §3.1.2 and
+	// Appendix B argue 2 is optimal; Chrono-basic uses 1, -thrice 3).
+	Rounds int
+	// Tuning selects the tuning mode (default TuneDCSC).
+	Tuning Tuning
+	// CITThresholdMS is the initial classification threshold (Table 2:
+	// 1000 ms, auto-tuned thereafter).
+	CITThresholdMS float64
+	// RateLimitMBps is the initial (semi-auto: permanent) promotion rate
+	// limit (Table 2: 100 MB/s, auto-tuned under DCSC).
+	RateLimitMBps float64
+	// DeltaStep is the threshold adaption step δ (Table 2: 0.5).
+	DeltaStep float64
+	// PVictim is the fraction of pages probed per DCSC statistical scan.
+	// The paper's 0.003% of a 256 GB machine is ~2000 pages per scan; at
+	// simulator scale the default 0.002 keeps the probe-fault volume a
+	// small fraction of Ticking-scan faults (matching the paper's
+	// context-switch ordering) while still collecting >600 samples per
+	// tuning window (see DESIGN.md on scaling).
+	PVictim float64
+	// BBuckets is the number of CIT heat-map buckets (Table 2: 28; the
+	// finest level is 1 ms and bucket i covers [2^(i-1), 2^i) ms).
+	BBuckets int
+	// StatPeriod is the DCSC statistical scan interval (default 1 s —
+	// "frequent per-second scans", §3.2.2).
+	StatPeriod simclock.Duration
+	// TunePeriod is the interval between DCSC-based parameter updates
+	// (default 5 s).
+	TunePeriod simclock.Duration
+	// MigrateTick is the promotion-queue drain interval (default 100 ms).
+	MigrateTick simclock.Duration
+	// ProactiveDemotion enables the pro-watermark demotion scheme
+	// (default on; disable for ablation).
+	DisableProactiveDemotion bool
+	// ThrashMonitor enables the page-thrashing monitor (default on).
+	DisableThrashMonitor bool
+	// ThrashThreshold is the thrash/promotion ratio above which the rate
+	// limit halves (§3.3.2: 20%).
+	ThrashThreshold float64
+	// DemotionPeriod is the proactive-demotion check interval (1 s).
+	DemotionPeriod simclock.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds == 0 {
+		o.Rounds = 2
+	}
+	if o.CITThresholdMS == 0 {
+		o.CITThresholdMS = 1000
+	}
+	if o.RateLimitMBps == 0 {
+		o.RateLimitMBps = 100
+	}
+	if o.DeltaStep == 0 {
+		o.DeltaStep = 0.5
+	}
+	if o.PVictim == 0 {
+		o.PVictim = 0.002
+	}
+	if o.BBuckets == 0 {
+		o.BBuckets = 28
+	}
+	if o.StatPeriod == 0 {
+		o.StatPeriod = simclock.Second
+	}
+	if o.TunePeriod == 0 {
+		o.TunePeriod = 5 * simclock.Second
+	}
+	if o.MigrateTick == 0 {
+		o.MigrateTick = 100 * simclock.Millisecond
+	}
+	if o.ThrashThreshold == 0 {
+		o.ThrashThreshold = 0.20
+	}
+	if o.DemotionPeriod == 0 {
+		o.DemotionPeriod = simclock.Second
+	}
+	return o
+}
+
+// candidate is the XArray entry for a page that passed at least one CIT
+// round (§3.1.2, Figure 4).
+type candidate struct {
+	passes  int
+	lastCIT simclock.Duration
+	stamp   simclock.Time
+}
+
+// probe is one outstanding DCSC victim.
+type probe struct {
+	id    int64
+	stamp simclock.Time
+}
+
+// Chrono is the tiering policy.
+type Chrono struct {
+	policy.Base
+	opt Options
+	k   policy.Kernel
+
+	scan *scan.Set
+	// citScale converts an observed poison-to-fault gap into the CIT of
+	// a representative real 4 KB page: the simulated page aggregates
+	// CostScale real pages, so a real page's idle gap is CostScale× the
+	// region's first-fault gap (uniform-phase periodic model). All CIT
+	// values, buckets, and thresholds are therefore in real-page
+	// milliseconds, directly comparable with the paper's Table 2.
+	citScale float64
+
+	// thresholdMS is the live CIT classification threshold.
+	thresholdMS float64
+	// rateLimitBps is the live promotion rate limit in bytes/second.
+	rateLimitBps float64
+
+	// Candidate filtering (§3.1.2).
+	cands *xarray.XArray
+	// Promotion queue, FIFO of page IDs, drained rate-limited.
+	queue []int64
+	// enqueue accounting for the semi-auto tuner (bytes per scan period),
+	// plus the cross-period average the §3.2.1 controller divides by.
+	enqueuedBytes  float64
+	enqueueRateEMA float64
+	// dequeue/promotion accounting for the thrash monitor.
+	promotedPages int64
+	thrashEvents  int64
+
+	// DCSC heat maps (§3.2.2): per-tier CIT bucket counters, decayed at
+	// every tuning step. Sample counts track the scaling denominator.
+	heat    [mem.NumTiers][]float64
+	samples [mem.NumTiers]float64
+	// probes tracks outstanding PG_probed victims so ones that never
+	// fault (cold pages) are expired into the coldest bucket instead of
+	// silently biasing the heat map toward hot pages.
+	probes []probe
+
+	// Histories for Figure 10b/c.
+	ThresholdHist stats.Series
+	RateLimitHist stats.Series
+
+	// CITObserver, if set, receives every Ticking-scan CIT observation
+	// (page, CIT in ms). Used by the Figure 10a harness.
+	CITObserver func(pg *vm.Page, citMS float64)
+
+	// Counters exported for tests and reports.
+	Enqueued     int64
+	Promoted     int64
+	Demoted      int64
+	ThrashTotal  int64
+	DCSCSamples  int64
+	FilteredOut  int64 // candidates dropped by a failed second round
+	QueueDropped int64 // submissions dropped by the queue bound
+}
+
+// New returns a Chrono policy with the given options.
+func New(opt Options) *Chrono {
+	opt = opt.withDefaults()
+	c := &Chrono{
+		opt:          opt,
+		thresholdMS:  opt.CITThresholdMS,
+		rateLimitBps: opt.RateLimitMBps * 1e6,
+		cands:        &xarray.XArray{},
+	}
+	for t := range c.heat {
+		c.heat[t] = make([]float64, opt.BBuckets)
+	}
+	c.ThresholdHist.Name = "cit_threshold_ms"
+	c.RateLimitHist.Name = "rate_limit_mbps"
+	return c
+}
+
+// Name implements policy.Policy.
+func (c *Chrono) Name() string { return "Chrono" }
+
+// Options returns the effective options.
+func (c *Chrono) Options() Options { return c.opt }
+
+// ThresholdMS returns the live CIT threshold in milliseconds.
+func (c *Chrono) ThresholdMS() float64 { return c.thresholdMS }
+
+// RateLimitMBps returns the live promotion rate limit in MB/s.
+func (c *Chrono) RateLimitMBps() float64 { return c.rateLimitBps / 1e6 }
+
+// QueueLen returns the current promotion queue depth.
+func (c *Chrono) QueueLen() int { return len(c.queue) }
+
+// Candidates returns the current candidate-set size.
+func (c *Chrono) Candidates() int { return c.cands.Len() }
+
+// SetCITObserver installs a callback receiving every Ticking-scan CIT
+// observation (Figure 10a instrumentation).
+func (c *Chrono) SetCITObserver(fn func(pg *vm.Page, citMS float64)) {
+	c.CITObserver = fn
+}
+
+// enabled consults the kernel/numa_tiering sysctl (§4: "We add a new
+// numa_tiering option in sysctl to enable Chrono"); writing 0 pauses all
+// of Chrono's periodic work at the next tick.
+func (c *Chrono) enabled() bool {
+	v, err := c.k.Sysctl().Get("kernel/numa_tiering")
+	return err != nil || v != "0"
+}
+
+// Attach implements policy.Policy: wire the Ticking-scan, the promotion
+// migrator, the tuners, and the demotion daemon.
+func (c *Chrono) Attach(k policy.Kernel) {
+	c.k = k
+	c.citScale = k.CostScale()
+	c.registerSysctl()
+
+	// Ticking-scan (§3.1.1): poison slow-tier pages, recording the scan
+	// timestamp. Fast-tier pages are not poisoned — their hotness is
+	// tracked by the LRU for demotion — so Chrono's hint-fault volume
+	// stays below NUMA balancing's (Figure 8's context-switch column).
+	c.scan = scan.Start(k, c.opt.Scan, func(pg *vm.Page, now simclock.Time) {
+		if pg.Tier == mem.SlowTier && c.enabled() {
+			k.Protect(pg)
+		}
+	})
+
+	// Promotion-queue migrator (§3.1.2), budgeted by the rate limit.
+	k.Clock().Every(c.opt.MigrateTick, func(now simclock.Time) {
+		if c.enabled() {
+			c.drainQueue(now)
+		}
+	})
+
+	// Semi-auto threshold tuning runs once per scan period (§3.2.1).
+	k.Clock().Every(c.scan.Config().Period, func(now simclock.Time) {
+		c.semiAutoTick(now)
+	})
+
+	if c.opt.Tuning == TuneDCSC {
+		// DCSC statistical scans and the derived parameter updates
+		// (§3.2.2).
+		k.Clock().Every(c.opt.StatPeriod, func(now simclock.Time) {
+			if c.enabled() {
+				c.statScan(now)
+			}
+		})
+		k.Clock().Every(c.opt.TunePeriod, func(now simclock.Time) {
+			if c.enabled() {
+				c.dcscTune(now)
+			}
+		})
+	}
+
+	if !c.opt.DisableProactiveDemotion {
+		k.Clock().Every(c.opt.DemotionPeriod, func(now simclock.Time) {
+			if c.enabled() {
+				c.demotionTick(now)
+			}
+		})
+	}
+
+	c.ThresholdHist.Append(0, c.thresholdMS)
+	c.RateLimitHist.Append(0, c.RateLimitMBps())
+}
+
+// registerSysctl exposes the procfs-style controllers of §4.
+func (c *Chrono) registerSysctl() {
+	t := c.k.Sysctl()
+	positive := func(v float64) error {
+		if v <= 0 {
+			return errNonPositive
+		}
+		return nil
+	}
+	t.Float64("chrono/cit_threshold_ms", "CIT classification threshold (ms)", &c.thresholdMS, positive, nil)
+	t.Float64("chrono/rate_limit_bps", "promotion rate limit (bytes/s)", &c.rateLimitBps, positive, nil)
+	t.Float64("chrono/delta_step", "threshold adaption step δ", &c.opt.DeltaStep, positive, nil)
+	t.Float64("chrono/p_victim", "DCSC victim sampling fraction", &c.opt.PVictim, positive, nil)
+	t.Float64("chrono/thrash_threshold", "thrash ratio that halves the rate limit", &c.opt.ThrashThreshold, positive, nil)
+}
+
+// errNonPositive rejects non-positive sysctl writes.
+var errNonPositive = errorString("value must be positive")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// effectiveThresholdMS returns the CIT threshold for a page, scaled by its
+// size (§3.4: TH_2MB = TH_4KB / 512).
+func (c *Chrono) effectiveThresholdMS(pg *vm.Page) float64 {
+	return c.thresholdMS / float64(pg.Size)
+}
+
+// OnFault implements policy.Policy: the CIT capture point. The engine has
+// already cleared the poisoning and stamped pg.LastFault; pg.ProtTS still
+// holds the poisoning timestamp, so CIT = now − ProtTS.
+func (c *Chrono) OnFault(pg *vm.Page, now simclock.Time) {
+	cit := now - pg.ProtTS
+	if pg.Flags.Has(vm.FlagProbed) {
+		c.onProbeFault(pg, cit, now)
+		return
+	}
+	if pg.Tier != mem.SlowTier {
+		return
+	}
+	c.k.ChargeKernel(90 * c.k.CostScale()) // CIT arithmetic + candidate lookup
+
+	citMS := cit.Millis() * c.citScale
+	if c.CITObserver != nil {
+		c.CITObserver(pg, citMS)
+	}
+	th := c.effectiveThresholdMS(pg)
+
+	// Thrash detection (§3.3.2): a recently demoted page re-qualifying
+	// within a scan period is a thrash event.
+	if !c.opt.DisableThrashMonitor && pg.Flags.Has(vm.FlagDemoted) {
+		if citMS < th && now-pg.DemoteTS <= c.scan.Config().Period {
+			c.thrashEvents++
+			c.ThrashTotal++
+		}
+		pg.Flags &^= vm.FlagDemoted
+	}
+
+	key := uint64(pg.ID)
+	entry, _ := c.cands.Load(key).(*candidate)
+
+	if citMS >= th {
+		// Failed a round: drop candidacy (Figure 4, second-round "N").
+		if entry != nil {
+			c.cands.Erase(key)
+			pg.Flags &^= vm.FlagCandidate
+			c.FilteredOut++
+		}
+		return
+	}
+
+	if entry == nil {
+		entry = &candidate{}
+		c.cands.Store(key, entry)
+		pg.Flags |= vm.FlagCandidate
+	}
+	entry.passes++
+	entry.lastCIT = cit
+	entry.stamp = now
+
+	if entry.passes >= c.opt.Rounds {
+		// Submission (Figure 4 step 5): move to the promotion queue. The
+		// queue is bounded to one scan period's worth of rate-limited
+		// migration — beyond that, additional candidates cannot possibly
+		// migrate before the next re-evaluation, so they are dropped
+		// (they re-qualify on a later pass if still hot). The enqueue
+		// *demand* is still counted for the semi-auto tuner.
+		c.cands.Erase(key)
+		pg.Flags &^= vm.FlagCandidate
+		c.Enqueued++
+		c.enqueuedBytes += float64(int64(pg.Size) * c.k.Node().PageSizeBytes)
+		if len(c.queue) < c.maxQueueLen() {
+			c.queue = append(c.queue, pg.ID)
+		} else {
+			c.QueueDropped++
+		}
+	}
+}
+
+// maxQueueLen bounds the promotion queue at one scan period of migration
+// budget.
+func (c *Chrono) maxQueueLen() int {
+	pages := c.rateLimitBps * c.scan.Config().Period.Seconds() /
+		float64(c.k.Node().PageSizeBytes)
+	if pages < 64 {
+		pages = 64
+	}
+	return int(pages)
+}
+
+// drainQueue promotes queued pages within the rate-limit budget.
+func (c *Chrono) drainQueue(now simclock.Time) {
+	budgetBytes := c.rateLimitBps * c.opt.MigrateTick.Seconds()
+	pageBytes := float64(c.k.Node().PageSizeBytes)
+	pages := c.k.Pages()
+	for len(c.queue) > 0 && budgetBytes >= pageBytes {
+		id := c.queue[0]
+		c.queue = c.queue[1:]
+		pg := pages[id]
+		if pg == nil || pg.Tier != mem.SlowTier {
+			continue // stale entry
+		}
+		cost := float64(int64(pg.Size) * c.k.Node().PageSizeBytes)
+		if cost > budgetBytes && c.promotedPages > 0 {
+			// Re-queue the head; not enough budget this tick.
+			c.queue = append([]int64{id}, c.queue...)
+			return
+		}
+		if c.k.Promote(pg) {
+			budgetBytes -= cost
+			c.Promoted++
+			c.promotedPages += int64(pg.Size)
+		} else {
+			// Migration bandwidth exhausted or fast tier unreclaimable:
+			// retry the page next tick.
+			c.queue = append([]int64{id}, c.queue...)
+			return
+		}
+	}
+}

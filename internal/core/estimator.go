@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+
+	"chrono/internal/rng"
+)
+
+// This file implements the theoretical analysis of Appendix B: the
+// variance comparison between the mean-value and maximum-value access
+// period estimators (B.1) and the hot-page selection efficiency model
+// (B.2). The property tests validate the implementation against the
+// closed forms, and cmd/reproduce regenerates Figures B1/B2 from it.
+
+// MeanEstimate is the naive estimator T̂ = (2/n)·Σtᵢ of an access period
+// T0 from n CIT samples tᵢ ~ U[0, T0] (Appendix B eq. 2).
+func MeanEstimate(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range samples {
+		sum += t
+	}
+	return 2 * sum / float64(len(samples))
+}
+
+// MaxEstimate is the candidate-filter estimator T̂ = ((n+1)/n)·max tᵢ
+// (Appendix B eq. 4) — the minimum-variance unbiased estimator by
+// Lehmann–Scheffé.
+func MaxEstimate(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	m := samples[0]
+	for _, t := range samples[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	n := float64(len(samples))
+	return (n + 1) / n * m
+}
+
+// MeanEstimatorVariance is the closed-form variance T0²/(3n) (eq. 3).
+func MeanEstimatorVariance(t0 float64, n int) float64 {
+	return t0 * t0 / (3 * float64(n))
+}
+
+// MaxEstimatorVariance is the closed-form variance T0²/(n(n+2)) (eq. 6).
+func MaxEstimatorVariance(t0 float64, n int) float64 {
+	fn := float64(n)
+	return t0 * t0 / (fn * (fn + 2))
+}
+
+// EstimatorTrial draws n CIT samples for a page of period t0 and returns
+// both estimates — the Monte-Carlo side of the B.1 validation.
+func EstimatorTrial(r *rng.Source, t0 float64, n int) (mean, max float64) {
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = r.Float64() * t0
+	}
+	return MeanEstimate(samples), MaxEstimate(samples)
+}
+
+// HotProbability is eq. 7: the probability that a page with access period
+// ratio x = T/TH is classified hot under n-round filtering: 1 for x < 1,
+// (1/x)^n otherwise.
+func HotProbability(x float64, n int) float64 {
+	if x < 1 {
+		return 1
+	}
+	return math.Pow(1/x, float64(n))
+}
+
+// UniformEfficiency is the closed form E(n) = (n−1)/n² for the totally
+// random page distribution h(x) = 1 (eq. 12). Its maximum is at n = 2.
+func UniformEfficiency(n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	fn := float64(n)
+	return (fn - 1) / (fn * fn)
+}
+
+// HDensity is the page-density family h(x, α) of eq. 11 (unnormalized):
+// x^(1−1/α) · α^(αx + 1/(αx)), dense in the hot region and sparse in the
+// cold region for small α.
+func HDensity(x, alpha float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, 1-1/alpha) * math.Pow(alpha, alpha*x+1/(alpha*x))
+}
+
+// hNormalizer computes C_α with ∫₀¹ h(x,α)dx = 1 by Simpson's rule.
+func hNormalizer(alpha float64) float64 {
+	return integrate(func(x float64) float64 { return HDensity(x, alpha) }, 1e-9, 1, 4096)
+}
+
+// SelectionStats evaluates eqs. 9-10 for the density h(·, α): it returns
+// S_f(n) (expected miss-classified cold pages), R_f(n) (real-hot-page
+// ratio) and E_f(n) = R_f(n)/n (promotion efficiency).
+func SelectionStats(alpha float64, n int) (s, r, e float64) {
+	c := hNormalizer(alpha)
+	// S_f(n) = ∫₁^∞ f(x)·x^(−n) dx; the density decays fast enough that
+	// [1, 64] captures the mass for all α in (0, 1].
+	s = integrate(func(x float64) float64 {
+		return HDensity(x, alpha) / c * math.Pow(x, -float64(n))
+	}, 1, 64, 8192)
+	r = 1 / (1 + s)
+	e = r / float64(n)
+	return s, r, e
+}
+
+// BestRounds returns the scan-round count in [2, maxN] with the highest
+// selection efficiency for the density h(·, α). The comparison starts at
+// n = 2, matching the paper's Figure B2: single-round selection carries
+// the measurement-variance penalty of Appendix B.1 that the efficiency
+// model deliberately does not capture.
+func BestRounds(alpha float64, maxN int) int {
+	best, bestE := 2, 0.0
+	for n := 2; n <= maxN; n++ {
+		_, _, e := SelectionStats(alpha, n)
+		if e > bestE {
+			best, bestE = n, e
+		}
+	}
+	return best
+}
+
+// integrate is composite Simpson's rule with the given even panel count.
+func integrate(f func(float64) float64, a, b float64, panels int) float64 {
+	if panels%2 == 1 {
+		panels++
+	}
+	h := (b - a) / float64(panels)
+	sum := f(a) + f(b)
+	for i := 1; i < panels; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}

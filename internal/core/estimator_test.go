@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chrono/internal/rng"
+	"chrono/internal/stats"
+)
+
+func TestEstimatorsUnbiased(t *testing.T) {
+	r := rng.New(42)
+	const t0 = 2.0
+	const trials = 50000
+	for _, n := range []int{1, 2, 3, 5} {
+		var meanSum, maxSum float64
+		for i := 0; i < trials; i++ {
+			m, mx := EstimatorTrial(r, t0, n)
+			meanSum += m
+			maxSum += mx
+		}
+		if got := meanSum / trials; math.Abs(got-t0)/t0 > 0.02 {
+			t.Fatalf("n=%d: mean estimator biased: %v", n, got)
+		}
+		if got := maxSum / trials; math.Abs(got-t0)/t0 > 0.02 {
+			t.Fatalf("n=%d: max estimator biased: %v", n, got)
+		}
+	}
+}
+
+func TestClosedFormVariances(t *testing.T) {
+	// Appendix B eq. 3 and 6 at T0 = 1.
+	if v := MeanEstimatorVariance(1, 3); math.Abs(v-1.0/9) > 1e-12 {
+		t.Fatalf("mean var n=3: %v", v)
+	}
+	if v := MaxEstimatorVariance(1, 3); math.Abs(v-1.0/15) > 1e-12 {
+		t.Fatalf("max var n=3: %v", v)
+	}
+	// The max estimator dominates for every n >= 2 (B.1's conclusion).
+	for n := 2; n <= 20; n++ {
+		if MaxEstimatorVariance(1, n) >= MeanEstimatorVariance(1, n) {
+			t.Fatalf("max estimator not better at n=%d", n)
+		}
+	}
+	// Equal at n = 1 (both reduce to a single-sample scaling).
+	if MaxEstimatorVariance(1, 1) != MeanEstimatorVariance(1, 1) {
+		t.Fatal("n=1 variances should coincide")
+	}
+}
+
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	r := rng.New(7)
+	const t0 = 1.0
+	const trials = 100000
+	for _, n := range []int{2, 4} {
+		means := make([]float64, trials)
+		maxes := make([]float64, trials)
+		for i := range means {
+			means[i], maxes[i] = EstimatorTrial(r, t0, n)
+		}
+		mv, xv := stats.Variance(means), stats.Variance(maxes)
+		if math.Abs(mv-MeanEstimatorVariance(t0, n))/MeanEstimatorVariance(t0, n) > 0.05 {
+			t.Fatalf("n=%d mean var MC %v vs closed %v", n, mv, MeanEstimatorVariance(t0, n))
+		}
+		if math.Abs(xv-MaxEstimatorVariance(t0, n))/MaxEstimatorVariance(t0, n) > 0.05 {
+			t.Fatalf("n=%d max var MC %v vs closed %v", n, xv, MaxEstimatorVariance(t0, n))
+		}
+	}
+}
+
+func TestHotProbability(t *testing.T) {
+	// Pages hotter than the threshold are always classified hot (eq. 7).
+	if HotProbability(0.5, 3) != 1 {
+		t.Fatal("hot page probability != 1")
+	}
+	// Colder pages: (1/x)^n.
+	if got := HotProbability(2, 3); math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("P(x=2,n=3)=%v", got)
+	}
+	// More rounds filter colder pages harder.
+	if HotProbability(2, 3) >= HotProbability(2, 2) {
+		t.Fatal("more rounds should reduce cold misclassification")
+	}
+}
+
+func TestUniformEfficiencyPeaksAtTwo(t *testing.T) {
+	// Eq. 12: E(n) = (n-1)/n², maximal at n = 2.
+	if got := UniformEfficiency(2); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("E(2)=%v", got)
+	}
+	for n := 1; n <= 10; n++ {
+		if n != 2 && UniformEfficiency(n) >= UniformEfficiency(2) {
+			t.Fatalf("E(%d)=%v >= E(2)", n, UniformEfficiency(n))
+		}
+	}
+	if UniformEfficiency(0) != 0 {
+		t.Fatal("E(0) should be 0")
+	}
+}
+
+func TestHDensityShape(t *testing.T) {
+	// h is non-negative, 0 at x<=0, and for small alpha the cold region
+	// (x>1) is sparser relative to its peak than for alpha=1.
+	if HDensity(0, 0.5) != 0 || HDensity(-1, 0.5) != 0 {
+		t.Fatal("h outside domain should be 0")
+	}
+	if HDensity(3, 0.3)/HDensity(1, 0.3) >= HDensity(3, 1)/HDensity(1, 1) {
+		t.Fatal("small alpha should decay faster in the cold region")
+	}
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		for _, a := range []float64{0.25, 0.5, 1} {
+			if HDensity(x, a) < 0 {
+				t.Fatalf("negative density at x=%v a=%v", x, a)
+			}
+		}
+	}
+}
+
+func TestSelectionStatsAlphaOne(t *testing.T) {
+	// For alpha = 1, h ≡ 1 on (0,1] and the closed form applies:
+	// S(n) = 1/(n-1) for the pure h(x)=1 tail.
+	for _, n := range []int{2, 3, 4, 5} {
+		_, _, e := SelectionStats(1, n)
+		want := UniformEfficiency(n)
+		if math.Abs(e-want)/want > 0.05 {
+			t.Fatalf("E_h(1)(%d)=%v, closed form %v", n, e, want)
+		}
+	}
+}
+
+func TestBestRoundsIsTwo(t *testing.T) {
+	// Figure B2: n = 2 wins across the realistic alpha range.
+	for _, alpha := range []float64{0.3, 0.5, 0.7, 0.9, 1.0} {
+		if got := BestRounds(alpha, 7); got != 2 {
+			t.Fatalf("BestRounds(alpha=%v)=%d, want 2", alpha, got)
+		}
+	}
+}
+
+func TestSelectionEfficiencyDecreasing(t *testing.T) {
+	// Beyond n=2 efficiency declines monotonically.
+	prev := math.Inf(1)
+	for n := 2; n <= 7; n++ {
+		_, _, e := SelectionStats(0.6, n)
+		if e >= prev {
+			t.Fatalf("efficiency not decreasing at n=%d", n)
+		}
+		prev = e
+	}
+}
+
+// TestPropertyMaxEstimateBounds: the max estimate is always >= the true
+// max sample and the mean estimate is within [0, 2·T0].
+func TestPropertyMaxEstimateBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		r := rng.New(seed)
+		const t0 = 1.0
+		mean, max := EstimatorTrial(r, t0, n)
+		return mean >= 0 && mean <= 2*t0 && max >= 0 && max <= (float64(n)+1)/float64(n)*t0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRealHotRatioInUnit: R_f(n) is a valid probability for any
+// density parameter.
+func TestPropertyRealHotRatioInUnit(t *testing.T) {
+	f := func(aRaw, nRaw uint8) bool {
+		alpha := 0.25 + float64(aRaw%76)/100 // [0.25, 1.0]
+		n := int(nRaw%7) + 1
+		s, r, e := SelectionStats(alpha, n)
+		return s >= 0 && r > 0 && r <= 1 && e > 0 && e <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

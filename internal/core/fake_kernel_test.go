@@ -1,0 +1,170 @@
+package core
+
+import (
+	"chrono/internal/mem"
+	"chrono/internal/pebs"
+	"chrono/internal/policy/scan"
+	"chrono/internal/rng"
+	"chrono/internal/simclock"
+	"chrono/internal/sysctl"
+	"chrono/internal/vm"
+)
+
+// fakeKernel is a scriptable policy.Kernel for white-box Chrono tests. It
+// uses CostScale 1, so CIT values equal raw poison-to-fault gaps.
+type fakeKernel struct {
+	clock *simclock.Clock
+	node  *mem.Node
+	table *sysctl.Table
+	r     *rng.Source
+
+	procs []*vm.Process
+	pages []*vm.Page
+
+	protects   []*vm.Page
+	unprotects []*vm.Page
+	promotes   []*vm.Page
+	demotes    []*vm.Page
+
+	// promoteOK / demoteOK script migration success (default true).
+	promoteOK func(*vm.Page) bool
+	demoteOK  func(*vm.Page) bool
+	// inactiveTail scripts the reclaim candidate list.
+	inactiveTail []*vm.Page
+	// accessed scripts the accessed-bit answer.
+	accessed func(*vm.Page) bool
+
+	kernelNS float64
+}
+
+func newFakeKernel() *fakeKernel {
+	return &fakeKernel{
+		clock: simclock.New(),
+		node:  mem.NewNode(mem.Config{FastPages: 1000, SlowPages: 3000}),
+		table: sysctl.NewTable(),
+		r:     rng.New(1),
+	}
+}
+
+// addPage registers a page resident in the given tier.
+func (k *fakeKernel) addPage(tier mem.TierID, size int32) *vm.Page {
+	if len(k.procs) == 0 {
+		p := vm.NewProcess(1, "fake", 4096)
+		k.procs = append(k.procs, p)
+	}
+	pg := &vm.Page{
+		ID:   int64(len(k.pages)),
+		VPN:  k.procs[0].VMAs()[0].Start + uint64(len(k.pages))*64,
+		Proc: k.procs[0],
+		Tier: tier,
+		Size: size,
+	}
+	if size > 1 {
+		pg.Flags |= vm.FlagHuge
+	}
+	k.node.Alloc(tier, int64(size))
+	k.pages = append(k.pages, pg)
+	k.procs[0].InsertPage(pg)
+	return pg
+}
+
+func (k *fakeKernel) Clock() *simclock.Clock       { return k.clock }
+func (k *fakeKernel) Node() *mem.Node              { return k.node }
+func (k *fakeKernel) Processes() []*vm.Process     { return k.procs }
+func (k *fakeKernel) Pages() []*vm.Page            { return k.pages }
+func (k *fakeKernel) RNG() *rng.Source             { return k.r }
+func (k *fakeKernel) Sysctl() *sysctl.Table        { return k.table }
+func (k *fakeKernel) CostScale() float64           { return 1 }
+func (k *fakeKernel) HugeFactor() int              { return 64 }
+func (k *fakeKernel) ChargeKernel(ns float64)      { k.kernelNS += ns }
+func (k *fakeKernel) CountContextSwitches(n int64) {}
+func (k *fakeKernel) FastFree() int64              { return k.node.Free(mem.FastTier) }
+
+func (k *fakeKernel) Protect(pg *vm.Page) {
+	pg.Flags |= vm.FlagProtNone
+	pg.ProtTS = k.clock.Now()
+	k.protects = append(k.protects, pg)
+}
+
+func (k *fakeKernel) Unprotect(pg *vm.Page) {
+	pg.Flags &^= vm.FlagProtNone
+	k.unprotects = append(k.unprotects, pg)
+}
+
+func (k *fakeKernel) AccessedTestAndClear(pg *vm.Page) bool {
+	if k.accessed != nil {
+		return k.accessed(pg)
+	}
+	return false
+}
+
+func (k *fakeKernel) Promote(pg *vm.Page) bool {
+	if k.promoteOK != nil && !k.promoteOK(pg) {
+		return false
+	}
+	if pg.Tier == mem.FastTier {
+		return true
+	}
+	if _, err := k.node.MovePages(mem.SlowTier, mem.FastTier, int64(pg.Size)); err != nil {
+		return false
+	}
+	pg.Tier = mem.FastTier
+	k.promotes = append(k.promotes, pg)
+	return true
+}
+
+func (k *fakeKernel) Demote(pg *vm.Page) bool {
+	if k.demoteOK != nil && !k.demoteOK(pg) {
+		return false
+	}
+	if pg.Tier == mem.SlowTier {
+		return true
+	}
+	if _, err := k.node.MovePages(mem.FastTier, mem.SlowTier, int64(pg.Size)); err != nil {
+		return false
+	}
+	pg.Tier = mem.SlowTier
+	pg.DemoteTS = k.clock.Now()
+	k.demotes = append(k.demotes, pg)
+	return true
+}
+
+func (k *fakeKernel) SplitHuge(pg *vm.Page) []*vm.Page { return nil }
+
+func (k *fakeKernel) HugeUtilization(pg *vm.Page) float64 { return 1 }
+
+func (k *fakeKernel) SamplePEBS(s *pebs.Sampler, seconds float64) int { return 0 }
+
+func (k *fakeKernel) InactiveTail(tier mem.TierID, n int) []*vm.Page {
+	if n > len(k.inactiveTail) {
+		n = len(k.inactiveTail)
+	}
+	return k.inactiveTail[:n]
+}
+
+// fault simulates the engine's fault delivery for a protected page at the
+// current virtual time: clear the poison and invoke the policy.
+func (k *fakeKernel) fault(c *Chrono, pg *vm.Page) {
+	pg.Flags &^= vm.FlagProtNone
+	pg.LastFault = k.clock.Now()
+	c.OnFault(pg, k.clock.Now())
+}
+
+// advance moves the fake clock forward, firing any events on the way.
+// Tests that need inert tickers configure Chrono with very long periods.
+func (k *fakeKernel) advance(d simclock.Duration) {
+	k.clock.RunUntil(k.clock.Now() + d)
+}
+
+// quietOptions returns Options whose periodic work is pushed far beyond
+// any test horizon, so white-box tests drive Chrono's handlers directly.
+func quietOptions() Options {
+	const far = 1 << 50 // ~13 virtual days
+	return Options{
+		Scan:           scan.Config{Period: far, StepPages: 1},
+		StatPeriod:     far,
+		TunePeriod:     far,
+		MigrateTick:    far,
+		DemotionPeriod: far,
+	}
+}

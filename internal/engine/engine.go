@@ -1,0 +1,659 @@
+// Package engine is the discrete-event tiered-memory simulator that stands
+// in for the paper's Linux kernel + DRAM/Optane testbed (see DESIGN.md §1
+// for the substitution argument).
+//
+// # Access model
+//
+// The workload assigns every base page an access weight and a read
+// fraction. Each process runs a closed loop: every access costs app CPU
+// work, the configured pmbench-style delay, and the memory latency of the
+// page's current tier; the process's aggregate access rate therefore
+// *increases* as its hot pages move to the fast tier, reproducing the
+// feedback that turns good placement into throughput. Per-page access
+// rates are the process rate split proportionally to page weights.
+//
+// Page accesses are not simulated individually. Instead:
+//
+//   - Hint faults: when a policy poisons a page (PROT_NONE), the time to
+//     the page's next access is drawn from the configured gap model —
+//     Uniform(0, 1/rate) for the periodic-access model the paper's
+//     Appendix B analyses, or Exp(rate) for Poisson traffic — and a fault
+//     event is scheduled. The captured idle time observed by Chrono is
+//     exactly this gap.
+//   - Accessed bits: a test-and-clear is answered with a Bernoulli draw of
+//     the probability that at least one access arrived since the last
+//     clear.
+//   - PEBS: samples are drawn from the true page-rate distribution under a
+//     capped budget (internal/pebs).
+//   - Latency/throughput: per epoch, the per-tier access masses accumulate
+//     into latency histograms, including fault and migration penalties.
+//
+// All randomness flows from one seed; a run is exactly reproducible.
+package engine
+
+import (
+	"fmt"
+
+	"chrono/internal/lru"
+	"chrono/internal/mem"
+	"chrono/internal/policy"
+	"chrono/internal/rng"
+	"chrono/internal/simclock"
+	"chrono/internal/stats"
+	"chrono/internal/sysctl"
+	"chrono/internal/vm"
+)
+
+// GapModel selects the inter-access time model used for fault timing.
+type GapModel int
+
+const (
+	// GapUniform models periodic accesses with random phase: the gap from
+	// an independent scan instant to the next access is U(0, period).
+	// This is the model of the paper's Appendix B.
+	GapUniform GapModel = iota
+	// GapExp models Poisson accesses: the gap is Exp(rate).
+	GapExp
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed drives all randomness. Same seed, same results.
+	Seed uint64
+
+	// PagesPerGB scales physical sizes down: a simulated "GB" is this
+	// many base pages. All capacity *ratios* are preserved. Default 256.
+	PagesPerGB int64
+	// FastGB and SlowGB size the tiers (defaults 64 and 192, the paper's
+	// testbed: 4×16 GB DRAM + 2×128 GB Optane at ~25% fast ratio).
+	FastGB float64
+	SlowGB float64
+
+	// EpochNS is the metric accounting step. Default 250 ms.
+	EpochNS simclock.Duration
+	// NCPU bounds compute (Xeon Gold 6348: 28 cores, 56 threads).
+	NCPU int
+
+	Gap     GapModel
+	Latency mem.LatencyModel
+
+	// Cost model (virtual nanoseconds).
+	CPUWorkNS           float64 // per-access app work outside memory
+	FaultKernelNS       float64 // kernel time per hint fault
+	FaultLatencyNS      float64 // extra latency seen by a faulting access
+	ScanPageNS          float64 // kernel time per page scanned/poisoned
+	MigrateFixedNS      float64 // kernel time per migration operation
+	MigratePerPageNS    float64 // kernel time per base page migrated
+	ABitTestNS          float64 // kernel time per accessed-bit test
+	ContextSwitchIdleHz float64 // baseline context-switch rate per proc
+
+	// PEBSAliasRebuildS is the virtual seconds between alias-table
+	// rebuilds for PEBS sampling. Default 10.
+	PEBSAliasRebuildS float64
+
+	// HugeFactor is the number of simulated base pages folded into one
+	// "huge page" under HugePages mapping. Real x86 folds 512×4 KB into
+	// 2 MB; since one simulated page already stands for CostScale real
+	// pages, the simulator uses a smaller factor (default 64) that
+	// preserves the *relative* coarsening and the hotness-fragmentation
+	// behaviour the paper analyses (§2.3, §3.4). Chrono's huge-page
+	// threshold/bucket scaling uses the actual fold factor.
+	HugeFactor int
+
+	// MigrationBWBytes caps the sustainable page-migration throughput in
+	// bytes/second of real traffic (the kernel migrate_pages path:
+	// unmap + copy + TLB shootdown, contending with demand traffic on
+	// the slow media). Migrations beyond the budget fail and must be
+	// retried — exactly how synchronous NUMA-fault promotion behaves
+	// under pressure. Default 1.2 GB/s.
+	MigrationBWBytes float64
+
+	// CostScale is the real-pages-per-simulated-page factor. One
+	// simulated page stands for CostScale real 4 KB pages (the capacity
+	// scale-down), so per-page kernel costs, migration bytes, and fault
+	// latency observations are multiplied by it to keep kernel-time
+	// fractions and bandwidth figures in real units. Default
+	// 262144/PagesPerGB.
+	CostScale float64
+}
+
+// Defaults fills zero fields with defaults and returns cfg.
+func (cfg Config) withDefaults() Config {
+	if cfg.PagesPerGB == 0 {
+		cfg.PagesPerGB = 256
+	}
+	if cfg.FastGB == 0 {
+		cfg.FastGB = 64
+	}
+	if cfg.SlowGB == 0 {
+		cfg.SlowGB = 192
+	}
+	if cfg.EpochNS == 0 {
+		cfg.EpochNS = 250 * simclock.Millisecond
+	}
+	if cfg.NCPU == 0 {
+		cfg.NCPU = 56
+	}
+	if cfg.Latency == (mem.LatencyModel{}) {
+		cfg.Latency = mem.DefaultLatency()
+	}
+	if cfg.CPUWorkNS == 0 {
+		cfg.CPUWorkNS = 130
+	}
+	if cfg.FaultKernelNS == 0 {
+		cfg.FaultKernelNS = 1900
+	}
+	if cfg.FaultLatencyNS == 0 {
+		cfg.FaultLatencyNS = 3600
+	}
+	if cfg.ScanPageNS == 0 {
+		cfg.ScanPageNS = 130
+	}
+	if cfg.MigrateFixedNS == 0 {
+		cfg.MigrateFixedNS = 1500
+	}
+	if cfg.MigratePerPageNS == 0 {
+		cfg.MigratePerPageNS = 350
+	}
+	if cfg.ABitTestNS == 0 {
+		cfg.ABitTestNS = 25
+	}
+	if cfg.ContextSwitchIdleHz == 0 {
+		cfg.ContextSwitchIdleHz = 1.2
+	}
+	if cfg.PEBSAliasRebuildS == 0 {
+		cfg.PEBSAliasRebuildS = 10
+	}
+	if cfg.CostScale == 0 {
+		cfg.CostScale = 262144 / float64(cfg.PagesPerGB)
+	}
+	if cfg.MigrationBWBytes == 0 {
+		cfg.MigrationBWBytes = 1.2e9
+	}
+	if cfg.HugeFactor == 0 {
+		cfg.HugeFactor = 64
+	}
+	return cfg
+}
+
+// procState is the engine-side view of one process.
+type procState struct {
+	proc    *vm.Process
+	threads int
+
+	// Aggregate access masses by tier and op, maintained incrementally:
+	// wRead[t] = Σ w_i·rf_i over pages in tier t, wWrite analogous.
+	wRead  [mem.NumTiers]float64
+	wWrite [mem.NumTiers]float64
+	wTot   float64
+
+	// rate is accesses/second this epoch.
+	rate float64
+	// faultOverheadNS is the EMA of per-access fault-handling overhead.
+	faultOverheadNS float64
+	// epochFaults counts hint faults taken this epoch.
+	epochFaults float64
+
+	// residentFast/Slow count resident base pages per tier;
+	// residentSwap counts pages reclaimed to backing storage.
+	residentFast int64
+	residentSlow int64
+	residentSwap int64
+
+	// wSwap is the access-weight mass of swapped pages (served at
+	// SwapLatencyNS in the closed-loop model).
+	wSwap float64
+}
+
+// Rate returns the process's current access rate (accesses/second).
+func (ps *procState) Rate() float64 { return ps.rate }
+
+// Engine is one simulation instance.
+type Engine struct {
+	cfg   Config
+	clock *simclock.Clock
+	node  *mem.Node
+	table *sysctl.Table
+
+	rMaster   *rng.Source
+	rFault    *rng.Source
+	rPolicy   *rng.Source
+	rWorkload *rng.Source
+	rPEBS     *rng.Source
+
+	pages        []*vm.Page // dense by ID; nil after free
+	pageW        []float64  // cached page weight (sum over covered base pages)
+	pageRF       []float64  // cached weighted read fraction
+	everSlow     []bool     // page was ever resident in the slow tier
+	everPromoted []bool     // page was promoted at least once
+	procs        []*procState
+	byPID        map[int]*procState
+
+	pol policy.Policy
+
+	// Kernel LRU (active/inactive per tier) maintained on faults and by
+	// periodic aging; source of reclaim/demotion candidates.
+	links *lru.Links
+	kLRU  [mem.NumTiers]*lru.TwoList
+
+	// epoch accumulators
+	epochMigBytes float64
+	kernelNSEpoch float64
+	kernelFrac    float64
+	// migTokens is the migration token bucket (bytes), refilled per epoch
+	// at MigrationBWBytes; migrations fail when it runs dry.
+	migTokens float64
+	// Bandwidth-driven latency inflation (see metrics.go).
+	slowUtilEMA float64
+	fastUtilEMA float64
+	slowLatMult float64
+	fastLatMult float64
+
+	// PEBS alias cache
+	aliasTable   *rng.Alias
+	aliasIDs     []int64
+	aliasBuiltAt simclock.Time
+	aliasDirty   bool
+
+	// numaTiering mirrors the sysctl toggle; policies may consult it.
+	numaTiering int64
+
+	horizon simclock.Time
+
+	M Metrics
+
+	// EpochHook, if set, runs at the end of every metric epoch (used by
+	// the harness to sample time series such as Figure 9's placement
+	// history).
+	EpochHook func(now simclock.Time)
+}
+
+// Metrics aggregates a run's results.
+type Metrics struct {
+	Duration simclock.Time
+
+	Accesses     float64
+	FastAccesses float64
+	Reads        float64
+	Writes       float64
+
+	Faults          float64
+	Promotions      int64
+	Demotions       int64
+	SwapOuts        int64
+	SwapIns         int64
+	MigratedBytes   float64
+	ContextSwitches float64
+
+	KernelNS float64
+	AppNS    float64
+
+	// Latency observations, weighted by access counts.
+	Lat      *stats.Histogram
+	LatRead  *stats.Histogram
+	LatWrite *stats.Histogram
+}
+
+// Throughput returns million accesses per second of virtual time.
+func (m *Metrics) Throughput() float64 {
+	if m.Duration == 0 {
+		return 0
+	}
+	return m.Accesses / m.Duration.Seconds() / 1e6
+}
+
+// FMAR is the fast-tier memory access ratio (§5.1.2).
+func (m *Metrics) FMAR() float64 {
+	if m.Accesses == 0 {
+		return 0
+	}
+	r := m.FastAccesses / m.Accesses
+	if r > 1 { // float accumulation error when everything is fast
+		r = 1
+	}
+	return r
+}
+
+// KernelTimeFrac is kernel CPU time as a share of total CPU time.
+func (m *Metrics) KernelTimeFrac() float64 {
+	tot := m.KernelNS + m.AppNS
+	if tot == 0 {
+		return 0
+	}
+	return m.KernelNS / tot
+}
+
+// ContextSwitchRate is context switches per second per process-equivalent
+// (reported system-wide per second in Figure 8).
+func (m *Metrics) ContextSwitchRate() float64 {
+	if m.Duration == 0 {
+		return 0
+	}
+	return m.ContextSwitches / m.Duration.Seconds()
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	fastPages := int64(cfg.FastGB * float64(cfg.PagesPerGB))
+	slowPages := int64(cfg.SlowGB * float64(cfg.PagesPerGB))
+	r := rng.New(cfg.Seed)
+	e := &Engine{
+		cfg:   cfg,
+		clock: simclock.New(),
+		node: mem.NewNode(mem.Config{
+			FastPages:     fastPages,
+			SlowPages:     slowPages,
+			Latency:       cfg.Latency,
+			PageSizeBytes: int64(4096 * cfg.CostScale),
+		}),
+		table:       sysctl.NewTable(),
+		rMaster:     r,
+		rFault:      r.Fork(1),
+		rPolicy:     r.Fork(2),
+		rWorkload:   r.Fork(3),
+		rPEBS:       r.Fork(4),
+		byPID:       make(map[int]*procState),
+		links:       lru.NewLinks(0),
+		numaTiering: 1,
+		slowLatMult: 1,
+		fastLatMult: 1,
+		M: Metrics{
+			Lat:      stats.NewHistogram(),
+			LatRead:  stats.NewHistogram(),
+			LatWrite: stats.NewHistogram(),
+		},
+	}
+	for t := mem.TierID(0); t < mem.NumTiers; t++ {
+		e.kLRU[t] = lru.NewTwoList(e.links)
+	}
+	e.table.Int64("kernel/numa_tiering", "enable tiered NUMA management (Chrono)", &e.numaTiering, nil, nil)
+	return e
+}
+
+// Clock returns the virtual clock.
+func (e *Engine) Clock() *simclock.Clock { return e.clock }
+
+// Node returns the memory node.
+func (e *Engine) Node() *mem.Node { return e.node }
+
+// Sysctl returns the runtime parameter table.
+func (e *Engine) Sysctl() *sysctl.Table { return e.table }
+
+// RNG returns the policy random stream (policy.Kernel).
+func (e *Engine) RNG() *rng.Source { return e.rPolicy }
+
+// WorkloadRNG returns the stream reserved for workload generators.
+func (e *Engine) WorkloadRNG() *rng.Source { return e.rWorkload }
+
+// Pages returns the dense page table.
+func (e *Engine) Pages() []*vm.Page { return e.pages }
+
+// Processes returns all processes.
+func (e *Engine) Processes() []*vm.Process {
+	out := make([]*vm.Process, len(e.procs))
+	for i, ps := range e.procs {
+		out[i] = ps.proc
+	}
+	return out
+}
+
+// Config returns the engine configuration (after defaulting).
+func (e *Engine) Config() Config { return e.cfg }
+
+// AddProcess registers a process with the given thread count. Its pages
+// are not yet resident; call MapProcess after setting the access pattern.
+func (e *Engine) AddProcess(p *vm.Process, threads int) {
+	if threads <= 0 {
+		threads = 1
+	}
+	ps := &procState{proc: p, threads: threads}
+	e.procs = append(e.procs, ps)
+	e.byPID[p.PID] = ps
+}
+
+// PageSizeMode selects base- or huge-page mapping for MapProcess.
+type PageSizeMode int
+
+// Mapping granularities (Figure 11 compares -base vs -huge).
+const (
+	BasePages PageSizeMode = iota
+	HugePages
+)
+
+// MapProcess makes every VMA page of p resident. Allocation fills the fast
+// tier down to its high watermark first (demand paging with kswapd
+// headroom), then falls back to the slow tier — matching the initial
+// placement the paper's workloads see after sequential initialization.
+// With interleave > 1, residency is granted in chunks round-robin across
+// processes mapped in the same call batch; callers wanting concurrent-init
+// behaviour should use MapAll.
+func (e *Engine) MapProcess(p *vm.Process, mode PageSizeMode) error {
+	return e.mapRange(e.byPID[p.PID], mode)
+}
+
+// MapAll maps every registered process, interleaving allocation in chunks
+// across processes so concurrent initialization shares the fast tier
+// proportionally.
+func (e *Engine) MapAll(mode PageSizeMode) error {
+	type cursor struct {
+		ps   *procState
+		vma  int
+		next uint64
+	}
+	var cur []*cursor
+	for _, ps := range e.procs {
+		if len(ps.proc.VMAs()) > 0 {
+			cur = append(cur, &cursor{ps: ps, next: ps.proc.VMAs()[0].Start})
+		}
+	}
+	const chunk = 64 // base pages granted per process per round
+	for len(cur) > 0 {
+		var live []*cursor
+		for _, c := range cur {
+			vmas := c.ps.proc.VMAs()
+			granted := uint64(0)
+			for granted < chunk && c.vma < len(vmas) {
+				v := vmas[c.vma]
+				if c.next >= v.End() {
+					c.vma++
+					if c.vma < len(vmas) {
+						c.next = vmas[c.vma].Start
+					}
+					continue
+				}
+				n := uint64(1)
+				if mode == HugePages {
+					n = uint64(e.cfg.HugeFactor)
+					if c.next+n > v.End() {
+						n = v.End() - c.next
+					}
+				}
+				if _, err := e.mapPage(c.ps, c.next, int32(n), mode == HugePages && n == uint64(e.cfg.HugeFactor)); err != nil {
+					return err
+				}
+				c.next += n
+				granted += n
+			}
+			if c.vma < len(vmas) {
+				live = append(live, c)
+			}
+		}
+		cur = live
+	}
+	for _, ps := range e.procs {
+		ps.proc.RecomputeTotalWeight()
+		e.recomputeProcAggregates(ps)
+	}
+	e.aliasDirty = true
+	return nil
+}
+
+func (e *Engine) mapRange(ps *procState, mode PageSizeMode) error {
+	for _, v := range ps.proc.VMAs() {
+		for vpn := v.Start; vpn < v.End(); {
+			n := uint64(1)
+			if mode == HugePages {
+				n = uint64(e.cfg.HugeFactor)
+				if vpn+n > v.End() {
+					n = v.End() - vpn
+				}
+			}
+			if _, err := e.mapPage(ps, vpn, int32(n), mode == HugePages && n == uint64(e.cfg.HugeFactor)); err != nil {
+				return err
+			}
+			vpn += n
+		}
+	}
+	ps.proc.RecomputeTotalWeight()
+	e.recomputeProcAggregates(ps)
+	e.aliasDirty = true
+	return nil
+}
+
+// mapPage creates one resident page of size n base pages.
+func (e *Engine) mapPage(ps *procState, vpn uint64, n int32, huge bool) (*vm.Page, error) {
+	tier := mem.FastTier
+	// Fill DRAM down to the high watermark, then overflow to slow; when
+	// the slow tier is also exhausted, dip into the fast-tier reserve
+	// (the kernel allocates below watermarks before failing).
+	if e.node.Free(mem.FastTier)-int64(n) < e.node.Watermarks(mem.FastTier).High {
+		tier = mem.SlowTier
+	}
+	if err := e.node.Alloc(tier, int64(n)); err != nil {
+		tier = tier.Other()
+		if err2 := e.node.Alloc(tier, int64(n)); err2 != nil {
+			return nil, fmt.Errorf("engine: map pid %d vpn %#x: %w", ps.proc.PID, vpn, err2)
+		}
+	}
+	pg := &vm.Page{
+		ID:   int64(len(e.pages)),
+		VPN:  vpn,
+		Proc: ps.proc,
+		Tier: tier,
+		Size: n,
+	}
+	if huge {
+		pg.Flags |= vm.FlagHuge
+	}
+	e.pages = append(e.pages, pg)
+	e.pageW = append(e.pageW, 0)
+	e.pageRF = append(e.pageRF, 1)
+	e.everSlow = append(e.everSlow, tier == mem.SlowTier)
+	e.everPromoted = append(e.everPromoted, false)
+	ps.proc.InsertPage(pg)
+	e.links.Grow(len(e.pages))
+	e.kLRU[tier].AddNew(pg.ID)
+	if tier == mem.FastTier {
+		ps.residentFast += int64(n)
+	} else {
+		ps.residentSlow += int64(n)
+	}
+	if e.pol != nil {
+		e.pol.OnPageMapped(pg)
+	}
+	return pg, nil
+}
+
+// SetPattern updates the access pattern of one base page and refreshes the
+// covering page's cached weight. Call FlushPattern(p) after a batch.
+func (e *Engine) SetPattern(p *vm.Process, vpn uint64, weight, readFrac float64) {
+	p.SetPattern(vpn, weight, readFrac)
+}
+
+// FlushPattern recomputes cached weights and aggregates for p after the
+// workload changed its pattern (phase change).
+func (e *Engine) FlushPattern(p *vm.Process) {
+	ps := e.byPID[p.PID]
+	p.RecomputeTotalWeight()
+	e.recomputeProcAggregates(ps)
+	e.aliasDirty = true
+}
+
+// recomputeProcAggregates refreshes cached per-page weights and per-tier
+// masses for ps.
+func (e *Engine) recomputeProcAggregates(ps *procState) {
+	for t := range ps.wRead {
+		ps.wRead[t] = 0
+		ps.wWrite[t] = 0
+	}
+	ps.wTot = 0
+	seen := make(map[int64]bool)
+	for _, v := range ps.proc.VMAs() {
+		for vpn := v.Start; vpn < v.End(); vpn++ {
+			pg := ps.proc.PageAt(vpn)
+			if pg == nil || seen[pg.ID] {
+				continue
+			}
+			seen[pg.ID] = true
+			w, rf := ps.proc.PageWeight(pg)
+			e.pageW[pg.ID] = w
+			e.pageRF[pg.ID] = rf
+			ps.wRead[pg.Tier] += w * rf
+			ps.wWrite[pg.Tier] += w * (1 - rf)
+			ps.wTot += w
+		}
+	}
+}
+
+// PageWeightCached returns the cached access weight of a page.
+func (e *Engine) PageWeightCached(id int64) float64 { return e.pageW[id] }
+
+// ProcOf returns the engine state for a process.
+func (e *Engine) procOf(p *vm.Process) *procState { return e.byPID[p.PID] }
+
+// PageRate returns the current accesses/second of a page. This is the
+// ground-truth rate — available to the harness and the fault generator,
+// not part of the policy.Kernel surface.
+func (e *Engine) PageRate(pg *vm.Page) float64 {
+	ps := e.byPID[pg.Proc.PID]
+	if ps == nil || ps.wTot == 0 {
+		return 0
+	}
+	return ps.rate * e.pageW[pg.ID] / ps.wTot
+}
+
+// ResidentFast returns the resident fast-tier base pages of p.
+func (e *Engine) ResidentFast(p *vm.Process) int64 { return e.byPID[p.PID].residentFast }
+
+// ResidentSlow returns the resident slow-tier base pages of p.
+func (e *Engine) ResidentSlow(p *vm.Process) int64 { return e.byPID[p.PID].residentSlow }
+
+// AttachPolicy installs the tiering policy. Must be called after MapAll
+// and before Run.
+func (e *Engine) AttachPolicy(p policy.Policy) {
+	e.pol = p
+	p.Attach(e)
+}
+
+// Policy returns the attached policy (nil before AttachPolicy).
+func (e *Engine) Policy() policy.Policy { return e.pol }
+
+// Run executes the simulation for the given virtual duration.
+func (e *Engine) Run(d simclock.Duration) *Metrics {
+	e.horizon = e.clock.Now() + d
+	// Prime rates and bandwidth state before the first epoch so early
+	// faults see sane rates.
+	e.updateRates()
+	e.updateBandwidth(0)
+	e.updateRates()
+	e.migTokens = e.cfg.MigrationBWBytes // one second of initial budget
+	tick := e.clock.Every(e.cfg.EpochNS, func(now simclock.Time) { e.epochTick(now) })
+	// Kernel LRU aging once per minute: the paper (§2.3) observes that
+	// accessed-bit reset intervals in practice "last from minutes to
+	// hours", which is why hardware-bit recency is a coarse hotness
+	// signal. Faster aging would hand every policy an unrealistically
+	// sharp reclaim oracle.
+	age := e.clock.Every(simclock.Minute, func(now simclock.Time) { e.ageLRU() })
+	// kswapd watermark check every 500 ms.
+	kswapd := e.clock.Every(500*simclock.Millisecond, func(now simclock.Time) { e.kswapd() })
+	// cgroup memory.limit enforcement every second (§3.3.1).
+	cgroup := e.clock.Every(simclock.Second, func(now simclock.Time) { e.cgroupReclaim(now) })
+	e.clock.RunUntil(e.horizon)
+	tick.Cancel()
+	age.Cancel()
+	kswapd.Cancel()
+	cgroup.Cancel()
+	e.M.Duration = e.clock.Now()
+	return &e.M
+}

@@ -1,0 +1,498 @@
+package engine
+
+import (
+	"math"
+
+	"chrono/internal/mem"
+	"chrono/internal/pebs"
+	"chrono/internal/rng"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// This file implements the policy.Kernel surface: hint-fault generation,
+// accessed-bit emulation, migration, reclaim, and PEBS sampling.
+
+// minFaultRate is the page rate below which no fault event is scheduled
+// (the page would fault beyond any realistic horizon; the next scan
+// restamps it anyway).
+const minFaultRate = 1e-4 // < one access per ~3 virtual hours
+
+// Protect poisons pg PROT_NONE, stamps the scan timestamp, and schedules
+// the hint fault at the page's next access.
+func (e *Engine) Protect(pg *vm.Page) {
+	if pg.Flags.Has(vm.FlagSwapped) {
+		return // non-resident: there is no PTE to poison
+	}
+	now := e.clock.Now()
+	pg.Flags |= vm.FlagProtNone
+	pg.ProtTS = now
+	pg.FaultSeq++
+	e.clock.Cancel(pg.FaultHandle)
+	e.ChargeKernel(e.cfg.ScanPageNS * float64(pg.Size) * e.cfg.CostScale)
+
+	rate := e.PageRate(pg)
+	if rate < minFaultRate {
+		return
+	}
+	var gap float64 // seconds
+	switch e.cfg.Gap {
+	case GapExp:
+		gap = e.rFault.Exp(rate)
+	default:
+		gap = e.rFault.Float64() / rate
+	}
+	at := now + simclock.FromSeconds(gap)
+	if at > e.horizon {
+		return
+	}
+	seq := pg.FaultSeq
+	pg.FaultHandle = e.clock.At(at, func(t simclock.Time) {
+		e.deliverFault(pg, seq, t)
+	})
+}
+
+// Unprotect clears the poisoning without delivering a fault.
+func (e *Engine) Unprotect(pg *vm.Page) {
+	pg.Flags &^= vm.FlagProtNone
+	pg.FaultSeq++
+	e.clock.Cancel(pg.FaultHandle)
+}
+
+// deliverFault runs when a protected page is first accessed.
+func (e *Engine) deliverFault(pg *vm.Page, seq uint64, now simclock.Time) {
+	if pg.FaultSeq != seq || !pg.Flags.Has(vm.FlagProtNone) {
+		return // stale event: page was re-protected or unprotected
+	}
+	pg.Flags &^= vm.FlagProtNone
+	pg.LastFault = now
+
+	e.M.Faults++
+	e.M.ContextSwitches++
+	ps := e.byPID[pg.Proc.PID]
+	ps.epochFaults++
+	e.ChargeKernel(e.cfg.FaultKernelNS * e.cfg.CostScale)
+	// The faulting event stands for CostScale real page faults, each an
+	// access that observed the fault-handling latency on top of its tier
+	// latency.
+	lat := e.cfg.FaultLatencyNS + e.cfg.Latency.Access(pg.Tier, false)
+	e.M.Lat.Add(lat, e.cfg.CostScale)
+	e.M.LatRead.Add(lat, e.cfg.CostScale)
+
+	// Hint faults do NOT rotate the kernel LRU: the real fault handler
+	// never touches the lists, and reclaim learns about references only
+	// through its own (slow) accessed-bit scans. Giving the LRU
+	// fault-recency information would make reclaim unrealistically sharp.
+	if e.pol != nil {
+		e.pol.OnFault(pg, now)
+	}
+}
+
+// AccessedTestAndClear emulates the PTE accessed-bit read-and-clear.
+//
+// The simulated page aggregates CostScale real 4 KB pages; the accessed
+// bit a real policy reads belongs to ONE of them, so the reference
+// probability uses the per-real-page rate (aggregate / CostScale). This
+// is what gives accessed-bit policies their real, coarse 0-1
+// access-per-window resolution (paper Table 1) instead of an
+// artificially sharpened aggregate signal.
+func (e *Engine) AccessedTestAndClear(pg *vm.Page) bool {
+	now := e.clock.Now()
+	e.ChargeKernel(e.cfg.ABitTestNS * e.cfg.CostScale)
+	dt := (now - pg.ABitTS).Seconds()
+	pg.ABitTS = now
+	rate := e.PageRate(pg) / e.cfg.CostScale * float64(pg.Size)
+	if rate <= 0 || dt <= 0 {
+		return false
+	}
+	var p float64
+	switch e.cfg.Gap {
+	case GapExp:
+		p = 1 - math.Exp(-rate*dt)
+	default:
+		p = rate * dt
+		if p > 1 {
+			p = 1
+		}
+	}
+	return e.rFault.Bool(p)
+}
+
+// migBudgetOK checks and consumes migration bandwidth tokens for a move
+// of the given page count. A dry bucket fails the migration, as the
+// kernel's migrate_pages path does under sustained pressure.
+func (e *Engine) migBudgetOK(pages int64) bool {
+	bytes := float64(pages * e.node.PageSizeBytes)
+	if e.migTokens < bytes {
+		return false
+	}
+	e.migTokens -= bytes
+	return true
+}
+
+// Promote moves pg to the fast tier, running direct reclaim when the fast
+// tier is short. Reports whether the page ended up in the fast tier.
+func (e *Engine) Promote(pg *vm.Page) bool {
+	if pg.Flags.Has(vm.FlagSwapped) {
+		// Promoting a reclaimed page is a swap-in to the fast tier.
+		if !e.ensureFastFree(int64(pg.Size)) {
+			return false
+		}
+		return e.swapIn(pg, mem.FastTier)
+	}
+	if pg.Tier == mem.FastTier {
+		return true
+	}
+	if !e.ensureFastFree(int64(pg.Size)) {
+		return false
+	}
+	if !e.migBudgetOK(int64(pg.Size)) {
+		return false
+	}
+	e.moveTier(pg, mem.FastTier)
+	return true
+}
+
+// Demote moves pg to the slow tier.
+func (e *Engine) Demote(pg *vm.Page) bool {
+	if pg.Flags.Has(vm.FlagSwapped) {
+		return false // non-resident
+	}
+	if pg.Tier == mem.SlowTier {
+		return true
+	}
+	if e.node.Free(mem.SlowTier) < int64(pg.Size) {
+		return false // slow tier exhausted: would swap to disk, out of scope
+	}
+	if !e.migBudgetOK(int64(pg.Size)) {
+		return false
+	}
+	e.moveTier(pg, mem.SlowTier)
+	return true
+}
+
+// ensureFastFree direct-reclaims (demotes inactive fast-tier pages) until
+// at least n pages are free, or reports failure.
+func (e *Engine) ensureFastFree(n int64) bool {
+	if e.node.Free(mem.FastTier) >= n {
+		return true
+	}
+	// Direct reclaim: demote from the cold end of the fast inactive list.
+	guard := 4096
+	for e.node.Free(mem.FastTier) < n && guard > 0 {
+		guard--
+		victim := e.reclaimVictim()
+		if victim == nil {
+			return false
+		}
+		if !e.Demote(victim) {
+			return false
+		}
+	}
+	return e.node.Free(mem.FastTier) >= n
+}
+
+// reclaimVictim picks the next fast-tier reclaim candidate: the tail of
+// the inactive list, falling back to aging the active list.
+//
+// Pressure-driven deactivation is positional (no referenced-bit test):
+// under sustained reclaim the kernel rotates the active tail down faster
+// than accessed bits can accumulate signal, so victims approach rotation
+// order over the resident set. The periodic ageLRU pass is where the
+// (minute-scale) accessed-bit information enters the lists.
+func (e *Engine) reclaimVictim() *vm.Page {
+	t := e.kLRU[mem.FastTier]
+	id := t.Inactive.Back()
+	if id < 0 {
+		t.Age(nil)
+		id = t.Inactive.Back()
+	}
+	if id < 0 {
+		id = t.Active.Back()
+	}
+	if id < 0 {
+		return nil
+	}
+	return e.pages[id]
+}
+
+// moveTier performs the tier transfer with full accounting.
+func (e *Engine) moveTier(pg *vm.Page, to mem.TierID) {
+	from := pg.Tier
+	copyTime, err := e.node.MovePages(from, to, int64(pg.Size))
+	if err != nil {
+		panic("engine: moveTier after capacity check: " + err.Error())
+	}
+	// Kernel work: unmap, copy, remap, TLB shootdown.
+	e.ChargeKernel((e.cfg.MigrateFixedNS+e.cfg.MigratePerPageNS*float64(pg.Size))*e.cfg.CostScale + float64(copyTime))
+	e.M.ContextSwitches += 0.5
+	e.M.MigratedBytes += float64(int64(pg.Size) * e.node.PageSizeBytes)
+	e.epochMigBytes += float64(int64(pg.Size) * e.node.PageSizeBytes)
+	if to == mem.FastTier {
+		e.M.Promotions++
+	} else {
+		e.M.Demotions++
+	}
+
+	// Cancel any pending fault: migration remaps the page.
+	if pg.Flags.Has(vm.FlagProtNone) {
+		e.Unprotect(pg)
+	}
+
+	// LRU: leave the old tier's lists, enter the new tier's.
+	e.kLRU[from].Drop(pg.ID)
+	if to == mem.FastTier {
+		// A promoted page was judged hot: it enters the active list.
+		e.kLRU[to].Active.PushFront(pg.ID)
+	} else {
+		e.kLRU[to].AddNew(pg.ID)
+	}
+
+	// Aggregates.
+	ps := e.byPID[pg.Proc.PID]
+	w := e.pageW[pg.ID]
+	rf := e.pageRF[pg.ID]
+	ps.wRead[from] -= w * rf
+	ps.wWrite[from] -= w * (1 - rf)
+	ps.wRead[to] += w * rf
+	ps.wWrite[to] += w * (1 - rf)
+	if to == mem.FastTier {
+		ps.residentFast += int64(pg.Size)
+		ps.residentSlow -= int64(pg.Size)
+	} else {
+		ps.residentFast -= int64(pg.Size)
+		ps.residentSlow += int64(pg.Size)
+	}
+	pg.Tier = to
+	if to == mem.SlowTier {
+		pg.DemoteTS = e.clock.Now()
+		e.everSlow[pg.ID] = true
+	} else {
+		e.everPromoted[pg.ID] = true
+	}
+	if e.pol != nil {
+		e.pol.OnMigrated(pg, from, to)
+	}
+}
+
+// AccessedSlowPages counts pages that were ever resident in the slow tier
+// and carry a non-zero access weight — the PPR denominator (§2.4).
+func (e *Engine) AccessedSlowPages() int64 {
+	var n int64
+	for id, pg := range e.pages {
+		if pg != nil && e.everSlow[id] && e.pageW[id] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// EverSlow reports whether the page was ever resident in the slow tier.
+func (e *Engine) EverSlow(id int64) bool { return e.everSlow[id] }
+
+// UniquePromotedPages counts distinct pages promoted at least once — the
+// PPR numerator (§2.4: pages promoted to DRAM).
+func (e *Engine) UniquePromotedPages() int64 {
+	var n int64
+	for id, pg := range e.pages {
+		if pg != nil && e.everPromoted[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// SplitHuge splits a folded huge page into its base pages (same tier, no
+// copying). Returns the new pages, or nil if pg is not huge.
+func (e *Engine) SplitHuge(pg *vm.Page) []*vm.Page {
+	if !pg.IsHuge() {
+		return nil
+	}
+	ps := e.byPID[pg.Proc.PID]
+	now := e.clock.Now()
+	// Retire the huge page.
+	if pg.Flags.Has(vm.FlagProtNone) {
+		e.Unprotect(pg)
+	}
+	e.kLRU[pg.Tier].Drop(pg.ID)
+	pg.Proc.RemovePage(pg)
+	if e.pol != nil {
+		e.pol.OnPageFreed(pg)
+	}
+	w := e.pageW[pg.ID]
+	rf := e.pageRF[pg.ID]
+	ps.wRead[pg.Tier] -= w * rf
+	ps.wWrite[pg.Tier] -= w * (1 - rf)
+	e.pages[pg.ID] = nil
+	e.pageW[pg.ID] = 0
+
+	// Split cost: 512 PTE writes + TLB shootdown.
+	e.ChargeKernel(25000 * e.cfg.CostScale)
+
+	out := make([]*vm.Page, 0, pg.Size)
+	for i := int32(0); i < pg.Size; i++ {
+		vpn := pg.VPN + uint64(i)
+		np := &vm.Page{
+			ID:     int64(len(e.pages)),
+			VPN:    vpn,
+			Proc:   pg.Proc,
+			Tier:   pg.Tier,
+			Size:   1,
+			ABitTS: now,
+		}
+		e.pages = append(e.pages, np)
+		bw := pg.Proc.Weight(vpn)
+		brf := pg.Proc.ReadFrac(vpn)
+		e.pageW = append(e.pageW, bw)
+		e.pageRF = append(e.pageRF, brf)
+		e.everSlow = append(e.everSlow, np.Tier == mem.SlowTier)
+		e.everPromoted = append(e.everPromoted, false)
+		ps.wRead[np.Tier] += bw * brf
+		ps.wWrite[np.Tier] += bw * (1 - brf)
+		pg.Proc.InsertPage(np)
+		e.links.Grow(len(e.pages))
+		e.kLRU[np.Tier].AddNew(np.ID)
+		if e.pol != nil {
+			e.pol.OnPageMapped(np)
+		}
+		out = append(out, np)
+	}
+	e.aliasDirty = true
+	return out
+}
+
+// CostScale implements policy.Kernel.
+func (e *Engine) CostScale() float64 { return e.cfg.CostScale }
+
+// HugeFactor implements policy.Kernel.
+func (e *Engine) HugeFactor() int { return e.cfg.HugeFactor }
+
+// HugeUtilization implements policy.Kernel: the fraction of covered base
+// pages with non-zero access weight.
+func (e *Engine) HugeUtilization(pg *vm.Page) float64 {
+	if !pg.IsHuge() {
+		return 1
+	}
+	var used int32
+	for i := uint64(0); i < uint64(pg.Size); i++ {
+		if pg.Proc.Weight(pg.VPN+i) > 0 {
+			used++
+		}
+	}
+	return float64(used) / float64(pg.Size)
+}
+
+// ChargeKernel accounts kernel CPU time.
+func (e *Engine) ChargeKernel(ns float64) {
+	e.M.KernelNS += ns
+	e.kernelNSEpoch += ns
+}
+
+// CountContextSwitches adds context switches to the metrics.
+func (e *Engine) CountContextSwitches(n int64) {
+	e.M.ContextSwitches += float64(n)
+}
+
+// InactiveTail returns up to n cold-end pages of the tier's inactive list.
+func (e *Engine) InactiveTail(tier mem.TierID, n int) []*vm.Page {
+	ids := e.kLRU[tier].Inactive.TailN(n, nil)
+	out := make([]*vm.Page, 0, len(ids))
+	for _, id := range ids {
+		if pg := e.pages[id]; pg != nil {
+			out = append(out, pg)
+		}
+	}
+	return out
+}
+
+// FastFree returns free fast-tier pages.
+func (e *Engine) FastFree() int64 { return e.node.Free(mem.FastTier) }
+
+// ageLRU runs the periodic active/inactive rebalance on both tiers:
+// referenced inactive pages activate (so reclaim victims are genuinely
+// cold even under policies that never fault), then the active tail ages
+// down to restore the list balance.
+func (e *Engine) ageLRU() {
+	accessed := func(id int64) bool {
+		pg := e.pages[id]
+		if pg == nil {
+			return false
+		}
+		return e.AccessedTestAndClear(pg)
+	}
+	for t := mem.TierID(0); t < mem.NumTiers; t++ {
+		// The real inactive-list scan only covers a small slice of a
+		// many-million-page list per aging interval; mirror that budget
+		// so reclaim victims carry realistic noise.
+		e.kLRU[t].ActivateReferenced(e.kLRU[t].Inactive.Len()/32, accessed)
+		e.kLRU[t].Age(accessed)
+	}
+}
+
+// kswapd demotes cold fast-tier pages when free memory falls below the
+// high watermark, stopping at the pro watermark (§3.3.1). With the default
+// pro == high this reproduces vanilla kswapd demotion; Chrono raises pro.
+func (e *Engine) kswapd() {
+	if !e.node.BelowHigh(mem.FastTier) {
+		return
+	}
+	target := e.node.DemotionTarget(mem.FastTier)
+	guard := 4096
+	for target > 0 && guard > 0 {
+		guard--
+		victim := e.reclaimVictim()
+		if victim == nil {
+			return
+		}
+		if !e.Demote(victim) {
+			return
+		}
+		target = e.node.DemotionTarget(mem.FastTier)
+	}
+}
+
+// SamplePEBS draws one sampling period's worth of PEBS samples into s,
+// using the true page access-rate distribution. Implements policy.Kernel's
+// hardware-sampling channel.
+func (e *Engine) SamplePEBS(s *pebs.Sampler, seconds float64) int {
+	now := e.clock.Now()
+	if e.aliasTable == nil || e.aliasDirty ||
+		(now-e.aliasBuiltAt).Seconds() > e.cfg.PEBSAliasRebuildS {
+		e.rebuildAlias()
+	}
+	if e.aliasTable == nil {
+		return 0
+	}
+	// Sampling micro-operations cost kernel/user time (the paper's §2.3
+	// overhead point): ~300 ns per retained sample for the DS-area drain.
+	n := s.SamplePeriod(e.aliasTable, e.aliasIDs, seconds)
+	e.ChargeKernel(float64(n) * 300 * e.cfg.CostScale)
+	return n
+}
+
+// rebuildAlias reconstructs the PEBS sampling distribution from current
+// page rates.
+func (e *Engine) rebuildAlias() {
+	weights := make([]float64, 0, len(e.pages))
+	ids := make([]int64, 0, len(e.pages))
+	for _, pg := range e.pages {
+		if pg == nil {
+			continue
+		}
+		r := e.PageRate(pg)
+		if r <= 0 {
+			continue
+		}
+		weights = append(weights, r)
+		ids = append(ids, pg.ID)
+	}
+	if len(weights) == 0 {
+		e.aliasTable = nil
+		e.aliasIDs = nil
+		return
+	}
+	e.aliasTable = rng.NewAlias(e.rPEBS, weights)
+	e.aliasIDs = ids
+	e.aliasBuiltAt = e.clock.Now()
+	e.aliasDirty = false
+}

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"chrono/internal/mem"
+	"chrono/internal/simclock"
+)
+
+// This file implements the per-epoch throughput/latency accounting.
+
+// latency jitter spread: queueing and cache effects scatter observed
+// access latency around the device latency. The weights approximate the
+// shape of the measured Optane/DRAM access-time distributions.
+var jitter = [...]struct {
+	mult float64
+	frac float64
+}{
+	{0.85, 0.30},
+	{1.00, 0.40},
+	{1.40, 0.20},
+	{2.50, 0.08},
+	{5.00, 0.02},
+}
+
+// AccessBytes is the demand one access generates: a cache-line fill
+// (64 B) — pmbench-style pointer-chasing touches one line per op.
+const AccessBytes = 64
+
+// SlowMediaAmp is Optane PM's internal access granularity amplification:
+// the media operates on 256 B XPLines, so a random 64 B demand costs 4× at
+// the media, and a store additionally performs a read-modify-write
+// (Xiang et al., EuroSys '22, "a close look at its on-DIMM buffering").
+const SlowMediaAmp = 4
+
+// updateRates recomputes each process's closed-loop access rate from its
+// current placement, kernel-time pressure, and fault overhead.
+func (e *Engine) updateRates() {
+	// Kernel work competes with app threads for the same CPUs: scale
+	// throughput down by the global kernel-time fraction.
+	penalty := 1 - e.kernelFrac
+	if penalty < 0.5 {
+		penalty = 0.5
+	}
+	for _, ps := range e.procs {
+		if ps.wTot <= 0 {
+			ps.rate = 0
+			continue
+		}
+		var wl float64
+		for t := mem.TierID(0); t < mem.NumTiers; t++ {
+			wl += ps.wRead[t]*e.cfg.Latency.ReadNS[t]*e.latMult(t, false) +
+				ps.wWrite[t]*e.cfg.Latency.WriteNS[t]*e.latMult(t, true)
+		}
+		wl += ps.wSwap * SwapLatencyNS
+		avgLat := wl / ps.wTot
+		perAccess := e.cfg.CPUWorkNS + ps.proc.DelayNS + avgLat + ps.faultOverheadNS
+		ps.rate = float64(ps.threads) * 1e9 / perAccess * penalty
+	}
+}
+
+// latMult returns the current queueing latency multiplier of a tier/op.
+func (e *Engine) latMult(t mem.TierID, write bool) float64 {
+	if t == mem.SlowTier {
+		return e.slowLatMult
+	}
+	return e.fastLatMult
+}
+
+// queueMult converts a bandwidth utilization into a latency inflation
+// factor: near-linear at low load, exploding toward saturation — the
+// open-loop M/M/1 shape that makes Optane bandwidth the first-order
+// performance effect in the paper's write-heavy experiments.
+func queueMult(util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	capped := util
+	if capped > 0.97 {
+		capped = 0.97
+	}
+	return 1 + 0.5*util + 0.5*capped*capped/(1-capped)
+}
+
+// updateBandwidth recomputes tier utilizations from the epoch's measured
+// traffic and refreshes the latency multipliers (EMA-smoothed to damp the
+// rate↔latency feedback loop).
+func (e *Engine) updateBandwidth(migBytesPerSec float64) {
+	var slowRead, slowWrite, fastBytes float64
+	for _, ps := range e.procs {
+		if ps.wTot <= 0 || ps.rate <= 0 {
+			continue
+		}
+		perW := ps.rate / ps.wTot * AccessBytes
+		slowRead += perW * ps.wRead[mem.SlowTier]
+		slowWrite += perW * ps.wWrite[mem.SlowTier]
+		fastBytes += perW * (ps.wRead[mem.FastTier] + ps.wWrite[mem.FastTier])
+	}
+	// Optane media amplification: random 64 B reads cost a 256 B XPLine
+	// fetch; stores read-modify-write a full line. Migration copies also
+	// land on the slow media (one side of every promotion/demotion).
+	node := e.node
+	readStream := (slowRead + slowWrite) * SlowMediaAmp
+	writeStream := slowWrite*SlowMediaAmp + migBytesPerSec
+	ru := readStream / node.SlowReadBW
+	wu := writeStream / node.SlowWriteBW
+	slowUtil := ru
+	if wu > slowUtil {
+		slowUtil = wu
+	}
+	fastUtil := (fastBytes + migBytesPerSec) / node.FastBW
+	e.slowUtilEMA = 0.5*e.slowUtilEMA + 0.5*slowUtil
+	e.fastUtilEMA = 0.5*e.fastUtilEMA + 0.5*fastUtil
+	e.slowLatMult = queueMult(e.slowUtilEMA)
+	e.fastLatMult = queueMult(e.fastUtilEMA)
+}
+
+// SlowUtilization returns the smoothed slow-tier bandwidth utilization.
+func (e *Engine) SlowUtilization() float64 { return e.slowUtilEMA }
+
+// epochTick closes one accounting epoch: it attributes the epoch's
+// accesses to latency histograms and counters, refreshes fault-overhead
+// estimates and contention, and recomputes rates for the next epoch.
+func (e *Engine) epochTick(now simclock.Time) {
+	dt := e.cfg.EpochNS.Seconds()
+
+	for _, ps := range e.procs {
+		if ps.wTot <= 0 || ps.rate <= 0 {
+			continue
+		}
+		acc := ps.rate * dt
+		e.M.Accesses += acc
+
+		fastShare := (ps.wRead[mem.FastTier] + ps.wWrite[mem.FastTier]) / ps.wTot
+		e.M.FastAccesses += acc * fastShare
+
+		for t := mem.TierID(0); t < mem.NumTiers; t++ {
+			reads := acc * ps.wRead[t] / ps.wTot
+			writes := acc * ps.wWrite[t] / ps.wTot
+			e.M.Reads += reads
+			e.M.Writes += writes
+			for _, j := range jitter {
+				if reads > 0 {
+					l := e.cfg.Latency.ReadNS[t] * e.latMult(t, false) * j.mult
+					e.M.Lat.Add(l, reads*j.frac)
+					e.M.LatRead.Add(l, reads*j.frac)
+				}
+				if writes > 0 {
+					l := e.cfg.Latency.WriteNS[t] * e.latMult(t, true) * j.mult
+					e.M.Lat.Add(l, writes*j.frac)
+					e.M.LatWrite.Add(l, writes*j.frac)
+				}
+			}
+		}
+
+		// Fault overhead per access (EMA over epochs).
+		var perAccess float64
+		if acc > 0 {
+			perAccess = ps.epochFaults * e.cfg.FaultKernelNS * e.cfg.CostScale / acc
+		}
+		ps.faultOverheadNS = 0.7*ps.faultOverheadNS + 0.3*perAccess
+		ps.epochFaults = 0
+	}
+
+	// Baseline scheduler context switches and the kernel-time fraction
+	// for the next epoch's throughput penalty.
+	var appNS float64
+	for _, ps := range e.procs {
+		appNS += float64(ps.threads) * dt * 1e9
+		e.M.ContextSwitches += e.cfg.ContextSwitchIdleHz * dt
+	}
+	e.M.AppNS += appNS
+	if appNS+e.kernelNSEpoch > 0 {
+		frac := e.kernelNSEpoch / (appNS + e.kernelNSEpoch)
+		e.kernelFrac = 0.7*e.kernelFrac + 0.3*frac
+	}
+	e.kernelNSEpoch = 0
+
+	// Migration traffic contends with demand accesses at the media.
+	migBW := e.epochMigBytes / dt // bytes/s this epoch
+	e.epochMigBytes = 0
+	e.updateBandwidth(migBW)
+
+	// Refill the migration token bucket. The burst bound is 5 seconds of
+	// budget: policies that migrate in periodic batches (Multi-Clock's
+	// CLOCK pass, Memtis's kmigrated) spend their whole batch at one
+	// instant, and the kernel path could absorb such bursts; the bucket
+	// still enforces the sustained average.
+	e.migTokens += e.cfg.MigrationBWBytes * dt
+	if maxTokens := 5 * e.cfg.MigrationBWBytes; e.migTokens > maxTokens {
+		e.migTokens = maxTokens
+	}
+
+	e.updateRates()
+	if e.EpochHook != nil {
+		e.EpochHook(now)
+	}
+}
+
+// DRAMPagePercent returns the Figure 9 metric for one process:
+// fast-resident / (fast+slow resident) × 100.
+func (e *Engine) DRAMPagePercent(pid int) float64 {
+	ps := e.byPID[pid]
+	if ps == nil {
+		return 0
+	}
+	tot := ps.residentFast + ps.residentSlow
+	if tot == 0 {
+		return 0
+	}
+	return float64(ps.residentFast) / float64(tot) * 100
+}
+
+// ProcRate returns the current access rate of a process (accesses/sec).
+func (e *Engine) ProcRate(pid int) float64 {
+	ps := e.byPID[pid]
+	if ps == nil {
+		return 0
+	}
+	return ps.rate
+}

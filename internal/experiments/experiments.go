@@ -1,0 +1,245 @@
+// Package experiments composes workloads, policies, and the engine into
+// the paper's evaluation: one constructor per figure/table (see the
+// experiment index in DESIGN.md). Both cmd/reproduce and the benchmark
+// suite call into this package, so every artifact is regenerable from a
+// single code path.
+package experiments
+
+import (
+	"fmt"
+
+	"chrono/internal/core"
+	"chrono/internal/engine"
+	"chrono/internal/mem"
+	"chrono/internal/policy"
+	"chrono/internal/policy/autotiering"
+	"chrono/internal/policy/flexmem"
+	"chrono/internal/policy/hemem"
+	"chrono/internal/policy/linuxnb"
+	"chrono/internal/policy/memtis"
+	"chrono/internal/policy/multiclock"
+	"chrono/internal/policy/telescope"
+	"chrono/internal/policy/tpp"
+	"chrono/internal/simclock"
+	"chrono/internal/stats"
+	"chrono/internal/workload"
+)
+
+// StandardPolicies is the comparison set of §5, in the paper's order.
+var StandardPolicies = []string{
+	"Linux-NB", "AutoTiering", "Multi-Clock", "TPP", "Memtis", "Chrono",
+}
+
+// ExtendedPolicies adds the other Table 1 systems (HeMem, FlexMem,
+// Telescope), which the paper characterizes but does not carry through
+// its figures; the extended comparison experiment exercises them.
+var ExtendedPolicies = []string{
+	"Linux-NB", "AutoTiering", "Multi-Clock", "TPP", "Telescope",
+	"HeMem", "Memtis", "FlexMem", "Chrono",
+}
+
+// RunOpts are the common simulation knobs.
+type RunOpts struct {
+	// Seed drives all randomness (default 42).
+	Seed uint64
+	// Duration is the virtual run length (default 600 s; Figure 9/10
+	// experiments use 1500 s like the paper).
+	Duration simclock.Duration
+	// PagesPerGB is the memory scale (default 256; see DESIGN.md).
+	PagesPerGB int64
+	// FastGB / SlowGB size the tiers (default 64 / 192: 25% fast).
+	FastGB, SlowGB float64
+}
+
+func (o RunOpts) withDefaults() RunOpts {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Duration == 0 {
+		o.Duration = 600 * simclock.Second
+	}
+	if o.PagesPerGB == 0 {
+		o.PagesPerGB = 256
+	}
+	if o.FastGB == 0 {
+		o.FastGB = 64
+	}
+	if o.SlowGB == 0 {
+		o.SlowGB = 192
+	}
+	return o
+}
+
+// NewPolicy constructs a fresh policy instance by its report name.
+// Chrono variants for the design-choice analysis (Figure 13) are named
+// "Chrono-basic", "Chrono-twice", "Chrono-thrice", "Chrono-full",
+// "Chrono-manual".
+func NewPolicy(name string) (policy.Policy, error) {
+	switch name {
+	case "Linux-NB":
+		return linuxnb.New(linuxnb.Config{}), nil
+	case "AutoTiering":
+		return autotiering.New(autotiering.Config{}), nil
+	case "Multi-Clock":
+		return multiclock.New(multiclock.Config{}), nil
+	case "TPP":
+		return tpp.New(tpp.Config{}), nil
+	case "Memtis":
+		return memtis.New(memtis.Config{}), nil
+	case "HeMem":
+		return hemem.New(hemem.Config{}), nil
+	case "FlexMem":
+		return flexmem.New(flexmem.Config{}), nil
+	case "Telescope":
+		return telescope.New(telescope.Config{}), nil
+	case "Chrono", "Chrono-full":
+		return core.New(core.Options{}), nil
+	case "Chrono-basic":
+		return core.New(core.Options{Rounds: 1, Tuning: core.TuneSemiAuto, RateLimitMBps: 120}), nil
+	case "Chrono-twice":
+		return core.New(core.Options{Rounds: 2, Tuning: core.TuneSemiAuto, RateLimitMBps: 120}), nil
+	case "Chrono-thrice":
+		return core.New(core.Options{Rounds: 3, Tuning: core.TuneSemiAuto, RateLimitMBps: 120}), nil
+	case "Chrono-manual":
+		return core.New(core.Options{Rounds: 2, Tuning: core.TuneSemiAuto, RateLimitMBps: 150}), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// DefaultModeFor returns the page-size mode a policy runs with in the
+// paper's main experiments: the PEBS-family systems (Memtis, HeMem,
+// FlexMem) are huge-page designs (Table 1); everything else runs base
+// pages.
+func DefaultModeFor(polName string) engine.PageSizeMode {
+	switch polName {
+	case "Memtis", "HeMem", "FlexMem":
+		return engine.HugePages
+	}
+	return engine.BasePages
+}
+
+// Result is one finished simulation with its analysis context.
+type Result struct {
+	Policy   string
+	Metrics  *engine.Metrics
+	Engine   *engine.Engine
+	Workload workload.Workload
+	// Chrono is set when the policy is a Chrono variant, exposing the
+	// tuning histories and counters.
+	Chrono *core.Chrono
+}
+
+// Run executes one (workload, policy) simulation.
+func Run(polName string, w workload.Workload, o RunOpts) (*Result, error) {
+	o = o.withDefaults()
+	e := engine.New(engine.Config{
+		Seed:       o.Seed,
+		PagesPerGB: o.PagesPerGB,
+		FastGB:     o.FastGB,
+		SlowGB:     o.SlowGB,
+	})
+	if err := w.Build(e); err != nil {
+		return nil, fmt.Errorf("build %s: %w", w.Name(), err)
+	}
+	pol, err := NewPolicy(polName)
+	if err != nil {
+		return nil, err
+	}
+	e.AttachPolicy(pol)
+	m := e.Run(o.Duration)
+	res := &Result{Policy: polName, Metrics: m, Engine: e, Workload: w}
+	if c, ok := pol.(*core.Chrono); ok {
+		res.Chrono = c
+	}
+	return res, nil
+}
+
+// classifySnapshot scores the current placement against the workload's
+// ground truth, weighting by the live access rates — one sample of the
+// accesses-to-DRAM statistic the paper's PMU methodology accumulates.
+func classifySnapshot(e *engine.Engine, w workload.Workload) (cls stats.Classification) {
+	for _, p := range e.Processes() {
+		procRate := e.ProcRate(p.PID)
+		if p.TotalWeight == 0 {
+			continue
+		}
+		for _, v := range p.VMAs() {
+			for vpn := v.Start; vpn < v.End(); vpn++ {
+				wgt := p.Weight(vpn)
+				if wgt == 0 {
+					continue
+				}
+				pg := p.PageAt(vpn)
+				if pg == nil {
+					continue
+				}
+				rate := procRate * wgt / p.TotalWeight
+				hot := w.HotPage(p, vpn)
+				fast := pg.Tier == mem.FastTier
+				switch {
+				case hot && fast:
+					cls.TruePositive += rate
+				case !hot && fast:
+					cls.FalsePositive += rate
+				case hot && !fast:
+					cls.FalseNegative += rate
+				default:
+					cls.TrueNegative += rate
+				}
+			}
+		}
+	}
+	return cls
+}
+
+// Score computes the hot-page identification quality of a finished run
+// (§2.4): access-weighted F1 against the workload's ground-truth hot set
+// at the final placement, plus the page promotion ratio
+// (promoted pages / accessed slow-tier pages).
+func Score(res *Result) (cls stats.Classification, f1, ppr float64) {
+	cls = classifySnapshot(res.Engine, res.Workload)
+	f1 = cls.F1()
+	e := res.Engine
+	accessed := e.AccessedSlowPages()
+	if accessed > 0 {
+		ppr = float64(e.UniquePromotedPages()) / float64(accessed)
+	}
+	return cls, f1, ppr
+}
+
+// RunScored runs one simulation and accumulates the classification over
+// the whole run (sampled every 30 virtual seconds), matching the paper's
+// §2.4 methodology of counting *accesses* to DRAM vs the hot region over
+// the measurement window rather than a final-placement snapshot. Slowly
+// or unstably converging policies score accordingly lower.
+func RunScored(polName string, w workload.Workload, o RunOpts) (*Result, stats.Classification, float64, error) {
+	o = o.withDefaults()
+	e := newEngine(o)
+	if err := w.Build(e); err != nil {
+		return nil, stats.Classification{}, 0, fmt.Errorf("build %s: %w", w.Name(), err)
+	}
+	pol, err := NewPolicy(polName)
+	if err != nil {
+		return nil, stats.Classification{}, 0, err
+	}
+	e.AttachPolicy(pol)
+	var acc stats.Classification
+	e.Clock().Every(30*simclock.Second, func(now simclock.Time) {
+		s := classifySnapshot(e, w)
+		acc.TruePositive += s.TruePositive
+		acc.FalsePositive += s.FalsePositive
+		acc.FalseNegative += s.FalseNegative
+		acc.TrueNegative += s.TrueNegative
+	})
+	m := e.Run(o.Duration)
+	res := &Result{Policy: polName, Metrics: m, Engine: e, Workload: w}
+	if c, ok := pol.(*core.Chrono); ok {
+		res.Chrono = c
+	}
+	var ppr float64
+	if accessed := e.AccessedSlowPages(); accessed > 0 {
+		ppr = float64(e.UniquePromotedPages()) / float64(accessed)
+	}
+	return res, acc, ppr, nil
+}

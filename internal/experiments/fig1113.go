@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chrono/internal/engine"
+	"chrono/internal/report"
+	"chrono/internal/workload"
+)
+
+// This file implements the Figure 11 (Graph500 macrobenchmark) and
+// Figure 13 (design choice analysis) harnesses.
+
+// Fig11Sizes are the working-set sizes of Figure 11a in GB.
+var Fig11Sizes = []float64{128, 192, 256}
+
+// RunFig11a runs Graph500 across working-set sizes and page granularities
+// for every policy, reporting execution time (lower is better).
+func RunFig11a(policies []string, o RunOpts) (*report.Table, error) {
+	t := report.NewTable("Figure 11a: Graph500 execution time (s)",
+		append([]string{"Config"}, policies...)...)
+	for _, size := range Fig11Sizes {
+		for _, mode := range []struct {
+			name string
+			m    engine.PageSizeMode
+		}{{"base", engine.BasePages}, {"huge", engine.HugePages}} {
+			cells := []any{fmt.Sprintf("%.0fGB-%s", size, mode.name)}
+			for _, pol := range policies {
+				w := &workload.Graph500{TotalGB: size, Mode: mode.m}
+				res, err := Run(pol, w, o)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, w.ExecutionTime(res.Metrics))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	t.Note = "fixed work at the measured average throughput; the paper enforces base pages in the -base rows for all systems"
+	return t, nil
+}
+
+// RunFig11b is the Graph500 sensitivity analysis.
+func RunFig11b(o RunOpts) (*report.Table, error) {
+	return RunSensitivity(
+		"Figure 11b: Graph500 sensitivity analysis",
+		func() workload.Workload { return &workload.Graph500{TotalGB: 256} },
+		o)
+}
+
+// RunFig10d is the pmbench sensitivity analysis.
+func RunFig10d(o RunOpts) (*report.Table, error) {
+	return RunSensitivity(
+		"Figure 10d: pmbench sensitivity analysis",
+		func() workload.Workload {
+			return &workload.Pmbench{Processes: 50, WorkingSetGB: 5, ReadPct: 70, Stride: 2}
+		},
+		o)
+}
+
+// Fig13Variants are the design-choice configurations of §5.4.
+var Fig13Variants = []string{
+	"Linux-NB", "Chrono-basic", "Chrono-twice", "Chrono-thrice", "Chrono-full", "Chrono-manual",
+}
+
+// RunFig13 reproduces the design choice analysis: pmbench throughput of
+// the Chrono variants across R/W ratios, normalized to Linux-NB.
+func RunFig13(o RunOpts) (*report.Table, error) {
+	t := report.NewTable("Figure 13: design choice analysis (normalized throughput)",
+		append([]string{"R/W ratio"}, Fig13Variants...)...)
+	for _, ratio := range RWRatios {
+		var thr []float64
+		for _, pol := range Fig13Variants {
+			w := &workload.Pmbench{
+				Processes: 50, WorkingSetGB: 5, ReadPct: ratio, Stride: 2,
+				Mode: DefaultModeFor(pol),
+			}
+			res, err := Run(pol, w, o)
+			if err != nil {
+				return nil, err
+			}
+			thr = append(thr, res.Metrics.Throughput())
+		}
+		cells := []any{RatioLabel(ratio)}
+		for _, v := range thr {
+			cells = append(cells, v/thr[0])
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"chrono/internal/engine"
+	"chrono/internal/mem"
+	"chrono/internal/pebs"
+	"chrono/internal/policy/memtis"
+	"chrono/internal/report"
+	"chrono/internal/stats"
+	"chrono/internal/workload"
+)
+
+// This file implements the Figures 1, 2 and 12 harnesses (the workload
+// characterization figures and the in-memory database comparison).
+
+// Fig1Row is one benchmark's per-page access frequency breakdown.
+type Fig1Row struct {
+	Benchmark string
+	// Accesses per page per minute.
+	DRAM, NVM, NVMHot float64
+}
+
+// RunFig1 reproduces Figure 1: per-page access frequency for DRAM and NVM,
+// plus the top-10% hot NVM region, across the four benchmarks, measured
+// under vanilla NUMA balancing (the PMU measurement setup of §2.2).
+func RunFig1(o RunOpts) ([]Fig1Row, error) {
+	workloads := []workload.Workload{
+		&workload.Pmbench{Processes: 32, WorkingSetGB: 7, ReadPct: 70, Stride: 2},
+		&workload.Graph500{TotalGB: 224, Processes: 8},
+		&workload.KVStore{Flavor: workload.Memcached, StoreGB: 160, SetRatio: 1, GetRatio: 10},
+		&workload.KVStore{Flavor: workload.Redis, StoreGB: 160, SetRatio: 1, GetRatio: 10},
+	}
+	names := []string{"Pmbench", "Graph500", "Memcached", "Redis"}
+	var rows []Fig1Row
+	for i, w := range workloads {
+		res, err := Run("Linux-NB", w, o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, fig1Row(names[i], res))
+	}
+	return rows, nil
+}
+
+func fig1Row(name string, res *Result) Fig1Row {
+	e := res.Engine
+	scale := e.Config().CostScale
+	var dramRate, nvmRate float64
+	var dramPages, nvmPages int64
+	var nvmRates []float64
+	for _, pg := range e.Pages() {
+		if pg == nil {
+			continue
+		}
+		// Per real 4 KB page: the simulated page aggregates scale pages.
+		r := e.PageRate(pg) / float64(pg.Size) / scale
+		if pg.Tier == mem.FastTier {
+			dramRate += r * float64(pg.Size)
+			dramPages += int64(pg.Size)
+		} else {
+			nvmRate += r * float64(pg.Size)
+			nvmPages += int64(pg.Size)
+			nvmRates = append(nvmRates, r)
+		}
+	}
+	row := Fig1Row{Benchmark: name}
+	if dramPages > 0 {
+		row.DRAM = dramRate / float64(dramPages) * 60
+	}
+	if nvmPages > 0 {
+		row.NVM = nvmRate / float64(nvmPages) * 60
+	}
+	// Top-10% hot NVM pages.
+	sort.Float64s(nvmRates)
+	top := nvmRates[int(float64(len(nvmRates))*0.9):]
+	row.NVMHot = stats.Mean(top) * 60
+	return row
+}
+
+// Fig1Table renders the Figure 1 rows.
+func Fig1Table(rows []Fig1Row) *report.Table {
+	t := report.NewTable(
+		"Figure 1: per-page access frequency (#/minute, per real 4KB page)",
+		"Benchmark", "DRAM", "NVM", "NVM-Hot (top 10%)", "hot/avg ratio")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.NVM > 0 {
+			ratio = r.NVMHot / r.NVM
+		}
+		t.AddRow(r.Benchmark, r.DRAM, r.NVM, r.NVMHot, ratio)
+	}
+	t.Note = "frequencies are per real 4KB page (aggregate rate / capacity scale)"
+	return t
+}
+
+// RunFig2a reproduces Figure 2a: F1-score and PPR of hot page
+// identification for every policy on the §2.4 skewed workload (32-thread
+// pmbench, Gaussian, stride 2, 25% DRAM).
+func RunFig2a(policies []string, o RunOpts) (*report.Table, error) {
+	t := report.NewTable("Figure 2a: hot page identification",
+		"Policy", "F1-score", "Precision", "Recall", "PPR")
+	for _, pol := range policies {
+		w := &workload.Pmbench{
+			Processes: 32, WorkingSetGB: 7.8, ReadPct: 70, Stride: 2,
+			Mode: DefaultModeFor(pol),
+		}
+		// Accumulate the classification over the run (the paper counts
+		// accesses over the PMU measurement window, not a final
+		// snapshot), so slow or unstable convergence costs score.
+		_, cls, ppr, err := RunScored(pol, w, o)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pol, cls.F1(), cls.Precision(), cls.Recall(), ppr)
+	}
+	return t, nil
+}
+
+// RunFig2b reproduces Figure 2b: the PEBS counter bin distribution under
+// huge-page vs base-page granularity for Memtis on the same workload.
+func RunFig2b(o RunOpts) (*report.Table, error) {
+	t := report.NewTable("Figure 2b: PEBS bin distribution (Memtis, % of sampled pages)",
+		"Granularity", "bin#1", "bin#2-3", "bin#4-5", "bin#6-7", "bin#8-9", "bin#>9")
+	for _, mode := range []struct {
+		name string
+		m    engine.PageSizeMode
+	}{{"Huge-Page", engine.HugePages}, {"Base-Page", engine.BasePages}} {
+		w := &workload.Pmbench{
+			Processes: 32, WorkingSetGB: 7.8, ReadPct: 70, Stride: 2, Mode: mode.m,
+		}
+		res, err := Run("Memtis", w, o)
+		if err != nil {
+			return nil, err
+		}
+		pol := res.Engine.Policy().(*memtis.Policy)
+		groups := binGroups(res, pol)
+		cells := []any{mode.name}
+		for _, g := range groups {
+			cells = append(cells, g*100)
+		}
+		t.AddRow(cells...)
+	}
+	t.Note = "pages with a zero counter are excluded, as in the paper's sampled-page statistic"
+	return t, nil
+}
+
+// binGroups buckets non-zero PEBS counters into the Figure 2b groups:
+// bin#1, #2-3, #4-5, #6-7, #8-9, >9.
+func binGroups(res *Result, pol *memtis.Policy) [6]float64 {
+	var counts [6]float64
+	var total float64
+	for _, pg := range res.Engine.Pages() {
+		if pg == nil {
+			continue
+		}
+		c := pol.Sampler().Counter(pg.ID)
+		if c == 0 {
+			continue
+		}
+		b := pebs.BinOf(c)
+		var g int
+		switch {
+		case b <= 1:
+			g = 0
+		case b <= 3:
+			g = 1
+		case b <= 5:
+			g = 2
+		case b <= 7:
+			g = 3
+		case b <= 9:
+			g = 4
+		default:
+			g = 5
+		}
+		counts[g]++
+		total++
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts
+}
+
+// RunFig12 reproduces Figure 12: Memcached and Redis throughput under
+// SET:GET 1:10 and 1:1, normalized to Linux-NB.
+func RunFig12(policies []string, o RunOpts) ([]*report.Table, error) {
+	var out []*report.Table
+	for _, flavor := range []struct {
+		name string
+		f    workload.KVFlavor
+	}{{"Memcached", workload.Memcached}, {"Redis", workload.Redis}} {
+		t := report.NewTable(
+			fmt.Sprintf("Figure 12: %s normalized throughput", flavor.name),
+			append([]string{"Set/Get"}, policies...)...)
+		for _, mix := range []struct {
+			label    string
+			set, get float64
+		}{{"1:10", 1, 10}, {"1:1", 1, 1}} {
+			var thr []float64
+			for _, pol := range policies {
+				w := &workload.KVStore{
+					Flavor: flavor.f, StoreGB: 160,
+					SetRatio: mix.set, GetRatio: mix.get,
+					Mode: DefaultModeFor(pol),
+				}
+				res, err := Run(pol, w, o)
+				if err != nil {
+					return nil, err
+				}
+				thr = append(thr, res.Metrics.Throughput())
+			}
+			base := thr[0]
+			for i, p := range policies {
+				if p == "Linux-NB" {
+					base = thr[i]
+				}
+			}
+			cells := []any{mix.label}
+			for _, v := range thr {
+				cells = append(cells, v/base)
+			}
+			t.AddRow(cells...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chrono/internal/report"
+	"chrono/internal/workload"
+)
+
+// PmbenchConfig selects one of the Figure 6 microbenchmark shapes.
+type PmbenchConfig struct {
+	Label        string
+	Processes    int
+	WorkingSetGB float64
+}
+
+// The three Figure 6 configurations.
+var (
+	Fig6a = PmbenchConfig{Label: "50 processes, 5 GB working set", Processes: 50, WorkingSetGB: 5}
+	Fig6b = PmbenchConfig{Label: "32 processes, 8 GB working set", Processes: 32, WorkingSetGB: 8}
+	Fig6c = PmbenchConfig{Label: "32 processes, 4 GB working set", Processes: 32, WorkingSetGB: 4}
+)
+
+// RWRatios are the read:write mixes of Figures 6, 7 and 13.
+var RWRatios = []float64{95, 70, 30, 5}
+
+// RatioLabel formats a read percentage as the paper's R:W label.
+func RatioLabel(readPct float64) string {
+	return fmt.Sprintf("%.0f:%.0f", readPct, 100-readPct)
+}
+
+// PmbenchSweep holds the shared runs behind Figures 6, 7 and 8: one run
+// per (policy, R/W ratio) of one PmbenchConfig.
+type PmbenchSweep struct {
+	Config   PmbenchConfig
+	Policies []string
+	Ratios   []float64
+	// Results[ratioIdx][policyIdx]
+	Results [][]*Result
+}
+
+// RunPmbenchSweep executes the full (policy × ratio) grid.
+func RunPmbenchSweep(cfg PmbenchConfig, policies []string, ratios []float64, o RunOpts) (*PmbenchSweep, error) {
+	s := &PmbenchSweep{Config: cfg, Policies: policies, Ratios: ratios}
+	for _, ratio := range ratios {
+		var row []*Result
+		for _, pol := range policies {
+			w := &workload.Pmbench{
+				Processes:    cfg.Processes,
+				WorkingSetGB: cfg.WorkingSetGB,
+				ReadPct:      ratio,
+				Stride:       2,
+				Mode:         DefaultModeFor(pol),
+			}
+			res, err := Run(pol, w, o)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res)
+		}
+		s.Results = append(s.Results, row)
+	}
+	return s, nil
+}
+
+// baselineIdx locates Linux-NB (the normalization baseline) in Policies.
+func (s *PmbenchSweep) baselineIdx() int {
+	for i, p := range s.Policies {
+		if p == "Linux-NB" {
+			return i
+		}
+	}
+	return 0
+}
+
+// ThroughputTable renders Figure 6: throughput per policy per R/W ratio,
+// normalized to Linux-NB.
+func (s *PmbenchSweep) ThroughputTable() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 6: pmbench normalized throughput (%s)", s.Config.Label),
+		append([]string{"R/W ratio"}, s.Policies...)...)
+	base := s.baselineIdx()
+	for ri, ratio := range s.Ratios {
+		cells := []any{RatioLabel(ratio)}
+		nb := s.Results[ri][base].Metrics.Throughput()
+		for _, res := range s.Results[ri] {
+			cells = append(cells, res.Metrics.Throughput()/nb)
+		}
+		t.AddRow(cells...)
+	}
+	t.Note = fmt.Sprintf("absolute Linux-NB throughput at 70:30 = %.1f Mop/s",
+		s.atRatio(70)[base].Metrics.Throughput())
+	return t
+}
+
+func (s *PmbenchSweep) atRatio(ratio float64) []*Result {
+	for ri, r := range s.Ratios {
+		if r == ratio {
+			return s.Results[ri]
+		}
+	}
+	return s.Results[0]
+}
+
+// LatencyTables renders Figure 7b-e: average / median / P99 latency per
+// policy, normalized to Linux-NB, one table per R/W ratio.
+func (s *PmbenchSweep) LatencyTables() []*report.Table {
+	base := s.baselineIdx()
+	var out []*report.Table
+	for ri, ratio := range s.Ratios {
+		t := report.NewTable(
+			fmt.Sprintf("Figure 7: pmbench latency, R/W=%s (normalized to Linux-NB)", RatioLabel(ratio)),
+			append([]string{"Statistic"}, s.Policies...)...)
+		nb := s.Results[ri][base].Metrics
+		for _, stat := range []struct {
+			name string
+			get  func(res *Result) float64
+		}{
+			{"Average", func(r *Result) float64 { return r.Metrics.Lat.Mean() }},
+			{"Median", func(r *Result) float64 { return r.Metrics.Lat.Percentile(0.5) }},
+			{"P99", func(r *Result) float64 { return r.Metrics.Lat.Percentile(0.99) }},
+		} {
+			den := 1.0
+			switch stat.name {
+			case "Average":
+				den = nb.Lat.Mean()
+			case "Median":
+				den = nb.Lat.Percentile(0.5)
+			case "P99":
+				den = nb.Lat.Percentile(0.99)
+			}
+			cells := []any{stat.name}
+			for _, res := range s.Results[ri] {
+				cells = append(cells, stat.get(res)/den)
+			}
+			t.AddRow(cells...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// BaselineLatencyCDF renders Figure 7a: the accumulated latency
+// distribution of memory loads and stores under Linux-NB.
+func (s *PmbenchSweep) BaselineLatencyCDF() *report.Table {
+	base := s.atRatio(70)[s.baselineIdx()]
+	t := report.NewTable(
+		"Figure 7a: Linux-NB latency distribution (accumulated %)",
+		"Latency (ns)", "Load %", "Store %")
+	marks := []float64{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+	rd := base.Metrics.LatRead
+	wr := base.Metrics.LatWrite
+	cum := func(h interface{ CDF() ([]float64, []float64) }, mark float64) float64 {
+		ns, frac := h.CDF()
+		var out float64
+		for i := range ns {
+			if ns[i] <= mark {
+				out = frac[i]
+			}
+		}
+		return out * 100
+	}
+	for _, mk := range marks {
+		t.AddRow(mk, cum(rd, mk), cum(wr, mk))
+	}
+	return t
+}
+
+// RuntimeCharacteristics renders Figure 8 from the 70:30 runs: FMAR,
+// kernel time %, and context switches/s per policy.
+func (s *PmbenchSweep) RuntimeCharacteristics() *report.Table {
+	t := report.NewTable(
+		"Figure 8: run-time characteristics (R/W=70:30)",
+		"Policy", "FMAR (%)", "Kernel time (%)", "Context switches (/s)")
+	for _, res := range s.atRatio(70) {
+		t.AddRow(res.Policy,
+			res.Metrics.FMAR()*100,
+			res.Metrics.KernelTimeFrac()*100,
+			res.Metrics.ContextSwitchRate())
+	}
+	return t
+}

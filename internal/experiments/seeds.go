@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chrono/internal/report"
+	"chrono/internal/stats"
+	"chrono/internal/workload"
+)
+
+// RunSeedStability re-runs the headline comparison across seeds and
+// reports mean ± stddev of the Chrono/Linux-NB speedup, FMARs, and F1 —
+// the robustness check a reproduction should ship with.
+func RunSeedStability(seeds []uint64, o RunOpts) (*report.Table, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{1, 2, 3, 5, 8}
+	}
+	var speedups, nbFMAR, chFMAR, chF1 []float64
+	for _, seed := range seeds {
+		ro := o
+		ro.Seed = seed
+		var nb, ch *Result
+		for _, pol := range []string{"Linux-NB", "Chrono"} {
+			w := &workload.Pmbench{
+				Processes: 50, WorkingSetGB: 5, ReadPct: 70, Stride: 2,
+				Mode: DefaultModeFor(pol),
+			}
+			res, err := Run(pol, w, ro)
+			if err != nil {
+				return nil, err
+			}
+			if pol == "Linux-NB" {
+				nb = res
+			} else {
+				ch = res
+			}
+		}
+		speedups = append(speedups, ch.Metrics.Throughput()/nb.Metrics.Throughput())
+		nbFMAR = append(nbFMAR, nb.Metrics.FMAR()*100)
+		chFMAR = append(chFMAR, ch.Metrics.FMAR()*100)
+		_, f1, _ := Score(ch)
+		chF1 = append(chF1, f1)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Seed stability: headline workload across %d seeds", len(seeds)),
+		"Metric", "Mean", "Stddev", "Min", "Max")
+	add := func(name string, xs []float64) {
+		t.AddRow(name, stats.Mean(xs), stats.Stddev(xs),
+			stats.Quantile(xs, 0), stats.Quantile(xs, 1))
+	}
+	add("Chrono / Linux-NB speedup", speedups)
+	add("Linux-NB FMAR (%)", nbFMAR)
+	add("Chrono FMAR (%)", chFMAR)
+	add("Chrono F1", chF1)
+	t.Note = "the paper's single-testbed numbers correspond to one seed; stability across seeds bounds the simulator's run-to-run noise"
+	return t, nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"chrono/internal/simclock"
+	"chrono/internal/workload"
+)
+
+// TestSmokePmbench runs a short pmbench simulation under Linux-NB and
+// Chrono and sanity-checks that the simulator produces the paper's
+// qualitative ordering: Chrono places more traffic in the fast tier and
+// achieves higher throughput.
+func TestSmokePmbench(t *testing.T) {
+	opts := RunOpts{Duration: 600 * simclock.Second}
+	run := func(pol string) *Result {
+		w := &workload.Pmbench{
+			Processes: 50, WorkingSetGB: 5, ReadPct: 70, Stride: 2,
+			Mode: DefaultModeFor(pol),
+		}
+		res, err := Run(pol, w, opts)
+		if err != nil {
+			t.Fatalf("run %s: %v", pol, err)
+		}
+		return res
+	}
+	nb := run("Linux-NB")
+	ch := run("Chrono")
+
+	t.Logf("Linux-NB: thr=%.2f Mop/s FMAR=%.3f kern=%.3f cs=%.1f/s faults=%.0f prom=%d dem=%d",
+		nb.Metrics.Throughput(), nb.Metrics.FMAR(), nb.Metrics.KernelTimeFrac(),
+		nb.Metrics.ContextSwitchRate(), nb.Metrics.Faults, nb.Metrics.Promotions, nb.Metrics.Demotions)
+	t.Logf("Chrono  : thr=%.2f Mop/s FMAR=%.3f kern=%.3f cs=%.1f/s faults=%.0f prom=%d dem=%d th=%.1fms rl=%.1fMBps enq=%d",
+		ch.Metrics.Throughput(), ch.Metrics.FMAR(), ch.Metrics.KernelTimeFrac(),
+		ch.Metrics.ContextSwitchRate(), ch.Metrics.Faults, ch.Metrics.Promotions, ch.Metrics.Demotions,
+		ch.Chrono.ThresholdMS(), ch.Chrono.RateLimitMBps(), ch.Chrono.Enqueued)
+
+	_, f1nb, pprnb := Score(nb)
+	_, f1ch, pprch := Score(ch)
+	t.Logf("Linux-NB: F1=%.3f PPR=%.3f ; Chrono: F1=%.3f PPR=%.3f", f1nb, pprnb, f1ch, pprch)
+
+	if ch.Metrics.FMAR() <= nb.Metrics.FMAR() {
+		t.Errorf("expected Chrono FMAR > Linux-NB: %.3f vs %.3f", ch.Metrics.FMAR(), nb.Metrics.FMAR())
+	}
+	if ch.Metrics.Throughput() <= nb.Metrics.Throughput() {
+		t.Errorf("expected Chrono throughput > Linux-NB: %.3f vs %.3f",
+			ch.Metrics.Throughput(), nb.Metrics.Throughput())
+	}
+}

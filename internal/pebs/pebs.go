@@ -1,0 +1,194 @@
+// Package pebs models processor event-based sampling (Intel PEBS) as used
+// by the PEBS-family tiering systems (HeMem, Memtis, FlexMem).
+//
+// The defining property the paper leans on (§2.3-2.4) is the *fixed sample
+// budget*: the kernel caps the aggregate sampling rate (and system
+// designers lower it further for overhead), so the expected counter value
+// of a page over a cooling period is
+//
+//	E[count] = rate × period × pageWeight / totalWeight.
+//
+// In a huge-page system each sampled region aggregates 512 base pages of
+// weight and counters are large and stable; in a base-page system the same
+// budget is spread over 512× more regions and counters collapse toward
+// zero, which destabilizes histogram-based classification (Figure 2b).
+// The model reproduces exactly this: samples are drawn from the true page
+// access distribution via an alias table, with per-sample loss applied for
+// the micro-architectural drop rate.
+package pebs
+
+import (
+	"math/bits"
+
+	"chrono/internal/rng"
+)
+
+// DefaultSampleRate is the samples/second budget. The paper cites
+// solutions adopting rates below 100 000/s; Memtis's effective default
+// lands near this figure.
+const DefaultSampleRate = 20000
+
+// Sampler draws address samples from a page-weight distribution and
+// accumulates per-page counters, as the PEBS DS-area drain would.
+type Sampler struct {
+	// RatePerSec is the sample budget per second of virtual time.
+	RatePerSec float64
+	// LossRate is the fraction of samples dropped (buffer overflow,
+	// filtering); 0 by default.
+	LossRate float64
+
+	r        *rng.Source
+	counters []uint32
+	total    uint64
+}
+
+// NewSampler creates a sampler with the given budget.
+func NewSampler(r *rng.Source, ratePerSec float64) *Sampler {
+	if ratePerSec <= 0 {
+		ratePerSec = DefaultSampleRate
+	}
+	return &Sampler{RatePerSec: ratePerSec, r: r}
+}
+
+// Grow ensures counter storage covers page IDs < n.
+func (s *Sampler) Grow(n int) {
+	for len(s.counters) < n {
+		s.counters = append(s.counters, 0)
+	}
+}
+
+// SamplePeriod draws the samples of a virtual period of the given length
+// (seconds) from dist, which maps category index -> weight; ids maps
+// category index -> page ID. Counters of the sampled pages increment.
+// It returns the number of samples retained.
+func (s *Sampler) SamplePeriod(dist *rng.Alias, ids []int64, seconds float64) int {
+	n := int(s.RatePerSec * seconds)
+	kept := 0
+	for i := 0; i < n; i++ {
+		if s.LossRate > 0 && s.r.Bool(s.LossRate) {
+			continue
+		}
+		cat := dist.Next()
+		id := ids[cat]
+		s.Grow(int(id) + 1)
+		s.counters[id]++
+		s.total++
+		kept++
+	}
+	return kept
+}
+
+// AddDirect increments a page's counter without drawing (used when the
+// caller computes expected counts analytically).
+func (s *Sampler) AddDirect(id int64, n uint32) {
+	s.Grow(int(id) + 1)
+	s.counters[id] += n
+	s.total += uint64(n)
+}
+
+// Counter returns the accumulated sample count of a page.
+func (s *Sampler) Counter(id int64) uint32 {
+	if int(id) >= len(s.counters) {
+		return 0
+	}
+	return s.counters[id]
+}
+
+// TotalSamples returns all samples retained since the last reset.
+func (s *Sampler) TotalSamples() uint64 { return s.total }
+
+// Cool halves every counter, Memtis's periodic cooling. It returns the
+// remaining total.
+func (s *Sampler) Cool() uint64 {
+	var total uint64
+	for i, c := range s.counters {
+		s.counters[i] = c / 2
+		total += uint64(c / 2)
+	}
+	s.total = total
+	return total
+}
+
+// Reset zeroes all counters.
+func (s *Sampler) Reset() {
+	for i := range s.counters {
+		s.counters[i] = 0
+	}
+	s.total = 0
+}
+
+// Clear zeroes one page's counter (page freed / migrated).
+func (s *Sampler) Clear(id int64) {
+	if int(id) < len(s.counters) {
+		s.total -= uint64(s.counters[id])
+		s.counters[id] = 0
+	}
+}
+
+// BinOf maps a counter value to its hotness histogram bin, following the
+// Memtis convention: bin 0 holds count 0, bin k holds counts in
+// [2^(k-1), 2^k). Figure 2b's "bin#4-5" therefore covers counts 8..31.
+func BinOf(count uint32) int {
+	if count == 0 {
+		return 0
+	}
+	return bits.Len32(count)
+}
+
+// Histogram buckets every page of a set by BinOf. Used by Memtis's global
+// histogram and by the Figure 2b reproduction.
+type Histogram struct {
+	Bins []int64
+}
+
+// NewHistogram returns a histogram with nbins bins (counts >= 2^(nbins-1)
+// clamp into the last bin).
+func NewHistogram(nbins int) *Histogram {
+	return &Histogram{Bins: make([]int64, nbins)}
+}
+
+// Add buckets one counter value.
+func (h *Histogram) Add(count uint32) {
+	b := BinOf(count)
+	if b >= len(h.Bins) {
+		b = len(h.Bins) - 1
+	}
+	h.Bins[b]++
+}
+
+// Total returns the number of bucketed pages.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, b := range h.Bins {
+		t += b
+	}
+	return t
+}
+
+// Proportions returns each bin's share of the total.
+func (h *Histogram) Proportions() []float64 {
+	t := h.Total()
+	out := make([]float64, len(h.Bins))
+	if t == 0 {
+		return out
+	}
+	for i, b := range h.Bins {
+		out[i] = float64(b) / float64(t)
+	}
+	return out
+}
+
+// HotThresholdBin returns the smallest bin b such that pages in bins >= b
+// fit within capacityPages, scanning from the hottest bin down — Memtis's
+// histogram-based threshold selection against the fast-tier size.
+// sizeOf gives each bin's page footprint.
+func (h *Histogram) HotThresholdBin(capacityPages int64, sizeOf func(bin int) int64) int {
+	var used int64
+	for b := len(h.Bins) - 1; b >= 1; b-- {
+		used += sizeOf(b)
+		if used > capacityPages {
+			return b + 1
+		}
+	}
+	return 1
+}

@@ -1,0 +1,213 @@
+// Package flexmem implements the FlexMem baseline (Xu et al., ATC '24):
+// Memtis-style PEBS histogram classification combined with the software
+// page-fault channel for *timely* migration decisions (paper §2.3:
+// "FlexMem integrates the PEBS-based method with the software page fault
+// method to provide a synthetic classification criterion, which enhances
+// Memtis with timely migration decisions").
+//
+// The PEBS side builds per-process counter histograms and a capacity-
+// derived hot threshold exactly like Memtis; the fault side poisons
+// slow-tier pages NUMA-balancing style, and a hint fault on a page whose
+// counter already clears (a relaxed version of) the hot threshold
+// promotes it immediately instead of waiting for the next background
+// cycle.
+package flexmem
+
+import (
+	"sort"
+
+	"chrono/internal/mem"
+	"chrono/internal/pebs"
+	"chrono/internal/policy"
+	"chrono/internal/policy/scan"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// Config holds FlexMem's tunables.
+type Config struct {
+	Scan scan.Config
+	// SampleRate is the PEBS budget (0 = scale-derived default).
+	SampleRate float64
+	// SamplePeriod is the DS-area drain interval (default 1 s).
+	SamplePeriod simclock.Duration
+	// CoolingPeriods between counter halvings (default 8).
+	CoolingPeriods int
+	// MigratePeriod is the background cycle (default 2 s).
+	MigratePeriod simclock.Duration
+	// MigrateBatch caps background moves per cycle (default fast/32).
+	MigrateBatch int
+	// NBins is the histogram depth (default 16).
+	NBins int
+	// TimelySlack relaxes the fault-path threshold: a faulting page in
+	// bin >= hotBin-TimelySlack promotes immediately (default 1).
+	TimelySlack int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = simclock.Second
+	}
+	if c.CoolingPeriods == 0 {
+		c.CoolingPeriods = 8
+	}
+	if c.MigratePeriod == 0 {
+		c.MigratePeriod = 2 * simclock.Second
+	}
+	if c.NBins == 0 {
+		c.NBins = 16
+	}
+	if c.TimelySlack == 0 {
+		c.TimelySlack = 1
+	}
+	return c
+}
+
+// Policy is the FlexMem baseline.
+type Policy struct {
+	policy.Base
+	cfg     Config
+	k       policy.Kernel
+	sampler *pebs.Sampler
+	periods int
+	// hotBin is the live capacity-derived threshold bin per process.
+	hotBin map[*vm.Process]int
+	// TimelyPromotions counts fault-path promotions (vs background).
+	TimelyPromotions int64
+}
+
+// New returns a FlexMem policy.
+func New(cfg Config) *Policy {
+	return &Policy{cfg: cfg.withDefaults(), hotBin: make(map[*vm.Process]int)}
+}
+
+// Name implements policy.Policy.
+func (p *Policy) Name() string { return "FlexMem" }
+
+// Attach implements policy.Policy.
+func (p *Policy) Attach(k policy.Kernel) {
+	p.k = k
+	if p.cfg.SampleRate == 0 {
+		p.cfg.SampleRate = 100000 * 512 / (float64(k.HugeFactor()) * k.CostScale())
+		if p.cfg.SampleRate < 10 {
+			p.cfg.SampleRate = 10
+		}
+	}
+	if p.cfg.MigrateBatch == 0 {
+		p.cfg.MigrateBatch = int(k.Node().Capacity(mem.FastTier) / 32)
+		if p.cfg.MigrateBatch < k.HugeFactor() {
+			p.cfg.MigrateBatch = k.HugeFactor()
+		}
+	}
+	p.sampler = pebs.NewSampler(k.RNG(), p.cfg.SampleRate)
+	p.sampler.Grow(len(k.Pages()))
+
+	// PEBS sampling + cooling.
+	k.Clock().Every(p.cfg.SamplePeriod, func(now simclock.Time) {
+		k.SamplePEBS(p.sampler, p.cfg.SamplePeriod.Seconds())
+		p.periods++
+		if p.periods%p.cfg.CoolingPeriods == 0 {
+			p.sampler.Cool()
+		}
+	})
+	// Background classification + migration.
+	k.Clock().Every(p.cfg.MigratePeriod, func(now simclock.Time) {
+		p.background()
+	})
+	// Fault channel: poison slow-tier pages for timely decisions.
+	scan.Start(k, p.cfg.Scan, func(pg *vm.Page, now simclock.Time) {
+		if pg.Tier == mem.SlowTier {
+			k.Protect(pg)
+		}
+	})
+}
+
+// OnPageFreed implements policy.Policy.
+func (p *Policy) OnPageFreed(pg *vm.Page) { p.sampler.Clear(pg.ID) }
+
+// OnFault implements policy.Policy: the timely path — a faulting page
+// whose sampled hotness is already near the threshold promotes now.
+func (p *Policy) OnFault(pg *vm.Page, now simclock.Time) {
+	if pg.Tier != mem.SlowTier {
+		return
+	}
+	hot, ok := p.hotBin[pg.Proc]
+	if !ok {
+		return // no classification yet; wait for the background cycle
+	}
+	bin := pebs.BinOf(p.sampler.Counter(pg.ID))
+	if bin >= hot-p.cfg.TimelySlack && bin >= 1 {
+		if p.k.Promote(pg) {
+			p.TimelyPromotions++
+		}
+	}
+}
+
+// background recomputes per-process histograms/thresholds and migrates
+// like Memtis's kmigrated.
+func (p *Policy) background() {
+	byProc := make(map[*vm.Process][]*vm.Page)
+	var totalResident int64
+	for _, pg := range p.k.Pages() {
+		if pg == nil {
+			continue
+		}
+		byProc[pg.Proc] = append(byProc[pg.Proc], pg)
+		totalResident += int64(pg.Size)
+	}
+	if totalResident == 0 {
+		return
+	}
+	fastCap := p.k.Node().Capacity(mem.FastTier)
+	budget := p.cfg.MigrateBatch
+
+	for proc, pages := range byProc {
+		hist := pebs.NewHistogram(p.cfg.NBins)
+		binSize := make([]int64, p.cfg.NBins)
+		var resident int64
+		for _, pg := range pages {
+			c := p.sampler.Counter(pg.ID)
+			b := pebs.BinOf(c)
+			if b >= p.cfg.NBins {
+				b = p.cfg.NBins - 1
+			}
+			hist.Add(c)
+			binSize[b] += int64(pg.Size)
+			resident += int64(pg.Size)
+		}
+		share := fastCap * resident / totalResident
+		hotBin := hist.HotThresholdBin(share, func(b int) int64 { return binSize[b] })
+		p.hotBin[proc] = hotBin
+
+		var hotSlow, coldFast []*vm.Page
+		for _, pg := range pages {
+			b := pebs.BinOf(p.sampler.Counter(pg.ID))
+			switch {
+			case pg.Tier == mem.SlowTier && b >= hotBin:
+				hotSlow = append(hotSlow, pg)
+			case pg.Tier == mem.FastTier && b < hotBin:
+				coldFast = append(coldFast, pg)
+			}
+		}
+		sort.Slice(hotSlow, func(i, j int) bool {
+			return p.sampler.Counter(hotSlow[i].ID) > p.sampler.Counter(hotSlow[j].ID)
+		})
+		sort.Slice(coldFast, func(i, j int) bool {
+			return p.sampler.Counter(coldFast[i].ID) < p.sampler.Counter(coldFast[j].ID)
+		})
+		node := p.k.Node()
+		di := 0
+		for _, pg := range hotSlow {
+			if budget < int(pg.Size) {
+				break
+			}
+			for node.Free(mem.FastTier) < node.Watermarks(mem.FastTier).High+int64(pg.Size) && di < len(coldFast) {
+				p.k.Demote(coldFast[di])
+				di++
+			}
+			if p.k.Promote(pg) {
+				budget -= int(pg.Size)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package hemem implements the HeMem baseline (Raybuck et al., SOSP '21):
+// PEBS-driven tiering with *fixed* classification thresholds, the design
+// the paper contrasts with Memtis's histogram and Chrono's dynamic CIT
+// statistics (§2.3: "HeMem utilizes PEBS counters to represent the memory
+// access frequency and classify hot and cold pages based on fixed
+// thresholds").
+//
+// A page whose sample counter reaches HotThreshold is promoted; fast-tier
+// pages whose counter stays below ColdThreshold are demotion candidates
+// under watermark pressure. Counters cool periodically. Because the
+// thresholds never adapt, the classification quality depends entirely on
+// how well the constants happen to match the workload — HeMem's known
+// limitation.
+package hemem
+
+import (
+	"sort"
+
+	"chrono/internal/mem"
+	"chrono/internal/pebs"
+	"chrono/internal/policy"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// Config holds HeMem's tunables.
+type Config struct {
+	// SampleRate is the PEBS budget (0 = scale-derived default shared
+	// with Memtis).
+	SampleRate float64
+	// SamplePeriod is the DS-area drain interval (default 1 s).
+	SamplePeriod simclock.Duration
+	// HotThreshold is the fixed sample count above which a page is hot
+	// (HeMem's default is in the 2^5..2^15 band the paper cites; 8 at
+	// the simulator's scaled budget).
+	HotThreshold uint32
+	// ColdThreshold is the count at or below which a fast page is a
+	// demotion candidate (default 1).
+	ColdThreshold uint32
+	// CoolingPeriods is the sample periods between counter halvings
+	// (default 8).
+	CoolingPeriods int
+	// MigratePeriod is the background migration cycle (default 2 s).
+	MigratePeriod simclock.Duration
+	// MigrateBatch caps page moves per cycle (default fast/32).
+	MigrateBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = simclock.Second
+	}
+	if c.HotThreshold == 0 {
+		c.HotThreshold = 8
+	}
+	if c.ColdThreshold == 0 {
+		c.ColdThreshold = 1
+	}
+	if c.CoolingPeriods == 0 {
+		c.CoolingPeriods = 8
+	}
+	if c.MigratePeriod == 0 {
+		c.MigratePeriod = 2 * simclock.Second
+	}
+	return c
+}
+
+// Policy is the HeMem baseline.
+type Policy struct {
+	policy.Base
+	cfg     Config
+	k       policy.Kernel
+	sampler *pebs.Sampler
+	periods int
+}
+
+// New returns a HeMem policy.
+func New(cfg Config) *Policy { return &Policy{cfg: cfg.withDefaults()} }
+
+// Name implements policy.Policy.
+func (p *Policy) Name() string { return "HeMem" }
+
+// Sampler exposes the PEBS sampler for tests.
+func (p *Policy) Sampler() *pebs.Sampler { return p.sampler }
+
+// Attach implements policy.Policy.
+func (p *Policy) Attach(k policy.Kernel) {
+	p.k = k
+	if p.cfg.SampleRate == 0 {
+		p.cfg.SampleRate = 100000 * 512 / (float64(k.HugeFactor()) * k.CostScale())
+		if p.cfg.SampleRate < 10 {
+			p.cfg.SampleRate = 10
+		}
+	}
+	if p.cfg.MigrateBatch == 0 {
+		p.cfg.MigrateBatch = int(k.Node().Capacity(mem.FastTier) / 32)
+		if p.cfg.MigrateBatch < k.HugeFactor() {
+			p.cfg.MigrateBatch = k.HugeFactor()
+		}
+	}
+	p.sampler = pebs.NewSampler(k.RNG(), p.cfg.SampleRate)
+	p.sampler.Grow(len(k.Pages()))
+	k.Clock().Every(p.cfg.SamplePeriod, func(now simclock.Time) {
+		k.SamplePEBS(p.sampler, p.cfg.SamplePeriod.Seconds())
+		p.periods++
+		if p.periods%p.cfg.CoolingPeriods == 0 {
+			p.sampler.Cool()
+		}
+	})
+	k.Clock().Every(p.cfg.MigratePeriod, func(now simclock.Time) {
+		p.migrate()
+	})
+}
+
+// OnPageFreed implements policy.Policy.
+func (p *Policy) OnPageFreed(pg *vm.Page) { p.sampler.Clear(pg.ID) }
+
+// migrate applies the fixed-threshold classification.
+func (p *Policy) migrate() {
+	var hotSlow, coldFast []*vm.Page
+	for _, pg := range p.k.Pages() {
+		if pg == nil {
+			continue
+		}
+		c := p.sampler.Counter(pg.ID)
+		switch {
+		case pg.Tier == mem.SlowTier && c >= p.cfg.HotThreshold:
+			hotSlow = append(hotSlow, pg)
+		case pg.Tier == mem.FastTier && c <= p.cfg.ColdThreshold:
+			coldFast = append(coldFast, pg)
+		}
+	}
+	sort.Slice(hotSlow, func(i, j int) bool {
+		return p.sampler.Counter(hotSlow[i].ID) > p.sampler.Counter(hotSlow[j].ID)
+	})
+	sort.Slice(coldFast, func(i, j int) bool {
+		return p.sampler.Counter(coldFast[i].ID) < p.sampler.Counter(coldFast[j].ID)
+	})
+
+	node := p.k.Node()
+	budget := p.cfg.MigrateBatch
+	demoteIdx := 0
+	for _, pg := range hotSlow {
+		if budget < int(pg.Size) {
+			break
+		}
+		// Make room from the cold list before promoting.
+		for node.Free(mem.FastTier) < node.Watermarks(mem.FastTier).High+int64(pg.Size) &&
+			demoteIdx < len(coldFast) {
+			p.k.Demote(coldFast[demoteIdx])
+			demoteIdx++
+		}
+		if p.k.Promote(pg) {
+			budget -= int(pg.Size)
+		}
+	}
+	// Watermark maintenance: drain remaining cold pages under pressure.
+	for node.BelowHigh(mem.FastTier) && demoteIdx < len(coldFast) {
+		p.k.Demote(coldFast[demoteIdx])
+		demoteIdx++
+	}
+}
+
+// OnFault implements policy.Policy. HeMem does not poison pages.
+func (p *Policy) OnFault(pg *vm.Page, now simclock.Time) {}

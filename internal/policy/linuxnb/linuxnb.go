@@ -1,0 +1,63 @@
+// Package linuxnb implements the Linux-NB baseline: the vanilla kernel's
+// auto NUMA-balancing scheme repurposed for tiering (numa_balancing=2 with
+// demotion enabled), as described in the paper's §2.1.
+//
+// The kernel cyclically scans each process's address space, poisoning
+// scan-step-sized ranges PROT_NONE; a fault on a poisoned page reveals an
+// access, and because the slow tier is a CPU-less node, every faulting
+// slow-tier page is promoted — effectively a most-recently-used policy
+// with no frequency component, which is exactly the weakness Chrono
+// addresses. Demotion happens only through kswapd's watermark reclaim
+// (provided by the engine).
+package linuxnb
+
+import (
+	"chrono/internal/mem"
+	"chrono/internal/policy"
+	"chrono/internal/policy/scan"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// Config holds the NUMA-balancing scan parameters (sysctl
+// numa_balancing_scan_*).
+type Config struct {
+	Scan scan.Config
+	// ScanFastTier controls whether fast-tier pages are also poisoned.
+	// Vanilla balancing scans everything; the fast-tier faults are pure
+	// overhead on a CPU-less slow node. Default true, as in vanilla.
+	ScanFastTier bool
+}
+
+// Policy is the Linux-NB baseline.
+type Policy struct {
+	policy.Base
+	cfg          Config
+	scanFastTier bool
+	k            policy.Kernel
+}
+
+// New returns a Linux-NB policy with the given config.
+func New(cfg Config) *Policy { return &Policy{cfg: cfg, scanFastTier: true} }
+
+// Name implements policy.Policy.
+func (p *Policy) Name() string { return "Linux-NB" }
+
+// Attach implements policy.Policy: it starts the per-process scan clocks.
+func (p *Policy) Attach(k policy.Kernel) {
+	p.k = k
+	scan.Start(k, p.cfg.Scan, func(pg *vm.Page, now simclock.Time) {
+		if pg.Tier == mem.SlowTier || p.scanFastTier {
+			k.Protect(pg)
+		}
+	})
+}
+
+// OnFault implements policy.Policy: MRU promotion — any faulting slow-tier
+// page is migrated toward the faulting CPU's node, i.e. the fast tier.
+func (p *Policy) OnFault(pg *vm.Page, now simclock.Time) {
+	if pg.Tier != mem.SlowTier {
+		return
+	}
+	p.k.Promote(pg)
+}

@@ -1,0 +1,247 @@
+// Package memtis implements the Memtis baseline (Lee et al., SOSP '23):
+// PEBS-driven memory tiering with a global histogram of per-page sample
+// counters, a hot-set threshold derived from the fast:slow capacity ratio,
+// periodic counter cooling, and conservative huge-page splitting.
+//
+// Memtis is a process-level solution (paper Table 1): each process's
+// histogram is classified against its proportional share of the fast
+// tier, so it cannot rank hotness *across* processes — the behaviour
+// Figure 9 exposes. Its PEBS sample budget is capped (§2.3), which makes
+// base-page counters tiny and classification unstable (Figure 2b); the
+// same code path runs in both page modes here, and the instability
+// emerges from the sampling model rather than from any special-casing.
+package memtis
+
+import (
+	"sort"
+
+	"chrono/internal/mem"
+	"chrono/internal/pebs"
+	"chrono/internal/policy"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// Config holds Memtis's tunables.
+type Config struct {
+	// SampleRate is the PEBS budget in samples/second. When zero it
+	// defaults to the real 100k/s kernel cap divided by the simulator's
+	// capacity scale, preserving the expected per-page counter value.
+	SampleRate float64
+	// SamplePeriod is the DS-area drain interval (default 1 s).
+	SamplePeriod simclock.Duration
+	// CoolingPeriods is the number of sample periods between counter
+	// cooling events (default 8).
+	CoolingPeriods int
+	// MigratePeriod is the kmigrated cycle (default 2 s).
+	MigratePeriod simclock.Duration
+	// MigrateBatch caps page moves per cycle in base pages (default 1/32
+	// of the fast tier).
+	MigrateBatch int
+	// SplitBudget is the max huge-page splits per cycle (default 2 —
+	// Memtis's deliberately conservative splitting).
+	SplitBudget int
+	// NBins is the histogram depth (default 16).
+	NBins int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = simclock.Second
+	}
+	if c.CoolingPeriods == 0 {
+		c.CoolingPeriods = 8
+	}
+	if c.MigratePeriod == 0 {
+		c.MigratePeriod = 2 * simclock.Second
+	}
+	if c.SplitBudget == 0 {
+		c.SplitBudget = 2
+	}
+	if c.NBins == 0 {
+		c.NBins = 16
+	}
+	return c
+}
+
+// Policy is the Memtis baseline.
+type Policy struct {
+	policy.Base
+	cfg     Config
+	k       policy.Kernel
+	sampler *pebs.Sampler
+	periods int
+}
+
+// New returns a Memtis policy.
+func New(cfg Config) *Policy { return &Policy{cfg: cfg.withDefaults()} }
+
+// Name implements policy.Policy.
+func (p *Policy) Name() string { return "Memtis" }
+
+// Sampler exposes the PEBS sampler (for the Figure 2b harness).
+func (p *Policy) Sampler() *pebs.Sampler { return p.sampler }
+
+// Attach implements policy.Policy.
+func (p *Policy) Attach(k policy.Kernel) {
+	p.k = k
+	if p.cfg.MigrateBatch == 0 {
+		p.cfg.MigrateBatch = int(k.Node().Capacity(mem.FastTier) / 32)
+		// The batch must cover at least one huge page or huge-page
+		// promotion starves on small tiers.
+		if p.cfg.MigrateBatch < k.HugeFactor() {
+			p.cfg.MigrateBatch = k.HugeFactor()
+		}
+	}
+	if p.cfg.SampleRate == 0 {
+		// Scale the real 100k/s hardware budget so the expected counter of
+		// one simulated *huge* page equals the real per-huge-page counter:
+		// rate = 100k × 512 / (HugeFactor × CostScale). This preserves the
+		// paper's §2.3 regime at any simulator scale — huge-page counters
+		// are large and stable, base-page counters collapse toward zero
+		// (Figure 2b), because the base:huge counter ratio is the fold
+		// factor in both worlds.
+		p.cfg.SampleRate = 100000 * 512 / (float64(k.HugeFactor()) * k.CostScale())
+		if p.cfg.SampleRate < 10 {
+			p.cfg.SampleRate = 10
+		}
+	}
+	p.sampler = pebs.NewSampler(k.RNG(), p.cfg.SampleRate)
+	p.sampler.Grow(len(k.Pages()))
+	k.Clock().Every(p.cfg.SamplePeriod, func(now simclock.Time) {
+		k.SamplePEBS(p.sampler, p.cfg.SamplePeriod.Seconds())
+		p.periods++
+		if p.periods%p.cfg.CoolingPeriods == 0 {
+			p.sampler.Cool()
+		}
+	})
+	k.Clock().Every(p.cfg.MigratePeriod, func(now simclock.Time) {
+		p.kmigrated()
+	})
+}
+
+// OnPageFreed implements policy.Policy (splits retire the huge page).
+func (p *Policy) OnPageFreed(pg *vm.Page) { p.sampler.Clear(pg.ID) }
+
+// kmigrated is the background classification + migration cycle.
+func (p *Policy) kmigrated() {
+	// Group resident pages by process.
+	byProc := make(map[*vm.Process][]*vm.Page)
+	var totalResident int64
+	for _, pg := range p.k.Pages() {
+		if pg == nil {
+			continue
+		}
+		byProc[pg.Proc] = append(byProc[pg.Proc], pg)
+		totalResident += int64(pg.Size)
+	}
+	if totalResident == 0 {
+		return
+	}
+	fastCap := p.k.Node().Capacity(mem.FastTier)
+	budget := p.cfg.MigrateBatch
+
+	for proc, pages := range byProc {
+		_ = proc
+		// Per-process histogram of counter bins weighted by page size.
+		hist := pebs.NewHistogram(p.cfg.NBins)
+		binSize := make([]int64, p.cfg.NBins)
+		var resident int64
+		for _, pg := range pages {
+			b := pebs.BinOf(p.sampler.Counter(pg.ID))
+			if b >= p.cfg.NBins {
+				b = p.cfg.NBins - 1
+			}
+			hist.Add(p.sampler.Counter(pg.ID))
+			binSize[b] += int64(pg.Size)
+			resident += int64(pg.Size)
+		}
+		// The process's DRAM entitlement is its proportional share.
+		share := fastCap * resident / totalResident
+		hotBin := hist.HotThresholdBin(share, func(b int) int64 { return binSize[b] })
+
+		// Promote hot slow-tier pages, hottest first.
+		var hotSlow []*vm.Page
+		for _, pg := range pages {
+			if pg.Tier == mem.SlowTier && pebs.BinOf(p.sampler.Counter(pg.ID)) >= hotBin {
+				hotSlow = append(hotSlow, pg)
+			}
+		}
+		sort.Slice(hotSlow, func(i, j int) bool {
+			return p.sampler.Counter(hotSlow[i].ID) > p.sampler.Counter(hotSlow[j].ID)
+		})
+		for _, pg := range hotSlow {
+			if budget < int(pg.Size) {
+				break
+			}
+			p.demoteForSpace(pages, hotBin, int64(pg.Size))
+			if p.k.Promote(pg) {
+				budget -= int(pg.Size)
+			}
+		}
+
+		// Conservative splitting of the hottest fast-tier huge pages.
+		p.splitHot(pages, hotBin)
+	}
+}
+
+// demoteForSpace demotes warm/cold fast-tier pages of the process when the
+// fast tier lacks headroom for an incoming promotion.
+func (p *Policy) demoteForSpace(pages []*vm.Page, hotBin int, need int64) {
+	node := p.k.Node()
+	if node.Free(mem.FastTier) >= node.Watermarks(mem.FastTier).High+need {
+		return
+	}
+	// Coldest first.
+	var fast []*vm.Page
+	for _, pg := range pages {
+		if pg.Tier == mem.FastTier && pebs.BinOf(p.sampler.Counter(pg.ID)) < hotBin {
+			fast = append(fast, pg)
+		}
+	}
+	sort.Slice(fast, func(i, j int) bool {
+		return p.sampler.Counter(fast[i].ID) < p.sampler.Counter(fast[j].ID)
+	})
+	var freed int64
+	for _, pg := range fast {
+		if freed >= need {
+			return
+		}
+		if p.k.Demote(pg) {
+			freed += int64(pg.Size)
+		}
+	}
+}
+
+// splitHot splits up to SplitBudget of the process's hottest
+// *under-utilized* huge pages — the ones whose PEBS address samples show
+// accesses concentrated in a fraction of the region — letting subsequent
+// sampling separate their hot and cold base regions.
+func (p *Policy) splitHot(pages []*vm.Page, hotBin int) {
+	var huge []*vm.Page
+	for _, pg := range pages {
+		if pg.IsHuge() && pebs.BinOf(p.sampler.Counter(pg.ID)) >= hotBin+2 &&
+			p.k.HugeUtilization(pg) < 0.6 {
+			huge = append(huge, pg)
+		}
+	}
+	sort.Slice(huge, func(i, j int) bool {
+		return p.sampler.Counter(huge[i].ID) > p.sampler.Counter(huge[j].ID)
+	})
+	for i := 0; i < len(huge) && i < p.cfg.SplitBudget; i++ {
+		pg := huge[i]
+		// Redistribute the region counter over the fragments so the
+		// freshly split pages keep their aggregate hotness estimate
+		// until per-fragment samples accumulate.
+		per := p.sampler.Counter(pg.ID) / uint32(pg.Size)
+		for _, np := range p.k.SplitHuge(pg) {
+			if per > 0 {
+				p.sampler.Grow(int(np.ID) + 1)
+				p.sampler.AddDirect(np.ID, per)
+			}
+		}
+	}
+}
+
+// OnFault implements policy.Policy. Memtis does not poison pages.
+func (p *Policy) OnFault(pg *vm.Page, now simclock.Time) {}

@@ -1,0 +1,84 @@
+package memtis_test
+
+import (
+	"testing"
+
+	"chrono/internal/engine"
+	"chrono/internal/policy/memtis"
+	"chrono/internal/policy/policytest"
+	"chrono/internal/simclock"
+)
+
+// TestSamplingDrivesPromotion: with huge pages (its default deployment)
+// Memtis identifies and promotes the hot region from PEBS counters alone
+// — no hint faults.
+func TestSamplingDrivesPromotion(t *testing.T) {
+	w := policytest.Build(t, memtis.New(memtis.Config{}), 3072, 512, engine.HugePages)
+	m := w.Run(600 * simclock.Second)
+	if m.Faults != 0 {
+		t.Fatalf("%v hint faults under Memtis", m.Faults)
+	}
+	if m.Promotions == 0 {
+		t.Fatal("no promotions from PEBS classification")
+	}
+	if res := w.HotResidency(); res < 0.4 {
+		t.Fatalf("hot residency %.2f", res)
+	}
+	pol := w.Engine.Policy().(*memtis.Policy)
+	if pol.Sampler().TotalSamples() == 0 {
+		t.Fatal("sampler collected nothing")
+	}
+}
+
+// TestBasePageInstability: at base-page granularity the same sample
+// budget spreads over HugeFactor× more pages, so per-page counters
+// collapse (Figure 2b) and placement quality degrades.
+func TestBasePageInstability(t *testing.T) {
+	huge := policytest.Build(t, memtis.New(memtis.Config{}), 3072, 512, engine.HugePages)
+	base := policytest.Build(t, memtis.New(memtis.Config{}), 3072, 512, engine.BasePages)
+	huge.Run(600 * simclock.Second)
+	base.Run(600 * simclock.Second)
+	hp := huge.Engine.Policy().(*memtis.Policy)
+	bp := base.Engine.Policy().(*memtis.Policy)
+	// The share of resident pages whose counter clears the stable-
+	// classification bar (count >= 8, bin#4 of Figure 2b) must be far
+	// larger under huge pages.
+	stableShare := func(w interface{}, pol *memtis.Policy, pages []*struct{}) float64 { return 0 }
+	_ = stableShare
+	share := func(e *engine.Engine, pol *memtis.Policy) float64 {
+		var stable, total float64
+		for _, pg := range e.Pages() {
+			if pg == nil {
+				continue
+			}
+			total++
+			if pol.Sampler().Counter(pg.ID) >= 8 {
+				stable++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return stable / total
+	}
+	hs := share(huge.Engine, hp)
+	bs := share(base.Engine, bp)
+	if hs < bs*4 || hs == 0 {
+		t.Fatalf("stable-counter share: huge %.3f vs base %.3f", hs, bs)
+	}
+}
+
+// TestSplittingIsConservative: splits happen, but only a handful per
+// cycle.
+func TestSplittingIsConservative(t *testing.T) {
+	w := policytest.Build(t, memtis.New(memtis.Config{}), 3072, 512, engine.HugePages)
+	before := len(w.Engine.Pages())
+	w.Run(600 * simclock.Second)
+	after := len(w.Engine.Pages())
+	grew := after - before
+	// 600s = 300 kmigrated cycles × split budget 2 × HugeFactor new
+	// pages max; conservative splitting stays well under a full unfold.
+	if grew > 0 && grew >= 3072 {
+		t.Fatalf("splitting unfolded everything: %d new pages", grew)
+	}
+}

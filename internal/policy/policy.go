@@ -1,0 +1,133 @@
+// Package policy defines the contract between the simulated kernel
+// (internal/engine) and a tiered-memory management policy — Chrono or one
+// of the evaluated baselines (Linux NUMA balancing, AutoTiering,
+// Multi-Clock, TPP, Memtis).
+//
+// A policy observes memory behaviour only through the mechanisms a real
+// kernel policy has: page faults on pages it poisoned (PROT_NONE), PTE
+// accessed-bit test-and-clear, PEBS-style samples, and allocation
+// watermark state. It acts by protecting pages, promoting/demoting them,
+// and charging the kernel CPU time its bookkeeping would cost. The true
+// per-page access rates that drive the simulation are deliberately not
+// reachable through the Kernel interface.
+package policy
+
+import (
+	"chrono/internal/mem"
+	"chrono/internal/pebs"
+	"chrono/internal/rng"
+	"chrono/internal/simclock"
+	"chrono/internal/sysctl"
+	"chrono/internal/vm"
+)
+
+// Kernel is the simulated kernel services available to a policy. It is
+// implemented by internal/engine.
+type Kernel interface {
+	// Clock returns the virtual clock for scheduling scans and timers.
+	Clock() *simclock.Clock
+	// Node returns the physical memory node (capacities, watermarks,
+	// migration counters).
+	Node() *mem.Node
+	// Processes returns all simulated address spaces.
+	Processes() []*vm.Process
+	// Pages returns the dense page table: Pages()[id] is the page with
+	// ID id, nil if freed. Policies may size side arrays by len(Pages()).
+	Pages() []*vm.Page
+
+	// Protect poisons the page PROT_NONE and stamps pg.ProtTS, causing a
+	// fault to be delivered at the page's next access. Protecting an
+	// already protected page restamps it.
+	Protect(pg *vm.Page)
+	// Unprotect clears the poisoning without a fault.
+	Unprotect(pg *vm.Page)
+
+	// AccessedTestAndClear simulates the PTE accessed-bit read-and-clear:
+	// it reports whether the page was accessed since the bit was last
+	// cleared (or since mapping), then clears it.
+	AccessedTestAndClear(pg *vm.Page) bool
+
+	// Promote moves a page to the fast tier. When the fast tier cannot
+	// hold it, the engine performs direct reclaim (demoting cold pages
+	// from the kernel LRU) before retrying; a false return means the
+	// promotion was abandoned.
+	Promote(pg *vm.Page) bool
+	// Demote moves a page to the slow tier. Returns false when the slow
+	// tier is full.
+	Demote(pg *vm.Page) bool
+
+	// SplitHuge splits a huge page into base pages and returns them
+	// (Memtis's page splitting). Returns nil if pg is not huge.
+	SplitHuge(pg *vm.Page) []*vm.Page
+	// HugeUtilization estimates the fraction of a huge page's base
+	// regions that receive accesses — the signal PEBS sub-page address
+	// samples give Memtis to decide splitting. Returns 1 for base pages.
+	HugeUtilization(pg *vm.Page) float64
+
+	// ChargeKernel accounts ns of kernel CPU to the policy (scan work,
+	// list maintenance, sampling micro-operations).
+	ChargeKernel(ns float64)
+	// CostScale is the real-pages-per-simulated-page factor: per-page
+	// bookkeeping costs passed to ChargeKernel should be multiplied by it
+	// so kernel-time fractions come out in real terms.
+	CostScale() float64
+	// HugeFactor is the number of simulated base pages folded into one
+	// huge page under huge-page mapping (the simulator's stand-in for
+	// the real 512).
+	HugeFactor() int
+	// CountContextSwitches adds n context switches to the run metrics.
+	CountContextSwitches(n int64)
+
+	// RNG returns a deterministic random stream reserved for the policy.
+	RNG() *rng.Source
+	// Sysctl returns the runtime parameter table.
+	Sysctl() *sysctl.Table
+
+	// SamplePEBS draws one sampling period's worth of hardware event
+	// samples (the PEBS channel Memtis/HeMem consume) into s. It returns
+	// the number of samples retained.
+	SamplePEBS(s *pebs.Sampler, seconds float64) int
+
+	// InactiveTail returns up to n pages from the cold end of the
+	// kernel's LRU inactive list for the given tier — the candidate
+	// source Linux reclaim (and Chrono's demotion, §3.3.1) uses.
+	InactiveTail(tier mem.TierID, n int) []*vm.Page
+
+	// FastFree returns free pages in the fast tier (watermark checks).
+	FastFree() int64
+}
+
+// Policy is a tiered-memory management policy under evaluation.
+type Policy interface {
+	// Name identifies the policy in reports ("Chrono", "TPP", ...).
+	Name() string
+	// Attach wires the policy to the kernel; the policy schedules its
+	// periodic work (scans, cooling, tuning) on k.Clock() here. Attach
+	// is called once, after processes are mapped.
+	Attach(k Kernel)
+	// OnFault is invoked when an access hits a page this kernel poisoned
+	// (hint faults) — the NUMA-balancing style notification channel.
+	OnFault(pg *vm.Page, now simclock.Time)
+	// OnPageMapped is invoked when a page becomes resident after Attach
+	// (e.g. created by a split); policies grow side structures here.
+	OnPageMapped(pg *vm.Page)
+	// OnPageFreed is invoked when a page leaves residency.
+	OnPageFreed(pg *vm.Page)
+	// OnMigrated is invoked after any tier move — including moves the
+	// kernel performed on its own (kswapd demotion, direct reclaim) —
+	// so policies with tier-indexed structures stay consistent.
+	OnMigrated(pg *vm.Page, from, to mem.TierID)
+}
+
+// Base provides no-op implementations of the optional hooks so simple
+// policies only implement what they use.
+type Base struct{}
+
+// OnPageMapped implements Policy.
+func (Base) OnPageMapped(*vm.Page) {}
+
+// OnPageFreed implements Policy.
+func (Base) OnPageFreed(*vm.Page) {}
+
+// OnMigrated implements Policy.
+func (Base) OnMigrated(*vm.Page, mem.TierID, mem.TierID) {}

@@ -1,0 +1,162 @@
+// Package scan provides the paced address-space walker shared by every
+// fault-based policy (Linux-NB, AutoTiering, TPP, and Chrono's
+// Ticking-scan): it divides each process's virtual address space into
+// scan-step chunks and visits them on a schedule such that one full pass
+// takes the configured scan period, mirroring task_numa_work's pacing.
+package scan
+
+import (
+	"chrono/internal/mem"
+	"chrono/internal/policy"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// Visit is called for each resident page reached by the walker.
+type Visit func(pg *vm.Page, now simclock.Time)
+
+// Walker paces scans over one process.
+type Walker struct {
+	Proc *vm.Process
+
+	vma    int
+	next   uint64
+	ticker *simclock.Ticker
+	// Passes counts completed full walks of the address space.
+	Passes int
+}
+
+// Config parameterizes a scanner set.
+type Config struct {
+	// Period is the time one full pass should take (default 60 s).
+	Period simclock.Duration
+	// StepPages is the chunk size in base pages (default: 256 MB worth,
+	// derived from the node scale as totalPages/1024).
+	StepPages int
+}
+
+// WithDefaults fills zero fields from kernel state.
+func (c Config) WithDefaults(k policy.Kernel) Config {
+	if c.Period == 0 {
+		c.Period = simclock.Minute
+	}
+	if c.StepPages == 0 {
+		total := k.Node().Capacity(mem.FastTier) + k.Node().Capacity(mem.SlowTier)
+		c.StepPages = int(total / 1024)
+		if c.StepPages < 8 {
+			c.StepPages = 8
+		}
+	}
+	return c
+}
+
+// Set is the collection of per-process walkers of one policy.
+type Set struct {
+	cfg     Config
+	k       policy.Kernel
+	visit   Visit
+	Walkers []*Walker
+}
+
+// Start creates a walker per process and begins the paced scan. The visit
+// callback runs for every resident page poisoned/visited.
+func Start(k policy.Kernel, cfg Config, visit Visit) *Set {
+	s := &Set{cfg: cfg.WithDefaults(k), k: k, visit: visit}
+	for _, proc := range k.Processes() {
+		w := &Walker{Proc: proc}
+		if len(proc.VMAs()) > 0 {
+			w.next = proc.VMAs()[0].Start
+		}
+		s.Walkers = append(s.Walkers, w)
+		s.start(w)
+	}
+	return s
+}
+
+// Config returns the effective configuration.
+func (s *Set) Config() Config { return s.cfg }
+
+// SetPeriod changes the pass period for subsequent ticks.
+func (s *Set) SetPeriod(d simclock.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.cfg.Period = d
+	for _, w := range s.Walkers {
+		if w.ticker != nil {
+			w.ticker.Reset(s.interval(w))
+		}
+	}
+}
+
+func (s *Set) interval(w *Walker) simclock.Duration {
+	var total uint64
+	for _, v := range w.Proc.VMAs() {
+		total += v.Len
+	}
+	if total == 0 {
+		total = 1
+	}
+	steps := (total + uint64(s.cfg.StepPages) - 1) / uint64(s.cfg.StepPages)
+	iv := s.cfg.Period / simclock.Duration(steps)
+	if iv < simclock.Millisecond {
+		iv = simclock.Millisecond
+	}
+	return iv
+}
+
+func (s *Set) start(w *Walker) {
+	var total uint64
+	for _, v := range w.Proc.VMAs() {
+		total += v.Len
+	}
+	if total == 0 {
+		return
+	}
+	w.ticker = s.k.Clock().Every(s.interval(w), func(now simclock.Time) {
+		s.step(w, now)
+	})
+}
+
+// step visits the next StepPages pages of the walker's process. When the
+// walk wraps past the end of the address space it continues into the next
+// pass within the same tick, so a full pass takes exactly Period.
+func (s *Set) step(w *Walker, now simclock.Time) {
+	vmas := w.Proc.VMAs()
+	if len(vmas) == 0 {
+		return
+	}
+	remaining := s.cfg.StepPages
+	wraps := 0
+	for remaining > 0 {
+		v := vmas[w.vma]
+		if w.next >= v.End() {
+			w.vma = (w.vma + 1) % len(vmas)
+			w.next = vmas[w.vma].Start
+			if w.vma == 0 {
+				w.Passes++
+				wraps++
+				if wraps == 2 {
+					return // empty address space guard
+				}
+			}
+			continue
+		}
+		pg := w.Proc.PageAt(w.next)
+		if pg == nil {
+			w.next++
+			remaining--
+			continue
+		}
+		s.visit(pg, now)
+		w.next += uint64(pg.Size)
+		remaining -= int(pg.Size)
+	}
+	// The budget ran out exactly at the end of the space: close the pass
+	// now so Passes reflects completed coverage.
+	if w.vma == len(vmas)-1 && w.next >= vmas[w.vma].End() {
+		w.vma = 0
+		w.next = vmas[0].Start
+		w.Passes++
+	}
+}

@@ -1,0 +1,241 @@
+// Package telescope implements the Telescope baseline (Nair et al.,
+// ATC '24): region-based profiling over the tree structure of the page
+// tables, designed for TB-scale memory (paper §2.3: "takes advantage of
+// the tree-structured PTEs to enable a region-based profiling ... also
+// has a fixed profiling window (200ms) that limits its frequency
+// resolution at each level of PTE tree").
+//
+// The profiler maintains a two-level region tree over the address space.
+// Each profiling window it test-and-clears the accessed bit of every
+// *active* node: an upper-level node whose bit is set "telescopes" —
+// descends — into its children for the next window; an idle node's
+// subtree collapses back to the parent. Leaf (page-level) nodes that stay
+// referenced across consecutive windows accumulate heat and become
+// promotion candidates. Profiling cost therefore scales with the accessed
+// footprint rather than total memory, but the fixed window caps the
+// distinguishable frequency at one access per window per level.
+package telescope
+
+import (
+	"sort"
+
+	"chrono/internal/mem"
+	"chrono/internal/policy"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// Config holds Telescope's tunables.
+type Config struct {
+	// Window is the fixed profiling window (default 200 ms).
+	Window simclock.Duration
+	// RegionPages is the upper-level region size in pages (default 64,
+	// one PMD-level entry at the simulator's scale).
+	RegionPages int
+	// HotStreak is the number of consecutive referenced windows that
+	// make a leaf hot (default 4).
+	HotStreak int
+	// MigratePeriod is the background migration cycle (default 2 s).
+	MigratePeriod simclock.Duration
+	// MigrateBatch caps page moves per cycle (default fast/32).
+	MigrateBatch int
+	// NodeTestNS is the kernel cost per tree-node accessed-bit test.
+	NodeTestNS float64
+	// ProfileBudget caps the page-level tests per window (default
+	// totalPages/8). Telescope's efficiency claim rests on access
+	// sparsity; on a dense footprint the profiler must round-robin its
+	// open regions within a bounded budget or its own cost would exceed
+	// the machine.
+	ProfileBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 200 * simclock.Millisecond
+	}
+	if c.RegionPages == 0 {
+		c.RegionPages = 64
+	}
+	if c.HotStreak == 0 {
+		c.HotStreak = 4
+	}
+	if c.MigratePeriod == 0 {
+		c.MigratePeriod = 2 * simclock.Second
+	}
+	if c.NodeTestNS == 0 {
+		c.NodeTestNS = 40
+	}
+	return c
+}
+
+// region is one upper-level tree node covering a run of page IDs.
+type region struct {
+	pages []*vm.Page
+	// open reports whether the profiler has descended into this region.
+	open bool
+	// clearTS is when the region-level accessed view was last cleared.
+	clearTS simclock.Time
+}
+
+// Policy is the Telescope baseline. Leaf heat lives in pg.Meta (low byte:
+// current streak).
+type Policy struct {
+	policy.Base
+	cfg     Config
+	k       policy.Kernel
+	regions []*region
+	cursor  int
+	// OpenRegions is exported for tests: the live telescoped set size.
+	OpenRegions int
+}
+
+// New returns a Telescope policy.
+func New(cfg Config) *Policy { return &Policy{cfg: cfg.withDefaults()} }
+
+// Name implements policy.Policy.
+func (p *Policy) Name() string { return "Telescope" }
+
+// Attach implements policy.Policy.
+func (p *Policy) Attach(k policy.Kernel) {
+	p.k = k
+	if p.cfg.MigrateBatch == 0 {
+		p.cfg.MigrateBatch = int(k.Node().Capacity(mem.FastTier) / 32)
+		if p.cfg.MigrateBatch < 16 {
+			p.cfg.MigrateBatch = 16
+		}
+	}
+	p.buildRegions()
+	if p.cfg.ProfileBudget == 0 {
+		p.cfg.ProfileBudget = len(k.Pages()) / 8
+		if p.cfg.ProfileBudget < p.cfg.RegionPages {
+			p.cfg.ProfileBudget = p.cfg.RegionPages
+		}
+	}
+	k.Clock().Every(p.cfg.Window, func(now simclock.Time) { p.profile(now) })
+	k.Clock().Every(p.cfg.MigratePeriod, func(now simclock.Time) { p.migrate() })
+}
+
+// buildRegions groups the resident pages into fixed-size regions in page
+// ID order (the tree layout of contiguous PTE ranges).
+func (p *Policy) buildRegions() {
+	var cur *region
+	for _, pg := range p.k.Pages() {
+		if pg == nil {
+			continue
+		}
+		if cur == nil || len(cur.pages) >= p.cfg.RegionPages {
+			cur = &region{}
+			p.regions = append(p.regions, cur)
+		}
+		cur.pages = append(cur.pages, pg)
+	}
+}
+
+// regionAccessed approximates the PUD/PMD-level accessed bit: set if any
+// child page was referenced in the window. The engine's per-page
+// test-and-clear answers for one representative page, so the region-level
+// view ORs a sample of children (the tree bit is set by any access
+// through the entry; sampling keeps the cost model honest while retaining
+// the any-child semantics for non-sparse regions).
+func (p *Policy) regionAccessed(r *region) bool {
+	p.k.ChargeKernel(p.cfg.NodeTestNS * p.k.CostScale())
+	// Probe up to 8 spread children.
+	step := len(r.pages) / 8
+	if step < 1 {
+		step = 1
+	}
+	hit := false
+	for i := 0; i < len(r.pages); i += step {
+		if p.k.AccessedTestAndClear(r.pages[i]) {
+			hit = true
+		}
+	}
+	return hit
+}
+
+// profile runs one fixed window: closed regions are tested at region
+// level and opened when referenced; open regions test their pages
+// (round-robin under the profiling budget), accumulating per-page
+// streaks, and collapse when idle.
+func (p *Policy) profile(now simclock.Time) {
+	open := 0
+	budget := p.cfg.ProfileBudget
+	n := len(p.regions)
+	for i := 0; i < n; i++ {
+		r := p.regions[(p.cursor+i)%n]
+		if !r.open {
+			if p.regionAccessed(r) {
+				r.open = true
+			}
+			continue
+		}
+		open++
+		if budget <= 0 {
+			continue // deferred to a later window
+		}
+		budget -= len(r.pages)
+		anyHot := false
+		for _, pg := range r.pages {
+			p.k.ChargeKernel(p.cfg.NodeTestNS * p.k.CostScale())
+			streak := pg.Meta & 0xff
+			if p.k.AccessedTestAndClear(pg) {
+				if streak < 255 {
+					streak++
+				}
+				anyHot = true
+			} else if streak > 0 {
+				streak--
+			}
+			pg.Meta = (pg.Meta &^ 0xff) | streak
+		}
+		if !anyHot {
+			r.open = false // collapse the idle subtree
+			open--
+		}
+	}
+	p.cursor = (p.cursor + 1) % n
+	p.OpenRegions = open
+}
+
+// migrate promotes leaves with full streaks and demotes streak-0 fast
+// pages under pressure.
+func (p *Policy) migrate() {
+	var hotSlow, coldFast []*vm.Page
+	for _, pg := range p.k.Pages() {
+		if pg == nil {
+			continue
+		}
+		streak := int(pg.Meta & 0xff)
+		switch {
+		case pg.Tier == mem.SlowTier && streak >= p.cfg.HotStreak:
+			hotSlow = append(hotSlow, pg)
+		case pg.Tier == mem.FastTier && streak == 0:
+			coldFast = append(coldFast, pg)
+		}
+	}
+	sort.Slice(hotSlow, func(i, j int) bool {
+		return hotSlow[i].Meta&0xff > hotSlow[j].Meta&0xff
+	})
+	node := p.k.Node()
+	budget := p.cfg.MigrateBatch
+	di := 0
+	for _, pg := range hotSlow {
+		if budget < int(pg.Size) {
+			break
+		}
+		for node.Free(mem.FastTier) < node.Watermarks(mem.FastTier).High+int64(pg.Size) && di < len(coldFast) {
+			p.k.Demote(coldFast[di])
+			di++
+		}
+		if p.k.Promote(pg) {
+			budget -= int(pg.Size)
+		}
+	}
+	for node.BelowHigh(mem.FastTier) && di < len(coldFast) {
+		p.k.Demote(coldFast[di])
+		di++
+	}
+}
+
+// OnFault implements policy.Policy. Telescope does not poison pages.
+func (p *Policy) OnFault(pg *vm.Page, now simclock.Time) {}

@@ -1,0 +1,87 @@
+// Package tpp implements the TPP baseline (Maruf et al., ASPLOS '23):
+// transparent page placement for CXL-enabled tiered memory, combining the
+// NUMA-balancing hint-fault channel with an LRU recency check, as
+// characterized in the paper's §2.3 ("Page-fault + LRU lists", effective
+// scale 0–2 access/min).
+//
+// TPP's promotion rule gives slow-tier pages a second chance: a faulting
+// page is promoted only if it shows re-reference within the recency
+// window (its previous hint fault was recent — the kernel checks the page
+// sits on the active LRU). TPP's other pillar, keeping fast-tier headroom
+// for new allocations via early demotion, is realized through the
+// watermark reclaim the engine provides, with TPP widening the demotion
+// watermark gap.
+package tpp
+
+import (
+	"chrono/internal/mem"
+	"chrono/internal/policy"
+	"chrono/internal/policy/scan"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// Config holds TPP's tunables.
+type Config struct {
+	Scan scan.Config
+	// RecencyWindow is the re-reference window: a page whose previous
+	// hint fault is younger than this promotes (default three scan
+	// periods — the LRU "active list" residency TPP checks).
+	RecencyWindow simclock.Duration
+	// HeadroomFrac widens the fast tier's demotion target above the high
+	// watermark, TPP's allocation-headroom mechanism (default 0.02 of
+	// fast capacity).
+	HeadroomFrac float64
+}
+
+// Policy is the TPP baseline. The previous fault timestamp is kept in
+// pg.Meta (nanoseconds).
+type Policy struct {
+	policy.Base
+	cfg Config
+	k   policy.Kernel
+}
+
+// New returns a TPP policy.
+func New(cfg Config) *Policy { return &Policy{cfg: cfg} }
+
+// Name implements policy.Policy.
+func (p *Policy) Name() string { return "TPP" }
+
+// Attach implements policy.Policy.
+func (p *Policy) Attach(k policy.Kernel) {
+	p.k = k
+	if p.cfg.RecencyWindow == 0 {
+		// Hint faults arrive at most once per scan pass, so the
+		// re-reference window must span a couple of passes for the
+		// second-chance check to ever see a previous fault.
+		p.cfg.RecencyWindow = 3 * simclock.Minute
+	}
+	if p.cfg.HeadroomFrac == 0 {
+		p.cfg.HeadroomFrac = 0.02
+	}
+	// TPP only poisons slow-tier (CXL node) pages: fast-tier faults give
+	// no placement signal and NUMA_BALANCING_MEMORY_TIERING skips them.
+	scan.Start(k, p.cfg.Scan, func(pg *vm.Page, now simclock.Time) {
+		if pg.Tier == mem.SlowTier {
+			k.Protect(pg)
+		}
+	})
+	// Allocation headroom: raise the pro watermark once.
+	node := k.Node()
+	high := node.Watermarks(mem.FastTier).High
+	node.SetProWatermark(high + int64(p.cfg.HeadroomFrac*float64(node.Capacity(mem.FastTier))))
+}
+
+// OnFault implements policy.Policy: promote on re-reference within the
+// recency window; otherwise record the fault and wait for the next one.
+func (p *Policy) OnFault(pg *vm.Page, now simclock.Time) {
+	if pg.Tier != mem.SlowTier {
+		return
+	}
+	prev := simclock.Time(int64(pg.Meta))
+	pg.Meta = uint64(now)
+	if prev > 0 && now-prev <= p.cfg.RecencyWindow {
+		p.k.Promote(pg)
+	}
+}

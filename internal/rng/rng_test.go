@@ -1,0 +1,323 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("forked streams with different labels produced the same first draw")
+	}
+	// Forks with the same label from the same parent state differ because
+	// forking consumes parent randomness.
+	c3 := parent.Fork(1)
+	if c1.Uint64() == c3.Uint64() {
+		t.Fatal("sequential forks correlated")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(42)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(42)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) covered only %d values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(3)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	trues := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	if p := float64(trues) / n; math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", p)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(5)
+	const rate = 4.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exp(%v) mean %v, want %v", rate, mean, 1/rate)
+	}
+}
+
+func TestExpPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestGaussMoments(t *testing.T) {
+	r := New(11)
+	const mean, std = 5.0, 2.0
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Gauss(mean, std)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	v := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("Gauss mean %v, want %v", m, mean)
+	}
+	if math.Abs(math.Sqrt(v)-std) > 0.05 {
+		t.Fatalf("Gauss stddev %v, want %v", math.Sqrt(v), std)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(13)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		var sum, sumSq float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(mean))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		variance := sumSq/n - m*m
+		if math.Abs(m-mean)/mean > 0.03 {
+			t.Fatalf("Poisson(%v) mean %v", mean, m)
+		}
+		// Poisson variance equals the mean.
+		if math.Abs(variance-mean)/mean > 0.08 {
+			t.Fatalf("Poisson(%v) variance %v", mean, variance)
+		}
+	}
+}
+
+func TestPoissonZeroAndNegative(t *testing.T) {
+	r := New(1)
+	if r.Poisson(0) != 0 || r.Poisson(-5) != 0 {
+		t.Fatal("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(17)
+	z := NewZipf(r, 1000, 1.1)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 10 which must dominate rank 100.
+	if !(counts[0] > counts[10] && counts[10] > counts[100]) {
+		t.Fatalf("Zipf not skewed: c0=%d c10=%d c100=%d", counts[0], counts[10], counts[100])
+	}
+	// Rough shape: c0/c1 ≈ 2^1.1 within slack.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.5 || ratio > 3.2 {
+		t.Fatalf("Zipf rank-1/rank-2 ratio %v", ratio)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int64
+		s float64
+	}{{0, 1.5}, {10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(%d, %v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(New(1), tc.n, tc.s)
+		}()
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	r := New(23)
+	weights := []float64{1, 0, 3, 6}
+	a := NewAlias(r, weights)
+	counts := make([]int, len(weights))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[a.Next()]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[1])
+	}
+	total := 1.0 + 3 + 6
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("category %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a := NewAlias(New(1), []float64{5})
+	for i := 0; i < 100; i++ {
+		if a.Next() != 0 {
+			t.Fatal("single-category alias drew nonzero index")
+		}
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len=%d", a.Len())
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	cases := [][]float64{nil, {}, {0, 0}, {1, -1}, {math.NaN()}}
+	for _, ws := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewAlias(%v) did not panic", ws)
+				}
+			}()
+			NewAlias(New(1), ws)
+		}()
+	}
+}
+
+// TestPropertyAliasInRange: alias draws always land inside the table.
+func TestPropertyAliasInRange(t *testing.T) {
+	f := func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var total float64
+		for i, b := range raw {
+			weights[i] = float64(b)
+			total += float64(b)
+		}
+		if total == 0 {
+			weights[0] = 1
+		}
+		a := NewAlias(New(seed), weights)
+		for i := 0; i < 100; i++ {
+			v := a.Next()
+			if v < 0 || v >= len(weights) {
+				return false
+			}
+			if weights[v] == 0 {
+				return false // zero-weight category must never be drawn
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyExpPositive: exponential variates are positive and finite
+// for any positive rate.
+func TestPropertyExpPositive(t *testing.T) {
+	f := func(seed uint64, rateRaw uint16) bool {
+		rate := float64(rateRaw)/100 + 0.01
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Exp(rate)
+			if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

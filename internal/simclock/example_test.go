@@ -1,0 +1,29 @@
+package simclock_test
+
+import (
+	"fmt"
+
+	"chrono/internal/simclock"
+)
+
+// A clock dispatches scheduled callbacks in virtual-time order; tickers
+// re-arm themselves, which is how scans and tuning loops are paced.
+func Example() {
+	c := simclock.New()
+
+	c.At(2*simclock.Second, func(now simclock.Time) {
+		fmt.Println("one-shot at", now)
+	})
+	tk := c.Every(simclock.Second, func(now simclock.Time) {
+		fmt.Println("tick at", now)
+	})
+
+	c.RunUntil(3 * simclock.Second)
+	tk.Cancel()
+
+	// Output:
+	// tick at 1.000s
+	// one-shot at 2.000s
+	// tick at 2.000s
+	// tick at 3.000s
+}

@@ -1,0 +1,255 @@
+// Package simclock implements the discrete-event virtual-time engine that
+// underlies the tiered-memory simulator.
+//
+// The engine maintains a monotonically increasing virtual clock with
+// nanosecond resolution and a binary-heap event queue. Components (the
+// kernel model, tiering policies, workload phase changes) schedule callbacks
+// at absolute or relative virtual times; Run drains the queue in timestamp
+// order, advancing the clock to each event as it fires.
+//
+// Events scheduled for the same instant fire in scheduling order (FIFO),
+// which keeps simulations deterministic for a fixed seed.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. It intentionally mirrors the kernel's ktime_t.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time.Duration constants but in virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// MaxTime is the largest representable virtual timestamp. It is used as the
+// "never" sentinel for events that fall beyond the simulation horizon.
+const MaxTime Time = math.MaxInt64
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the timestamp as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// FromSeconds converts floating-point seconds to a virtual Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// EventFunc is a callback fired when the clock reaches its scheduled time.
+type EventFunc func(now Time)
+
+// event is a scheduled callback in the queue.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  EventFunc
+	// index in the heap, maintained by the heap interface; -1 once popped
+	// or cancelled.
+	index int
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancelled reports whether the handle's event was cancelled or already fired.
+func (h Handle) Cancelled() bool { return h.ev == nil || h.ev.index < 0 }
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Clock is a discrete-event virtual clock. The zero value is not ready to
+// use; call New.
+type Clock struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// New returns a clock positioned at virtual time zero with an empty queue.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Pending returns the number of events still queued.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Fired returns the total number of events dispatched so far.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: the simulator has no causality violations by design.
+func (c *Clock) At(t Time, fn EventFunc) Handle {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", t, c.now))
+	}
+	ev := &event{at: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (c *Clock) After(d Duration, fn EventFunc) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %d", d))
+	}
+	return c.At(c.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting one period from now.
+// The callback may call Clock.Stop or cancel via the returned handle's
+// cancellation to end the series. Period must be positive.
+func (c *Clock) Every(period Duration, fn EventFunc) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive period %d", period))
+	}
+	t := &Ticker{clock: c, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+// Ticker re-arms a periodic callback. Cancel stops future firings.
+type Ticker struct {
+	clock    *Clock
+	period   Duration
+	fn       EventFunc
+	handle   Handle
+	cancel   bool
+	armed    bool
+	lastFire Time
+}
+
+func (t *Ticker) schedule() {
+	t.armed = true
+	t.handle = t.clock.After(t.period, func(now Time) {
+		t.armed = false
+		if t.cancel {
+			return
+		}
+		t.lastFire = now
+		t.fn(now)
+		if !t.cancel && !t.armed {
+			t.schedule()
+		}
+	})
+}
+
+// Cancel stops the ticker after any in-flight callback.
+func (t *Ticker) Cancel() {
+	t.cancel = true
+	t.clock.Cancel(t.handle)
+	t.armed = false
+}
+
+// Period returns the ticker's current period.
+func (t *Ticker) Period() Duration { return t.period }
+
+// Reset changes the ticker period. A pending firing is rescheduled to the
+// new cadence immediately; when called from inside the ticker's own
+// callback, the new period applies from the next firing.
+func (t *Ticker) Reset(period Duration) {
+	if period <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive period %d", period))
+	}
+	t.period = period
+	if t.armed {
+		t.clock.Cancel(t.handle)
+		t.armed = false
+		if !t.cancel {
+			t.schedule()
+		}
+	}
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (c *Clock) Cancel(h Handle) {
+	if h.ev == nil || h.ev.index < 0 {
+		return
+	}
+	heap.Remove(&c.queue, h.ev.index)
+	h.ev.index = -1
+}
+
+// Step fires the single earliest event, advancing the clock to it.
+// It reports false when the queue is empty.
+func (c *Clock) Step() bool {
+	if len(c.queue) == 0 || c.stopped {
+		return false
+	}
+	ev := heap.Pop(&c.queue).(*event)
+	c.now = ev.at
+	c.fired++
+	ev.fn(c.now)
+	return true
+}
+
+// RunUntil drains events until the queue is empty, Stop is called, or the
+// next event lies beyond the deadline. The clock finishes positioned at
+// deadline (if reached) or at the last fired event.
+func (c *Clock) RunUntil(deadline Time) {
+	for !c.stopped && len(c.queue) > 0 && c.queue[0].at <= deadline {
+		c.Step()
+	}
+	if !c.stopped && c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Run drains the queue completely (or until Stop).
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// Stop halts Run/RunUntil after the current event returns.
+func (c *Clock) Stop() { c.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (c *Clock) Stopped() bool { return c.stopped }

@@ -1,0 +1,320 @@
+// Package stats provides the measurement machinery the evaluation harness
+// uses: log-scaled latency histograms with percentile extraction, hot-page
+// classification scoring (F1-score and page promotion ratio, paper §2.4),
+// time series for parameter/placement histories (Figures 9 and 10), and
+// small numeric helpers shared by the report generators.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a weighted histogram over power-of-two-ish latency buckets.
+// Bucket i covers [BucketLow(i), BucketLow(i+1)) nanoseconds, with 8
+// sub-buckets per octave for ~9% relative resolution — enough to separate
+// DRAM (~70 ns), slow-tier (~170-320 ns) and fault-path (~µs) latencies.
+type Histogram struct {
+	counts []float64
+	total  float64
+	sum    float64
+}
+
+const subBuckets = 8
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(ns float64) int {
+	if ns < 1 {
+		return 0
+	}
+	exp := math.Log2(ns)
+	idx := int(exp * subBuckets)
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// BucketLow returns the lower bound in nanoseconds of bucket i.
+func BucketLow(i int) float64 {
+	return math.Exp2(float64(i) / subBuckets)
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]float64, 64*subBuckets)}
+}
+
+// Add records weight observations at the given nanosecond value.
+func (h *Histogram) Add(ns float64, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	i := bucketIndex(ns)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i] += weight
+	h.total += weight
+	h.sum += ns * weight
+}
+
+// Total returns the total recorded weight.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Mean returns the weighted mean in nanoseconds (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / h.total
+}
+
+// Percentile returns the latency at the given quantile q in [0,1],
+// interpolated within the containing bucket.
+func (h *Histogram) Percentile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * h.total
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo, hi := BucketLow(i), BucketLow(i+1)
+			frac := 0.5
+			if c > 0 {
+				frac = (target - cum) / c
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return BucketLow(len(h.counts))
+}
+
+// Merge adds all of other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum = 0, 0
+}
+
+// CDF returns (latency_ns, cumulative_fraction) points for non-empty
+// buckets, for rendering Figure 7a-style accumulated-percentage curves.
+func (h *Histogram) CDF() (ns []float64, frac []float64) {
+	if h.total == 0 {
+		return nil, nil
+	}
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		ns = append(ns, BucketLow(i+1))
+		frac = append(frac, cum/h.total)
+	}
+	return ns, frac
+}
+
+// Classification scores a binary hot-page identification outcome.
+// Following §2.4: actual positives are accesses to the true hot region;
+// predicted positives are accesses landing in (or pages placed in) the
+// fast tier.
+type Classification struct {
+	TruePositive  float64
+	FalsePositive float64
+	FalseNegative float64
+	TrueNegative  float64
+}
+
+// Precision = TP / (TP + FP).
+func (c Classification) Precision() float64 {
+	d := c.TruePositive + c.FalsePositive
+	if d == 0 {
+		return 0
+	}
+	return c.TruePositive / d
+}
+
+// Recall = TP / (TP + FN).
+func (c Classification) Recall() float64 {
+	d := c.TruePositive + c.FalseNegative
+	if d == 0 {
+		return 0
+	}
+	return c.TruePositive / d
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Classification) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Series is a time-stamped scalar sequence (threshold history, rate-limit
+// history, DRAM-page-percentage history, ...).
+type Series struct {
+	Name string
+	T    []float64 // seconds
+	V    []float64
+}
+
+// Append records a point.
+func (s *Series) Append(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.T) }
+
+// Last returns the most recent value (0 if empty).
+func (s *Series) Last() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// At returns the value at or before time t (0 before the first point).
+func (s *Series) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.T, t)
+	if i < len(s.T) && s.T[i] == t {
+		return s.V[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.V[i-1]
+}
+
+// Tail returns the mean of the last frac portion of the series, used to
+// report "converged" parameter values.
+func (s *Series) Tail(frac float64) float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	start := int(float64(len(s.V)) * (1 - frac))
+	if start < 0 {
+		start = 0
+	}
+	if start >= len(s.V) {
+		start = len(s.V) - 1
+	}
+	return Mean(s.V[start:])
+}
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile of xs by sorting a copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	pos := q * float64(len(cp)-1)
+	lo := int(pos)
+	if lo >= len(cp)-1 {
+		return cp[len(cp)-1]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// GeoMean returns the geometric mean of xs (0 if any x <= 0).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Counter is a named monotonic counter with rate extraction.
+type Counter struct {
+	Name  string
+	Value float64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(v float64) { c.Value += v }
+
+// Rate returns value per second over the given span.
+func (c *Counter) Rate(seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return c.Value / seconds
+}
+
+// FormatSI renders v with an SI suffix (K/M/G) for table output.
+func FormatSI(v float64) string {
+	switch {
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.2fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(0.5) != 0 || h.Total() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	ns, frac := h.CDF()
+	if ns != nil || frac != nil {
+		t.Fatal("empty histogram CDF should be nil")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Add(100, 50)
+	if got := h.Total(); got != 50 {
+		t.Fatalf("Total=%v", got)
+	}
+	if m := h.Mean(); math.Abs(m-100) > 1e-9 {
+		t.Fatalf("Mean=%v", m)
+	}
+	// Percentile lands within the 100ns bucket (~9% wide).
+	p := h.Percentile(0.5)
+	if p < 90 || p > 115 {
+		t.Fatalf("P50=%v for single 100ns value", p)
+	}
+}
+
+func TestHistogramPercentileOrdering(t *testing.T) {
+	h := NewHistogram()
+	h.Add(80, 900)  // fast accesses
+	h.Add(400, 90)  // slow accesses
+	h.Add(5000, 10) // faults
+	p50 := h.Percentile(0.5)
+	p90 := h.Percentile(0.9)
+	p99 := h.Percentile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("percentiles not monotone: %v %v %v", p50, p90, p99)
+	}
+	if p50 > 100 {
+		t.Fatalf("P50=%v, want within the fast bucket", p50)
+	}
+	if p99 < 300 {
+		t.Fatalf("P99=%v, want in the slow/fault range", p99)
+	}
+}
+
+func TestHistogramIgnoresNonPositiveWeight(t *testing.T) {
+	h := NewHistogram()
+	h.Add(100, 0)
+	h.Add(100, -5)
+	if h.Total() != 0 {
+		t.Fatalf("non-positive weights recorded: total=%v", h.Total())
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Add(100, 10)
+	b.Add(1000, 10)
+	a.Merge(b)
+	if a.Total() != 20 {
+		t.Fatalf("merged total %v", a.Total())
+	}
+	if m := a.Mean(); math.Abs(m-550) > 1 {
+		t.Fatalf("merged mean %v", m)
+	}
+	a.Reset()
+	if a.Total() != 0 || a.Mean() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{75, 200, 420, 3600, 75, 75} {
+		h.Add(v, 1)
+	}
+	ns, frac := h.CDF()
+	for i := 1; i < len(ns); i++ {
+		if ns[i] <= ns[i-1] || frac[i] < frac[i-1] {
+			t.Fatalf("CDF not monotone at %d: %v %v", i, ns, frac)
+		}
+	}
+	if last := frac[len(frac)-1]; math.Abs(last-1) > 1e-9 {
+		t.Fatalf("CDF does not reach 1: %v", last)
+	}
+}
+
+func TestBucketLowMonotone(t *testing.T) {
+	for i := 1; i < 200; i++ {
+		if BucketLow(i) <= BucketLow(i-1) {
+			t.Fatalf("BucketLow not increasing at %d", i)
+		}
+	}
+}
+
+func TestClassificationScores(t *testing.T) {
+	c := Classification{TruePositive: 80, FalsePositive: 20, FalseNegative: 20, TrueNegative: 100}
+	if p := c.Precision(); math.Abs(p-0.8) > 1e-9 {
+		t.Fatalf("precision %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-0.8) > 1e-9 {
+		t.Fatalf("recall %v", r)
+	}
+	if f := c.F1(); math.Abs(f-0.8) > 1e-9 {
+		t.Fatalf("F1 %v", f)
+	}
+}
+
+func TestClassificationZeroDivision(t *testing.T) {
+	var c Classification
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("zero classification should score 0 without dividing by zero")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i*i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if got := s.Last(); got != 81 {
+		t.Fatalf("Last=%v", got)
+	}
+	if got := s.At(5); got != 25 {
+		t.Fatalf("At(5)=%v", got)
+	}
+	if got := s.At(5.5); got != 25 {
+		t.Fatalf("At(5.5)=%v, want value at or before", got)
+	}
+	if got := s.At(-1); got != 0 {
+		t.Fatalf("At before first point = %v", got)
+	}
+	// Tail(0.2) averages the last 2 points: (64+81)/2.
+	if got := s.Tail(0.2); math.Abs(got-72.5) > 1e-9 {
+		t.Fatalf("Tail(0.2)=%v", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.At(3) != 0 || s.Tail(0.5) != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+}
+
+func TestMeanVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean=%v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance=%v", v)
+	}
+	if s := Stddev(xs); s != 2 {
+		t.Fatalf("Stddev=%v", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty slices should give 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("Q0=%v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("Q1=%v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("Q0.5=%v", q)
+	}
+	// Quantile must not reorder the caller's slice.
+	shuffled := []float64{5, 1, 4, 2, 3}
+	Quantile(shuffled, 0.5)
+	if shuffled[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4, 16}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMean=%v", g)
+	}
+	if GeoMean([]float64{1, 0, 4}) != 0 {
+		t.Fatal("GeoMean with zero should be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) should be 0")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "faults"}
+	c.Add(30)
+	c.Add(70)
+	if c.Value != 100 {
+		t.Fatalf("Value=%v", c.Value)
+	}
+	if r := c.Rate(10); r != 10 {
+		t.Fatalf("Rate=%v", r)
+	}
+	if c.Rate(0) != 0 {
+		t.Fatal("Rate with zero span should be 0")
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := map[float64]string{
+		12:    "12.00",
+		1500:  "1.50K",
+		2.5e6: "2.50M",
+		3e9:   "3.00G",
+	}
+	for in, want := range cases {
+		if got := FormatSI(in); got != want {
+			t.Fatalf("FormatSI(%v)=%q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPropertyPercentileMonotone: for any data, percentile is monotone in q.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(float64(v)+1, 1)
+		}
+		prev := 0.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			p := h.Percentile(q)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMeanWithinRange: the histogram mean lies within the data's
+// min/max envelope.
+func TestPropertyMeanWithinRange(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			x := float64(v) + 1
+			h.Add(x, 1)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		m := h.Mean()
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

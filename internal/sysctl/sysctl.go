@@ -1,0 +1,176 @@
+// Package sysctl is a small runtime parameter registry mirroring the
+// procfs/sysctl controllers Chrono exposes (paper §4: "We have also
+// developed procfs controllers that allow system managers to configure
+// parameters manually as they need", plus the numa_tiering sysctl toggle).
+//
+// Components register typed parameters under slash-separated paths such as
+// "kernel/numa_tiering" or "chrono/scan_period_ms"; tools (cmd/chronoctl)
+// and tests read and write them by name. Writes go through optional
+// validators and change hooks so a running simulation can react, exactly
+// as the kernel handlers do.
+package sysctl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Param is one registered tunable.
+type Param struct {
+	Path        string
+	Description string
+	get         func() string
+	set         func(string) error
+}
+
+// Get returns the parameter's current value rendered as a string.
+func (p *Param) Get() string { return p.get() }
+
+// Set parses and applies a new value.
+func (p *Param) Set(v string) error { return p.set(v) }
+
+// Table is a registry of parameters. The zero value is ready to use.
+type Table struct {
+	mu     sync.Mutex
+	params map[string]*Param
+}
+
+// NewTable returns an empty registry.
+func NewTable() *Table { return &Table{params: make(map[string]*Param)} }
+
+func (t *Table) register(p *Param) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.params == nil {
+		t.params = make(map[string]*Param)
+	}
+	if _, dup := t.params[p.Path]; dup {
+		panic(fmt.Sprintf("sysctl: duplicate parameter %q", p.Path))
+	}
+	t.params[p.Path] = p
+}
+
+// Int64 registers an int64 parameter backed by ptr. The optional validate
+// function rejects bad values; the optional onChange hook observes applied
+// writes.
+func (t *Table) Int64(path, desc string, ptr *int64, validate func(int64) error, onChange func(int64)) *Param {
+	p := &Param{
+		Path:        path,
+		Description: desc,
+		get:         func() string { return strconv.FormatInt(*ptr, 10) },
+		set: func(s string) error {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("sysctl %s: %w", path, err)
+			}
+			if validate != nil {
+				if err := validate(v); err != nil {
+					return fmt.Errorf("sysctl %s: %w", path, err)
+				}
+			}
+			*ptr = v
+			if onChange != nil {
+				onChange(v)
+			}
+			return nil
+		},
+	}
+	t.register(p)
+	return p
+}
+
+// Float64 registers a float64 parameter.
+func (t *Table) Float64(path, desc string, ptr *float64, validate func(float64) error, onChange func(float64)) *Param {
+	p := &Param{
+		Path:        path,
+		Description: desc,
+		get:         func() string { return strconv.FormatFloat(*ptr, 'g', -1, 64) },
+		set: func(s string) error {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("sysctl %s: %w", path, err)
+			}
+			if validate != nil {
+				if err := validate(v); err != nil {
+					return fmt.Errorf("sysctl %s: %w", path, err)
+				}
+			}
+			*ptr = v
+			if onChange != nil {
+				onChange(v)
+			}
+			return nil
+		},
+	}
+	t.register(p)
+	return p
+}
+
+// Bool registers a boolean parameter accepting 0/1/true/false.
+func (t *Table) Bool(path, desc string, ptr *bool, onChange func(bool)) *Param {
+	p := &Param{
+		Path:        path,
+		Description: desc,
+		get: func() string {
+			if *ptr {
+				return "1"
+			}
+			return "0"
+		},
+		set: func(s string) error {
+			switch s {
+			case "0", "false":
+				*ptr = false
+			case "1", "true":
+				*ptr = true
+			default:
+				return fmt.Errorf("sysctl %s: invalid boolean %q", path, s)
+			}
+			if onChange != nil {
+				onChange(*ptr)
+			}
+			return nil
+		},
+	}
+	t.register(p)
+	return p
+}
+
+// Lookup returns the parameter at path, or nil.
+func (t *Table) Lookup(path string) *Param {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.params[path]
+}
+
+// Set writes value to the parameter at path.
+func (t *Table) Set(path, value string) error {
+	p := t.Lookup(path)
+	if p == nil {
+		return fmt.Errorf("sysctl: unknown parameter %q", path)
+	}
+	return p.Set(value)
+}
+
+// Get reads the parameter at path.
+func (t *Table) Get(path string) (string, error) {
+	p := t.Lookup(path)
+	if p == nil {
+		return "", fmt.Errorf("sysctl: unknown parameter %q", path)
+	}
+	return p.Get(), nil
+}
+
+// All returns every parameter sorted by path.
+func (t *Table) All() []*Param {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Param, 0, len(t.params))
+	for _, p := range t.params {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

@@ -1,0 +1,137 @@
+package sysctl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestInt64Param(t *testing.T) {
+	tb := NewTable()
+	var v int64 = 5
+	tb.Int64("a/b", "test", &v, nil, nil)
+	got, err := tb.Get("a/b")
+	if err != nil || got != "5" {
+		t.Fatalf("Get=%q err=%v", got, err)
+	}
+	if err := tb.Set("a/b", "42"); err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("backing var %d", v)
+	}
+	if err := tb.Set("a/b", "xyz"); err == nil {
+		t.Fatal("non-numeric write accepted")
+	}
+}
+
+func TestInt64Validator(t *testing.T) {
+	tb := NewTable()
+	var v int64 = 1
+	bad := errors.New("must be positive")
+	tb.Int64("p", "test", &v, func(x int64) error {
+		if x <= 0 {
+			return bad
+		}
+		return nil
+	}, nil)
+	if err := tb.Set("p", "-3"); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("validator not applied: %v", err)
+	}
+	if v != 1 {
+		t.Fatal("rejected write mutated the value")
+	}
+}
+
+func TestOnChangeHook(t *testing.T) {
+	tb := NewTable()
+	var v float64 = 1
+	var seen float64
+	tb.Float64("f", "test", &v, nil, func(nv float64) { seen = nv })
+	if err := tb.Set("f", "2.5"); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2.5 || v != 2.5 {
+		t.Fatalf("hook saw %v, var %v", seen, v)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	tb := NewTable()
+	v := 0.003
+	tb.Float64("x", "test", &v, nil, nil)
+	got, _ := tb.Get("x")
+	if got != "0.003" {
+		t.Fatalf("Get=%q", got)
+	}
+}
+
+func TestBoolParam(t *testing.T) {
+	tb := NewTable()
+	var v bool
+	tb.Bool("flag", "test", &v, nil)
+	for in, want := range map[string]bool{"1": true, "0": false, "true": true, "false": false} {
+		if err := tb.Set("flag", in); err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Fatalf("Set(%q) -> %v", in, v)
+		}
+	}
+	if err := tb.Set("flag", "maybe"); err == nil {
+		t.Fatal("invalid boolean accepted")
+	}
+	got, _ := tb.Get("flag")
+	if got != "0" {
+		t.Fatalf("Get=%q", got)
+	}
+}
+
+func TestUnknownParam(t *testing.T) {
+	tb := NewTable()
+	if _, err := tb.Get("nope"); err == nil {
+		t.Fatal("Get of unknown param succeeded")
+	}
+	if err := tb.Set("nope", "1"); err == nil {
+		t.Fatal("Set of unknown param succeeded")
+	}
+	if tb.Lookup("nope") != nil {
+		t.Fatal("Lookup of unknown param non-nil")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	tb := NewTable()
+	var v int64
+	tb.Int64("dup", "one", &v, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	tb.Int64("dup", "two", &v, nil, nil)
+}
+
+func TestAllSorted(t *testing.T) {
+	tb := NewTable()
+	var a, b, c int64
+	tb.Int64("zebra", "", &a, nil, nil)
+	tb.Int64("alpha", "", &b, nil, nil)
+	tb.Int64("mid", "", &c, nil, nil)
+	all := tb.All()
+	if len(all) != 3 {
+		t.Fatalf("All returned %d", len(all))
+	}
+	if all[0].Path != "alpha" || all[1].Path != "mid" || all[2].Path != "zebra" {
+		t.Fatalf("All not sorted: %v %v %v", all[0].Path, all[1].Path, all[2].Path)
+	}
+}
+
+func TestZeroValueTable(t *testing.T) {
+	var tb Table
+	var v int64
+	tb.Int64("works", "zero-value table", &v, nil, nil)
+	if err := tb.Set("works", "7"); err != nil || v != 7 {
+		t.Fatalf("zero-value table unusable: %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+
+	"chrono/internal/engine"
+	"chrono/internal/vm"
+)
+
+// KVFlavor distinguishes the two in-memory databases of §5.3.
+type KVFlavor int
+
+// Evaluated flavors.
+const (
+	// Memcached: multi-threaded, slab allocation keeps items of one size
+	// class together, so key-order locality survives in memory.
+	Memcached KVFlavor = iota
+	// Redis: single-threaded event loop with higher per-op CPU cost, and
+	// a hash dict that scatters keys across the heap.
+	Redis
+)
+
+// KVStore models the §5.3 application benchmark: a memtier-driven key-value
+// store with a Gaussian key-popularity distribution over a large item set
+// (the paper: 500 M items, 160 GB, sequential initialization, Gaussian
+// SET/GET ops).
+//
+// Sequential initialization lays items out in key order, so memcached's
+// page-level popularity is the key-popularity Gaussian smoothed over the
+// ~12 items per page. Redis's dict additionally scatters a fraction of the
+// per-key popularity via hashing, flattening page-level skew — one reason
+// the paper sees smaller wins there.
+type KVStore struct {
+	Flavor KVFlavor
+	// StoreGB is the total item heap (default 160).
+	StoreGB float64
+	// SetRatio and GetRatio give the SET:GET mix (1:10 or 1:1).
+	SetRatio, GetRatio float64
+	// Shards is the number of server processes (memcached threads modeled
+	// as processes; redis as a single process per instance ×Shards
+	// instances). Default 8.
+	Shards int
+	// SigmaFrac is the key-popularity Gaussian stddev as a fraction of
+	// the key space. Default 0.12.
+	SigmaFrac float64
+	// HotFrac is the ground-truth hot region width (default 0.25).
+	HotFrac float64
+	// Mode selects base or huge pages.
+	Mode engine.PageSizeMode
+}
+
+// Name implements Workload.
+func (w *KVStore) Name() string {
+	f := "memcached"
+	if w.Flavor == Redis {
+		f = "redis"
+	}
+	return fmt.Sprintf("%s-set%g-get%g", f, w.SetRatio, w.GetRatio)
+}
+
+// Build implements Workload.
+func (w *KVStore) Build(e *engine.Engine) error {
+	if w.StoreGB <= 0 {
+		w.StoreGB = 160
+	}
+	if w.SetRatio == 0 && w.GetRatio == 0 {
+		w.SetRatio, w.GetRatio = 1, 10
+	}
+	if w.Shards <= 0 {
+		w.Shards = 8
+	}
+	if w.SigmaFrac == 0 {
+		w.SigmaFrac = 0.12
+	}
+	if w.HotFrac == 0 {
+		w.HotFrac = 0.25
+	}
+	r := e.WorkloadRNG()
+
+	// A GET is one read of the item (plus index); a SET writes the item.
+	// The dict/slab index adds read traffic on both.
+	writeFrac := w.SetRatio / (w.SetRatio + w.GetRatio) * 0.85
+	rf := 1 - writeFrac
+
+	perShard := GB(e, w.StoreGB/float64(w.Shards))
+	threads := 4
+	cpuDelay := 0.0
+	if w.Flavor == Redis {
+		threads = 1      // single-threaded event loop
+		cpuDelay = 150.0 // command parsing + dict walk per op
+	}
+
+	for i := 0; i < w.Shards; i++ {
+		n := int(perShard)
+		p := vm.NewProcess(3000+i, fmt.Sprintf("%s-%d", w.Name(), i), perShard)
+		p.DelayNS = cpuDelay
+		// The index structure (hash table / dict buckets) is a separate,
+		// small, uniformly hot mapping: every operation walks it. It is
+		// ~1.5% of the item heap.
+		idx := p.AddVMA(uint64(n/64+1), "index")
+		for j := idx.Start; j < idx.End(); j++ {
+			p.SetPattern(j, 6, 0.95)
+		}
+		weights := gaussianWeights(n, w.SigmaFrac*float64(n), 1)
+		// Slab/dict dead space: expired and evicted items leave ~30% of
+		// pages without live traffic, interleaved through the heap. This
+		// is the intra-region sparsity behind the paper's 145% Memtis
+		// memory-bloat measurement on these stores (§5.3).
+		for j := range weights {
+			if r.Float64() < 0.3 {
+				weights[j] = 0
+			}
+		}
+		if w.Flavor == Redis {
+			// Dict hashing scatters ~35% of each page's popularity to a
+			// uniformly random page.
+			scatter := make([]float64, n)
+			for j := range weights {
+				moved := weights[j] * 0.35
+				weights[j] -= moved
+				scatter[r.Intn(n)] += moved
+			}
+			for j := range weights {
+				weights[j] += scatter[j]
+			}
+		}
+		start := p.VMAs()[0].Start
+		for j, wt := range weights {
+			p.SetPattern(start+uint64(j), wt, rf)
+		}
+		e.AddProcess(p, threads)
+	}
+	return e.MapAll(w.Mode)
+}
+
+// HotPage implements Workload: the index VMA is always hot; item-heap
+// pages are hot within the popularity centre.
+func (w *KVStore) HotPage(p *vm.Process, vpn uint64) bool {
+	vmas := p.VMAs()
+	if len(vmas) > 1 {
+		if idx := vmas[1]; vpn >= idx.Start && vpn < idx.End() {
+			return true
+		}
+	}
+	v := vmas[0]
+	if vpn < v.Start || vpn >= v.End() {
+		return false
+	}
+	if p.Weight(vpn) == 0 {
+		return false // slab/dict dead space
+	}
+	return hotCenter(int(vpn-v.Start), int(v.Len), w.HotFrac)
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+
+	"chrono/internal/engine"
+	"chrono/internal/vm"
+)
+
+// MultiTenant is the §5.1.3 hot/cold identification scenario: N cgroups,
+// each running one pmbench process with a uniform random access pattern,
+// where the i-th process stalls i delay units (50 cycles each) before
+// every access. Process 0 is therefore the hottest tenant and process N-1
+// the coldest; a policy with fine frequency resolution should give the hot
+// tenants nearly all of the fast tier (Figure 9).
+type MultiTenant struct {
+	// Tenants is the cgroup count (50 in the paper).
+	Tenants int
+	// WorkingSetGB is the per-tenant working set, sized so the aggregate
+	// is 4× the fast tier (the paper's 25% DRAM ratio). Default computed
+	// from the engine config when zero.
+	WorkingSetGB float64
+	// DelayUnitNS is one pmbench delay unit (50 cycles ≈ 19.2 ns at
+	// 2.6 GHz).
+	DelayUnitNS float64
+	// ReadPct is the read percentage (default 70).
+	ReadPct float64
+}
+
+// Name implements Workload.
+func (w *MultiTenant) Name() string { return fmt.Sprintf("multitenant-%d", w.Tenants) }
+
+// Build implements Workload.
+func (w *MultiTenant) Build(e *engine.Engine) error {
+	if w.Tenants <= 0 {
+		w.Tenants = 50
+	}
+	if w.DelayUnitNS == 0 {
+		w.DelayUnitNS = 19.2
+	}
+	if w.ReadPct == 0 {
+		w.ReadPct = 70
+	}
+	if w.WorkingSetGB <= 0 {
+		total := e.Config().FastGB + e.Config().SlowGB
+		w.WorkingSetGB = total * 0.97 / float64(w.Tenants)
+	}
+	rf := w.ReadPct / 100
+	for i := 0; i < w.Tenants; i++ {
+		n := GB(e, w.WorkingSetGB)
+		p := vm.NewProcess(4000+i, fmt.Sprintf("cgroup-%d", i), n)
+		p.Cgroup = i
+		p.DelayNS = float64(i) * w.DelayUnitNS
+		start := p.VMAs()[0].Start
+		for j := uint64(0); j < n; j++ {
+			p.SetPattern(start+j, 1, rf)
+		}
+		e.AddProcess(p, 1)
+	}
+	return e.MapAll(engine.BasePages)
+}
+
+// HotPage implements Workload: with a uniform pattern, hotness is a
+// property of the tenant, not the page — the hottest 25% of tenants'
+// pages form the ground-truth hot set (matching the fast-tier capacity).
+func (w *MultiTenant) HotPage(p *vm.Process, vpn uint64) bool {
+	return p.Cgroup < w.Tenants/4
+}

@@ -1,0 +1,64 @@
+// Package workload provides the benchmark generators of the paper's
+// evaluation: Pmbench-style microbenchmarks (§5.1), Graph500 BFS/SSSP
+// (§5.2), Memcached/Redis-style key-value stores (§5.3), and the
+// multi-tenant delay-scaled mix of §5.1.3.
+//
+// A workload builds processes into an engine and assigns every base page
+// an access weight (relative likelihood of being the target of the next
+// access) and a read fraction. Weights express the benchmark's spatial
+// pattern; the engine's closed-loop model converts them into rates. A
+// workload also exposes its ground-truth hot set, which the harness uses
+// for the F1-score/PPR experiments.
+package workload
+
+import (
+	"math"
+
+	"chrono/internal/engine"
+	"chrono/internal/vm"
+)
+
+// Workload is one buildable benchmark scenario.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Build creates the processes, assigns access patterns, maps memory,
+	// and schedules any phase changes on the engine clock.
+	Build(e *engine.Engine) error
+	// HotPage reports whether the base page vpn of process p belongs to
+	// the workload's ground-truth hot set.
+	HotPage(p *vm.Process, vpn uint64) bool
+}
+
+// gaussianWeights fills weights[i] for i in [0,n) with a normal pdf
+// centred at n/2 with standard deviation sigma (in pages), applying the
+// given stride: only indices with i%stride == 0 receive weight. This
+// mirrors pmbench's normal_ih pattern with a stride step (§2.4: "With a
+// Gaussian access pattern and a stride step of 2 ... scattered Gaussian
+// distributed accesses over the address space").
+func gaussianWeights(n int, sigma float64, stride int) []float64 {
+	if stride < 1 {
+		stride = 1
+	}
+	w := make([]float64, n)
+	mu := float64(n) / 2
+	for i := 0; i < n; i += stride {
+		d := (float64(i) - mu) / sigma
+		w[i] = math.Exp(-0.5 * d * d)
+	}
+	return w
+}
+
+// hotCenter reports whether index i of n lies within the central frac of
+// the index space — the paper's ground-truth hot region ("accesses that
+// fall into the center 25% of the address space", §2.4).
+func hotCenter(i, n int, frac float64) bool {
+	lo := int(float64(n) * (0.5 - frac/2))
+	hi := int(float64(n) * (0.5 + frac/2))
+	return i >= lo && i < hi
+}
+
+// GB converts gigabytes to base pages under the engine's scale.
+func GB(e *engine.Engine, gb float64) uint64 {
+	return uint64(gb * float64(e.Config().PagesPerGB))
+}

@@ -1,0 +1,51 @@
+package xarray_test
+
+import (
+	"fmt"
+
+	"chrono/internal/xarray"
+)
+
+// The XArray stores sparse values keyed by page frame number, exactly as
+// Chrono's candidate filter uses it.
+func Example() {
+	var x xarray.XArray
+	x.Store(4096, "candidate-A")
+	x.Store(1<<30, "candidate-B")
+	x.Store(12, "candidate-C")
+
+	x.Range(func(pfn uint64, v any) bool {
+		fmt.Println(pfn, v)
+		return true
+	})
+	fmt.Println("len:", x.Len())
+
+	x.Erase(4096)
+	fmt.Println("after erase:", x.Len(), x.Load(4096))
+
+	// Output:
+	// 12 candidate-C
+	// 4096 candidate-A
+	// 1073741824 candidate-B
+	// len: 3
+	// after erase: 2 <nil>
+}
+
+// Marks tag entries for selective iteration, like the kernel's XA_MARK
+// bits.
+func Example_marks() {
+	var x xarray.XArray
+	for i := uint64(0); i < 10; i++ {
+		x.Store(i*100, i)
+	}
+	x.SetMark(200, 0)
+	x.SetMark(700, 0)
+
+	x.RangeMarked(0, func(pfn uint64, v any) bool {
+		fmt.Println("marked:", pfn)
+		return true
+	})
+	// Output:
+	// marked: 200
+	// marked: 700
+}

@@ -1,0 +1,382 @@
+// Package xarray implements a sparse radix-tree index modelled on the Linux
+// kernel XArray (lib/xarray.c).
+//
+// Chrono's candidate filtering scheme (paper §3.1.2) stores hot-page
+// candidates "in an XArray, which allows for low-latency access and minimal
+// memory consumption". This package provides the same operation set the
+// kernel code path relies on — Load, Store, Erase, ordered iteration, and
+// per-entry mark bits — keyed by unsigned 64-bit indices (page frame
+// numbers in the simulator).
+//
+// The tree uses 6-bit fanout (64 slots per node) exactly like the kernel's
+// XA_CHUNK_SHIFT, grows its height lazily as larger indices are inserted,
+// and shrinks when entries are erased.
+package xarray
+
+const (
+	chunkShift = 6
+	chunkSize  = 1 << chunkShift // 64 slots per node
+	chunkMask  = chunkSize - 1
+)
+
+// NumMarks is the number of independent mark bits supported per entry,
+// matching the kernel's XA_MARK_0..XA_MARK_2.
+const NumMarks = 3
+
+// Mark selects one of the per-entry mark bits.
+type Mark uint8
+
+// node is one radix-tree level. Leaf nodes (shift == 0) hold values in
+// slots; interior nodes hold child pointers.
+type node struct {
+	shift  uint8 // bits below this node's slot index
+	count  uint8 // occupied slots
+	slots  [chunkSize]any
+	marks  [NumMarks]uint64 // one 64-bit bitmap per mark (64 slots per node)
+	parent *node
+	offset uint8 // slot index within parent
+}
+
+func (n *node) markSet(m Mark, off uint8) bool { return n.marks[m]&(1<<off) != 0 }
+func (n *node) setMark(m Mark, off uint8)      { n.marks[m] |= 1 << off }
+func (n *node) clearMark(m Mark, off uint8)    { n.marks[m] &^= 1 << off }
+func (n *node) anyMark(m Mark) bool            { return n.marks[m] != 0 }
+
+// XArray is a sparse array of arbitrary values indexed by uint64.
+// The zero value is an empty array ready to use.
+type XArray struct {
+	head   *node
+	shift  uint8 // shift of the head node; head covers [0, 1<<(shift+6))
+	count  int
+	single any // fast path: index-0-only arrays store the value inline
+	hasOne bool
+}
+
+// Len returns the number of stored entries.
+func (x *XArray) Len() int { return x.count }
+
+// maxIndex returns the largest index representable under the current head.
+func (x *XArray) maxIndex() uint64 {
+	if x.head == nil {
+		return 0
+	}
+	return (uint64(chunkSize) << x.shift) - 1
+}
+
+// expand grows the tree until index fits.
+func (x *XArray) expand(index uint64) {
+	if x.head == nil {
+		shift := uint8(0)
+		for index > (uint64(chunkSize)<<shift)-1 {
+			shift += chunkShift
+		}
+		x.head = &node{shift: shift}
+		x.shift = shift
+		if x.hasOne {
+			// Push the inline single entry down into the new tree.
+			x.hasOne = false
+			x.count--
+			x.Store(0, x.single)
+			x.single = nil
+		}
+		return
+	}
+	for index > x.maxIndex() {
+		newHead := &node{shift: x.shift + chunkShift}
+		if x.head.count > 0 || x.headHasMarks() {
+			newHead.slots[0] = x.head
+			newHead.count = 1
+			for m := Mark(0); m < NumMarks; m++ {
+				if x.head.anyMark(m) {
+					newHead.setMark(m, 0)
+				}
+			}
+			x.head.parent = newHead
+			x.head.offset = 0
+		}
+		x.head = newHead
+		x.shift = newHead.shift
+	}
+}
+
+func (x *XArray) headHasMarks() bool {
+	for m := Mark(0); m < NumMarks; m++ {
+		if x.head.anyMark(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Store sets the value at index, returning the previous value (nil if none).
+// Storing nil is equivalent to Erase.
+func (x *XArray) Store(index uint64, value any) any {
+	if value == nil {
+		return x.Erase(index)
+	}
+	if x.head == nil {
+		if index == 0 && !x.hasOne {
+			x.single = value
+			x.hasOne = true
+			x.count = 1
+			return nil
+		}
+		if index == 0 && x.hasOne {
+			old := x.single
+			x.single = value
+			return old
+		}
+		x.expand(index)
+	} else if index > x.maxIndex() {
+		x.expand(index)
+	}
+	n := x.head
+	for n.shift > 0 {
+		off := uint8((index >> n.shift) & chunkMask)
+		child, ok := n.slots[off].(*node)
+		if !ok {
+			child = &node{shift: n.shift - chunkShift, parent: n, offset: off}
+			n.slots[off] = child
+			n.count++
+		}
+		n = child
+	}
+	off := uint8(index & chunkMask)
+	old := n.slots[off]
+	n.slots[off] = value
+	if old == nil {
+		n.count++
+		x.count++
+	}
+	return old
+}
+
+// Load returns the value at index, or nil if none is stored.
+func (x *XArray) Load(index uint64) any {
+	if x.head == nil {
+		if index == 0 && x.hasOne {
+			return x.single
+		}
+		return nil
+	}
+	if index > x.maxIndex() {
+		return nil
+	}
+	n := x.head
+	for n.shift > 0 {
+		child, ok := n.slots[(index>>n.shift)&chunkMask].(*node)
+		if !ok {
+			return nil
+		}
+		n = child
+	}
+	return n.slots[index&chunkMask]
+}
+
+// Erase removes the entry at index, returning the previous value.
+func (x *XArray) Erase(index uint64) any {
+	if x.head == nil {
+		if index == 0 && x.hasOne {
+			old := x.single
+			x.single = nil
+			x.hasOne = false
+			x.count = 0
+			return old
+		}
+		return nil
+	}
+	if index > x.maxIndex() {
+		return nil
+	}
+	n := x.head
+	for n.shift > 0 {
+		child, ok := n.slots[(index>>n.shift)&chunkMask].(*node)
+		if !ok {
+			return nil
+		}
+		n = child
+	}
+	off := uint8(index & chunkMask)
+	old := n.slots[off]
+	if old == nil {
+		return nil
+	}
+	n.slots[off] = nil
+	for m := Mark(0); m < NumMarks; m++ {
+		n.clearMark(m, off)
+	}
+	n.count--
+	x.count--
+	x.prune(n)
+	return old
+}
+
+// prune removes empty nodes bottom-up and shrinks the head.
+func (x *XArray) prune(n *node) {
+	for n != nil && n.count == 0 {
+		p := n.parent
+		if p == nil {
+			x.head = nil
+			x.shift = 0
+			return
+		}
+		p.slots[n.offset] = nil
+		for m := Mark(0); m < NumMarks; m++ {
+			p.clearMark(m, n.offset)
+		}
+		p.count--
+		n = p
+	}
+	// Shrink: a head with only slot 0 occupied by a child node can be
+	// replaced by that child.
+	for x.head != nil && x.head.shift > 0 && x.head.count == 1 {
+		child, ok := x.head.slots[0].(*node)
+		if !ok {
+			return
+		}
+		child.parent = nil
+		child.offset = 0
+		x.head = child
+		x.shift = child.shift
+	}
+}
+
+// SetMark sets a mark bit on the entry at index. It reports whether the
+// entry exists (marks on absent entries are not stored).
+func (x *XArray) SetMark(index uint64, m Mark) bool {
+	path, ok := x.walk(index)
+	if !ok {
+		return false
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i].n.setMark(m, path[i].off)
+	}
+	return true
+}
+
+// ClearMark clears a mark bit on the entry at index.
+func (x *XArray) ClearMark(index uint64, m Mark) {
+	path, ok := x.walk(index)
+	if !ok {
+		return
+	}
+	leaf := path[len(path)-1]
+	leaf.n.clearMark(m, leaf.off)
+	// Propagate clears up when a node no longer carries the mark.
+	for i := len(path) - 2; i >= 0; i-- {
+		child := path[i+1].n
+		if child.anyMark(m) {
+			break
+		}
+		path[i].n.clearMark(m, path[i].off)
+	}
+}
+
+// GetMark reports whether the entry at index exists and has mark m set.
+func (x *XArray) GetMark(index uint64, m Mark) bool {
+	path, ok := x.walk(index)
+	if !ok {
+		return false
+	}
+	leaf := path[len(path)-1]
+	return leaf.n.markSet(m, leaf.off)
+}
+
+type step struct {
+	n   *node
+	off uint8
+}
+
+// walk returns the node path to an existing entry.
+func (x *XArray) walk(index uint64) ([]step, bool) {
+	if x.head == nil || index > x.maxIndex() {
+		return nil, false
+	}
+	var path []step
+	n := x.head
+	for n.shift > 0 {
+		off := uint8((index >> n.shift) & chunkMask)
+		path = append(path, step{n, off})
+		child, ok := n.slots[off].(*node)
+		if !ok {
+			return nil, false
+		}
+		n = child
+	}
+	off := uint8(index & chunkMask)
+	if n.slots[off] == nil {
+		return nil, false
+	}
+	return append(path, step{n, off}), true
+}
+
+// Range calls fn for every entry in ascending index order. Returning false
+// from fn stops the iteration. The callback must not mutate the array.
+func (x *XArray) Range(fn func(index uint64, value any) bool) {
+	if x.head == nil {
+		if x.hasOne {
+			fn(0, x.single)
+		}
+		return
+	}
+	x.rangeNode(x.head, 0, fn)
+}
+
+func (x *XArray) rangeNode(n *node, base uint64, fn func(uint64, any) bool) bool {
+	for i := 0; i < chunkSize; i++ {
+		s := n.slots[i]
+		if s == nil {
+			continue
+		}
+		idx := base | uint64(i)<<n.shift
+		if child, ok := s.(*node); ok && n.shift > 0 {
+			if !x.rangeNode(child, idx, fn) {
+				return false
+			}
+		} else if !fn(idx, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeMarked iterates only entries carrying mark m, in ascending order,
+// using the hierarchical mark bitmaps to skip unmarked subtrees.
+func (x *XArray) RangeMarked(m Mark, fn func(index uint64, value any) bool) {
+	if x.head == nil {
+		return
+	}
+	x.rangeMarked(x.head, 0, m, fn)
+}
+
+func (x *XArray) rangeMarked(n *node, base uint64, m Mark, fn func(uint64, any) bool) bool {
+	for i := 0; i < chunkSize; i++ {
+		if !n.markSet(m, uint8(i)) {
+			continue
+		}
+		s := n.slots[i]
+		if s == nil {
+			continue
+		}
+		idx := base | uint64(i)<<n.shift
+		if child, ok := s.(*node); ok && n.shift > 0 {
+			if !x.rangeMarked(child, idx, m, fn) {
+				return false
+			}
+		} else if !fn(idx, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys returns all indices in ascending order. Intended for tests and
+// small candidate sets.
+func (x *XArray) Keys() []uint64 {
+	keys := make([]uint64, 0, x.count)
+	x.Range(func(i uint64, _ any) bool {
+		keys = append(keys, i)
+		return true
+	})
+	return keys
+}

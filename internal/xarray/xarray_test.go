@@ -1,0 +1,325 @@
+package xarray
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var x XArray
+	if x.Len() != 0 {
+		t.Fatalf("empty Len=%d", x.Len())
+	}
+	if x.Load(0) != nil || x.Load(12345) != nil {
+		t.Fatal("Load on empty returned non-nil")
+	}
+	if x.Erase(7) != nil {
+		t.Fatal("Erase on empty returned non-nil")
+	}
+}
+
+func TestStoreLoadSingle(t *testing.T) {
+	var x XArray
+	if old := x.Store(0, "a"); old != nil {
+		t.Fatalf("Store returned old=%v on empty", old)
+	}
+	if got := x.Load(0); got != "a" {
+		t.Fatalf("Load(0)=%v", got)
+	}
+	if old := x.Store(0, "b"); old != "a" {
+		t.Fatalf("overwrite returned %v, want a", old)
+	}
+	if x.Len() != 1 {
+		t.Fatalf("Len=%d after overwrite", x.Len())
+	}
+}
+
+func TestStoreNilErases(t *testing.T) {
+	var x XArray
+	x.Store(42, "v")
+	x.Store(42, nil)
+	if x.Len() != 0 || x.Load(42) != nil {
+		t.Fatal("Store(nil) did not erase")
+	}
+}
+
+func TestSparseIndices(t *testing.T) {
+	var x XArray
+	indices := []uint64{0, 1, 63, 64, 65, 4095, 4096, 1 << 20, 1 << 40, 1<<63 - 1}
+	for i, idx := range indices {
+		x.Store(idx, i)
+	}
+	if x.Len() != len(indices) {
+		t.Fatalf("Len=%d, want %d", x.Len(), len(indices))
+	}
+	for i, idx := range indices {
+		if got := x.Load(idx); got != i {
+			t.Fatalf("Load(%d)=%v, want %d", idx, got, i)
+		}
+	}
+	// Nearby unoccupied indices are empty.
+	for _, idx := range []uint64{2, 62, 66, 4094, 1<<20 + 1} {
+		if x.Load(idx) != nil {
+			t.Fatalf("Load(%d) unexpectedly non-nil", idx)
+		}
+	}
+}
+
+func TestEraseAndShrink(t *testing.T) {
+	var x XArray
+	x.Store(1<<30, "deep")
+	x.Store(5, "shallow")
+	if got := x.Erase(1 << 30); got != "deep" {
+		t.Fatalf("Erase returned %v", got)
+	}
+	if got := x.Load(5); got != "shallow" {
+		t.Fatalf("shallow entry lost after shrink: %v", got)
+	}
+	if got := x.Erase(5); got != "shallow" {
+		t.Fatalf("Erase(5)=%v", got)
+	}
+	if x.Len() != 0 {
+		t.Fatalf("Len=%d after erasing all", x.Len())
+	}
+	// Tree fully pruned: inserting again works from scratch.
+	x.Store(77, "again")
+	if x.Load(77) != "again" {
+		t.Fatal("reuse after full erase failed")
+	}
+}
+
+func TestRangeOrder(t *testing.T) {
+	var x XArray
+	indices := []uint64{900, 3, 64, 70000, 12, 4096}
+	for _, idx := range indices {
+		x.Store(idx, idx*2)
+	}
+	var got []uint64
+	x.Range(func(i uint64, v any) bool {
+		got = append(got, i)
+		if v != i*2 {
+			t.Fatalf("Range value mismatch at %d: %v", i, v)
+		}
+		return true
+	})
+	want := append([]uint64(nil), indices...)
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Range order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	var x XArray
+	for i := uint64(0); i < 100; i++ {
+		x.Store(i, i)
+	}
+	count := 0
+	x.Range(func(uint64, any) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("Range visited %d after early stop, want 10", count)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	var x XArray
+	for _, idx := range []uint64{5, 1, 1 << 22, 300} {
+		x.Store(idx, true)
+	}
+	keys := x.Keys()
+	if !sort.SliceIsSorted(keys, func(a, b int) bool { return keys[a] < keys[b] }) {
+		t.Fatalf("Keys not sorted: %v", keys)
+	}
+	if len(keys) != 4 {
+		t.Fatalf("Keys length %d", len(keys))
+	}
+}
+
+func TestMarks(t *testing.T) {
+	var x XArray
+	x.Store(100, "v")
+	x.Store(200, "w")
+	if x.SetMark(999, 0) {
+		t.Fatal("SetMark on absent entry returned true")
+	}
+	if !x.SetMark(100, 0) {
+		t.Fatal("SetMark on present entry returned false")
+	}
+	if !x.GetMark(100, 0) {
+		t.Fatal("GetMark false after SetMark")
+	}
+	if x.GetMark(200, 0) {
+		t.Fatal("mark leaked to other entry")
+	}
+	if x.GetMark(100, 1) {
+		t.Fatal("mark leaked to other mark index")
+	}
+	x.ClearMark(100, 0)
+	if x.GetMark(100, 0) {
+		t.Fatal("GetMark true after ClearMark")
+	}
+}
+
+func TestRangeMarked(t *testing.T) {
+	var x XArray
+	for i := uint64(0); i < 1000; i += 7 {
+		x.Store(i, i)
+	}
+	marked := []uint64{7, 70, 700}
+	for _, m := range marked {
+		if !x.SetMark(m, 1) {
+			t.Fatalf("SetMark(%d) failed", m)
+		}
+	}
+	var got []uint64
+	x.RangeMarked(1, func(i uint64, _ any) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(marked) {
+		t.Fatalf("RangeMarked visited %v, want %v", got, marked)
+	}
+	for i := range got {
+		if got[i] != marked[i] {
+			t.Fatalf("RangeMarked order %v", got)
+		}
+	}
+}
+
+func TestMarksClearedOnErase(t *testing.T) {
+	var x XArray
+	x.Store(64, "v")
+	x.SetMark(64, 2)
+	x.Erase(64)
+	x.Store(64, "w")
+	if x.GetMark(64, 2) {
+		t.Fatal("mark survived erase + re-store")
+	}
+}
+
+func TestGrowPreservesMarks(t *testing.T) {
+	var x XArray
+	x.Store(1, "a")
+	x.SetMark(1, 0)
+	// Force growth beyond the current head.
+	x.Store(1<<30, "b")
+	if !x.GetMark(1, 0) {
+		t.Fatal("mark lost when the tree grew")
+	}
+	var got []uint64
+	x.RangeMarked(0, func(i uint64, _ any) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RangeMarked after growth: %v", got)
+	}
+}
+
+// TestAgainstMapModel drives random operations against a map reference
+// model and checks full equivalence.
+func TestAgainstMapModel(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var x XArray
+	model := make(map[uint64]int)
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		idx := uint64(r.Intn(1 << 14))
+		if r.Intn(4) > 0 { // 75% stores
+			got := x.Store(idx, i)
+			want, had := model[idx]
+			if had != (got != nil) || (had && got != want) {
+				t.Fatalf("op %d: Store(%d) old=%v model=%v,%v", i, idx, got, want, had)
+			}
+			model[idx] = i
+		} else {
+			got := x.Erase(idx)
+			want, had := model[idx]
+			if had != (got != nil) || (had && got != want) {
+				t.Fatalf("op %d: Erase(%d)=%v model=%v,%v", i, idx, got, want, had)
+			}
+			delete(model, idx)
+		}
+		if x.Len() != len(model) {
+			t.Fatalf("op %d: Len=%d model=%d", i, x.Len(), len(model))
+		}
+	}
+	// Final full verification via Range.
+	seen := 0
+	x.Range(func(i uint64, v any) bool {
+		seen++
+		if want := model[i]; v != want {
+			t.Fatalf("Range(%d)=%v, model %v", i, v, want)
+		}
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("Range visited %d, model %d", seen, len(model))
+	}
+}
+
+// TestPropertyStoreLoadRoundTrip: whatever is stored at arbitrary indices
+// can be loaded back.
+func TestPropertyStoreLoadRoundTrip(t *testing.T) {
+	f := func(indices []uint64) bool {
+		var x XArray
+		unique := make(map[uint64]int)
+		for i, idx := range indices {
+			x.Store(idx, i)
+			unique[idx] = i
+		}
+		if x.Len() != len(unique) {
+			return false
+		}
+		for idx, want := range unique {
+			if x.Load(idx) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEraseRemovesOnlyTarget: erasing one index never disturbs
+// the others.
+func TestPropertyEraseRemovesOnlyTarget(t *testing.T) {
+	f := func(indices []uint64, pick uint8) bool {
+		if len(indices) == 0 {
+			return true
+		}
+		var x XArray
+		unique := make(map[uint64]bool)
+		for _, idx := range indices {
+			x.Store(idx, idx)
+			unique[idx] = true
+		}
+		target := indices[int(pick)%len(indices)]
+		x.Erase(target)
+		delete(unique, target)
+		if x.Load(target) != nil {
+			return false
+		}
+		for idx := range unique {
+			if x.Load(idx) != idx {
+				return false
+			}
+		}
+		return x.Len() == len(unique)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
