@@ -1,0 +1,32 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; `make check` is the full pre-merge gate.
+
+GO ?= go
+
+.PHONY: build test race vet lint simdebug check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# chronolint: the repo's determinism linters (detclock, detrand,
+# maporder, errsink) — see internal/analysis and DESIGN.md.
+lint:
+	$(GO) run ./cmd/chronolint ./...
+
+# Run the test suite with the engine's invariant sanitizer forced on.
+simdebug:
+	$(GO) test -tags simdebug ./...
+
+check: build vet lint race simdebug
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,100 @@
+// Command chronolint runs the repository's determinism and correctness
+// linters (internal/analysis) over package patterns, multichecker-style.
+//
+// Usage:
+//
+//	go run ./cmd/chronolint ./...
+//	go run ./cmd/chronolint -list
+//	go run ./cmd/chronolint -all ./internal/engine
+//
+// Each analyzer is scoped to the packages where its rule is load-bearing
+// (see internal/analysis.Applies); -all disables the scoping and runs
+// every analyzer on every named package. The exit status is the number of
+// packages with findings, capped at 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chrono/internal/analysis"
+	"chrono/internal/analysis/detclock"
+	"chrono/internal/analysis/detrand"
+	"chrono/internal/analysis/errsink"
+	"chrono/internal/analysis/maporder"
+)
+
+// analyzers is the chronolint suite.
+var analyzers = []*analysis.Analyzer{
+	detclock.Analyzer,
+	detrand.Analyzer,
+	maporder.Analyzer,
+	errsink.Analyzer,
+}
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list analyzers and exit")
+		all  = flag.Bool("all", false, "ignore package scoping; run every analyzer everywhere")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: chronolint [-list] [-all] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	found := 0
+	for _, path := range paths {
+		var pkg *analysis.Package
+		for _, a := range analyzers {
+			if !*all && !analysis.Applies(a.Name, loader.ModulePath(), path) {
+				continue
+			}
+			if pkg == nil {
+				pkg, err = loader.Load(path)
+				if err != nil {
+					fatal(err)
+				}
+			}
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fatal(err)
+			}
+			for _, d := range diags {
+				fmt.Println(d)
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "chronolint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chronolint:", err)
+	os.Exit(1)
+}

@@ -51,7 +51,7 @@ func record(args []string) {
 	seed := fs.Uint64("seed", 42, "seed")
 	procs := fs.Int("procs", 16, "process count")
 	ws := fs.Float64("ws", 12, "working set GB per process (pmbench)")
-	fs.Parse(args)
+	fatal(fs.Parse(args))
 
 	var w workload.Workload
 	switch *wl {
@@ -71,12 +71,12 @@ func record(args []string) {
 	fatal(w.Build(e))
 	f, err := os.Create(*out)
 	fatal(err)
-	defer f.Close()
 	rec := trace.NewRecorder(f)
 	fatal(rec.Attach(e, w.Name()))
 	e.AttachPolicy(core.New(core.Options{}))
 	m := e.Run(simclock.FromSeconds(*secs))
 	fatal(rec.Flush())
+	fatal(f.Close())
 	fmt.Printf("recorded %s: %.0fs virtual, %.1f Mop/s, FMAR %.1f%%\n",
 		*out, m.Duration.Seconds(), m.Throughput(), m.FMAR()*100)
 }
@@ -84,10 +84,10 @@ func record(args []string) {
 func info(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("i", "run.trace", "input file")
-	fs.Parse(args)
+	fatal(fs.Parse(args))
 	f, err := os.Open(*in)
 	fatal(err)
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only: close failure is moot
 	tr, err := trace.Read(f)
 	fatal(err)
 	fmt.Printf("workload:  %s\n", tr.Header.Workload)
@@ -119,12 +119,12 @@ func replay(args []string) {
 	pol := fs.String("policy", "Chrono", "policy to replay against")
 	secs := fs.Float64("secs", 300, "virtual seconds")
 	seed := fs.Uint64("seed", 42, "seed")
-	fs.Parse(args)
+	fatal(fs.Parse(args))
 
 	f, err := os.Open(*in)
 	fatal(err)
 	tr, err := trace.Read(f)
-	f.Close()
+	_ = f.Close() // read-only: close failure is moot
 	fatal(err)
 
 	e := engine.New(engine.Config{

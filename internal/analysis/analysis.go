@@ -1,0 +1,160 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modelled on golang.org/x/tools/go/analysis, built for the chronolint
+// determinism linters (cmd/chronolint).
+//
+// The repository vendors no third-party code, so the framework implements
+// the minimal Analyzer/Pass contract on top of the standard library's
+// go/ast, go/types, and go/importer packages. Analyzers written against it
+// translate mechanically to the upstream API should the repo ever take the
+// x/tools dependency.
+//
+// # Annotations
+//
+// Lint findings are suppressed line-by-line with //chrono: comment
+// directives placed on the flagged line or on the line immediately above:
+//
+//	//chrono:wallclock           — detclock: legitimate wall-clock use
+//	                               (progress reporting, log timestamps)
+//	//chrono:ordered-irrelevant  — maporder: map iteration order provably
+//	                               does not reach simulation results
+//
+// Directives may carry a free-form justification after the name, e.g.
+// //chrono:wallclock progress timing only, never enters results.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and annotations.
+	Name string
+	// Doc is the one-paragraph description shown by chronolint -help.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries the per-package inputs of one analyzer run and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags       []Diagnostic
+	annotations map[annotationKey]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String formats the diagnostic in the canonical file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Diagnostics returns the findings reported so far, ordered by position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Pos, p.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+// annotationKey locates one //chrono: directive occurrence.
+type annotationKey struct {
+	file string
+	line int
+	name string
+}
+
+// buildAnnotations indexes every //chrono:<name> directive of the package
+// by (file, line, name).
+func (p *Pass) buildAnnotations() {
+	p.annotations = make(map[annotationKey]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "chrono:") {
+					continue
+				}
+				name := strings.TrimPrefix(text, "chrono:")
+				if i := strings.IndexAny(name, " \t"); i >= 0 {
+					name = name[:i]
+				}
+				pos := p.Fset.Position(c.Pos())
+				p.annotations[annotationKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+}
+
+// Annotated reports whether a //chrono:<name> directive covers pos: the
+// directive sits on the same line (trailing comment) or on the line
+// immediately above (standalone comment).
+func (p *Pass) Annotated(pos token.Pos, name string) bool {
+	if p.annotations == nil {
+		p.buildAnnotations()
+	}
+	at := p.Fset.Position(pos)
+	return p.annotations[annotationKey{at.Filename, at.Line, name}] ||
+		p.annotations[annotationKey{at.Filename, at.Line - 1, name}]
+}
+
+// ImportedPkg resolves an identifier to the package it names, if the
+// identifier is the qualifier of a selector like time.Now. It returns nil
+// for anything that is not a package name.
+func (p *Pass) ImportedPkg(ident *ast.Ident) *types.Package {
+	if obj, ok := p.TypesInfo.Uses[ident]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported()
+		}
+	}
+	return nil
+}
+
+// Run applies a to pkg and returns its diagnostics.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	return pass.Diagnostics(), nil
+}

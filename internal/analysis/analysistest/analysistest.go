@@ -1,0 +1,129 @@
+// Package analysistest runs an analyzer over testdata packages and checks
+// its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata layout is the upstream convention:
+//
+//	<testdata>/src/<pkg>/*.go
+//
+// A line expecting diagnostics carries a trailing comment of one or more
+// quoted regular expressions:
+//
+//	time.Sleep(1) // want `forbidden` `in simulation code`
+//
+// Every want pattern must be matched by a diagnostic on its line, and
+// every diagnostic must be covered by a want pattern.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"chrono/internal/analysis"
+)
+
+// expectation is one want pattern at a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted patterns of a want comment. Both backquoted
+// and double-quoted forms are accepted.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads each named package under testdata/src and applies the analyzer,
+// failing t on any mismatch between diagnostics and want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, name := range pkgs {
+		pkg, err := l.LoadDir(testdata+"/src/"+name, name)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", name, err)
+		}
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, name, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// check compares diagnostics with the package's want comments.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		wants = append(wants, collectWants(t, pkg, f)...)
+	}
+	for _, d := range diags {
+		covered := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses the want comments of one file.
+func collectWants(t *testing.T, pkg *analysis.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			matches := wantRE.FindAllStringSubmatch(strings.TrimPrefix(text, "want "), -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s: malformed want comment: %s", pos, c.Text)
+			}
+			for _, m := range matches {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// RunExpectClean applies the analyzer to an already-loaded package and
+// fails if it reports anything — used to assert the real tree is lint
+// clean from inside tests.
+func RunExpectClean(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) {
+	t.Helper()
+	diags, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

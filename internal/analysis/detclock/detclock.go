@@ -1,0 +1,76 @@
+// Package detclock forbids wall-clock time in simulation code.
+//
+// Every result the simulator produces must be a pure function of the seed;
+// an accidental time.Now() in a policy or the engine silently couples run
+// results to host speed. All simulation time must flow through
+// internal/simclock's virtual clock.
+//
+// Legitimate wall-clock uses (progress reporting in CLI drivers, log
+// timestamps) are exempted line-by-line with a //chrono:wallclock
+// directive on the call's line or the line above.
+package detclock
+
+import (
+	"go/ast"
+
+	"chrono/internal/analysis"
+)
+
+// forbidden are the time-package functions that read or act on the wall
+// clock. Pure conversions and formatting (time.Duration arithmetic,
+// time.Unix, ParseDuration) are allowed.
+var forbidden = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on wall-clock time",
+	"After":     "starts a wall-clock timer",
+	"AfterFunc": "starts a wall-clock timer",
+	"Tick":      "starts a wall-clock ticker",
+	"NewTimer":  "starts a wall-clock timer",
+	"NewTicker": "starts a wall-clock ticker",
+}
+
+// Annotation is the suppression directive name.
+const Annotation = "wallclock"
+
+// Analyzer is the detclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detclock",
+	Doc: "forbid wall-clock time (time.Now, time.Sleep, timers) in simulation code; " +
+		"virtual time must come from internal/simclock. Suppress intentional uses " +
+		"with //chrono:wallclock.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg := pass.ImportedPkg(ident)
+			if pkg == nil || pkg.Path() != "time" {
+				return true
+			}
+			why, bad := forbidden[sel.Sel.Name]
+			if !bad {
+				return true
+			}
+			if pass.Annotated(sel.Pos(), Annotation) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s %s: simulation code must use internal/simclock "+
+					"(annotate intentional uses with //chrono:wallclock)",
+				sel.Sel.Name, why)
+			return true
+		})
+	}
+	return nil
+}

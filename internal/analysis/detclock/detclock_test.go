@@ -1,0 +1,12 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/detclock"
+)
+
+func TestDetclock(t *testing.T) {
+	analysistest.Run(t, "testdata", detclock.Analyzer, "detclock")
+}

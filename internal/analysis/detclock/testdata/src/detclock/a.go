@@ -1,0 +1,31 @@
+// Package detclocktest is the seeded-violation corpus for the detclock
+// analyzer.
+package detclocktest
+
+import (
+	"fmt"
+	"time"
+)
+
+// bad exercises every forbidden wall-clock entry point.
+func bad() {
+	start := time.Now()                        // want `time\.Now reads the wall clock`
+	fmt.Println(time.Since(start))             // want `time\.Since reads the wall clock`
+	time.Sleep(time.Millisecond)               // want `time\.Sleep blocks on wall-clock time`
+	<-time.After(time.Second)                  // want `time\.After starts a wall-clock timer`
+	_ = time.NewTimer(time.Second)             // want `time\.NewTimer starts a wall-clock timer`
+	_ = time.NewTicker(time.Second)            // want `time\.NewTicker starts a wall-clock ticker`
+	_ = time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc starts a wall-clock timer`
+	_ = time.Until(start)                      // want `time\.Until reads the wall clock`
+}
+
+// good shows the allowed pure uses and the annotation escape hatch.
+func good() time.Duration {
+	//chrono:wallclock progress reporting only, never enters results
+	start := time.Now()
+
+	elapsed := time.Since(start) //chrono:wallclock progress reporting
+	_ = time.Unix(0, 0)          // pure conversion: allowed
+	d, _ := time.ParseDuration("3s")
+	return elapsed + d + 5*time.Millisecond
+}

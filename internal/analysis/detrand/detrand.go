@@ -1,0 +1,70 @@
+// Package detrand forbids non-deterministic randomness in simulation code.
+//
+// All simulator randomness must come from an explicitly-seeded
+// internal/rng stream (the engine forks per-subsystem splitmix64 streams
+// from one master seed). math/rand's stream evolution is unspecified
+// across Go releases, math/rand/v2 auto-seeds from the OS, and
+// crypto/rand is non-deterministic by construction — any of them silently
+// breaks same-seed reproducibility of the paper's figures.
+package detrand
+
+import (
+	"go/ast"
+	"strconv"
+
+	"chrono/internal/analysis"
+)
+
+// banned maps forbidden import paths to the reason they break determinism.
+var banned = map[string]string{
+	"math/rand":    "unspecified stream evolution across Go releases",
+	"math/rand/v2": "auto-seeded from the OS at startup",
+	"crypto/rand":  "non-deterministic by construction",
+}
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand, math/rand/v2, and crypto/rand in simulation code; " +
+		"randomness must come from an explicitly-seeded internal/rng stream.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Report the import itself, then every use site, so both the
+		// declaration and the call sites carry a finding.
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := banned[path]; bad {
+				pass.Reportf(imp.Pos(),
+					"import of %s is %s: simulation code must draw from a seeded "+
+						"internal/rng stream", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg := pass.ImportedPkg(ident)
+			if pkg == nil {
+				return true
+			}
+			if _, bad := banned[pkg.Path()]; bad {
+				pass.Reportf(sel.Pos(),
+					"use of %s.%s: simulation code must draw from a seeded "+
+						"internal/rng stream", pkg.Path(), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "detrand")
+}

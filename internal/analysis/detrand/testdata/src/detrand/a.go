@@ -1,0 +1,16 @@
+// Package detrandtest is the seeded-violation corpus for the detrand
+// analyzer.
+package detrandtest
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand is non-deterministic by construction`
+	"math/rand"         // want `import of math/rand is unspecified stream evolution`
+)
+
+// bad draws from the banned sources.
+func bad() float64 {
+	var buf [8]byte
+	_, _ = crand.Read(buf[:]) // want `use of crypto/rand\.Read`
+	rand.Seed(42)             // want `use of math/rand\.Seed`
+	return rand.Float64()     // want `use of math/rand\.Float64`
+}

@@ -1,0 +1,125 @@
+// Package errsink flags silently discarded error returns.
+//
+// A call whose result list contains an error, used as a bare statement (or
+// deferred), throws the error away without a trace — in cmd/ drivers that
+// hides I/O failures from the user; in the engine it hides simulation
+// inconsistencies the invariant sanitizer would otherwise catch late.
+//
+// Explicitly assigning the error to blank (_ = f(); x, _ := g()) is the
+// documented opt-out: it shows a reader the discard was a decision, not an
+// accident. Calls to the fmt print family are exempt, matching errcheck's
+// default: their errors are terminal-write failures no CLI handles.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chrono/internal/analysis"
+)
+
+// Analyzer is the errsink pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc: "flag call statements that discard an error result; assign to _ to make " +
+		"an intentional discard explicit.",
+	Run: run,
+}
+
+// exemptFmt is the fmt print family (terminal writes, errors universally
+// ignored).
+var exemptFmt = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			if exempt(pass, call) {
+				return true
+			}
+			if errIdx := errorResult(pass, call); errIdx >= 0 {
+				pass.Reportf(call.Pos(),
+					"result %d of %s is an error that is silently discarded "+
+						"(assign to _ to discard explicitly)",
+					errIdx, callName(call))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorResult returns the index of the first error in the call's result
+// list, or -1 if the call returns no error.
+func errorResult(pass *analysis.Pass, call *ast.CallExpr) int {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isError(t.At(i).Type()) {
+				return i
+			}
+		}
+	default:
+		if isError(tv.Type) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// isError reports whether t is the built-in error interface.
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// exempt reports whether the call is in the fmt print family.
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg := pass.ImportedPkg(ident)
+	return pkg != nil && pkg.Path() == "fmt" && exemptFmt[sel.Sel.Name]
+}
+
+// callName renders the called expression for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

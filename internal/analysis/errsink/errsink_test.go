@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	analysistest.Run(t, "testdata", errsink.Analyzer, "errsink")
+}

@@ -1,0 +1,36 @@
+// Package errsink is the seeded-violation corpus for the errsink analyzer.
+package errsink
+
+import (
+	"fmt"
+	"os"
+)
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func mayFail() error { return nil }
+
+func valueAndErr() (int, error) { return 0, nil }
+
+// bad discards errors in every flagged position.
+func bad(f *os.File) {
+	mayFail()       // want `result 0 of mayFail is an error that is silently discarded`
+	valueAndErr()   // want `result 1 of valueAndErr is an error`
+	f.Sync()        // want `result 0 of f\.Sync is an error`
+	defer f.Close() // want `result 0 of f\.Close is an error`
+	var c closer
+	defer c.Close() // want `result 0 of c\.Close is an error`
+}
+
+// good shows the explicit-discard opt-out and the fmt exemption.
+func good(f *os.File) error {
+	_ = mayFail()
+	if _, err := valueAndErr(); err != nil {
+		return err
+	}
+	fmt.Println("fmt print family is exempt")
+	fmt.Fprintf(os.Stderr, "also exempt\n")
+	return f.Close()
+}

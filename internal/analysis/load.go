@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("chrono/internal/engine"; testdata packages
+	// use their bare directory name).
+	Path string
+	// Dir is the absolute directory the sources were read from.
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks packages from source. Standard-library
+// imports are resolved by the go/types source importer (no compiled export
+// data or network needed); module-local imports are loaded recursively
+// from the module root.
+type Loader struct {
+	Fset *token.FileSet
+
+	modPath string // module path from go.mod, e.g. "chrono"
+	modRoot string // directory containing go.mod
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader rooted at the module containing dir (found by
+// walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		Fset:    fset,
+		modPath: modPath,
+		modRoot: root,
+		std:     std,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// ModulePath returns the module path of the loader's module.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return d, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+	}
+}
+
+// Expand resolves package patterns relative to the module root into import
+// paths. Supported forms: "./...", "./dir", "./dir/...", and plain import
+// paths with or without a trailing "/...". Directories named testdata,
+// vendor, or starting with "." or "_" are skipped by the wildcard.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		// Normalize to a directory under the module root.
+		dir := pat
+		if strings.HasPrefix(pat, l.modPath) {
+			dir = "." + strings.TrimPrefix(pat, l.modPath)
+		}
+		dir = filepath.Join(l.modRoot, dir)
+		if !recursive {
+			if p, ok := l.dirImportPath(dir); ok {
+				add(p)
+			} else {
+				return nil, fmt.Errorf("analysis: no Go package in %s", pat)
+			}
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if p, ok := l.dirImportPath(path); ok {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// dirImportPath maps an absolute directory inside the module to its import
+// path, reporting whether it contains buildable Go files.
+func (l *Loader) dirImportPath(dir string) (string, bool) {
+	if _, err := build.Default.ImportDir(dir, 0); err != nil {
+		return "", false
+	}
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil {
+		return "", false
+	}
+	if rel == "." {
+		return l.modPath, true
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), true
+}
+
+// Load type-checks the package with the given import path. Module-local
+// paths resolve under the module root; results are memoized.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, err := l.dirOf(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDir(dir, path)
+}
+
+// dirOf maps a module-local import path to its source directory.
+func (l *Loader) dirOf(path string) (string, error) {
+	if path == l.modPath {
+		return l.modRoot, nil
+	}
+	if strings.HasPrefix(path, l.modPath+"/") {
+		return filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/"))), nil
+	}
+	return "", fmt.Errorf("analysis: %q is not a module-local import path", path)
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path. Build constraints are honoured for the default build
+// context; _test.go files are excluded (simulation code, not its tests, is
+// what the determinism linters police).
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the Loader to types.Importer: module-local imports
+// load recursively from source, everything else goes to the standard
+// library source importer.
+type loaderImporter Loader
+
+func (im *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(im)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,267 @@
+// Package maporder flags range-over-map loops whose iteration order can
+// leak into simulation results.
+//
+// Go randomizes map iteration order per run, so any map-range loop whose
+// body has order-sensitive effects — appending to a slice, migrating
+// pages, emitting events, accumulating floats — makes two same-seed runs
+// diverge. The fix is to extract the keys, sort them, and range over the
+// sorted slice; loops whose order provably cannot reach results carry a
+// //chrono:ordered-irrelevant directive instead.
+//
+// A loop body is accepted without annotation only when every statement is
+// order-insensitive: integer commutative accumulation (+=, -=, |=, &=, ^=,
+// ++, --), writes to variables declared inside the loop, element-wise
+// writes keyed by the loop variable, delete(m, k) of the ranged key, and
+// control flow composed of the same. Everything else — function and method
+// calls, appends, float accumulation, writes to outer variables, early
+// returns of an arbitrary element — is flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"chrono/internal/analysis"
+)
+
+// Annotation is the suppression directive name.
+const Annotation = "ordered-irrelevant"
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops with order-sensitive bodies (appends, calls, " +
+		"float accumulation, writes to outer state); sort the keys first or annotate " +
+		"with //chrono:ordered-irrelevant.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Annotated(rs.Pos(), Annotation) {
+				return true
+			}
+			c := &checker{pass: pass, loop: rs}
+			if reason, pos := c.sensitive(rs.Body); reason != "" {
+				pass.Reportf(pos,
+					"range over map with order-sensitive body (%s): iteration order "+
+						"leaks into results; sort the keys first or annotate with "+
+						"//chrono:ordered-irrelevant", reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checker analyses one map-range loop body.
+type checker struct {
+	pass *analysis.Pass
+	loop *ast.RangeStmt
+}
+
+// sensitive walks the body and returns the first order-sensitive construct
+// found, or "".
+func (c *checker) sensitive(body ast.Node) (reason string, pos token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if r := c.checkCall(s); r != "" {
+				reason, pos = r, s.Pos()
+				return false
+			}
+			// An allowed builtin's arguments need no further scanning.
+			return false
+		case *ast.AssignStmt:
+			if r, p := c.checkAssign(s); r != "" {
+				reason, pos = r, p
+				return false
+			}
+		case *ast.ReturnStmt:
+			if len(s.Results) > 0 {
+				reason, pos = "returns an arbitrary element", s.Pos()
+				return false
+			}
+		case *ast.GoStmt, *ast.SendStmt:
+			reason, pos = "spawns concurrency from map order", n.Pos()
+			return false
+		}
+		return true
+	})
+	return reason, pos
+}
+
+// checkCall classifies a call inside the loop body. Only side-effect-free
+// builtins, delete of the ranged key, and type conversions pass.
+func (c *checker) checkCall(call *ast.CallExpr) string {
+	// Type conversions are pure.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return ""
+	}
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[ident].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "min", "max", "real", "imag", "complex":
+				return ""
+			case "append":
+				return "appends to a slice"
+			case "delete":
+				// delete(m, k) of the ranged key is element-wise.
+				if len(call.Args) == 2 && c.isLoopKey(call.Args[1]) {
+					return ""
+				}
+				return "deletes a key other than the ranged one"
+			default:
+				return "calls builtin " + b.Name()
+			}
+		}
+	}
+	return "calls " + exprString(call.Fun) + ", which may mutate state or emit events"
+}
+
+// checkAssign classifies an assignment inside the loop body.
+func (c *checker) checkAssign(as *ast.AssignStmt) (string, token.Pos) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// Report the x = append(x, ...) idiom as an append, not as a write.
+		for _, rhs := range as.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if ident, ok := call.Fun.(*ast.Ident); ok {
+					if b, ok := c.pass.TypesInfo.Uses[ident].(*types.Builtin); ok && b.Name() == "append" {
+						if r := c.checkAppendTarget(as); r != "" {
+							return r, rhs.Pos()
+						}
+					}
+				}
+			}
+		}
+		for _, lhs := range as.Lhs {
+			if r := c.checkPlainTarget(lhs); r != "" {
+				return r, lhs.Pos()
+			}
+		}
+		return "", token.NoPos
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		// Commutative for integers; order-sensitive for floats, complex
+		// numbers, and string concatenation.
+		for _, lhs := range as.Lhs {
+			if !c.isExactArith(lhs) {
+				return "accumulates a non-integer (float/string accumulation is " +
+					"order-sensitive)", lhs.Pos()
+			}
+		}
+		return "", token.NoPos
+	default: // <<=, >>=, /=, %=, &^=
+		return "applies a non-commutative operator " + as.Tok.String(), as.Pos()
+	}
+}
+
+// checkAppendTarget classifies an x = append(...) assignment: appending to
+// an outer slice records map order; appending to a loop-local slice does
+// not (it dies with the iteration).
+func (c *checker) checkAppendTarget(as *ast.AssignStmt) string {
+	for _, lhs := range as.Lhs {
+		if ident, ok := lhs.(*ast.Ident); ok && (ident.Name == "_" || c.localTo(ident)) {
+			continue
+		}
+		return "appends to a slice"
+	}
+	return ""
+}
+
+// checkPlainTarget accepts writes to loop-local variables, the blank
+// identifier, and element-wise writes indexed by the ranged key.
+func (c *checker) checkPlainTarget(lhs ast.Expr) string {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		if e.Name == "_" || c.localTo(e) {
+			return ""
+		}
+		return "writes to outer variable " + e.Name
+	case *ast.IndexExpr:
+		if c.isLoopKey(e.Index) {
+			return "" // m2[k] = v: element-wise, key-deduplicated
+		}
+		return "writes to " + exprString(e.X) + " at a key other than the ranged one"
+	case *ast.SelectorExpr:
+		return "writes to field " + exprString(e)
+	case *ast.StarExpr:
+		return "writes through pointer " + exprString(e.X)
+	default:
+		return "writes to " + exprString(lhs)
+	}
+}
+
+// isLoopKey reports whether e denotes the loop's key variable.
+func (c *checker) isLoopKey(e ast.Expr) bool {
+	ident, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	key, ok := c.loop.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ko := c.pass.TypesInfo.ObjectOf(key)
+	return ko != nil && c.pass.TypesInfo.ObjectOf(ident) == ko
+}
+
+// localTo reports whether the identifier's object is declared inside the
+// loop (including the key/value variables themselves).
+func (c *checker) localTo(ident *ast.Ident) bool {
+	obj := c.pass.TypesInfo.ObjectOf(ident)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= c.loop.Pos() && obj.Pos() <= c.loop.End()
+}
+
+// isExactArith reports whether the expression's type accumulates exactly
+// (integers commute; floats, complex, and strings do not).
+func (c *checker) isExactArith(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsInteger != 0
+}
+
+// exprString renders a short source form of simple expressions for
+// diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,105 @@
+// Package maporder is the seeded-violation corpus for the maporder
+// analyzer.
+package maporder
+
+import "sort"
+
+type page struct{ id int64 }
+
+func promote(p *page) bool { return p != nil }
+
+// badAppend collects map elements into a slice in iteration order.
+func badAppend(byProc map[int][]*page) []*page {
+	var out []*page
+	for _, pages := range byProc {
+		out = append(out, pages...) // want `appends to a slice`
+	}
+	return out
+}
+
+// badCall migrates pages in map iteration order under a shared budget.
+func badCall(byProc map[int]*page, budget int) {
+	for _, pg := range byProc {
+		if budget <= 0 {
+			break
+		}
+		if promote(pg) { // want `calls promote, which may mutate state or emit events`
+			budget--
+		}
+	}
+}
+
+// badFloat accumulates floats: addition order changes the low bits.
+func badFloat(w map[int]float64) float64 {
+	var sum float64
+	for _, v := range w {
+		sum += v // want `accumulates a non-integer`
+	}
+	return sum
+}
+
+// badOuterWrite publishes the last-seen element to an outer variable.
+func badOuterWrite(m map[int]int) int {
+	last := -1
+	for _, v := range m {
+		last = v // want `writes to outer variable last`
+	}
+	return last
+}
+
+// badReturn returns an arbitrary element.
+func badReturn(m map[int]int) int {
+	for k := range m {
+		return k // want `returns an arbitrary element`
+	}
+	return -1
+}
+
+// goodIntAccum counts elements: integer accumulation commutes.
+func goodIntAccum(m map[int][]*page) int {
+	var n int
+	for _, pages := range m {
+		n += len(pages)
+	}
+	return n
+}
+
+// goodElementwise writes results keyed by the ranged key.
+func goodElementwise(src map[int]int, dst map[int]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+// goodDelete clears entries element-wise.
+func goodDelete(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// goodAnnotated is order-sensitive in form but exempted by directive.
+func goodAnnotated(m map[int]int) []int {
+	var out []int
+	//chrono:ordered-irrelevant output is sorted immediately below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// goodSortedKeys is the canonical fix: extract, sort, range the slice.
+func goodSortedKeys(byProc map[int]*page) []*page {
+	keys := make([]int, 0, len(byProc))
+	//chrono:ordered-irrelevant keys are sorted immediately below
+	for k := range byProc {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out []*page
+	for _, k := range keys {
+		out = append(out, byProc[k])
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import "strings"
+
+// Package scoping for the chronolint suite. Analyzers are unconditional —
+// they flag every violation in whatever package they are run on — and the
+// driver consults these predicates to decide where each one applies,
+// mirroring how a multichecker scopes upstream analyzers.
+
+// simPackages are the packages whose code feeds simulation results: the
+// discrete-event engine, the Chrono implementation, the memory/VM models,
+// every policy, and the workload generators. Determinism is load-bearing
+// here — FMAR, CIT distributions, and Figures 6-13 are only reproducible
+// if this code is a pure function of the seed.
+var simPackages = []string{
+	"chrono/internal/engine",
+	"chrono/internal/core",
+	"chrono/internal/mem",
+	"chrono/internal/vm",
+	"chrono/internal/policy",
+	"chrono/internal/workload",
+}
+
+// IsSimPackage reports whether path is simulation code (including every
+// policy under internal/policy/...).
+func IsSimPackage(path string) bool {
+	for _, p := range simPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsCmdPackage reports whether path is a CLI driver.
+func IsCmdPackage(modPath, path string) bool {
+	return strings.HasPrefix(path, modPath+"/cmd/")
+}
+
+// Applies reports whether the named analyzer runs on the package:
+//
+//	detclock — simulation packages and cmd/ drivers (drivers exempt
+//	           intentional wall-clock uses line-by-line)
+//	detrand  — simulation packages and cmd/ drivers
+//	maporder — simulation packages
+//	errsink  — cmd/ drivers and the engine
+func Applies(analyzer, modPath, pkgPath string) bool {
+	switch analyzer {
+	case "detclock", "detrand":
+		return IsSimPackage(pkgPath) || IsCmdPackage(modPath, pkgPath)
+	case "maporder":
+		return IsSimPackage(pkgPath)
+	case "errsink":
+		return IsCmdPackage(modPath, pkgPath) || pkgPath == "chrono/internal/engine"
+	default:
+		return false
+	}
+}

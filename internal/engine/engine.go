@@ -108,6 +108,13 @@ type Config struct {
 	// under pressure. Default 1.2 GB/s.
 	MigrationBWBytes float64
 
+	// DebugChecks enables the invariant sanitizer (see sanitize.go): the
+	// engine validates page-table/LRU/watermark/migration consistency
+	// after every metric epoch and at the end of Run, panicking on the
+	// first violation. Building with -tags simdebug forces this on for
+	// every engine regardless of the flag.
+	DebugChecks bool
+
 	// CostScale is the real-pages-per-simulated-page factor. One
 	// simulated page stands for CostScale real 4 KB pages (the capacity
 	// scale-down), so per-page kernel costs, migration bytes, and fault
@@ -258,6 +265,9 @@ type Engine struct {
 	// numaTiering mirrors the sysctl toggle; policies may consult it.
 	numaTiering int64
 
+	// sanitize enables the per-epoch invariant checks (sanitize.go).
+	sanitize bool
+
 	horizon simclock.Time
 
 	M Metrics
@@ -356,6 +366,7 @@ func New(cfg Config) *Engine {
 		byPID:       make(map[int]*procState),
 		links:       lru.NewLinks(0),
 		numaTiering: 1,
+		sanitize:    cfg.DebugChecks || sanitizeDefault,
 		slowLatMult: 1,
 		fastLatMult: 1,
 		M: Metrics{
@@ -655,5 +666,6 @@ func (e *Engine) Run(d simclock.Duration) *Metrics {
 	kswapd.Cancel()
 	cgroup.Cancel()
 	e.M.Duration = e.clock.Now()
+	e.sanitizeTick()
 	return &e.M
 }

@@ -193,6 +193,7 @@ func (e *Engine) epochTick(now simclock.Time) {
 	if e.EpochHook != nil {
 		e.EpochHook(now)
 	}
+	e.sanitizeTick()
 }
 
 // DRAMPagePercent returns the Figure 9 metric for one process:

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"chrono/internal/mem"
+	"chrono/internal/vm"
+)
+
+// This file is the simulator's invariant sanitizer: a consistency check of
+// the engine's redundant bookkeeping, in the spirit of the runtime
+// consistency checks robust-tiering systems (ARMS, Nomad) keep in their
+// debug builds. It is wired to run after every metric-epoch event drain
+// and at the end of Run when enabled — either explicitly through
+// Config.DebugChecks or globally by building with the `simdebug` tag
+// (see sanitize_debug.go / sanitize_release.go).
+//
+// A violation panics with a dump of the offending state: simulation
+// results downstream of a corrupted page table are worthless, and the
+// paper's figures must never be produced from one.
+
+// sanitizeViolation formats and panics.
+func sanitizeViolation(format string, args ...any) {
+	panic("engine: invariant violation: " + fmt.Sprintf(format, args...))
+}
+
+// dumpPage renders one page's state for violation messages.
+func dumpPage(pg *vm.Page) string {
+	if pg == nil {
+		return "<nil page>"
+	}
+	return fmt.Sprintf(
+		"page{ID:%d VPN:%#x PID:%d Tier:%v Size:%d Flags:%#x ProtTS:%v LastFault:%v DemoteTS:%v}",
+		pg.ID, pg.VPN, pg.Proc.PID, pg.Tier, pg.Size, pg.Flags,
+		pg.ProtTS, pg.LastFault, pg.DemoteTS)
+}
+
+// CheckInvariants validates the engine's cross-structure consistency and
+// panics on the first violation. It is cheap enough (one pass over the
+// page table) to run every epoch in debug builds, and is exported so
+// tests and harnesses can assert consistency at arbitrary points.
+//
+// Checked invariants:
+//
+//  1. Tier accounting: used ≤ capacity, free ≥ 0, and the node's used
+//     counter covers at least the sum of resident page sizes per tier
+//     (raw node allocations may exceed the page table, never the reverse).
+//  2. Placement: every live page is either swapped (resident in no tier)
+//     or resident in exactly one valid tier, and sits on exactly the
+//     kernel LRU of that tier; swapped and freed pages are on no list.
+//  3. LRU: per-tier active+inactive list length equals the number of
+//     resident pages of that tier.
+//  4. Watermarks: Min ≤ Low ≤ High ≤ Pro ≤ Capacity on every tier.
+//  5. Per-process residency: the procState residentFast/Slow/Swap
+//     counters reconcile with the page table.
+//  6. Migration accounting: promoted+demoted base pages reconcile with
+//     MigratedBytes, and each is at least the respective operation count.
+func (e *Engine) CheckInvariants() {
+	var (
+		residentPages [mem.NumTiers]int64 // page objects per tier
+		residentBase  [mem.NumTiers]int64 // base pages per tier
+		perProcFast   = make(map[int]int64)
+		perProcSlow   = make(map[int]int64)
+		perProcSwap   = make(map[int]int64)
+	)
+
+	// Pass over the page table: placement and list membership per page.
+	for id, pg := range e.pages {
+		if pg == nil {
+			if e.links.OnAnyList(int64(id)) {
+				sanitizeViolation("freed page id %d still on a kernel LRU list", id)
+			}
+			continue
+		}
+		if pg.ID != int64(id) {
+			sanitizeViolation("page table slot %d holds %s", id, dumpPage(pg))
+		}
+		if pg.Flags.Has(vm.FlagSwapped) {
+			if e.links.OnAnyList(pg.ID) {
+				sanitizeViolation("swapped page on a kernel LRU list: %s", dumpPage(pg))
+			}
+			perProcSwap[pg.Proc.PID] += int64(pg.Size)
+			continue
+		}
+		if pg.Tier < 0 || pg.Tier >= mem.NumTiers {
+			sanitizeViolation("page resident in no valid tier: %s", dumpPage(pg))
+		}
+		residentPages[pg.Tier]++
+		residentBase[pg.Tier] += int64(pg.Size)
+		if pg.Tier == mem.FastTier {
+			perProcFast[pg.Proc.PID] += int64(pg.Size)
+		} else {
+			perProcSlow[pg.Proc.PID] += int64(pg.Size)
+		}
+		lru := e.kLRU[pg.Tier]
+		if !lru.Active.Contains(pg.ID) && !lru.Inactive.Contains(pg.ID) {
+			sanitizeViolation("resident page not on its tier's LRU: %s", dumpPage(pg))
+		}
+		other := e.kLRU[pg.Tier.Other()]
+		if other.Active.Contains(pg.ID) || other.Inactive.Contains(pg.ID) {
+			sanitizeViolation("page on the LRU of the wrong tier: %s", dumpPage(pg))
+		}
+	}
+
+	// Tier accounting and watermark ordering.
+	for t := mem.TierID(0); t < mem.NumTiers; t++ {
+		free, used, capacity := e.node.Free(t), e.node.Used(t), e.node.Capacity(t)
+		if free < 0 {
+			sanitizeViolation("tier %v free %d < 0", t, free)
+		}
+		if used > capacity {
+			sanitizeViolation("tier %v used %d exceeds capacity %d", t, used, capacity)
+		}
+		// Raw node.Alloc (external pressure without backing pages, as the
+		// kswapd tests use) may push used above the page table's tally,
+		// but resident pages can never exceed the node's used counter.
+		if used < residentBase[t] {
+			sanitizeViolation("tier %v accounting: node used %d, page table holds %d base pages",
+				t, used, residentBase[t])
+		}
+		if got, want := int64(e.kLRU[t].Len()), residentPages[t]; got != want {
+			sanitizeViolation("tier %v LRU length %d != %d resident pages", t, got, want)
+		}
+		w := e.node.Watermarks(t)
+		if w.Min > w.Low || w.Low > w.High || w.High > w.Pro || w.Pro > capacity {
+			sanitizeViolation("tier %v watermark order violated: min %d low %d high %d pro %d cap %d",
+				t, w.Min, w.Low, w.High, w.Pro, capacity)
+		}
+	}
+
+	// Per-process residency counters.
+	for _, ps := range e.procs {
+		pid := ps.proc.PID
+		if ps.residentFast != perProcFast[pid] || ps.residentSlow != perProcSlow[pid] ||
+			ps.residentSwap != perProcSwap[pid] {
+			sanitizeViolation(
+				"pid %d residency counters fast/slow/swap %d/%d/%d, page table says %d/%d/%d",
+				pid, ps.residentFast, ps.residentSlow, ps.residentSwap,
+				perProcFast[pid], perProcSlow[pid], perProcSwap[pid])
+		}
+	}
+
+	// Migration accounting: every promotion/demotion operation moved at
+	// least one base page, and the byte counter is the page counters
+	// times the page size (it is accumulated per move in float64, so
+	// allow one page of rounding slack).
+	promoted, demoted := e.node.PromotedPages, e.node.DemotedPages
+	if promoted < e.M.Promotions {
+		sanitizeViolation("promoted base pages %d < promotion operations %d", promoted, e.M.Promotions)
+	}
+	if demoted < e.M.Demotions {
+		sanitizeViolation("demoted base pages %d < demotion operations %d", demoted, e.M.Demotions)
+	}
+	wantBytes := float64((promoted + demoted) * e.node.PageSizeBytes)
+	if math.Abs(wantBytes-e.M.MigratedBytes) > float64(e.node.PageSizeBytes) {
+		sanitizeViolation("migrated %d+%d pages × %d B reconciles to %.0f B, metrics recorded %.0f B",
+			promoted, demoted, e.node.PageSizeBytes, wantBytes, e.M.MigratedBytes)
+	}
+}
+
+// sanitizeTick runs the invariant check when the sanitizer is enabled; the
+// engine calls it after each epoch's event drain and at the end of Run.
+func (e *Engine) sanitizeTick() {
+	if e.sanitize {
+		e.CheckInvariants()
+	}
+}

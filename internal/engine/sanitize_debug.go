@@ -1,0 +1,8 @@
+//go:build simdebug
+
+package engine
+
+// sanitizeDefault force-enables the invariant sanitizer in every engine
+// when the binary is built with -tags simdebug (Config.DebugChecks still
+// enables it per-engine in regular builds).
+const sanitizeDefault = true

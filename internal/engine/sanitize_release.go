@@ -1,0 +1,7 @@
+//go:build !simdebug
+
+package engine
+
+// sanitizeDefault leaves the invariant sanitizer opt-in (Config.DebugChecks)
+// in regular builds; build with -tags simdebug to force it on everywhere.
+const sanitizeDefault = false

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"chrono/internal/mem"
+	"chrono/internal/simclock"
+)
+
+// mustViolate asserts that CheckInvariants panics with an invariant
+// violation whose message contains want.
+func mustViolate(t *testing.T, e *Engine, want string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("CheckInvariants did not panic, want violation containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violation") {
+			panic(r) // not ours — re-raise
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("violation %q does not mention %q", msg, want)
+		}
+	}()
+	e.CheckInvariants()
+}
+
+// sanitizedEngine builds a small engine with the sanitizer enabled, maps
+// a process, and runs it briefly so all bookkeeping is exercised.
+func sanitizedEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(Config{Seed: 7, FastGB: 4, SlowGB: 12, DebugChecks: true})
+	addUniformProc(e, 1, 2000, 0.8)
+	if err := e.MapAll(BasePages); err != nil {
+		t.Fatal(err)
+	}
+	e.AttachPolicy(&recordingPolicy{})
+	e.Run(simclock.Second)
+	return e
+}
+
+func TestSanitizerCleanRun(t *testing.T) {
+	e := sanitizedEngine(t) // Run already sanitizes every epoch
+	e.CheckInvariants()     // and the final state must also hold
+}
+
+func TestSanitizerCatchesTierMismatch(t *testing.T) {
+	e := sanitizedEngine(t)
+	// Flip a page's tier without moving it between LRU lists or fixing
+	// any counters: the page now claims residency its tier never granted.
+	pg := e.Pages()[0]
+	pg.Tier = pg.Tier.Other()
+	mustViolate(t, e, "LRU")
+}
+
+func TestSanitizerCatchesProcCounterDrift(t *testing.T) {
+	e := sanitizedEngine(t)
+	e.byPID[1].residentFast++
+	mustViolate(t, e, "residency counters")
+}
+
+func TestSanitizerCatchesLRUDrop(t *testing.T) {
+	e := sanitizedEngine(t)
+	// Silently remove a fast-resident page from its kernel LRU.
+	for _, pg := range e.Pages() {
+		if pg.Tier == mem.FastTier {
+			e.kLRU[mem.FastTier].Drop(pg.ID)
+			break
+		}
+	}
+	mustViolate(t, e, "not on its tier's LRU")
+}
+
+func TestSanitizerCatchesMigrationDrift(t *testing.T) {
+	e := sanitizedEngine(t)
+	e.M.MigratedBytes += 10 * float64(e.node.PageSizeBytes)
+	mustViolate(t, e, "reconciles")
+}
+
+func TestSanitizerGatedByConfig(t *testing.T) {
+	if sanitizeDefault {
+		t.Skip("simdebug build forces the sanitizer on")
+	}
+	e := New(Config{Seed: 7, FastGB: 4, SlowGB: 12})
+	addUniformProc(e, 1, 500, 1)
+	if err := e.MapAll(BasePages); err != nil {
+		t.Fatal(err)
+	}
+	e.AttachPolicy(&recordingPolicy{})
+	e.byPID[1].residentFast++ // corrupt before Run: sanitizer must not fire
+	e.Run(simclock.Second)
+}

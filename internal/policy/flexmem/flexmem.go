@@ -72,6 +72,10 @@ type Policy struct {
 	periods int
 	// hotBin is the live capacity-derived threshold bin per process.
 	hotBin map[*vm.Process]int
+	// cycles counts background invocations; it rotates the per-process
+	// service order so the shared migration budget is shared fairly
+	// without depending on map iteration order.
+	cycles int
 	// TimelyPromotions counts fault-path promotions (vs background).
 	TimelyPromotions int64
 }
@@ -161,7 +165,22 @@ func (p *Policy) background() {
 	fastCap := p.k.Node().Capacity(mem.FastTier)
 	budget := p.cfg.MigrateBatch
 
-	for proc, pages := range byProc {
+	// The shared migration budget is consumed in process order, so the
+	// order must not depend on map iteration: sort by PID, then rotate
+	// the starting point each cycle so no process is systematically
+	// first in line.
+	procs := make([]*vm.Process, 0, len(byProc))
+	//chrono:ordered-irrelevant keys are sorted immediately below
+	for proc := range byProc {
+		procs = append(procs, proc)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].PID < procs[j].PID })
+	p.cycles++
+	start := p.cycles % len(procs)
+
+	for i := range procs {
+		proc := procs[(start+i)%len(procs)]
+		pages := byProc[proc]
 		hist := pebs.NewHistogram(p.cfg.NBins)
 		binSize := make([]int64, p.cfg.NBins)
 		var resident int64

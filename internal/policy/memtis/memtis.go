@@ -71,6 +71,10 @@ type Policy struct {
 	k       policy.Kernel
 	sampler *pebs.Sampler
 	periods int
+	// cycles counts kmigrated invocations; it rotates the per-process
+	// service order so the shared migration budget is shared fairly
+	// without depending on map iteration order.
+	cycles int
 }
 
 // New returns a Memtis policy.
@@ -141,8 +145,23 @@ func (p *Policy) kmigrated() {
 	fastCap := p.k.Node().Capacity(mem.FastTier)
 	budget := p.cfg.MigrateBatch
 
-	for proc, pages := range byProc {
-		_ = proc
+	// The shared migration budget is consumed in process order, so the
+	// order must not depend on map iteration: sort by PID, then rotate
+	// the starting point each cycle so no process is systematically
+	// first in line (kernel cgroup walks resume round-robin the same
+	// way; unrotated, the lowest PID would hoard the budget).
+	procs := make([]*vm.Process, 0, len(byProc))
+	//chrono:ordered-irrelevant keys are sorted immediately below
+	for proc := range byProc {
+		procs = append(procs, proc)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].PID < procs[j].PID })
+	p.cycles++
+	start := p.cycles % len(procs)
+
+	for i := range procs {
+		proc := procs[(start+i)%len(procs)]
+		pages := byProc[proc]
 		// Per-process histogram of counter bins weighted by page size.
 		hist := pebs.NewHistogram(p.cfg.NBins)
 		binSize := make([]int64, p.cfg.NBins)

@@ -70,12 +70,16 @@ func TestBoolParam(t *testing.T) {
 	tb := NewTable()
 	var v bool
 	tb.Bool("flag", "test", &v, nil)
-	for in, want := range map[string]bool{"1": true, "0": false, "true": true, "false": false} {
-		if err := tb.Set("flag", in); err != nil {
+	// Ordered: the Get assertion below depends on the last value set.
+	for _, c := range []struct {
+		in   string
+		want bool
+	}{{"1", true}, {"true", true}, {"false", false}, {"0", false}} {
+		if err := tb.Set("flag", c.in); err != nil {
 			t.Fatal(err)
 		}
-		if v != want {
-			t.Fatalf("Set(%q) -> %v", in, v)
+		if v != c.want {
+			t.Fatalf("Set(%q) -> %v", c.in, v)
 		}
 	}
 	if err := tb.Set("flag", "maybe"); err == nil {

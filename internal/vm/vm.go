@@ -244,6 +244,7 @@ func (p *Process) RemovePage(pg *Page) {
 func (p *Process) ResidentPages() int64 {
 	var n int64
 	seen := make(map[*Page]bool)
+	//chrono:ordered-irrelevant idempotent dedup + integer sum commute
 	for _, pg := range p.pages {
 		if !seen[pg] {
 			seen[pg] = true
