@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint simdebug check clean
+.PHONY: build test race vet lint simdebug bench check clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,14 @@ lint:
 # Run the test suite with the engine's invariant sanitizer forced on.
 simdebug:
 	$(GO) test -tags simdebug ./...
+
+# Hot-path microbenchmarks (simclock event loop, engine epoch, fault
+# path). Output is benchstat-compatible: run with COUNT=10 and feed two
+# saved runs to benchstat to compare. BENCHTIME=1x gives a smoke pass.
+COUNT ?= 1
+BENCHTIME ?= 1s
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(COUNT) ./...
 
 check: build vet lint race simdebug
 

@@ -7,10 +7,15 @@
 //	reproduce [-experiment all|tab1|tab2|fig1|fig2a|fig2b|fig6|fig7|fig8|
 //	           fig9|fig10a|fig10bc|fig10d|fig11|fig11b|fig12|fig13|appb|
 //	           ext|drift|seeds]
-//	          [-quick] [-seed N] [-duration S]
+//	          [-quick] [-seed N] [-duration S] [-j N]
+//	          [-cpuprofile F] [-memprofile F] [-trace F]
 //
 // -quick shortens run durations ~4x for a fast smoke pass; the shapes
 // survive, the converged values get noisier.
+//
+// -j runs independent simulations of each experiment in parallel (0 =
+// GOMAXPROCS). Output is byte-identical at every worker count; see the
+// "Parallel sweeps" section of DESIGN.md for why.
 package main
 
 import (
@@ -18,10 +23,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
 	"chrono/internal/experiments"
+	"chrono/internal/parallel"
 	"chrono/internal/report"
 	"chrono/internal/simclock"
 )
@@ -33,8 +42,40 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		duration = flag.Float64("duration", 0, "override virtual run seconds (0 = per-experiment default)")
 		jsonOut  = flag.String("json", "", "also write all tables as JSON to this file")
+		workers  = flag.Int("j", 0, "parallel simulations per experiment (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fail(f.Close())
+		}()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		fail(trace.Start(f))
+		defer func() {
+			trace.Stop()
+			fail(f.Close())
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			fail(err)
+			runtime.GC()
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+		}()
+	}
 
 	var emitted []*report.Table
 	emit := func(ts ...*report.Table) {
@@ -44,7 +85,7 @@ func main() {
 		}
 	}
 
-	o := experiments.RunOpts{Seed: *seed}
+	o := experiments.RunOpts{Seed: *seed, Workers: parallel.Resolve(*workers)}
 	longDur := simclock.Duration(1500) * simclock.Second
 	if *quick {
 		o.Duration = 240 * simclock.Second

@@ -90,6 +90,12 @@ type Config struct {
 	// PEBSAliasRebuildS is the virtual seconds between alias-table
 	// rebuilds for PEBS sampling. Default 10.
 	PEBSAliasRebuildS float64
+	// PEBSAliasMinRebuildS rate-limits weight-triggered alias rebuilds: a
+	// pattern change marks the table stale, but the O(pages) rebuild is
+	// deferred until the table is at least this old (virtual seconds).
+	// Structural changes (pages created or freed) always rebuild before
+	// the next sample. Default 1.
+	PEBSAliasMinRebuildS float64
 
 	// HugeFactor is the number of simulated base pages folded into one
 	// "huge page" under HugePages mapping. Real x86 folds 512×4 KB into
@@ -170,6 +176,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.PEBSAliasRebuildS == 0 {
 		cfg.PEBSAliasRebuildS = 10
+	}
+	if cfg.PEBSAliasMinRebuildS == 0 {
+		cfg.PEBSAliasMinRebuildS = 1
 	}
 	if cfg.CostScale == 0 {
 		cfg.CostScale = 262144 / float64(cfg.PagesPerGB)
@@ -256,11 +265,26 @@ type Engine struct {
 	slowLatMult float64
 	fastLatMult float64
 
-	// PEBS alias cache
-	aliasTable   *rng.Alias
-	aliasIDs     []int64
-	aliasBuiltAt simclock.Time
-	aliasDirty   bool
+	// PEBS alias cache. Weight-staleness (pattern drift) tolerates a
+	// rate-limited rebuild; structural staleness (pages created or freed)
+	// must rebuild before the next sample or freed IDs would be drawn.
+	aliasTable       *rng.Alias
+	aliasIDs         []int64
+	aliasW           []float64 // scratch reused across rebuilds
+	aliasBuiltAt     simclock.Time
+	aliasWeightDirty bool
+	aliasStructural  bool
+
+	// faultCB is the single fault-delivery callback shared by every
+	// Protect: scheduling through AtArg with (page, seq) as the argument
+	// pair avoids allocating a closure per poisoned page.
+	faultCB simclock.ArgFunc
+
+	// flushMark/flushList are scratch for FlushPattern's page dedup and
+	// recomputeProcAggregates' VMA walk, reused across calls (indexed by
+	// page ID).
+	flushMark []bool
+	flushList []int64
 
 	// numaTiering mirrors the sysctl toggle; policies may consult it.
 	numaTiering int64
@@ -377,6 +401,9 @@ func New(cfg Config) *Engine {
 	}
 	for t := mem.TierID(0); t < mem.NumTiers; t++ {
 		e.kLRU[t] = lru.NewTwoList(e.links)
+	}
+	e.faultCB = func(now simclock.Time, arg any, seq uint64) {
+		e.deliverFault(arg.(*vm.Page), seq, now)
 	}
 	e.table.Int64("kernel/numa_tiering", "enable tiered NUMA management (Chrono)", &e.numaTiering, nil, nil)
 	return e
@@ -496,7 +523,7 @@ func (e *Engine) MapAll(mode PageSizeMode) error {
 		ps.proc.RecomputeTotalWeight()
 		e.recomputeProcAggregates(ps)
 	}
-	e.aliasDirty = true
+	e.aliasStructural = true
 	return nil
 }
 
@@ -518,7 +545,7 @@ func (e *Engine) mapRange(ps *procState, mode PageSizeMode) error {
 	}
 	ps.proc.RecomputeTotalWeight()
 	e.recomputeProcAggregates(ps)
-	e.aliasDirty = true
+	e.aliasStructural = true
 	return nil
 }
 
@@ -572,24 +599,69 @@ func (e *Engine) SetPattern(p *vm.Process, vpn uint64, weight, readFrac float64)
 	p.SetPattern(vpn, weight, readFrac)
 }
 
-// FlushPattern recomputes cached weights and aggregates for p after the
-// workload changed its pattern (phase change).
+// FlushPattern applies a batch of SetPattern changes to p's cached page
+// weights and per-tier masses. It walks only the dirty pattern indices the
+// process recorded since the last flush — not every VMA — applying
+// per-page deltas, so a drift phase that retouches a few thousand pages
+// costs O(touched), independent of the working-set size.
 func (e *Engine) FlushPattern(p *vm.Process) {
+	dirty := p.DirtyIndexes()
+	if len(dirty) == 0 {
+		return
+	}
 	ps := e.byPID[p.PID]
-	p.RecomputeTotalWeight()
-	e.recomputeProcAggregates(ps)
-	e.aliasDirty = true
+	e.growScratch()
+	// Dedup covering pages: a huge page spans many pattern indices but
+	// must be re-weighed once. First-touch order keeps the delta
+	// application deterministic.
+	for _, i := range dirty {
+		pg := p.PageAt(p.IndexVPN(i))
+		if pg == nil || e.flushMark[pg.ID] {
+			continue
+		}
+		e.flushMark[pg.ID] = true
+		e.flushList = append(e.flushList, pg.ID)
+	}
+	for _, id := range e.flushList {
+		e.flushMark[id] = false
+		pg := e.pages[id]
+		w, rf := p.PageWeight(pg)
+		ow, orf := e.pageW[id], e.pageRF[id]
+		e.pageW[id] = w
+		e.pageRF[id] = rf
+		if pg.Flags.Has(vm.FlagSwapped) {
+			ps.wSwap += w - ow
+		} else {
+			ps.wRead[pg.Tier] += w*rf - ow*orf
+			ps.wWrite[pg.Tier] += w*(1-rf) - ow*(1-orf)
+		}
+		ps.wTot += w - ow
+	}
+	e.flushList = e.flushList[:0]
+	p.ClearDirty()
+	e.aliasWeightDirty = true
 }
 
-// recomputeProcAggregates refreshes cached per-page weights and per-tier
-// masses for ps.
+// growScratch sizes the per-page scratch marks to the page table.
+func (e *Engine) growScratch() {
+	if len(e.flushMark) < len(e.pages) {
+		e.flushMark = append(e.flushMark, make([]bool, len(e.pages)-len(e.flushMark))...)
+	}
+}
+
+// recomputeProcAggregates rebuilds ps's cached page weights and per-tier
+// masses from scratch (used at map time; steady-state updates go through
+// FlushPattern's incremental path). Swapped pages contribute to wSwap, not
+// to any tier mass.
 func (e *Engine) recomputeProcAggregates(ps *procState) {
 	for t := range ps.wRead {
 		ps.wRead[t] = 0
 		ps.wWrite[t] = 0
 	}
 	ps.wTot = 0
-	seen := make(map[int64]bool)
+	ps.wSwap = 0
+	e.growScratch()
+	seen := e.flushMark
 	for _, v := range ps.proc.VMAs() {
 		for vpn := v.Start; vpn < v.End(); vpn++ {
 			pg := ps.proc.PageAt(vpn)
@@ -597,14 +669,25 @@ func (e *Engine) recomputeProcAggregates(ps *procState) {
 				continue
 			}
 			seen[pg.ID] = true
+			e.flushList = append(e.flushList, pg.ID)
 			w, rf := ps.proc.PageWeight(pg)
 			e.pageW[pg.ID] = w
 			e.pageRF[pg.ID] = rf
-			ps.wRead[pg.Tier] += w * rf
-			ps.wWrite[pg.Tier] += w * (1 - rf)
+			if pg.Flags.Has(vm.FlagSwapped) {
+				ps.wSwap += w
+			} else {
+				ps.wRead[pg.Tier] += w * rf
+				ps.wWrite[pg.Tier] += w * (1 - rf)
+			}
 			ps.wTot += w
 		}
 	}
+	for _, id := range e.flushList {
+		seen[id] = false
+	}
+	e.flushList = e.flushList[:0]
+	// A full rebuild subsumes any pending incremental work.
+	ps.proc.ClearDirty()
 }
 
 // PageWeightCached returns the cached access weight of a page.

@@ -46,10 +46,10 @@ func (e *Engine) Protect(pg *vm.Page) {
 	if at > e.horizon {
 		return
 	}
-	seq := pg.FaultSeq
-	pg.FaultHandle = e.clock.At(at, func(t simclock.Time) {
-		e.deliverFault(pg, seq, t)
-	})
+	// AtArg with the engine's one shared fault callback: no closure
+	// allocation on this path, which every scan of every policy hits once
+	// per poisoned page.
+	pg.FaultHandle = e.clock.AtArg(at, e.faultCB, pg, pg.FaultSeq)
 }
 
 // Unprotect clears the poisoning without delivering a fault.
@@ -357,7 +357,9 @@ func (e *Engine) SplitHuge(pg *vm.Page) []*vm.Page {
 		}
 		out = append(out, np)
 	}
-	e.aliasDirty = true
+	// The page-ID set changed: the alias table must not be sampled again
+	// before a rebuild (freed IDs would be drawn).
+	e.aliasStructural = true
 	return out
 }
 
@@ -456,8 +458,17 @@ func (e *Engine) kswapd() {
 // hardware-sampling channel.
 func (e *Engine) SamplePEBS(s *pebs.Sampler, seconds float64) int {
 	now := e.clock.Now()
-	if e.aliasTable == nil || e.aliasDirty ||
-		(now-e.aliasBuiltAt).Seconds() > e.cfg.PEBSAliasRebuildS {
+	// Rebuild policy: structural staleness (pages created/freed) rebuilds
+	// unconditionally — sampling a stale ID set would return freed pages.
+	// Weight-only staleness tolerates a bounded lag: the O(pages) rebuild
+	// is deferred until the table is PEBSAliasMinRebuildS old, so per-epoch
+	// pattern drift doesn't turn every sampling period into a full rebuild.
+	// An unchanged table is still refreshed every PEBSAliasRebuildS to
+	// track rate shifts.
+	age := (now - e.aliasBuiltAt).Seconds()
+	if e.aliasTable == nil || e.aliasStructural ||
+		(e.aliasWeightDirty && age >= e.cfg.PEBSAliasMinRebuildS) ||
+		age > e.cfg.PEBSAliasRebuildS {
 		e.rebuildAlias()
 	}
 	if e.aliasTable == nil {
@@ -471,28 +482,42 @@ func (e *Engine) SamplePEBS(s *pebs.Sampler, seconds float64) int {
 }
 
 // rebuildAlias reconstructs the PEBS sampling distribution from current
-// page rates.
+// page rates. The weight/ID buffers are reused across rebuilds (NewAlias
+// copies what it needs; the sampler reads aliasIDs only during
+// SamplePeriod), and the per-page rate is computed from the per-process
+// rate/wTot pair cached across the run of consecutive same-process pages
+// in the dense table — no byPID map lookup per page.
 func (e *Engine) rebuildAlias() {
-	weights := make([]float64, 0, len(e.pages))
-	ids := make([]int64, 0, len(e.pages))
+	weights := e.aliasW[:0]
+	ids := e.aliasIDs[:0]
+	var lastProc *vm.Process
+	var ps *procState
 	for _, pg := range e.pages {
 		if pg == nil {
 			continue
 		}
-		r := e.PageRate(pg)
+		if pg.Proc != lastProc {
+			lastProc = pg.Proc
+			ps = e.byPID[pg.Proc.PID]
+		}
+		if ps == nil || ps.wTot == 0 {
+			continue
+		}
+		r := ps.rate * e.pageW[pg.ID] / ps.wTot
 		if r <= 0 {
 			continue
 		}
 		weights = append(weights, r)
 		ids = append(ids, pg.ID)
 	}
+	e.aliasW = weights
+	e.aliasIDs = ids
+	e.aliasBuiltAt = e.clock.Now()
+	e.aliasWeightDirty = false
+	e.aliasStructural = false
 	if len(weights) == 0 {
 		e.aliasTable = nil
-		e.aliasIDs = nil
 		return
 	}
 	e.aliasTable = rng.NewAlias(e.rPEBS, weights)
-	e.aliasIDs = ids
-	e.aliasBuiltAt = e.clock.Now()
-	e.aliasDirty = false
 }

@@ -113,3 +113,39 @@ func TestDifferentSeedDiverges(t *testing.T) {
 		t.Errorf("seeds 42 and 43 produced identical runs — randomness is not flowing from the seed\nmetrics: %s", m1)
 	}
 }
+
+// sweepFingerprint runs a small (policy × ratio) sweep at the given
+// worker count and serializes every cell's metrics in grid order. The
+// parallel runner's contract is that this string is identical for every
+// worker count (see DESIGN.md "Parallel sweeps").
+func sweepFingerprint(t *testing.T, workers int) string {
+	t.Helper()
+	o := RunOpts{
+		Seed: 42, FastGB: 2, SlowGB: 6,
+		Duration: 45 * simclock.Second,
+		Workers:  workers,
+	}
+	cfg := PmbenchConfig{Label: "determinism probe", Processes: 4, WorkingSetGB: 5}
+	s, err := RunPmbenchSweep(cfg, []string{"Linux-NB", "Memtis", "Chrono"}, []float64{70, 30}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	for ri, row := range s.Results {
+		for pi, res := range row {
+			out += fmt.Sprintf("[%d,%d %s] %s\n", ri, pi, res.Policy, serializeMetrics(res.Metrics))
+		}
+	}
+	return out
+}
+
+// TestParallelMatchesSerial is the determinism fence for the parallel
+// experiment runner: a sweep fanned across 8 workers must produce
+// byte-identical serialized metrics to the same sweep run serially.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := sweepFingerprint(t, 1)
+	parallel8 := sweepFingerprint(t, 8)
+	if serial != parallel8 {
+		t.Errorf("workers=1 and workers=8 diverge:\n-- serial --\n%s\n-- parallel --\n%s", serial, parallel8)
+	}
+}

@@ -49,6 +49,12 @@ type RunOpts struct {
 	PagesPerGB int64
 	// FastGB / SlowGB size the tiers (default 64 / 192: 25% fast).
 	FastGB, SlowGB float64
+	// Workers is the number of simulations a multi-run experiment may
+	// execute concurrently (0 or 1 = serial). Every run is an independent
+	// engine with its own seed-derived RNG streams, and results are
+	// assembled in specification order, so the output is identical for any
+	// worker count (see DESIGN.md "Parallel sweeps").
+	Workers int
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -128,6 +134,16 @@ type Result struct {
 	// Chrono is set when the policy is a Chrono variant, exposing the
 	// tuning histories and counters.
 	Chrono *core.Chrono
+}
+
+// Compact releases the finished simulation's engine — the dense page
+// table, LRU links, and histogram state — keeping only the metrics,
+// workload parameters, and any Chrono tuning histories. Sweeps call it
+// from the worker as soon as every engine-dependent statistic (Score,
+// classification, execution time) has been extracted, so a parallel sweep
+// holds at most Workers engines live instead of one per finished run.
+func (r *Result) Compact() {
+	r.Engine = nil
 }
 
 // Run executes one (workload, policy) simulation.

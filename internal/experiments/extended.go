@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"chrono/internal/engine"
+	"chrono/internal/parallel"
 	"chrono/internal/report"
 	"chrono/internal/simclock"
 	"chrono/internal/stats"
@@ -20,23 +21,39 @@ func RunExtendedComparison(o RunOpts) (*report.Table, error) {
 	t := report.NewTable(
 		"Extension: all Table 1 systems on the Figure 6a workload (R/W=70:30)",
 		"Policy", "Thr (Mop/s)", "vs Linux-NB", "FMAR (%)", "F1", "PPR", "Kernel (%)")
+	type row struct {
+		thr, fmar, f1, ppr, kernel float64
+	}
+	jobs := make([]func() (row, error), len(ExtendedPolicies))
+	for i, pol := range ExtendedPolicies {
+		pol := pol
+		jobs[i] = func() (row, error) {
+			w := &workload.Pmbench{
+				Processes: 50, WorkingSetGB: 5, ReadPct: 70, Stride: 2,
+				Mode: DefaultModeFor(pol),
+			}
+			res, err := Run(pol, w, o)
+			if err != nil {
+				return row{}, err
+			}
+			_, f1, ppr := Score(res)
+			m := res.Metrics
+			res.Compact()
+			return row{thr: m.Throughput(), fmar: m.FMAR() * 100, f1: f1,
+				ppr: ppr, kernel: m.KernelTimeFrac() * 100}, nil
+		}
+	}
+	rows, err := parallel.Map(o.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
 	var base float64
-	for _, pol := range ExtendedPolicies {
-		w := &workload.Pmbench{
-			Processes: 50, WorkingSetGB: 5, ReadPct: 70, Stride: 2,
-			Mode: DefaultModeFor(pol),
-		}
-		res, err := Run(pol, w, o)
-		if err != nil {
-			return nil, err
-		}
-		_, f1, ppr := Score(res)
-		m := res.Metrics
+	for i, pol := range ExtendedPolicies {
 		if pol == "Linux-NB" {
-			base = m.Throughput()
+			base = rows[i].thr
 		}
-		t.AddRow(pol, m.Throughput(), m.Throughput()/base,
-			m.FMAR()*100, f1, ppr, m.KernelTimeFrac()*100)
+		t.AddRow(pol, rows[i].thr, rows[i].thr/base,
+			rows[i].fmar, rows[i].f1, rows[i].ppr, rows[i].kernel)
 	}
 	t.Note = "Telescope/HeMem/FlexMem are extensions beyond the paper's evaluation; this workload's per-real-page " +
 		"rates (~1-6 access/s) sit inside Telescope's 0~5/s resolution band (Table 1), so its streak profiler ranks it well here"
@@ -58,31 +75,34 @@ type DriftResult struct {
 // quality is sampled every 10 s.
 func RunDrift(policies []string, shiftEveryS float64, o RunOpts) ([]*DriftResult, error) {
 	o = o.withDefaults()
-	var out []*DriftResult
-	for _, pol := range policies {
-		w := &workload.Pmbench{
-			Processes: 16, WorkingSetGB: 15, ReadPct: 70, Stride: 2,
-			DriftPeriodS: shiftEveryS,
-			Mode:         DefaultModeFor(pol),
+	jobs := make([]func() (*DriftResult, error), len(policies))
+	for i, pol := range policies {
+		pol := pol
+		jobs[i] = func() (*DriftResult, error) {
+			w := &workload.Pmbench{
+				Processes: 16, WorkingSetGB: 15, ReadPct: 70, Stride: 2,
+				DriftPeriodS: shiftEveryS,
+				Mode:         DefaultModeFor(pol),
+			}
+			e := newEngine(o)
+			if err := w.Build(e); err != nil {
+				return nil, err
+			}
+			p, err := NewPolicy(pol)
+			if err != nil {
+				return nil, err
+			}
+			e.AttachPolicy(p)
+			dr := &DriftResult{Policy: pol}
+			e.Clock().Every(10*simclock.Second, func(now simclock.Time) {
+				cls := classifySnapshot(e, w)
+				dr.FMARSeries.Append(now.Seconds(), cls.Recall())
+			})
+			dr.Metrics = e.Run(o.Duration)
+			return dr, nil
 		}
-		e := newEngine(o)
-		if err := w.Build(e); err != nil {
-			return nil, err
-		}
-		p, err := NewPolicy(pol)
-		if err != nil {
-			return nil, err
-		}
-		e.AttachPolicy(p)
-		dr := &DriftResult{Policy: pol}
-		e.Clock().Every(10*simclock.Second, func(now simclock.Time) {
-			cls := classifySnapshot(e, w)
-			dr.FMARSeries.Append(now.Seconds(), cls.Recall())
-		})
-		dr.Metrics = e.Run(o.Duration)
-		out = append(out, dr)
 	}
-	return out, nil
+	return parallel.Map(o.Workers, jobs)
 }
 
 // DriftTable renders the adaptivity study.

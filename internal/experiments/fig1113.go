@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chrono/internal/engine"
+	"chrono/internal/parallel"
 	"chrono/internal/report"
 	"chrono/internal/workload"
 )
@@ -19,19 +20,39 @@ var Fig11Sizes = []float64{128, 192, 256}
 func RunFig11a(policies []string, o RunOpts) (*report.Table, error) {
 	t := report.NewTable("Figure 11a: Graph500 execution time (s)",
 		append([]string{"Config"}, policies...)...)
+	modes := []struct {
+		name string
+		m    engine.PageSizeMode
+	}{{"base", engine.BasePages}, {"huge", engine.HugePages}}
+	// One job per (size, mode, policy) cell; each returns the execution
+	// time, computed in-worker so the engine is released immediately.
+	var jobs []func() (float64, error)
 	for _, size := range Fig11Sizes {
-		for _, mode := range []struct {
-			name string
-			m    engine.PageSizeMode
-		}{{"base", engine.BasePages}, {"huge", engine.HugePages}} {
-			cells := []any{fmt.Sprintf("%.0fGB-%s", size, mode.name)}
+		for _, mode := range modes {
 			for _, pol := range policies {
-				w := &workload.Graph500{TotalGB: size, Mode: mode.m}
-				res, err := Run(pol, w, o)
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, w.ExecutionTime(res.Metrics))
+				size, mode, pol := size, mode, pol
+				jobs = append(jobs, func() (float64, error) {
+					w := &workload.Graph500{TotalGB: size, Mode: mode.m}
+					res, err := Run(pol, w, o)
+					if err != nil {
+						return 0, err
+					}
+					return w.ExecutionTime(res.Metrics), nil
+				})
+			}
+		}
+	}
+	times, err := parallel.Map(o.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, size := range Fig11Sizes {
+		for _, mode := range modes {
+			cells := []any{fmt.Sprintf("%.0fGB-%s", size, mode.name)}
+			for range policies {
+				cells = append(cells, times[i])
+				i++
 			}
 			t.AddRow(cells...)
 		}
@@ -68,19 +89,29 @@ var Fig13Variants = []string{
 func RunFig13(o RunOpts) (*report.Table, error) {
 	t := report.NewTable("Figure 13: design choice analysis (normalized throughput)",
 		append([]string{"R/W ratio"}, Fig13Variants...)...)
+	var jobs []func() (float64, error)
 	for _, ratio := range RWRatios {
-		var thr []float64
 		for _, pol := range Fig13Variants {
-			w := &workload.Pmbench{
-				Processes: 50, WorkingSetGB: 5, ReadPct: ratio, Stride: 2,
-				Mode: DefaultModeFor(pol),
-			}
-			res, err := Run(pol, w, o)
-			if err != nil {
-				return nil, err
-			}
-			thr = append(thr, res.Metrics.Throughput())
+			ratio, pol := ratio, pol
+			jobs = append(jobs, func() (float64, error) {
+				w := &workload.Pmbench{
+					Processes: 50, WorkingSetGB: 5, ReadPct: ratio, Stride: 2,
+					Mode: DefaultModeFor(pol),
+				}
+				res, err := Run(pol, w, o)
+				if err != nil {
+					return 0, err
+				}
+				return res.Metrics.Throughput(), nil
+			})
 		}
+	}
+	flat, err := parallel.Map(o.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ri, ratio := range RWRatios {
+		thr := flat[ri*len(Fig13Variants) : (ri+1)*len(Fig13Variants)]
 		cells := []any{RatioLabel(ratio)}
 		for _, v := range thr {
 			cells = append(cells, v/thr[0])

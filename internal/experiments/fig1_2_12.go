@@ -6,6 +6,7 @@ import (
 
 	"chrono/internal/engine"
 	"chrono/internal/mem"
+	"chrono/internal/parallel"
 	"chrono/internal/pebs"
 	"chrono/internal/policy/memtis"
 	"chrono/internal/report"
@@ -27,22 +28,35 @@ type Fig1Row struct {
 // plus the top-10% hot NVM region, across the four benchmarks, measured
 // under vanilla NUMA balancing (the PMU measurement setup of §2.2).
 func RunFig1(o RunOpts) ([]Fig1Row, error) {
-	workloads := []workload.Workload{
-		&workload.Pmbench{Processes: 32, WorkingSetGB: 7, ReadPct: 70, Stride: 2},
-		&workload.Graph500{TotalGB: 224, Processes: 8},
-		&workload.KVStore{Flavor: workload.Memcached, StoreGB: 160, SetRatio: 1, GetRatio: 10},
-		&workload.KVStore{Flavor: workload.Redis, StoreGB: 160, SetRatio: 1, GetRatio: 10},
+	// Workload constructors, not instances: Build mutates the workload, so
+	// each parallel job gets its own.
+	mks := []func() workload.Workload{
+		func() workload.Workload {
+			return &workload.Pmbench{Processes: 32, WorkingSetGB: 7, ReadPct: 70, Stride: 2}
+		},
+		func() workload.Workload { return &workload.Graph500{TotalGB: 224, Processes: 8} },
+		func() workload.Workload {
+			return &workload.KVStore{Flavor: workload.Memcached, StoreGB: 160, SetRatio: 1, GetRatio: 10}
+		},
+		func() workload.Workload {
+			return &workload.KVStore{Flavor: workload.Redis, StoreGB: 160, SetRatio: 1, GetRatio: 10}
+		},
 	}
 	names := []string{"Pmbench", "Graph500", "Memcached", "Redis"}
-	var rows []Fig1Row
-	for i, w := range workloads {
-		res, err := Run("Linux-NB", w, o)
-		if err != nil {
-			return nil, err
+	jobs := make([]func() (Fig1Row, error), len(mks))
+	for i := range mks {
+		i := i
+		jobs[i] = func() (Fig1Row, error) {
+			res, err := Run("Linux-NB", mks[i](), o)
+			if err != nil {
+				return Fig1Row{}, err
+			}
+			// fig1Row reads page rates off the live engine, so it runs in
+			// the worker before the engine is dropped.
+			return fig1Row(names[i], res), nil
 		}
-		rows = append(rows, fig1Row(names[i], res))
 	}
-	return rows, nil
+	return parallel.Map(o.Workers, jobs)
 }
 
 func fig1Row(name string, res *Result) Fig1Row {
@@ -102,19 +116,34 @@ func Fig1Table(rows []Fig1Row) *report.Table {
 func RunFig2a(policies []string, o RunOpts) (*report.Table, error) {
 	t := report.NewTable("Figure 2a: hot page identification",
 		"Policy", "F1-score", "Precision", "Recall", "PPR")
-	for _, pol := range policies {
-		w := &workload.Pmbench{
-			Processes: 32, WorkingSetGB: 7.8, ReadPct: 70, Stride: 2,
-			Mode: DefaultModeFor(pol),
+	type scored struct {
+		cls stats.Classification
+		ppr float64
+	}
+	jobs := make([]func() (scored, error), len(policies))
+	for i, pol := range policies {
+		pol := pol
+		jobs[i] = func() (scored, error) {
+			w := &workload.Pmbench{
+				Processes: 32, WorkingSetGB: 7.8, ReadPct: 70, Stride: 2,
+				Mode: DefaultModeFor(pol),
+			}
+			// Accumulate the classification over the run (the paper counts
+			// accesses over the PMU measurement window, not a final
+			// snapshot), so slow or unstable convergence costs score.
+			_, cls, ppr, err := RunScored(pol, w, o)
+			if err != nil {
+				return scored{}, err
+			}
+			return scored{cls: cls, ppr: ppr}, nil
 		}
-		// Accumulate the classification over the run (the paper counts
-		// accesses over the PMU measurement window, not a final
-		// snapshot), so slow or unstable convergence costs score.
-		_, cls, ppr, err := RunScored(pol, w, o)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(pol, cls.F1(), cls.Precision(), cls.Recall(), ppr)
+	}
+	rows, err := parallel.Map(o.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range policies {
+		t.AddRow(pol, rows[i].cls.F1(), rows[i].cls.Precision(), rows[i].cls.Recall(), rows[i].ppr)
 	}
 	return t, nil
 }
@@ -124,21 +153,33 @@ func RunFig2a(policies []string, o RunOpts) (*report.Table, error) {
 func RunFig2b(o RunOpts) (*report.Table, error) {
 	t := report.NewTable("Figure 2b: PEBS bin distribution (Memtis, % of sampled pages)",
 		"Granularity", "bin#1", "bin#2-3", "bin#4-5", "bin#6-7", "bin#8-9", "bin#>9")
-	for _, mode := range []struct {
+	modes := []struct {
 		name string
 		m    engine.PageSizeMode
-	}{{"Huge-Page", engine.HugePages}, {"Base-Page", engine.BasePages}} {
-		w := &workload.Pmbench{
-			Processes: 32, WorkingSetGB: 7.8, ReadPct: 70, Stride: 2, Mode: mode.m,
+	}{{"Huge-Page", engine.HugePages}, {"Base-Page", engine.BasePages}}
+	jobs := make([]func() ([6]float64, error), len(modes))
+	for i, mode := range modes {
+		mode := mode
+		jobs[i] = func() ([6]float64, error) {
+			w := &workload.Pmbench{
+				Processes: 32, WorkingSetGB: 7.8, ReadPct: 70, Stride: 2, Mode: mode.m,
+			}
+			res, err := Run("Memtis", w, o)
+			if err != nil {
+				return [6]float64{}, err
+			}
+			// binGroups walks the live page table against the sampler, so
+			// it runs in-worker.
+			return binGroups(res, res.Engine.Policy().(*memtis.Policy)), nil
 		}
-		res, err := Run("Memtis", w, o)
-		if err != nil {
-			return nil, err
-		}
-		pol := res.Engine.Policy().(*memtis.Policy)
-		groups := binGroups(res, pol)
+	}
+	rows, err := parallel.Map(o.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, mode := range modes {
 		cells := []any{mode.name}
-		for _, g := range groups {
+		for _, g := range rows[i] {
 			cells = append(cells, g*100)
 		}
 		t.AddRow(cells...)
@@ -191,34 +232,50 @@ func binGroups(res *Result, pol *memtis.Policy) [6]float64 {
 // SET:GET 1:10 and 1:1, normalized to Linux-NB.
 func RunFig12(policies []string, o RunOpts) ([]*report.Table, error) {
 	var out []*report.Table
-	for _, flavor := range []struct {
+	flavors := []struct {
 		name string
 		f    workload.KVFlavor
-	}{{"Memcached", workload.Memcached}, {"Redis", workload.Redis}} {
+	}{{"Memcached", workload.Memcached}, {"Redis", workload.Redis}}
+	mixes := []struct {
+		label    string
+		set, get float64
+	}{{"1:10", 1, 10}, {"1:1", 1, 1}}
+	var jobs []func() (float64, error)
+	for _, flavor := range flavors {
+		for _, mix := range mixes {
+			for _, pol := range policies {
+				flavor, mix, pol := flavor, mix, pol
+				jobs = append(jobs, func() (float64, error) {
+					w := &workload.KVStore{
+						Flavor: flavor.f, StoreGB: 160,
+						SetRatio: mix.set, GetRatio: mix.get,
+						Mode: DefaultModeFor(pol),
+					}
+					res, err := Run(pol, w, o)
+					if err != nil {
+						return 0, err
+					}
+					return res.Metrics.Throughput(), nil
+				})
+			}
+		}
+	}
+	flat, err := parallel.Map(o.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, flavor := range flavors {
 		t := report.NewTable(
 			fmt.Sprintf("Figure 12: %s normalized throughput", flavor.name),
 			append([]string{"Set/Get"}, policies...)...)
-		for _, mix := range []struct {
-			label    string
-			set, get float64
-		}{{"1:10", 1, 10}, {"1:1", 1, 1}} {
-			var thr []float64
-			for _, pol := range policies {
-				w := &workload.KVStore{
-					Flavor: flavor.f, StoreGB: 160,
-					SetRatio: mix.set, GetRatio: mix.get,
-					Mode: DefaultModeFor(pol),
-				}
-				res, err := Run(pol, w, o)
-				if err != nil {
-					return nil, err
-				}
-				thr = append(thr, res.Metrics.Throughput())
-			}
+		for _, mix := range mixes {
+			thr := flat[i : i+len(policies)]
+			i += len(policies)
 			base := thr[0]
-			for i, p := range policies {
+			for pi, p := range policies {
 				if p == "Linux-NB" {
-					base = thr[i]
+					base = thr[pi]
 				}
 			}
 			cells := []any{mix.label}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"chrono/internal/parallel"
 	"chrono/internal/report"
 	"chrono/internal/workload"
 )
@@ -39,26 +40,39 @@ type PmbenchSweep struct {
 	Results [][]*Result
 }
 
-// RunPmbenchSweep executes the full (policy × ratio) grid.
+// RunPmbenchSweep executes the full (policy × ratio) grid. The grid cells
+// are independent simulations, fanned across o.Workers and reassembled in
+// grid order; each worker constructs its own workload (Build mutates the
+// workload struct) and compacts its result once the metrics are extracted.
 func RunPmbenchSweep(cfg PmbenchConfig, policies []string, ratios []float64, o RunOpts) (*PmbenchSweep, error) {
 	s := &PmbenchSweep{Config: cfg, Policies: policies, Ratios: ratios}
+	jobs := make([]func() (*Result, error), 0, len(ratios)*len(policies))
 	for _, ratio := range ratios {
-		var row []*Result
 		for _, pol := range policies {
-			w := &workload.Pmbench{
-				Processes:    cfg.Processes,
-				WorkingSetGB: cfg.WorkingSetGB,
-				ReadPct:      ratio,
-				Stride:       2,
-				Mode:         DefaultModeFor(pol),
-			}
-			res, err := Run(pol, w, o)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res)
+			ratio, pol := ratio, pol
+			jobs = append(jobs, func() (*Result, error) {
+				w := &workload.Pmbench{
+					Processes:    cfg.Processes,
+					WorkingSetGB: cfg.WorkingSetGB,
+					ReadPct:      ratio,
+					Stride:       2,
+					Mode:         DefaultModeFor(pol),
+				}
+				res, err := Run(pol, w, o)
+				if err != nil {
+					return nil, err
+				}
+				res.Compact()
+				return res, nil
+			})
 		}
-		s.Results = append(s.Results, row)
+	}
+	flat, err := parallel.Map(o.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ri := range ratios {
+		s.Results = append(s.Results, flat[ri*len(policies):(ri+1)*len(policies)])
 	}
 	return s, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"chrono/internal/engine"
+	"chrono/internal/parallel"
 	"chrono/internal/report"
 	"chrono/internal/simclock"
 	"chrono/internal/stats"
@@ -27,26 +28,26 @@ type Fig9Result struct {
 
 // RunFig9 reproduces Figure 9: 50 single-process cgroups with delay-scaled
 // uniform access patterns; the DRAM page percentage of six representative
-// cgroups is sampled over the run.
+// cgroups is sampled over the run. Policies run as independent parallel
+// simulations, assembled in the given order.
 func RunFig9(policies []string, o RunOpts) ([]*Fig9Result, error) {
-	var out []*Fig9Result
-	for _, pol := range policies {
-		w := &workload.MultiTenant{Tenants: 50}
-		o := o
-		if o.Duration == 0 {
-			o.Duration = 1500 * simclock.Second
-		}
-		res, err := runWithSampler(pol, w, o, func(e *engine.Engine, r *Fig9Result, now simclock.Time) {
-			for _, cg := range Fig9Cgroups {
-				r.Series[cg].Append(now.Seconds(), e.DRAMPagePercent(4000+cg))
+	jobs := make([]func() (*Fig9Result, error), len(policies))
+	for i, pol := range policies {
+		pol := pol
+		jobs[i] = func() (*Fig9Result, error) {
+			w := &workload.MultiTenant{Tenants: 50}
+			o := o
+			if o.Duration == 0 {
+				o.Duration = 1500 * simclock.Second
 			}
-		})
-		if err != nil {
-			return nil, err
+			return runWithSampler(pol, w, o, func(e *engine.Engine, r *Fig9Result, now simclock.Time) {
+				for _, cg := range Fig9Cgroups {
+					r.Series[cg].Append(now.Seconds(), e.DRAMPagePercent(4000+cg))
+				}
+			})
 		}
-		out = append(out, res)
 	}
-	return out, nil
+	return parallel.Map(o.Workers, jobs)
 }
 
 // runWithSampler runs one policy with a 10-second placement sampler.

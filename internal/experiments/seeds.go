@@ -3,43 +3,63 @@ package experiments
 import (
 	"fmt"
 
+	"chrono/internal/parallel"
 	"chrono/internal/report"
 	"chrono/internal/stats"
 	"chrono/internal/workload"
 )
 
+// seedRun is the per-(seed, policy) summary the stability sweep needs:
+// everything engine-dependent (the F1 score) is computed in the worker so
+// the engine can be released before assembly.
+type seedRun struct {
+	thr, fmar, f1 float64
+}
+
 // RunSeedStability re-runs the headline comparison across seeds and
 // reports mean ± stddev of the Chrono/Linux-NB speedup, FMARs, and F1 —
-// the robustness check a reproduction should ship with.
+// the robustness check a reproduction should ship with. The
+// (seed, policy) runs execute as one parallel batch.
 func RunSeedStability(seeds []uint64, o RunOpts) (*report.Table, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1, 2, 3, 5, 8}
 	}
-	var speedups, nbFMAR, chFMAR, chF1 []float64
+	pols := []string{"Linux-NB", "Chrono"}
+	var jobs []func() (seedRun, error)
 	for _, seed := range seeds {
-		ro := o
-		ro.Seed = seed
-		var nb, ch *Result
-		for _, pol := range []string{"Linux-NB", "Chrono"} {
-			w := &workload.Pmbench{
-				Processes: 50, WorkingSetGB: 5, ReadPct: 70, Stride: 2,
-				Mode: DefaultModeFor(pol),
-			}
-			res, err := Run(pol, w, ro)
-			if err != nil {
-				return nil, err
-			}
-			if pol == "Linux-NB" {
-				nb = res
-			} else {
-				ch = res
-			}
+		for _, pol := range pols {
+			seed, pol := seed, pol
+			jobs = append(jobs, func() (seedRun, error) {
+				ro := o
+				ro.Seed = seed
+				w := &workload.Pmbench{
+					Processes: 50, WorkingSetGB: 5, ReadPct: 70, Stride: 2,
+					Mode: DefaultModeFor(pol),
+				}
+				res, err := Run(pol, w, ro)
+				if err != nil {
+					return seedRun{}, err
+				}
+				r := seedRun{thr: res.Metrics.Throughput(), fmar: res.Metrics.FMAR() * 100}
+				if pol == "Chrono" {
+					_, r.f1, _ = Score(res)
+				}
+				res.Compact()
+				return r, nil
+			})
 		}
-		speedups = append(speedups, ch.Metrics.Throughput()/nb.Metrics.Throughput())
-		nbFMAR = append(nbFMAR, nb.Metrics.FMAR()*100)
-		chFMAR = append(chFMAR, ch.Metrics.FMAR()*100)
-		_, f1, _ := Score(ch)
-		chF1 = append(chF1, f1)
+	}
+	flat, err := parallel.Map(o.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var speedups, nbFMAR, chFMAR, chF1 []float64
+	for si := range seeds {
+		nb, ch := flat[si*2], flat[si*2+1]
+		speedups = append(speedups, ch.thr/nb.thr)
+		nbFMAR = append(nbFMAR, nb.fmar)
+		chFMAR = append(chFMAR, ch.fmar)
+		chF1 = append(chF1, ch.f1)
 	}
 	t := report.NewTable(
 		fmt.Sprintf("Seed stability: headline workload across %d seeds", len(seeds)),

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"chrono/internal/core"
+	"chrono/internal/parallel"
 	"chrono/internal/policy"
 	"chrono/internal/policy/scan"
 	"chrono/internal/report"
@@ -65,19 +66,29 @@ func RunSensitivity(title string, mkWorkload func() workload.Workload, o RunOpts
 		stepPages = 8
 	}
 
+	var jobs []func() (float64, error)
 	for _, param := range SensitivityParams {
-		var thr []float64
 		for _, mult := range SensitivityMultipliers {
-			pol, err := chronoWithParam(param, mult, stepPages)
-			if err != nil {
-				return nil, err
-			}
-			res, err := runPolicyInstance(pol, mkWorkload(), o)
-			if err != nil {
-				return nil, err
-			}
-			thr = append(thr, res.Metrics.Throughput())
+			param, mult := param, mult
+			jobs = append(jobs, func() (float64, error) {
+				pol, err := chronoWithParam(param, mult, stepPages)
+				if err != nil {
+					return 0, err
+				}
+				res, err := runPolicyInstance(pol, mkWorkload(), o)
+				if err != nil {
+					return 0, err
+				}
+				return res.Metrics.Throughput(), nil
+			})
 		}
+	}
+	flat, err := parallel.Map(o.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for pi, param := range SensitivityParams {
+		thr := flat[pi*len(SensitivityMultipliers) : (pi+1)*len(SensitivityMultipliers)]
 		// Normalize to the x1 column.
 		base := thr[3]
 		cells := []any{param}

@@ -1,0 +1,76 @@
+// Package parallel is the deterministic worker pool behind every
+// multi-run experiment sweep.
+//
+// Each simulation run in a sweep is independent by construction: it builds
+// its own engine, forks its own RNG streams from its own seed, and shares
+// no mutable state with its siblings (see DESIGN.md "Parallel sweeps").
+// That makes the sweep embarrassingly parallel — but the output contract is
+// still "one seed, one result", so the pool must not let scheduling order
+// leak into results. Map guarantees that: jobs may execute in any order on
+// any worker, but results are assembled by job index, so the returned slice
+// is byte-for-byte the one the serial loop would have produced.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a user-facing worker count to an effective one: values ≤ 0
+// mean "use all CPUs" (GOMAXPROCS).
+func Resolve(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs every job and returns their results in job order. With
+// workers ≤ 1 the jobs run serially in the calling goroutine — the exact
+// code path a non-parallel build would take. With more workers the jobs are
+// distributed over min(workers, len(jobs)) goroutines; result i is always
+// stored at slot i regardless of which worker ran it or when it finished.
+//
+// Error handling is deterministic too: if any jobs fail, Map returns the
+// error of the lowest-indexed failing job — never "whichever failed first
+// on the wall clock" — after all jobs have finished. Results of successful
+// jobs are still returned alongside the error.
+func Map[T any](workers int, jobs []func() (T, error)) ([]T, error) {
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, job := range jobs {
+			results[i], errs[i] = job()
+		}
+	} else {
+		// Workers pull the next unclaimed job index from a shared atomic
+		// counter: cheap dynamic load balancing, no channels, no ordering
+		// assumptions anywhere but the results slot.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					results[i], errs[i] = jobs[i]()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,121 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func squareJobs(n int) []func() (int, error) {
+	jobs := make([]func() (int, error), n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = func() (int, error) { return i * i, nil }
+	}
+	return jobs
+}
+
+func TestMapOrdersResultsByJobIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := Map(workers, squareJobs(100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("slot %d holds %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapSerialPathRunsInOrder(t *testing.T) {
+	var order []int
+	jobs := make([]func() (int, error), 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) {
+			order = append(order, i)
+			return i, nil
+		}
+	}
+	if _, err := Map(1, jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path ran job %d at position %d", v, i)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	jobs := make([]func() (int, error), 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) {
+			switch i {
+			case 7:
+				return 0, errLow
+			case 40:
+				return 0, errHigh
+			default:
+				return i, nil
+			}
+		}
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := Map(workers, jobs)
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got error %v, want lowest-indexed %v", workers, err, errLow)
+		}
+		// Successful jobs still delivered their results.
+		if got[10] != 10 {
+			t.Fatalf("workers=%d: successful result dropped on error", workers)
+		}
+	}
+}
+
+func TestMapRunsEveryJobExactlyOnce(t *testing.T) {
+	var ran [200]atomic.Int32
+	jobs := make([]func() (int, error), len(ran))
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) {
+			ran[i].Add(1)
+			return 0, nil
+		}
+	}
+	if _, err := Map(16, jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got, err := Map[int](8, nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty jobs: got %v, %v", got, err)
+	}
+	got, err := Map(8, squareJobs(1))
+	if err != nil || len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single job: got %v, %v", got, err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve(4) != 4 {
+		t.Fatal("positive n must pass through")
+	}
+	if Resolve(0) < 1 || Resolve(-1) < 1 {
+		t.Fatal("non-positive n must resolve to at least one worker")
+	}
+}

@@ -2,17 +2,23 @@
 // underlies the tiered-memory simulator.
 //
 // The engine maintains a monotonically increasing virtual clock with
-// nanosecond resolution and a binary-heap event queue. Components (the
-// kernel model, tiering policies, workload phase changes) schedule callbacks
-// at absolute or relative virtual times; Run drains the queue in timestamp
-// order, advancing the clock to each event as it fires.
+// nanosecond resolution and a 4-ary implicit-heap event queue. Components
+// (the kernel model, tiering policies, workload phase changes) schedule
+// callbacks at absolute or relative virtual times; Run drains the queue in
+// timestamp order, advancing the clock to each event as it fires.
 //
 // Events scheduled for the same instant fire in scheduling order (FIFO),
 // which keeps simulations deterministic for a fixed seed.
+//
+// The queue is allocation-free in steady state: fired and cancelled events
+// return to a free list and are recycled by later schedules. Handles carry
+// a generation counter so a stale handle to a recycled event is correctly
+// reported as cancelled instead of aliasing the new occupant. The hot fault
+// path can use AtArg to schedule a pre-built callback with an argument
+// word, avoiding a closure allocation per scheduled event.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -52,58 +58,48 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // EventFunc is a callback fired when the clock reaches its scheduled time.
 type EventFunc func(now Time)
 
-// event is a scheduled callback in the queue.
+// ArgFunc is a callback fired with the argument pair it was scheduled with.
+// It lets hot paths schedule one long-lived function value plus per-event
+// data instead of allocating a fresh closure per event.
+type ArgFunc func(now Time, arg any, n uint64)
+
+// event is a scheduled callback in the queue. Exactly one of fn/afn is set.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among equal timestamps
 	fn  EventFunc
-	// index in the heap, maintained by the heap interface; -1 once popped
-	// or cancelled.
-	index int
+	afn ArgFunc
+	arg any
+	n   uint64
+	// index in the heap; -1 once fired or cancelled (i.e. on the free list).
+	index int32
+	// gen increments every time the event is released to the free list, so
+	// stale Handles to a recycled slot read as cancelled.
+	gen uint32
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *event }
+type Handle struct {
+	ev  *event
+	gen uint32
+}
 
 // Cancelled reports whether the handle's event was cancelled or already fired.
-func (h Handle) Cancelled() bool { return h.ev == nil || h.ev.index < 0 }
+func (h Handle) Cancelled() bool {
+	return h.ev == nil || h.ev.gen != h.gen || h.ev.index < 0
+}
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// freeChunk is how many events one backing array holds; chunked allocation
+// keeps recycled events cache-adjacent.
+const freeChunk = 64
 
 // Clock is a discrete-event virtual clock. The zero value is not ready to
 // use; call New.
 type Clock struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []*event // 4-ary implicit min-heap ordered by (at, seq)
+	free    []*event
 	fired   uint64
 	stopped bool
 }
@@ -122,16 +118,159 @@ func (c *Clock) Pending() int { return len(c.queue) }
 // Fired returns the total number of events dispatched so far.
 func (c *Clock) Fired() uint64 { return c.fired }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// (t < Now) panics: the simulator has no causality violations by design.
-func (c *Clock) At(t Time, fn EventFunc) Handle {
+// alloc takes an event from the free list, refilling it in chunks.
+func (c *Clock) alloc() *event {
+	if len(c.free) == 0 {
+		chunk := make([]event, freeChunk)
+		for i := range chunk {
+			c.free = append(c.free, &chunk[i])
+		}
+	}
+	ev := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	return ev
+}
+
+// release returns a fired or cancelled event to the free list, bumping its
+// generation so outstanding Handles go stale, and dropping callback/arg
+// references so recycled slots don't pin dead objects.
+func (c *Clock) release(ev *event) {
+	ev.gen++
+	ev.index = -1
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	c.free = append(c.free, ev)
+}
+
+// less orders events by (at, seq): earliest timestamp first, FIFO within a
+// timestamp.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp moves queue[i] toward the root until the heap order holds.
+func (c *Clock) siftUp(i int) {
+	q := c.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = int32(i)
+		i = parent
+	}
+	q[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown moves queue[i] toward the leaves until the heap order holds.
+func (c *Clock) siftDown(i int) {
+	q := c.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if less(q[j], q[best]) {
+				best = j
+			}
+		}
+		if !less(q[best], ev) {
+			break
+		}
+		q[i] = q[best]
+		q[i].index = int32(i)
+		i = best
+	}
+	q[i] = ev
+	ev.index = int32(i)
+}
+
+// push inserts ev into the heap.
+func (c *Clock) push(ev *event) {
+	ev.index = int32(len(c.queue))
+	c.queue = append(c.queue, ev)
+	c.siftUp(len(c.queue) - 1)
+}
+
+// popMin removes and returns the earliest event.
+func (c *Clock) popMin() *event {
+	q := c.queue
+	min := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[0].index = 0
+	q[n] = nil
+	c.queue = q[:n]
+	if n > 0 {
+		c.siftDown(0)
+	}
+	min.index = -1
+	return min
+}
+
+// remove deletes the event at heap position i.
+func (c *Clock) remove(i int) {
+	q := c.queue
+	n := len(q) - 1
+	ev := q[i]
+	if i != n {
+		q[i] = q[n]
+		q[i].index = int32(i)
+	}
+	q[n] = nil
+	c.queue = q[:n]
+	if i < n {
+		c.siftDown(i)
+		c.siftUp(i)
+	}
+	ev.index = -1
+}
+
+// schedule validates t and enqueues a freshly filled event.
+func (c *Clock) schedule(t Time, ev *event) Handle {
 	if t < c.now {
 		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", t, c.now))
 	}
-	ev := &event{at: t, seq: c.seq, fn: fn}
+	ev.at = t
+	ev.seq = c.seq
 	c.seq++
-	heap.Push(&c.queue, ev)
-	return Handle{ev: ev}
+	c.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: the simulator has no causality violations by design.
+func (c *Clock) At(t Time, fn EventFunc) Handle {
+	ev := c.alloc()
+	ev.fn = fn
+	return c.schedule(t, ev)
+}
+
+// AtArg schedules fn to run at absolute virtual time t with the given
+// argument pair. Unlike At with a capturing closure, AtArg allocates
+// nothing in steady state: callers keep one ArgFunc alive and pass
+// per-event state through arg/n.
+func (c *Clock) AtArg(t Time, fn ArgFunc, arg any, n uint64) Handle {
+	ev := c.alloc()
+	ev.afn = fn
+	ev.arg = arg
+	ev.n = n
+	return c.schedule(t, ev)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -150,24 +289,10 @@ func (c *Clock) Every(period Duration, fn EventFunc) *Ticker {
 		panic(fmt.Sprintf("simclock: non-positive period %d", period))
 	}
 	t := &Ticker{clock: c, period: period, fn: fn}
-	t.schedule()
-	return t
-}
-
-// Ticker re-arms a periodic callback. Cancel stops future firings.
-type Ticker struct {
-	clock    *Clock
-	period   Duration
-	fn       EventFunc
-	handle   Handle
-	cancel   bool
-	armed    bool
-	lastFire Time
-}
-
-func (t *Ticker) schedule() {
-	t.armed = true
-	t.handle = t.clock.After(t.period, func(now Time) {
+	// One tick closure for the ticker's whole life: re-arming schedules the
+	// same function value again instead of building a fresh closure per
+	// firing.
+	t.tick = func(now Time) {
 		t.armed = false
 		if t.cancel {
 			return
@@ -177,7 +302,26 @@ func (t *Ticker) schedule() {
 		if !t.cancel && !t.armed {
 			t.schedule()
 		}
-	})
+	}
+	t.schedule()
+	return t
+}
+
+// Ticker re-arms a periodic callback. Cancel stops future firings.
+type Ticker struct {
+	clock    *Clock
+	period   Duration
+	fn       EventFunc
+	tick     EventFunc
+	handle   Handle
+	cancel   bool
+	armed    bool
+	lastFire Time
+}
+
+func (t *Ticker) schedule() {
+	t.armed = true
+	t.handle = t.clock.After(t.period, t.tick)
 }
 
 // Cancel stops the ticker after any in-flight callback.
@@ -210,11 +354,11 @@ func (t *Ticker) Reset(period Duration) {
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (c *Clock) Cancel(h Handle) {
-	if h.ev == nil || h.ev.index < 0 {
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.index < 0 {
 		return
 	}
-	heap.Remove(&c.queue, h.ev.index)
-	h.ev.index = -1
+	c.remove(int(h.ev.index))
+	c.release(h.ev)
 }
 
 // Step fires the single earliest event, advancing the clock to it.
@@ -223,10 +367,18 @@ func (c *Clock) Step() bool {
 	if len(c.queue) == 0 || c.stopped {
 		return false
 	}
-	ev := heap.Pop(&c.queue).(*event)
+	ev := c.popMin()
 	c.now = ev.at
 	c.fired++
-	ev.fn(c.now)
+	// Capture the callback before recycling the event: the callback itself
+	// may schedule new events and reuse this slot.
+	fn, afn, arg, n := ev.fn, ev.afn, ev.arg, ev.n
+	c.release(ev)
+	if afn != nil {
+		afn(c.now, arg, n)
+	} else {
+		fn(c.now)
+	}
 	return true
 }
 

@@ -133,7 +133,15 @@ type Process struct {
 	weights  []float64
 	readFrac []float64
 
-	// TotalWeight caches sum(weights) for rate normalization.
+	// dirty is the list of pattern indices changed by SetPattern since the
+	// last ClearDirty, deduplicated through dirtyMark. The engine uses it
+	// to update its per-process aggregates incrementally instead of
+	// re-walking every VMA on each pattern flush.
+	dirty     []int
+	dirtyMark []bool
+
+	// TotalWeight caches sum(weights) for rate normalization. SetPattern
+	// maintains it incrementally.
 	TotalWeight float64
 }
 
@@ -148,6 +156,7 @@ func NewProcess(pid int, name string, lenPages uint64) *Process {
 	p.vmas = []VMA{{Start: 0x1000, Len: lenPages, Name: "anon"}}
 	p.weights = make([]float64, lenPages)
 	p.readFrac = make([]float64, lenPages)
+	p.dirtyMark = make([]bool, lenPages)
 	return p
 }
 
@@ -162,6 +171,7 @@ func (p *Process) AddVMA(lenPages uint64, name string) VMA {
 	p.vmas = append(p.vmas, v)
 	p.weights = append(p.weights, make([]float64, lenPages)...)
 	p.readFrac = append(p.readFrac, make([]float64, lenPages)...)
+	p.dirtyMark = append(p.dirtyMark, make([]bool, lenPages)...)
 	return v
 }
 
@@ -178,15 +188,51 @@ func (p *Process) PatternIndex(vpn uint64) int {
 	return -1
 }
 
-// SetPattern assigns the access weight and read fraction of one base page.
-// The caller must call RecomputeTotalWeight after a batch of updates.
+// SetPattern assigns the access weight and read fraction of one base page,
+// maintaining TotalWeight and recording the index on the dirty list (for
+// the engine's incremental aggregate update). Writing back the values a
+// page already has is a no-op and stays off the dirty list.
 func (p *Process) SetPattern(vpn uint64, weight, readFrac float64) {
 	i := p.PatternIndex(vpn)
 	if i < 0 {
 		panic(fmt.Sprintf("vm: SetPattern on unmapped vpn %#x", vpn))
 	}
+	if p.weights[i] == weight && p.readFrac[i] == readFrac {
+		return
+	}
+	p.TotalWeight += weight - p.weights[i]
 	p.weights[i] = weight
 	p.readFrac[i] = readFrac
+	if !p.dirtyMark[i] {
+		p.dirtyMark[i] = true
+		p.dirty = append(p.dirty, i)
+	}
+}
+
+// DirtyIndexes returns the pattern indices changed since the last
+// ClearDirty, in first-touch order. The slice is owned by the process;
+// callers must not retain it across ClearDirty.
+func (p *Process) DirtyIndexes() []int { return p.dirty }
+
+// ClearDirty resets the dirty list after the engine has consumed it.
+func (p *Process) ClearDirty() {
+	for _, i := range p.dirty {
+		p.dirtyMark[i] = false
+	}
+	p.dirty = p.dirty[:0]
+}
+
+// IndexVPN is the inverse of PatternIndex: it maps a pattern index back to
+// its VPN. It panics on an out-of-range index.
+func (p *Process) IndexVPN(i int) uint64 {
+	base := uint64(i)
+	for _, v := range p.vmas {
+		if base < v.Len {
+			return v.Start + base
+		}
+		base -= v.Len
+	}
+	panic(fmt.Sprintf("vm: IndexVPN out of range: %d", i))
 }
 
 // Weight returns the access weight of the base page at vpn (0 if outside).
