@@ -17,8 +17,11 @@ race:
 vet:
 	$(GO) vet ./...
 
-# chronolint: the repo's determinism linters (detclock, detrand,
-# maporder, errsink) — see internal/analysis and DESIGN.md.
+# chronolint: the repo's determinism and unit-safety linters (detclock,
+# detrand, maporder, errsink, unitmix, parcapture, handlecheck,
+# floatorder) over every package including cmd/ and examples/ — see
+# internal/analysis and DESIGN.md. Exits non-zero on any unsuppressed
+# finding.
 lint:
 	$(GO) run ./cmd/chronolint ./...
 

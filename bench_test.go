@@ -22,6 +22,7 @@ import (
 	"chrono/internal/mem"
 	"chrono/internal/rng"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 	"chrono/internal/workload"
 	"chrono/internal/xarray"
@@ -227,7 +228,7 @@ func BenchmarkFig10dSensitivity(b *testing.B) {
 // --- Figure 11: Graph500 -------------------------------------------------
 
 func BenchmarkFig11(b *testing.B) {
-	for _, size := range []float64{128, 256} {
+	for _, size := range []units.GB{128, 256} {
 		for _, pol := range []string{"Linux-NB", "Chrono"} {
 			b.Run(fmt.Sprintf("%.0fGB/%s", size, pol), func(b *testing.B) {
 				var exec float64

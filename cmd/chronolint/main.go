@@ -22,7 +22,11 @@ import (
 	"chrono/internal/analysis/detclock"
 	"chrono/internal/analysis/detrand"
 	"chrono/internal/analysis/errsink"
+	"chrono/internal/analysis/floatorder"
+	"chrono/internal/analysis/handlecheck"
 	"chrono/internal/analysis/maporder"
+	"chrono/internal/analysis/parcapture"
+	"chrono/internal/analysis/unitmix"
 )
 
 // analyzers is the chronolint suite.
@@ -31,6 +35,10 @@ var analyzers = []*analysis.Analyzer{
 	detrand.Analyzer,
 	maporder.Analyzer,
 	errsink.Analyzer,
+	unitmix.Analyzer,
+	parcapture.Analyzer,
+	handlecheck.Analyzer,
+	floatorder.Analyzer,
 }
 
 func main() {

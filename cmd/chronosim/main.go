@@ -19,6 +19,7 @@ import (
 	"chrono/internal/experiments"
 	"chrono/internal/report"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/workload"
 )
 
@@ -51,11 +52,11 @@ func main() {
 	switch *wl {
 	case "pmbench":
 		w = &workload.Pmbench{
-			Processes: *procs, WorkingSetGB: *ws, ReadPct: *readPct,
+			Processes: *procs, WorkingSetGB: units.GB(*ws), ReadPct: *readPct,
 			Stride: *stride, Mode: mode,
 		}
 	case "graph500":
-		w = &workload.Graph500{TotalGB: *total, Mode: mode}
+		w = &workload.Graph500{TotalGB: units.GB(*total), Mode: mode}
 	case "kvstore":
 		f := workload.Memcached
 		if *flavor == "redis" {
@@ -76,8 +77,8 @@ func main() {
 	opts := experiments.RunOpts{
 		Seed:     *seed,
 		Duration: simclock.FromSeconds(*secs),
-		FastGB:   *fastGB,
-		SlowGB:   *slowGB,
+		FastGB:   units.GB(*fastGB),
+		SlowGB:   units.GB(*slowGB),
 	}
 	res, err := experiments.Run(*polName, w, opts)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"chrono/internal/experiments"
 	"chrono/internal/simclock"
 	"chrono/internal/trace"
+	"chrono/internal/units"
 	"chrono/internal/workload"
 )
 
@@ -56,9 +57,9 @@ func record(args []string) {
 	var w workload.Workload
 	switch *wl {
 	case "pmbench":
-		w = &workload.Pmbench{Processes: *procs, WorkingSetGB: *ws, ReadPct: 70, Stride: 2}
+		w = &workload.Pmbench{Processes: *procs, WorkingSetGB: units.GB(*ws), ReadPct: 70, Stride: 2}
 	case "graph500":
-		w = &workload.Graph500{TotalGB: *ws * float64(*procs)}
+		w = &workload.Graph500{TotalGB: units.GB(*ws * float64(*procs))}
 	case "kvstore":
 		w = &workload.KVStore{Flavor: workload.Memcached, StoreGB: 160, SetRatio: 1, GetRatio: 10}
 	case "multitenant":

@@ -12,6 +12,7 @@ import (
 	"chrono/internal/experiments"
 	"chrono/internal/report"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/workload"
 )
 
@@ -21,7 +22,7 @@ func main() {
 
 	t := report.NewTable("Graph500 execution time (s) — lower is better",
 		append([]string{"Working set"}, policies...)...)
-	for _, size := range []float64{128, 192, 256} {
+	for _, size := range []units.GB{128, 192, 256} {
 		cells := []any{fmt.Sprintf("%.0f GB", size)}
 		for _, pol := range policies {
 			w := &workload.Graph500{

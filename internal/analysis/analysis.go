@@ -20,6 +20,15 @@
 //
 // Directives may carry a free-form justification after the name, e.g.
 // //chrono:wallclock progress timing only, never enters results.
+//
+// In addition, every analyzer honours the shared suppression form
+//
+//	//chrono:allow <analyzer> <reason>
+//
+// which the driver applies centrally: a diagnostic reported by <analyzer>
+// whose line (or the line above) carries a matching allow directive is
+// dropped before it is returned. The <reason> is mandatory by convention —
+// an allow without one should not survive review.
 package analysis
 
 import (
@@ -109,9 +118,20 @@ func (p *Pass) buildAnnotations() {
 				if !strings.HasPrefix(text, "chrono:") {
 					continue
 				}
-				name := strings.TrimPrefix(text, "chrono:")
+				rest := strings.TrimPrefix(text, "chrono:")
+				name := rest
 				if i := strings.IndexAny(name, " \t"); i >= 0 {
 					name = name[:i]
+				}
+				if name == "allow" {
+					// //chrono:allow <analyzer> <reason> — index under
+					// "allow:<analyzer>" so the driver can filter that
+					// analyzer's diagnostics centrally.
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						continue // malformed: no analyzer named
+					}
+					name = "allow:" + fields[1]
 				}
 				pos := p.Fset.Position(c.Pos())
 				p.annotations[annotationKey{pos.Filename, pos.Line, name}] = true
@@ -144,7 +164,9 @@ func (p *Pass) ImportedPkg(ident *ast.Ident) *types.Package {
 	return nil
 }
 
-// Run applies a to pkg and returns its diagnostics.
+// Run applies a to pkg and returns its diagnostics, minus any suppressed
+// by a //chrono:allow <analyzer> directive on the finding's line or the
+// line above.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
@@ -156,5 +178,17 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
-	return pass.Diagnostics(), nil
+	if pass.annotations == nil {
+		pass.buildAnnotations()
+	}
+	allow := "allow:" + a.Name
+	kept := pass.Diagnostics()[:0]
+	for _, d := range pass.Diagnostics() {
+		if pass.annotations[annotationKey{d.Pos.Filename, d.Pos.Line, allow}] ||
+			pass.annotations[annotationKey{d.Pos.Filename, d.Pos.Line - 1, allow}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
 }

@@ -1,0 +1,58 @@
+// False-positive edge cases: error-handling shapes that look like
+// discards at a glance but handle or explicitly discard the error.
+package errsink
+
+import "os"
+
+var sink error
+
+// goodShadowedErr re-declares err in an inner scope; both the outer and
+// the shadowed error are checked, so neither call is a discard.
+func goodShadowedErr() error {
+	err := mayFail()
+	if err != nil {
+		return err
+	}
+	if err := mayFail(); err != nil { // shadowed, still handled
+		return err
+	}
+	return err
+}
+
+// goodErrThroughClosure consumes the error one frame up.
+func goodErrThroughClosure() error {
+	run := func() error { return mayFail() }
+	return run()
+}
+
+// goodDeferredWrapper discards inside a deferred closure, explicitly.
+func goodDeferredWrapper(f *os.File) {
+	defer func() { _ = f.Close() }()
+}
+
+// goodStoredErr keeps the error for later inspection.
+func goodStoredErr() {
+	sink = mayFail()
+}
+
+// goodBothResults consumes the value and the error.
+func goodBothResults() (int, error) {
+	v, err := valueAndErr()
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// badGoDiscard launches a goroutine whose error has nowhere to go.
+func badGoDiscard() {
+	go mayFail() // want `result 0 of mayFail is an error`
+}
+
+// badShadowSetup handles the first error but discards the retry.
+func badShadowSetup() error {
+	if err := mayFail(); err != nil {
+		mayFail() // want `result 0 of mayFail is an error`
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package floatorder flags floating-point accumulation driven by map
+// iteration order.
+//
+// Float addition is not associative, and Go randomizes map iteration order
+// per run, so `for _, v := range m { sum += v }` with a float sum produces
+// a different last-ulp result on every run — enough to flip a migration
+// decision or perturb a reported figure, and exactly the class of drift
+// the byte-identical results/tables.json check exists to catch.
+//
+// floatorder is the narrow, everywhere-applicable sibling of maporder:
+// maporder rejects order-sensitive map-range bodies wholesale but only
+// runs on simulation packages; floatorder looks for this one high-signal
+// shape — accumulation (+=, -=, *=, /=, or x = x + v) into a float-typed
+// variable declared outside a range-over-map — and runs over cmd/,
+// experiments, and examples too, where result tables are assembled.
+// Named float types (units.NS and friends) count as floats.
+//
+// Fix by sorting the keys and ranging over the sorted slice. Loops whose
+// sum provably cannot reach any result honour maporder's
+// //chrono:ordered-irrelevant directive on the range statement, or
+// //chrono:allow floatorder <reason> on the accumulation line.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"chrono/internal/analysis"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "floatorder"
+
+// Analyzer is the floatorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag float accumulation inside range-over-map loops (iteration order " +
+		"perturbs the sum); sort the keys first, or suppress with " +
+		"//chrono:ordered-irrelevant on the loop or //chrono:allow floatorder <reason>.",
+	Run: run,
+}
+
+// orderedIrrelevant is maporder's loop-level suppression, honoured here so
+// one directive clears both analyzers on the same loop.
+const orderedIrrelevant = "ordered-irrelevant"
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Annotated(rs.Pos(), orderedIrrelevant) {
+				return true
+			}
+			c.checkLoop(rs)
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// checkLoop scans one map-range body for float accumulation into state
+// declared outside the loop. Nested map ranges are visited by the outer
+// Inspect on their own, so recursion here stops at them.
+func (c *checker) checkLoop(loop *ast.RangeStmt) {
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				c.checkTarget(loop, lhs)
+			}
+		case token.ASSIGN:
+			// x = x + v (and x = v + x) spelled without the compound form.
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				if b, ok := as.Rhs[i].(*ast.BinaryExpr); ok && selfReferential(lhs, b) {
+					switch b.Op {
+					case token.ADD, token.SUB, token.MUL, token.QUO:
+						c.checkTarget(loop, lhs)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkTarget reports lhs when it is a float accumulated across the map
+// order: float-typed and declared outside the loop.
+func (c *checker) checkTarget(loop *ast.RangeStmt, lhs ast.Expr) {
+	if !c.isFloat(lhs) {
+		return
+	}
+	if root := rootIdentOf(lhs); root != nil && c.localTo(loop, root) {
+		return // loop-local accumulator dies with the iteration
+	}
+	if c.pass.Annotated(lhs.Pos(), "allow:"+Name) {
+		return
+	}
+	c.pass.Reportf(lhs.Pos(),
+		"float accumulation into %s inside range over map: iteration order "+
+			"perturbs the sum (float addition is not associative); sort the keys "+
+			"first or annotate the loop with //chrono:ordered-irrelevant",
+		exprString(lhs))
+}
+
+// selfReferential reports whether the binary expression reads lhs (the
+// x = x + v shape). Only identifier/selector targets are matched.
+func selfReferential(lhs ast.Expr, b *ast.BinaryExpr) bool {
+	want := exprKey(lhs)
+	if want == "" {
+		return false
+	}
+	return exprKey(b.X) == want || exprKey(b.Y) == want
+}
+
+// exprKey canonicalises ident/selector chains; "" for anything else.
+func exprKey(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		base := exprKey(v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(v.X)
+	default:
+		return ""
+	}
+}
+
+// isFloat reports whether the expression's type is a float (including
+// named float types like units.NS).
+func (c *checker) isFloat(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// localTo reports whether the identifier's object is declared inside the
+// loop (including the key/value variables).
+func (c *checker) localTo(loop *ast.RangeStmt, ident *ast.Ident) bool {
+	obj := c.pass.TypesInfo.ObjectOf(ident)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= loop.Pos() && obj.Pos() <= loop.End()
+}
+
+// rootIdentOf unwraps selectors/indexes/parens down to a root identifier.
+func rootIdentOf(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a short source form for diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	default:
+		return "expression"
+	}
+}

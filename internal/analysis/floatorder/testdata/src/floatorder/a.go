@@ -1,0 +1,114 @@
+// Package floatorder is the seeded-violation corpus for the floatorder
+// analyzer.
+package floatorder
+
+import (
+	"sort"
+
+	"chrono/internal/units"
+)
+
+// badSum accumulates a float across map iteration order.
+func badSum(w map[int]float64) float64 {
+	var sum float64
+	for _, v := range w {
+		sum += v // want `float accumulation into sum inside range over map`
+	}
+	return sum
+}
+
+// badNamedFloat accumulates a units-typed float (underlying float64).
+func badNamedFloat(costs map[string]units.NS) units.NS {
+	var total units.NS
+	for _, c := range costs {
+		total += c // want `float accumulation into total inside range over map`
+	}
+	return total
+}
+
+// badPlainForm spells the accumulation without the compound operator.
+func badPlainForm(w map[int]float64) float64 {
+	var sum float64
+	for _, v := range w {
+		sum = sum + v // want `float accumulation into sum inside range over map`
+	}
+	return sum
+}
+
+// badField accumulates into a struct field.
+type stats struct{ mean float64 }
+
+func badField(s *stats, w map[int]float64) {
+	for _, v := range w {
+		s.mean += v / float64(len(w)) // want `float accumulation into s.mean inside range over map`
+	}
+}
+
+// goodIntSum accumulates an integer: addition commutes exactly.
+func goodIntSum(w map[int]int) int {
+	var n int
+	for _, v := range w {
+		n += v
+	}
+	return n
+}
+
+// goodLoopLocal accumulates into a variable that dies with the iteration.
+func goodLoopLocal(w map[int][]float64) []float64 {
+	out := make([]float64, 0, len(w))
+	for k, vs := range w {
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v // order within a slice is deterministic
+		}
+		out = append(out, rowSum+float64(k)*0)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// goodSliceRange accumulates over a slice: iteration order is fixed.
+func goodSliceRange(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// goodSortedKeys is the canonical fix: sort the keys, range the slice.
+func goodSortedKeys(w map[int]float64) float64 {
+	keys := make([]int, 0, len(w))
+	//chrono:ordered-irrelevant keys are sorted immediately below
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += w[k]
+	}
+	return sum
+}
+
+// goodAnnotatedLoop honours maporder's loop-level directive.
+func goodAnnotatedLoop(w map[int]float64) float64 {
+	var max float64
+	//chrono:ordered-irrelevant max of a set is order-independent
+	for _, v := range w {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// goodAllow suppresses one accumulation line.
+func goodAllow(w map[int]float64) float64 {
+	var sum float64
+	for _, v := range w {
+		//chrono:allow floatorder fixture: result is rounded to whole units
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,12 @@
+package handlecheck_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/handlecheck"
+)
+
+func TestHandlecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", handlecheck.Analyzer, "handlecheck")
+}

@@ -1,0 +1,84 @@
+// False-positive edge cases: loops that involve maps but never let the
+// randomized iteration order reach an observable result.
+package maporder
+
+import "sort"
+
+// goodSortedThenIndex is the full canonical pattern split across loops:
+// the only map range extracts keys (annotated), every later loop ranges
+// a deterministic slice even though it reads the map.
+func goodSortedThenIndex(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	//chrono:ordered-irrelevant keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k] // range over a sorted slice: order is fixed
+	}
+	return sum
+}
+
+// goodControlFlowOnly mixes branches, continue, and break with purely
+// order-insensitive effects.
+func goodControlFlowOnly(m map[int]int, limit int) int {
+	n := 0
+	for _, v := range m {
+		if v < 0 {
+			continue
+		}
+		if v > limit {
+			n |= 1
+			continue
+		}
+		n += v
+	}
+	return n
+}
+
+// goodPureReads converts and measures elements without writing anything
+// beyond blank.
+func goodPureReads(m map[int][]int) {
+	for _, vs := range m {
+		_ = len(vs)
+		_ = cap(vs)
+		_ = float64(len(vs))
+	}
+}
+
+// goodBareReturn exits early without returning an arbitrary element.
+func goodBareReturn(m map[int]int) {
+	for _, v := range m {
+		if v < 0 {
+			return
+		}
+	}
+}
+
+// goodLoopLocalStruct builds and discards per-iteration state.
+func goodLoopLocalStruct(m map[int]int) int {
+	total := 0
+	for k, v := range m {
+		pair := struct{ k, v int }{k, v}
+		scaled := pair.v * 2
+		total += scaled
+	}
+	return total
+}
+
+// badSortInside calls into the sort package from inside the map range:
+// a call is order-sensitive even when its purpose is sorting.
+func badSortInside(m map[int][]int) {
+	for _, vs := range m {
+		sort.Ints(vs) // want `calls sort.Ints`
+	}
+}
+
+// badIndirectWrite updates a map at a key other than the ranged one.
+func badIndirectWrite(m map[int]int, out map[int]int) {
+	for k, v := range m {
+		out[v] = k // want `writes to out at a key other than the ranged one`
+	}
+}

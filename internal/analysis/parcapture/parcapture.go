@@ -1,0 +1,305 @@
+// Package parcapture flags concurrent closures that write captured state
+// other than through a slice element selected by a plain index variable.
+//
+// The repository's parallelism idiom (internal/parallel.Map) is: build a
+// jobs slice of closures, run them on a worker pool, and have each worker
+// write only results[i] for its own job index i. Under that discipline the
+// writes are disjoint and the assembled output is deterministic. Any other
+// write to captured state from a goroutine or job closure — a plain
+// variable, a struct field, a map element, an append into a shared slice —
+// is a data race or an order-dependent accumulation, and both destroy the
+// same-seed reproducibility the results depend on.
+//
+// A closure is considered concurrent when it is
+//
+//   - the function of a go statement,
+//   - assigned to a slice element (jobs[i] = func() ... ),
+//   - appended to a slice of functions (jobs = append(jobs, func() ...)),
+//   - an element of a slice-of-functions composite literal, or
+//   - a direct argument to parallel.Map.
+//
+// Inside such a closure, a write to a variable declared outside it is
+// allowed only when the target is an index expression over a slice or
+// array with a plain identifier index (results[i] = ...). Everything else
+// is reported. Synchronized writes that are genuinely safe carry a
+// //chrono:allow parcapture <reason> directive.
+package parcapture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"chrono/internal/analysis"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "parcapture"
+
+// Analyzer is the parcapture pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag parallel.Map job closures and go-statement goroutines that write " +
+		"captured state other than through results[i]-style slice indexing; " +
+		"suppress synchronized writes with //chrono:allow parcapture <reason>.",
+	Run: run,
+}
+
+// parallelPkg is the deterministic worker-pool package.
+const parallelPkg = "chrono/internal/parallel"
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					c.checkClosure(fl, "go statement")
+				}
+			case *ast.AssignStmt:
+				c.checkAssignedClosures(n)
+			case *ast.CompositeLit:
+				c.checkCompositeClosures(n)
+			case *ast.CallExpr:
+				c.checkParallelMapArgs(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// checkAssignedClosures finds jobs[i] = func() ... and
+// jobs = append(jobs, func() ...) forms.
+func (c *checker) checkAssignedClosures(as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		if fl, ok := rhs.(*ast.FuncLit); ok {
+			if _, ok := as.Lhs[i].(*ast.IndexExpr); ok {
+				c.checkClosure(fl, "job closure")
+			}
+			continue
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !c.isAppend(call) {
+			continue
+		}
+		for _, arg := range call.Args[1:] {
+			if fl, ok := arg.(*ast.FuncLit); ok && isFuncSlice(c.pass.TypesInfo.TypeOf(call.Args[0])) {
+				c.checkClosure(fl, "job closure")
+			}
+		}
+	}
+}
+
+// checkCompositeClosures finds func literals inside slice-of-functions
+// composite literals ([]func() ... { func() {...}, ... }).
+func (c *checker) checkCompositeClosures(cl *ast.CompositeLit) {
+	if !isFuncSlice(c.pass.TypesInfo.TypeOf(cl)) {
+		return
+	}
+	for _, el := range cl.Elts {
+		if fl, ok := el.(*ast.FuncLit); ok {
+			c.checkClosure(fl, "job closure")
+		}
+	}
+}
+
+// checkParallelMapArgs finds func literals passed directly to
+// parallel.Map (inside a composite literal argument they are caught by
+// checkCompositeClosures; this covers wrappers forwarding a literal).
+func (c *checker) checkParallelMapArgs(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Map" {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkg := c.pass.ImportedPkg(ident)
+	if pkg == nil || pkg.Path() != parallelPkg {
+		return
+	}
+	for _, arg := range call.Args {
+		if fl, ok := arg.(*ast.FuncLit); ok {
+			c.checkClosure(fl, "parallel.Map argument")
+		}
+	}
+}
+
+// isAppend reports whether the call is the append builtin.
+func (c *checker) isAppend(call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.pass.TypesInfo.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == "append" && len(call.Args) >= 2
+}
+
+// isFuncSlice reports whether t is a slice (or array) of functions.
+func isFuncSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	_, ok := elem.Underlying().(*types.Signature)
+	return ok
+}
+
+// checkClosure walks one concurrent closure body for captured writes.
+func (c *checker) checkClosure(fl *ast.FuncLit, kind string) {
+	w := &walker{pass: c.pass, fl: fl, kind: kind}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != fl {
+				return false // nested closures are checked independently
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				w.checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			w.checkTarget(n.X)
+		}
+		return true
+	})
+	return
+}
+
+// walker reports captured writes from one closure.
+type walker struct {
+	pass *analysis.Pass
+	fl   *ast.FuncLit
+	kind string
+}
+
+// checkTarget classifies one write target inside the closure.
+func (w *walker) checkTarget(lhs ast.Expr) {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		if e.Name == "_" || w.localTo(e) {
+			return
+		}
+		w.report(e.Pos(), "writes captured variable %s", e.Name)
+	case *ast.IndexExpr:
+		root, rootIdent := indexRoot(e)
+		if rootIdent != nil && w.localTo(rootIdent) {
+			return // writing into a closure-local container
+		}
+		// results[i] = ...: disjoint-by-index slice element write.
+		if _, isIdent := e.Index.(*ast.Ident); isIdent && w.isSliceOrArray(root) {
+			return
+		}
+		if w.isSliceOrArray(root) {
+			w.report(e.Pos(),
+				"writes captured slice %s with a computed index; only a plain "+
+					"job-index variable keeps writes disjoint", exprString(root))
+			return
+		}
+		w.report(e.Pos(), "writes captured map/element %s", exprString(e))
+	case *ast.SelectorExpr:
+		if root := rootIdentOf(e.X); root != nil && w.localTo(root) {
+			return
+		}
+		w.report(e.Pos(), "writes captured field %s", exprString(e))
+	case *ast.StarExpr:
+		if root := rootIdentOf(e.X); root != nil && w.localTo(root) {
+			return
+		}
+		w.report(e.Pos(), "writes through captured pointer %s", exprString(e.X))
+	}
+}
+
+func (w *walker) report(pos token.Pos, format string, args ...any) {
+	if w.pass.Annotated(pos, "allow:"+Name) {
+		return
+	}
+	w.pass.Reportf(pos, "%s "+format+
+		" (concurrent closures must only write results[i]-style, through their "+
+		"own job index)", append([]any{w.kind}, args...)...)
+}
+
+// localTo reports whether the identifier's object is declared inside the
+// closure (parameters included).
+func (w *walker) localTo(ident *ast.Ident) bool {
+	obj := w.pass.TypesInfo.ObjectOf(ident)
+	if obj == nil {
+		return true // unresolvable: do not guess
+	}
+	return obj.Pos() >= w.fl.Pos() && obj.Pos() <= w.fl.End()
+}
+
+// isSliceOrArray reports whether e has slice/array type.
+func (w *walker) isSliceOrArray(e ast.Expr) bool {
+	t := w.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// indexRoot returns the base expression of an index chain and its root
+// identifier, if any (results[i] -> results; m.buf[i] -> m.buf, nil).
+func indexRoot(e *ast.IndexExpr) (ast.Expr, *ast.Ident) {
+	return e.X, rootIdentOf(e.X)
+}
+
+// rootIdentOf unwraps selectors/indexes/parens down to a root identifier.
+func rootIdentOf(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a short source form for diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	default:
+		return "expression"
+	}
+}

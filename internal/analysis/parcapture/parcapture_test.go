@@ -1,0 +1,12 @@
+package parcapture_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/parcapture"
+)
+
+func TestParcapture(t *testing.T) {
+	analysistest.Run(t, "testdata", parcapture.Analyzer, "parcapture")
+}

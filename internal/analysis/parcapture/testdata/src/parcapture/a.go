@@ -1,0 +1,122 @@
+// Package parcapture is the seeded-violation corpus for the parcapture
+// analyzer.
+package parcapture
+
+import "chrono/internal/parallel"
+
+type tally struct{ n int }
+
+// badGoCapture increments a captured counter from a goroutine.
+func badGoCapture(items []int) int {
+	done := 0
+	for range items {
+		go func() {
+			done++ // want `go statement writes captured variable done`
+		}()
+	}
+	return done
+}
+
+// badJobCapture builds parallel jobs that all append to one shared slice.
+func badJobCapture(items []int) []int {
+	var out []int
+	jobs := make([]func() (int, error), len(items))
+	for i, it := range items {
+		it := it
+		jobs[i] = func() (int, error) {
+			out = append(out, it) // want `job closure writes captured variable out`
+			return it, nil
+		}
+	}
+	_, _ = parallel.Map(4, jobs)
+	return out
+}
+
+// badFieldCapture mutates a captured struct field from appended jobs.
+func badFieldCapture(t *tally, items []int) {
+	var jobs []func() (int, error)
+	for range items {
+		jobs = append(jobs, func() (int, error) {
+			t.n++ // want `job closure writes captured field t.n`
+			return 0, nil
+		})
+	}
+	_, _ = parallel.Map(4, jobs)
+}
+
+// badMapCapture writes a captured map from composite-literal jobs.
+func badMapCapture(m map[string]int) {
+	jobs := []func() (int, error){
+		func() (int, error) {
+			m["a"] = 1 // want `job closure writes captured map/element m\[\.\.\.\]`
+			return 0, nil
+		},
+	}
+	_, _ = parallel.Map(2, jobs)
+}
+
+// badComputedIndex writes a captured slice at a derived offset, which can
+// collide between jobs.
+func badComputedIndex(results []int, jobs []func() (int, error)) {
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) {
+			results[i*2] = i // want `writes captured slice results with a computed index`
+			return 0, nil
+		}
+	}
+}
+
+// goodResultsIndex is the sanctioned idiom: each job owns results[i].
+func goodResultsIndex(items []int) []int {
+	results := make([]int, len(items))
+	jobs := make([]func() (int, error), len(items))
+	for i, it := range items {
+		i, it := i, it
+		jobs[i] = func() (int, error) {
+			results[i] = it * it
+			return results[i], nil
+		}
+	}
+	_, _ = parallel.Map(4, jobs)
+	return results
+}
+
+// goodLocalState mutates only closure-local variables.
+func goodLocalState(items []int) {
+	jobs := make([]func() (int, error), len(items))
+	for i := range items {
+		i := i
+		jobs[i] = func() (int, error) {
+			sum := 0
+			for j := 0; j < i; j++ {
+				sum += j
+			}
+			return sum, nil
+		}
+	}
+	_, _ = parallel.Map(4, jobs)
+}
+
+// goodSequentialClosure writes captured state from a plain closure that
+// never runs concurrently.
+func goodSequentialClosure(items []int) int {
+	total := 0
+	add := func(v int) { total += v }
+	for _, it := range items {
+		add(it)
+	}
+	return total
+}
+
+// goodAllow documents a synchronized captured write.
+func goodAllow(items []int) int {
+	done := 0
+	for range items {
+		go func() {
+			//chrono:allow parcapture fixture: guarded by a mutex in real code
+			done++
+		}()
+	}
+	return done
+}

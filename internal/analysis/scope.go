@@ -37,21 +37,64 @@ func IsCmdPackage(modPath, path string) bool {
 	return strings.HasPrefix(path, modPath+"/cmd/")
 }
 
+// IsExamplePackage reports whether path is an examples/ program.
+func IsExamplePackage(modPath, path string) bool {
+	return strings.HasPrefix(path, modPath+"/examples/")
+}
+
+// unitFreePackages neither produce nor consume dimensioned quantities, or
+// define the unit vocabulary itself: the units package (its conversion
+// helpers mix units by design), the simclock internals, and the analysis
+// framework plus the linters themselves.
+var unitFreePackages = []string{
+	"chrono/internal/units",
+	"chrono/internal/simclock",
+	"chrono/internal/analysis",
+}
+
+// isUnitFree reports whether path is exempt from unitmix.
+func isUnitFree(path string) bool {
+	for _, p := range unitFreePackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isAnalysisPackage reports whether path is the analysis framework or one
+// of the linters (whose fixtures and self-referential code the behavioural
+// linters must not police).
+func isAnalysisPackage(path string) bool {
+	return path == "chrono/internal/analysis" ||
+		strings.HasPrefix(path, "chrono/internal/analysis/")
+}
+
 // Applies reports whether the named analyzer runs on the package:
 //
-//	detclock — simulation packages and cmd/ drivers (drivers exempt
-//	           intentional wall-clock uses line-by-line)
-//	detrand  — simulation packages and cmd/ drivers
-//	maporder — simulation packages
-//	errsink  — cmd/ drivers and the engine
+//	detclock    — simulation packages, cmd/ drivers, and examples/
+//	              (drivers exempt intentional wall-clock uses line-by-line)
+//	detrand     — simulation packages, cmd/ drivers, and examples/
+//	maporder    — simulation packages
+//	errsink     — cmd/ drivers, examples/, and the engine
+//	unitmix     — everywhere except the units/simclock/analysis packages
+//	parcapture  — everywhere except the analysis framework
+//	handlecheck — everywhere except the analysis framework
+//	floatorder  — everywhere except the analysis framework
 func Applies(analyzer, modPath, pkgPath string) bool {
 	switch analyzer {
 	case "detclock", "detrand":
-		return IsSimPackage(pkgPath) || IsCmdPackage(modPath, pkgPath)
+		return IsSimPackage(pkgPath) || IsCmdPackage(modPath, pkgPath) ||
+			IsExamplePackage(modPath, pkgPath)
 	case "maporder":
 		return IsSimPackage(pkgPath)
 	case "errsink":
-		return IsCmdPackage(modPath, pkgPath) || pkgPath == "chrono/internal/engine"
+		return IsCmdPackage(modPath, pkgPath) || IsExamplePackage(modPath, pkgPath) ||
+			pkgPath == "chrono/internal/engine"
+	case "unitmix":
+		return !isUnitFree(pkgPath)
+	case "parcapture", "handlecheck", "floatorder":
+		return !isAnalysisPackage(pkgPath)
 	default:
 		return false
 	}

@@ -1,0 +1,80 @@
+// Package unitmix is the seeded-violation corpus for the unitmix analyzer.
+package unitmix
+
+import (
+	"chrono/internal/simclock"
+	"chrono/internal/units"
+)
+
+// badSuffixAdd adds nanoseconds to seconds through bare float64 names.
+func badSuffixAdd(totalNS, gapS float64) float64 {
+	return totalNS + gapS // want `mixes units: totalNS \(ns\) \+ gapS \(s\)`
+}
+
+// badSuffixCompare compares milliseconds with hertz.
+func badSuffixCompare(citMS, rateHz float64) bool {
+	return citMS > rateHz // want `mixes units: citMS \(ms\) > rateHz \(hz\)`
+}
+
+// badAssign accumulates a seconds value into a nanosecond accumulator.
+func badAssign(delayS float64) float64 {
+	var elapsedNS float64
+	elapsedNS += delayS // want `assignment mixes units: elapsedNS \(ns\) \+= delayS \(s\)`
+	return elapsedNS
+}
+
+// badDecl declares a seconds variable from a milliseconds initializer.
+func badDecl(periodMS float64) float64 {
+	var windowS = periodMS // want `declaration mixes units: windowS \(s\) = periodMS \(ms\)`
+	return windowS
+}
+
+// badTypedMix mixes two units types; the defined types make the direct
+// form a compile error, so the mix arrives through float64 escapes.
+func badTypedMix(ns units.NS, s units.Sec) float64 {
+	return float64(ns) + float64(s) // want `mixes units: float64\(\.\.\.\) \(ns\) \+ float64\(\.\.\.\) \(s\)`
+}
+
+// badClockMix adds a suffix-seconds gap to the ns-typed clock reading.
+func badClockMix(now simclock.Time, gapS float64) simclock.Time {
+	return now + simclock.Duration(gapS) // want `conversion simclock.Duration\(\.\.\.\) reinterprets s value gapS as ns`
+}
+
+// badConversion reinterprets seconds as nanoseconds without rescaling.
+func badConversion(s units.Sec) units.NS {
+	return units.NS(s) // want `conversion units.NS\(\.\.\.\) reinterprets s value s as ns`
+}
+
+// goodSameUnit adds two nanosecond quantities.
+func goodSameUnit(aNS, bNS float64) float64 {
+	return aNS + bNS
+}
+
+// goodHelper converts through the rescaling helpers.
+func goodHelper(s units.Sec, ms units.MS) units.NS {
+	return s.NS() + ms.NS()
+}
+
+// goodDimensionChange multiplies and divides freely: the dimension of a
+// product is not the dimension of either factor.
+func goodDimensionChange(rateHz float64, windowS float64) float64 {
+	return rateHz * windowS // events, not hz or s
+}
+
+// goodUpperBoundary leaves SCREAMING and PEBS-style names unclassified:
+// only a lowercase camelCase break marks a unit suffix.
+func goodUpperBoundary(PEBS float64, MAX_NS float64) float64 {
+	return PEBS + MAX_NS
+}
+
+// goodUnitless mixes plain counters with anything.
+func goodUnitless(count float64, totalNS float64) float64 {
+	_ = count
+	return totalNS
+}
+
+// goodAllow carries a deliberate, justified mix.
+func goodAllow(totalNS, skewS float64) float64 {
+	//chrono:allow unitmix fixture: deliberate mixed-unit checksum
+	return totalNS + skewS
+}

@@ -1,0 +1,349 @@
+// Package unitmix flags arithmetic, comparisons, and assignments that mix
+// two different physical units without an explicit conversion.
+//
+// The simulator's quantities live in mixed implicit units — CIT in ms,
+// kernel costs in ns, scan intervals in s, bandwidth in bytes/s — and a
+// single ns/s slip silently skews every reported figure. internal/units
+// makes the important quantities distinct defined types, which turns most
+// cross-unit arithmetic into compile errors; unitmix covers what the type
+// system cannot see:
+//
+//   - bare float64 identifiers whose names carry a unit suffix
+//     (fooNS + barS, x := yMS where x is seconds),
+//   - values that passed through a float64(...) escape (the conversion is
+//     allowed at boundaries, but the value keeps its unit),
+//   - direct conversions between unit types (units.NS(someSec))
+//     that reinterpret a number at the wrong scale instead of going
+//     through a conversion helper (Sec.NS, MS.Seconds, ...).
+//
+// Units are inferred first from the static type (internal/units types and
+// the simclock Time/Duration nanosecond clock), then from the identifier's
+// name suffix: ...NS, ...MS, ...S/...Sec/...Seconds, ...Hz,
+// ...BytesPerSec, ...Bytes, ...GB, plus ...Per<Unit> rate forms which are
+// treated as units of their own. Multiplication and division are never
+// flagged (they legitimately change dimension), and expressions with no
+// inferable unit mix freely.
+//
+// Suppress a deliberate mix with //chrono:allow unitmix <reason>.
+package unitmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"chrono/internal/analysis"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "unitmix"
+
+// Analyzer is the unitmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag arithmetic/assignments mixing two unit types or unit-suffixed " +
+		"identifiers (fooNS + barS) without a conversion helper; suppress " +
+		"deliberate mixes with //chrono:allow unitmix <reason>.",
+	Run: run,
+}
+
+// unitsPkg is the package whose defined types carry authoritative units.
+const unitsPkg = "chrono/internal/units"
+
+// simclockPkg's Time/Duration are integer nanoseconds.
+const simclockPkg = "chrono/internal/simclock"
+
+// typeUnits maps internal/units type names to unit tags.
+var typeUnits = map[string]string{
+	"NS":          "ns",
+	"MS":          "ms",
+	"Sec":         "s",
+	"Hz":          "hz",
+	"Bytes":       "bytes",
+	"BytesPerSec": "bytes/s",
+	"GB":          "gb",
+}
+
+// suffixUnits maps identifier-name suffixes to unit tags, tried in order
+// (longest/most specific first). A suffix matches only when preceded by a
+// lowercase letter or digit, so PEBS is not seconds and NS alone is not a
+// unit-suffixed name.
+var suffixUnits = []struct {
+	suffix string
+	unit   string
+}{
+	{"BytesPerSec", "bytes/s"},
+	{"PerSec", "per-s"}, // generic rate: pages/s, events/s, ...
+	{"PerGB", "per-gb"},
+	{"Seconds", "s"},
+	{"Bytes", "bytes"},
+	{"Sec", "s"},
+	{"NS", "ns"},
+	{"MS", "ms"},
+	{"Hz", "hz"},
+	{"GB", "gb"},
+	{"S", "s"},
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				c.checkBinary(n)
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case *ast.ValueSpec:
+				c.checkValueSpec(n)
+			case *ast.CallExpr:
+				c.checkConversion(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// checkBinary flags +, -, and comparisons whose operands carry different
+// units. * and / legitimately change dimension and are skipped.
+func (c *checker) checkBinary(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB, token.EQL, token.NEQ,
+		token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	lu, ru := c.unitOf(b.X), c.unitOf(b.Y)
+	if lu == "" || ru == "" || lu == ru {
+		return
+	}
+	c.report(b.Pos(), "%s mixes units: %s (%s) %s %s (%s)",
+		b.Op, exprString(b.X), lu, b.Op, exprString(b.Y), ru)
+}
+
+// checkAssign flags =, :=, +=, -= pairs whose sides carry different units.
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return // x, y := f() — units of tuple results are not inferable
+	}
+	for i, lhs := range as.Lhs {
+		lu, ru := c.unitOf(lhs), c.unitOf(as.Rhs[i])
+		if lu == "" || ru == "" || lu == ru {
+			continue
+		}
+		c.report(lhs.Pos(), "assignment mixes units: %s (%s) %s %s (%s)",
+			exprString(lhs), lu, as.Tok, exprString(as.Rhs[i]), ru)
+	}
+}
+
+// checkValueSpec flags var declarations whose declared name/type and
+// initializer carry different units.
+func (c *checker) checkValueSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) != len(vs.Names) {
+		return
+	}
+	for i, name := range vs.Names {
+		lu := c.typeUnit(c.pass.TypesInfo.TypeOf(name))
+		if lu == "" {
+			lu = suffixUnit(name.Name)
+		}
+		ru := c.unitOf(vs.Values[i])
+		if lu == "" || ru == "" || lu == ru {
+			continue
+		}
+		c.report(name.Pos(), "declaration mixes units: %s (%s) = %s (%s)",
+			name.Name, lu, exprString(vs.Values[i]), ru)
+	}
+}
+
+// checkConversion flags direct conversions to a unit type from a value of
+// a different unit — units.NS(someSec) reinterprets the number at the
+// wrong scale; the conversion helpers (Sec.NS, MS.Seconds, ...) rescale.
+func (c *checker) checkConversion(call *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	tu := c.typeUnit(tv.Type)
+	if tu == "" {
+		return // conversion to a unit-less type (float64 escape): allowed
+	}
+	au := c.unitOf(call.Args[0])
+	if au == "" || au == tu {
+		return
+	}
+	c.report(call.Pos(),
+		"conversion %s reinterprets %s value %s as %s without rescaling; "+
+			"use a units conversion helper",
+		exprString(call.Fun)+"(...)", au, exprString(call.Args[0]), tu)
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.pass.Annotated(pos, "allow:"+Name) {
+		return // cheap pre-filter; the driver filters centrally too
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// unitOf infers the unit tag of an expression, "" when none.
+func (c *checker) unitOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return c.unitOf(e.X)
+		}
+		return ""
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB:
+			// Same-unit sums keep the unit; mixed sums are reported at
+			// the inner node and propagate the left unit outward.
+			if lu := c.unitOf(e.X); lu != "" {
+				return lu
+			}
+			return c.unitOf(e.Y)
+		}
+		return "" // *, /, %, shifts: dimension changes or is unknown
+	case *ast.CallExpr:
+		// A conversion to a basic type (the float64 boundary escape)
+		// keeps the operand's unit; checkConversion polices unit-to-unit
+		// conversions separately. Ordinary calls take their result type's
+		// unit (conversion helpers like Sec.NS return a typed value).
+		if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if c.typeUnit(tv.Type) == "" {
+				return c.unitOf(e.Args[0])
+			}
+			return c.typeUnit(tv.Type)
+		}
+		return c.typeUnit(c.pass.TypesInfo.TypeOf(e))
+	case *ast.Ident:
+		if u := c.typeUnit(c.pass.TypesInfo.TypeOf(e)); u != "" {
+			return u
+		}
+		if !c.isNumeric(e) {
+			return ""
+		}
+		return suffixUnit(e.Name)
+	case *ast.SelectorExpr:
+		if u := c.typeUnit(c.pass.TypesInfo.TypeOf(e)); u != "" {
+			return u
+		}
+		if !c.isNumeric(e) {
+			return ""
+		}
+		return suffixUnit(e.Sel.Name)
+	case *ast.IndexExpr:
+		// histNS[i] carries the unit of the array's name.
+		if u := c.typeUnit(c.pass.TypesInfo.TypeOf(e)); u != "" {
+			return u
+		}
+		if !c.isNumeric(e) {
+			return ""
+		}
+		switch x := e.X.(type) {
+		case *ast.Ident:
+			return suffixUnit(x.Name)
+		case *ast.SelectorExpr:
+			return suffixUnit(x.Sel.Name)
+		}
+		return ""
+	default:
+		return c.typeUnit(c.pass.TypesInfo.TypeOf(e))
+	}
+}
+
+// isNumeric reports whether the expression has a numeric (or untyped
+// numeric) type — suffix inference applies only to numbers.
+func (c *checker) isNumeric(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// typeUnit returns the unit tag of a static type: internal/units defined
+// types and the simclock nanosecond clock types.
+func (c *checker) typeUnit(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case unitsPkg:
+		return typeUnits[obj.Name()]
+	case simclockPkg:
+		if obj.Name() == "Time" { // Duration is an alias of Time
+			return "ns"
+		}
+	}
+	return ""
+}
+
+// suffixUnit classifies an identifier name by its unit suffix. The suffix
+// must be preceded by a lowercase letter or digit (camelCase word break),
+// except for a few whole names (ns, ms, hz) that are their own unit.
+func suffixUnit(name string) string {
+	switch name {
+	case "ns", "ms", "hz", "sec", "secs", "seconds":
+		return map[string]string{
+			"ns": "ns", "ms": "ms", "hz": "hz",
+			"sec": "s", "secs": "s", "seconds": "s",
+		}[name]
+	}
+	for _, su := range suffixUnits {
+		if !strings.HasSuffix(name, su.suffix) || len(name) == len(su.suffix) {
+			continue
+		}
+		prev := name[len(name)-len(su.suffix)-1]
+		if (prev >= 'a' && prev <= 'z') || (prev >= '0' && prev <= '9') {
+			return su.unit
+		}
+		// An uppercase or underscore boundary (SCREAMING_NS, PEBSAliasS)
+		// is ambiguous: PEBS ends in S but is not seconds. Only the
+		// lowercase camelCase break is trusted.
+	}
+	return ""
+}
+
+// exprString renders a short source form for diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.UnaryExpr:
+		return v.Op.String() + exprString(v.X)
+	case *ast.BasicLit:
+		return v.Value
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,12 @@
+package unitmix_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/unitmix"
+)
+
+func TestUnitmix(t *testing.T) {
+	analysistest.Run(t, "testdata", unitmix.Analyzer, "unitmix")
+}

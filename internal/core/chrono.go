@@ -31,6 +31,7 @@ import (
 	"chrono/internal/policy/scan"
 	"chrono/internal/simclock"
 	"chrono/internal/stats"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 	"chrono/internal/xarray"
 )
@@ -352,7 +353,7 @@ func (c *Chrono) OnFault(pg *vm.Page, now simclock.Time) {
 	if pg.Tier != mem.SlowTier {
 		return
 	}
-	c.k.ChargeKernel(90 * c.k.CostScale()) // CIT arithmetic + candidate lookup
+	c.k.ChargeKernel(units.NS(90 * c.k.CostScale())) // CIT arithmetic + candidate lookup
 
 	citMS := cit.Millis() * c.citScale
 	if c.CITObserver != nil {

@@ -7,6 +7,7 @@ import (
 	"chrono/internal/rng"
 	"chrono/internal/simclock"
 	"chrono/internal/sysctl"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -76,7 +77,7 @@ func (k *fakeKernel) RNG() *rng.Source             { return k.r }
 func (k *fakeKernel) Sysctl() *sysctl.Table        { return k.table }
 func (k *fakeKernel) CostScale() float64           { return 1 }
 func (k *fakeKernel) HugeFactor() int              { return 64 }
-func (k *fakeKernel) ChargeKernel(ns float64)      { k.kernelNS += ns }
+func (k *fakeKernel) ChargeKernel(ns units.NS)     { k.kernelNS += float64(ns) }
 func (k *fakeKernel) CountContextSwitches(n int64) {}
 func (k *fakeKernel) FastFree() int64              { return k.node.Free(mem.FastTier) }
 
@@ -133,7 +134,7 @@ func (k *fakeKernel) SplitHuge(pg *vm.Page) []*vm.Page { return nil }
 
 func (k *fakeKernel) HugeUtilization(pg *vm.Page) float64 { return 1 }
 
-func (k *fakeKernel) SamplePEBS(s *pebs.Sampler, seconds float64) int { return 0 }
+func (k *fakeKernel) SamplePEBS(s *pebs.Sampler, period units.Sec) int { return 0 }
 
 func (k *fakeKernel) InactiveTail(tier mem.TierID, n int) []*vm.Page {
 	if n > len(k.inactiveTail) {

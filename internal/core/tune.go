@@ -6,6 +6,7 @@ import (
 
 	"chrono/internal/mem"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -194,7 +195,7 @@ func (c *Chrono) expireProbes(now simclock.Time) {
 // the tier's heat map — the maximum-value estimator Appendix B.1 shows to
 // be minimum-variance.
 func (c *Chrono) onProbeFault(pg *vm.Page, cit simclock.Duration, now simclock.Time) {
-	c.k.ChargeKernel(120 * c.k.CostScale())
+	c.k.ChargeKernel(units.NS(120 * c.k.CostScale()))
 	if pg.Meta2 == 0 {
 		// Round 1: stash CIT (+1 so a 0ns CIT is distinguishable) and
 		// re-poison for round 2.
@@ -260,7 +261,7 @@ func (c *Chrono) dcscTune(now simclock.Time) {
 	if c.samples[mem.FastTier] == 0 && c.samples[mem.SlowTier] == 0 {
 		return
 	}
-	c.k.ChargeKernel(2000 * c.k.CostScale()) // heat-map aggregation
+	c.k.ChargeKernel(units.NS(2000 * c.k.CostScale())) // heat-map aggregation
 
 	est := func(t mem.TierID, b int) float64 {
 		if c.samples[t] == 0 {

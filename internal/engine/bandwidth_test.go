@@ -6,6 +6,7 @@ import (
 
 	"chrono/internal/mem"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -150,7 +151,7 @@ func TestMigrationTrafficContends(t *testing.T) {
 // TestKernelTimePenalizesThroughput: charging large kernel time lowers
 // the closed-loop rates.
 func TestKernelTimePenalizesThroughput(t *testing.T) {
-	run := func(burnNS float64) float64 {
+	run := func(burnNS units.NS) float64 {
 		e := newTestEngine(37)
 		addUniformProc(e, 1, 1000, 1)
 		e.MapAll(BasePages)

@@ -41,6 +41,7 @@ import (
 	"chrono/internal/simclock"
 	"chrono/internal/stats"
 	"chrono/internal/sysctl"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -66,8 +67,8 @@ type Config struct {
 	PagesPerGB int64
 	// FastGB and SlowGB size the tiers (defaults 64 and 192, the paper's
 	// testbed: 4×16 GB DRAM + 2×128 GB Optane at ~25% fast ratio).
-	FastGB float64
-	SlowGB float64
+	FastGB units.GB
+	SlowGB units.GB
 
 	// EpochNS is the metric accounting step. Default 250 ms.
 	EpochNS simclock.Duration
@@ -78,24 +79,24 @@ type Config struct {
 	Latency mem.LatencyModel
 
 	// Cost model (virtual nanoseconds).
-	CPUWorkNS           float64 // per-access app work outside memory
-	FaultKernelNS       float64 // kernel time per hint fault
-	FaultLatencyNS      float64 // extra latency seen by a faulting access
-	ScanPageNS          float64 // kernel time per page scanned/poisoned
-	MigrateFixedNS      float64 // kernel time per migration operation
-	MigratePerPageNS    float64 // kernel time per base page migrated
-	ABitTestNS          float64 // kernel time per accessed-bit test
-	ContextSwitchIdleHz float64 // baseline context-switch rate per proc
+	CPUWorkNS           units.NS // per-access app work outside memory
+	FaultKernelNS       units.NS // kernel time per hint fault
+	FaultLatencyNS      units.NS // extra latency seen by a faulting access
+	ScanPageNS          units.NS // kernel time per page scanned/poisoned
+	MigrateFixedNS      units.NS // kernel time per migration operation
+	MigratePerPageNS    units.NS // kernel time per base page migrated
+	ABitTestNS          units.NS // kernel time per accessed-bit test
+	ContextSwitchIdleHz units.Hz // baseline context-switch rate per proc
 
 	// PEBSAliasRebuildS is the virtual seconds between alias-table
 	// rebuilds for PEBS sampling. Default 10.
-	PEBSAliasRebuildS float64
+	PEBSAliasRebuildS units.Sec
 	// PEBSAliasMinRebuildS rate-limits weight-triggered alias rebuilds: a
 	// pattern change marks the table stale, but the O(pages) rebuild is
 	// deferred until the table is at least this old (virtual seconds).
 	// Structural changes (pages created or freed) always rebuild before
 	// the next sample. Default 1.
-	PEBSAliasMinRebuildS float64
+	PEBSAliasMinRebuildS units.Sec
 
 	// HugeFactor is the number of simulated base pages folded into one
 	// "huge page" under HugePages mapping. Real x86 folds 512×4 KB into
@@ -112,7 +113,7 @@ type Config struct {
 	// the slow media). Migrations beyond the budget fail and must be
 	// retried — exactly how synchronous NUMA-fault promotion behaves
 	// under pressure. Default 1.2 GB/s.
-	MigrationBWBytes float64
+	MigrationBWBytes units.BytesPerSec
 
 	// DebugChecks enables the invariant sanitizer (see sanitize.go): the
 	// engine validates page-table/LRU/watermark/migration consistency
@@ -369,8 +370,8 @@ func (m *Metrics) ContextSwitchRate() float64 {
 // New creates an engine.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	fastPages := int64(cfg.FastGB * float64(cfg.PagesPerGB))
-	slowPages := int64(cfg.SlowGB * float64(cfg.PagesPerGB))
+	fastPages := cfg.FastGB.Pages(cfg.PagesPerGB)
+	slowPages := cfg.SlowGB.Pages(cfg.PagesPerGB)
 	r := rng.New(cfg.Seed)
 	e := &Engine{
 		cfg:   cfg,
@@ -731,7 +732,7 @@ func (e *Engine) Run(d simclock.Duration) *Metrics {
 	e.updateRates()
 	e.updateBandwidth(0)
 	e.updateRates()
-	e.migTokens = e.cfg.MigrationBWBytes // one second of initial budget
+	e.migTokens = float64(e.cfg.MigrationBWBytes) // one second of initial budget
 	tick := e.clock.Every(e.cfg.EpochNS, func(now simclock.Time) { e.epochTick(now) })
 	// Kernel LRU aging once per minute: the paper (§2.3) observes that
 	// accessed-bit reset intervals in practice "last from minutes to

@@ -7,6 +7,7 @@ import (
 	"chrono/internal/pebs"
 	"chrono/internal/rng"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -29,20 +30,20 @@ func (e *Engine) Protect(pg *vm.Page) {
 	pg.ProtTS = now
 	pg.FaultSeq++
 	e.clock.Cancel(pg.FaultHandle)
-	e.ChargeKernel(e.cfg.ScanPageNS * float64(pg.Size) * e.cfg.CostScale)
+	e.ChargeKernel(e.cfg.ScanPageNS.Mul(float64(pg.Size)).Mul(e.cfg.CostScale))
 
 	rate := e.PageRate(pg)
 	if rate < minFaultRate {
 		return
 	}
-	var gap float64 // seconds
+	var gapS units.Sec
 	switch e.cfg.Gap {
 	case GapExp:
-		gap = e.rFault.Exp(rate)
+		gapS = units.Sec(e.rFault.Exp(rate))
 	default:
-		gap = e.rFault.Float64() / rate
+		gapS = units.Sec(e.rFault.Float64() / rate)
 	}
-	at := now + simclock.FromSeconds(gap)
+	at := now + gapS.Duration()
 	if at > e.horizon {
 		return
 	}
@@ -71,13 +72,13 @@ func (e *Engine) deliverFault(pg *vm.Page, seq uint64, now simclock.Time) {
 	e.M.ContextSwitches++
 	ps := e.byPID[pg.Proc.PID]
 	ps.epochFaults++
-	e.ChargeKernel(e.cfg.FaultKernelNS * e.cfg.CostScale)
+	e.ChargeKernel(e.cfg.FaultKernelNS.Mul(e.cfg.CostScale))
 	// The faulting event stands for CostScale real page faults, each an
 	// access that observed the fault-handling latency on top of its tier
 	// latency.
 	lat := e.cfg.FaultLatencyNS + e.cfg.Latency.Access(pg.Tier, false)
-	e.M.Lat.Add(lat, e.cfg.CostScale)
-	e.M.LatRead.Add(lat, e.cfg.CostScale)
+	e.M.Lat.Add(float64(lat), e.cfg.CostScale)
+	e.M.LatRead.Add(float64(lat), e.cfg.CostScale)
 
 	// Hint faults do NOT rotate the kernel LRU: the real fault handler
 	// never touches the lists, and reclaim learns about references only
@@ -98,7 +99,7 @@ func (e *Engine) deliverFault(pg *vm.Page, seq uint64, now simclock.Time) {
 // artificially sharpened aggregate signal.
 func (e *Engine) AccessedTestAndClear(pg *vm.Page) bool {
 	now := e.clock.Now()
-	e.ChargeKernel(e.cfg.ABitTestNS * e.cfg.CostScale)
+	e.ChargeKernel(e.cfg.ABitTestNS.Mul(e.cfg.CostScale))
 	dt := (now - pg.ABitTS).Seconds()
 	pg.ABitTS = now
 	rate := e.PageRate(pg) / e.cfg.CostScale * float64(pg.Size)
@@ -224,7 +225,7 @@ func (e *Engine) moveTier(pg *vm.Page, to mem.TierID) {
 		panic("engine: moveTier after capacity check: " + err.Error())
 	}
 	// Kernel work: unmap, copy, remap, TLB shootdown.
-	e.ChargeKernel((e.cfg.MigrateFixedNS+e.cfg.MigratePerPageNS*float64(pg.Size))*e.cfg.CostScale + float64(copyTime))
+	e.ChargeKernel((e.cfg.MigrateFixedNS + e.cfg.MigratePerPageNS.Mul(float64(pg.Size))).Mul(e.cfg.CostScale) + units.NSOf(copyTime))
 	e.M.ContextSwitches += 0.5
 	e.M.MigratedBytes += float64(int64(pg.Size) * e.node.PageSizeBytes)
 	e.epochMigBytes += float64(int64(pg.Size) * e.node.PageSizeBytes)
@@ -327,7 +328,7 @@ func (e *Engine) SplitHuge(pg *vm.Page) []*vm.Page {
 	e.pageW[pg.ID] = 0
 
 	// Split cost: 512 PTE writes + TLB shootdown.
-	e.ChargeKernel(25000 * e.cfg.CostScale)
+	e.ChargeKernel(units.NS(25000 * e.cfg.CostScale))
 
 	out := make([]*vm.Page, 0, pg.Size)
 	for i := int32(0); i < pg.Size; i++ {
@@ -385,9 +386,9 @@ func (e *Engine) HugeUtilization(pg *vm.Page) float64 {
 }
 
 // ChargeKernel accounts kernel CPU time.
-func (e *Engine) ChargeKernel(ns float64) {
-	e.M.KernelNS += ns
-	e.kernelNSEpoch += ns
+func (e *Engine) ChargeKernel(ns units.NS) {
+	e.M.KernelNS += float64(ns)
+	e.kernelNSEpoch += float64(ns)
 }
 
 // CountContextSwitches adds context switches to the metrics.
@@ -456,7 +457,7 @@ func (e *Engine) kswapd() {
 // SamplePEBS draws one sampling period's worth of PEBS samples into s,
 // using the true page access-rate distribution. Implements policy.Kernel's
 // hardware-sampling channel.
-func (e *Engine) SamplePEBS(s *pebs.Sampler, seconds float64) int {
+func (e *Engine) SamplePEBS(s *pebs.Sampler, period units.Sec) int {
 	now := e.clock.Now()
 	// Rebuild policy: structural staleness (pages created/freed) rebuilds
 	// unconditionally — sampling a stale ID set would return freed pages.
@@ -465,7 +466,7 @@ func (e *Engine) SamplePEBS(s *pebs.Sampler, seconds float64) int {
 	// pattern drift doesn't turn every sampling period into a full rebuild.
 	// An unchanged table is still refreshed every PEBSAliasRebuildS to
 	// track rate shifts.
-	age := (now - e.aliasBuiltAt).Seconds()
+	age := units.SecondsOf(now - e.aliasBuiltAt)
 	if e.aliasTable == nil || e.aliasStructural ||
 		(e.aliasWeightDirty && age >= e.cfg.PEBSAliasMinRebuildS) ||
 		age > e.cfg.PEBSAliasRebuildS {
@@ -476,8 +477,8 @@ func (e *Engine) SamplePEBS(s *pebs.Sampler, seconds float64) int {
 	}
 	// Sampling micro-operations cost kernel/user time (the paper's §2.3
 	// overhead point): ~300 ns per retained sample for the DS-area drain.
-	n := s.SamplePeriod(e.aliasTable, e.aliasIDs, seconds)
-	e.ChargeKernel(float64(n) * 300 * e.cfg.CostScale)
+	n := s.SamplePeriod(e.aliasTable, e.aliasIDs, period)
+	e.ChargeKernel(units.NS(float64(n) * 300 * e.cfg.CostScale))
 	return n
 }
 

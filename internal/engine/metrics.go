@@ -3,6 +3,7 @@ package engine
 import (
 	"chrono/internal/mem"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 )
 
 // This file implements the per-epoch throughput/latency accounting.
@@ -47,12 +48,12 @@ func (e *Engine) updateRates() {
 		}
 		var wl float64
 		for t := mem.TierID(0); t < mem.NumTiers; t++ {
-			wl += ps.wRead[t]*e.cfg.Latency.ReadNS[t]*e.latMult(t, false) +
-				ps.wWrite[t]*e.cfg.Latency.WriteNS[t]*e.latMult(t, true)
+			wl += ps.wRead[t]*float64(e.cfg.Latency.ReadNS[t])*e.latMult(t, false) +
+				ps.wWrite[t]*float64(e.cfg.Latency.WriteNS[t])*e.latMult(t, true)
 		}
 		wl += ps.wSwap * SwapLatencyNS
 		avgLat := wl / ps.wTot
-		perAccess := e.cfg.CPUWorkNS + ps.proc.DelayNS + avgLat + ps.faultOverheadNS
+		perAccess := float64(e.cfg.CPUWorkNS) + float64(ps.proc.DelayNS) + avgLat + ps.faultOverheadNS
 		ps.rate = float64(ps.threads) * 1e9 / perAccess * penalty
 	}
 }
@@ -84,29 +85,29 @@ func queueMult(util float64) float64 {
 // traffic and refreshes the latency multipliers (EMA-smoothed to damp the
 // rate↔latency feedback loop).
 func (e *Engine) updateBandwidth(migBytesPerSec float64) {
-	var slowRead, slowWrite, fastBytes float64
+	var slowReadBytesPerSec, slowWriteBytesPerSec, fastBytesPerSec float64
 	for _, ps := range e.procs {
 		if ps.wTot <= 0 || ps.rate <= 0 {
 			continue
 		}
 		perW := ps.rate / ps.wTot * AccessBytes
-		slowRead += perW * ps.wRead[mem.SlowTier]
-		slowWrite += perW * ps.wWrite[mem.SlowTier]
-		fastBytes += perW * (ps.wRead[mem.FastTier] + ps.wWrite[mem.FastTier])
+		slowReadBytesPerSec += perW * ps.wRead[mem.SlowTier]
+		slowWriteBytesPerSec += perW * ps.wWrite[mem.SlowTier]
+		fastBytesPerSec += perW * (ps.wRead[mem.FastTier] + ps.wWrite[mem.FastTier])
 	}
 	// Optane media amplification: random 64 B reads cost a 256 B XPLine
 	// fetch; stores read-modify-write a full line. Migration copies also
 	// land on the slow media (one side of every promotion/demotion).
 	node := e.node
-	readStream := (slowRead + slowWrite) * SlowMediaAmp
-	writeStream := slowWrite*SlowMediaAmp + migBytesPerSec
-	ru := readStream / node.SlowReadBW
-	wu := writeStream / node.SlowWriteBW
+	readStreamBytesPerSec := (slowReadBytesPerSec + slowWriteBytesPerSec) * SlowMediaAmp
+	writeStreamBytesPerSec := slowWriteBytesPerSec*SlowMediaAmp + migBytesPerSec
+	ru := readStreamBytesPerSec / float64(node.SlowReadBW)
+	wu := writeStreamBytesPerSec / float64(node.SlowWriteBW)
 	slowUtil := ru
 	if wu > slowUtil {
 		slowUtil = wu
 	}
-	fastUtil := (fastBytes + migBytesPerSec) / node.FastBW
+	fastUtil := (fastBytesPerSec + migBytesPerSec) / float64(node.FastBW)
 	e.slowUtilEMA = 0.5*e.slowUtilEMA + 0.5*slowUtil
 	e.fastUtilEMA = 0.5*e.fastUtilEMA + 0.5*fastUtil
 	e.slowLatMult = queueMult(e.slowUtilEMA)
@@ -139,12 +140,12 @@ func (e *Engine) epochTick(now simclock.Time) {
 			e.M.Writes += writes
 			for _, j := range jitter {
 				if reads > 0 {
-					l := e.cfg.Latency.ReadNS[t] * e.latMult(t, false) * j.mult
+					l := float64(e.cfg.Latency.ReadNS[t]) * e.latMult(t, false) * j.mult
 					e.M.Lat.Add(l, reads*j.frac)
 					e.M.LatRead.Add(l, reads*j.frac)
 				}
 				if writes > 0 {
-					l := e.cfg.Latency.WriteNS[t] * e.latMult(t, true) * j.mult
+					l := float64(e.cfg.Latency.WriteNS[t]) * e.latMult(t, true) * j.mult
 					e.M.Lat.Add(l, writes*j.frac)
 					e.M.LatWrite.Add(l, writes*j.frac)
 				}
@@ -154,7 +155,7 @@ func (e *Engine) epochTick(now simclock.Time) {
 		// Fault overhead per access (EMA over epochs).
 		var perAccess float64
 		if acc > 0 {
-			perAccess = ps.epochFaults * e.cfg.FaultKernelNS * e.cfg.CostScale / acc
+			perAccess = ps.epochFaults * float64(e.cfg.FaultKernelNS) * e.cfg.CostScale / acc
 		}
 		ps.faultOverheadNS = 0.7*ps.faultOverheadNS + 0.3*perAccess
 		ps.epochFaults = 0
@@ -165,7 +166,7 @@ func (e *Engine) epochTick(now simclock.Time) {
 	var appNS float64
 	for _, ps := range e.procs {
 		appNS += float64(ps.threads) * dt * 1e9
-		e.M.ContextSwitches += e.cfg.ContextSwitchIdleHz * dt
+		e.M.ContextSwitches += e.cfg.ContextSwitchIdleHz.Count(units.Sec(dt))
 	}
 	e.M.AppNS += appNS
 	if appNS+e.kernelNSEpoch > 0 {
@@ -184,8 +185,8 @@ func (e *Engine) epochTick(now simclock.Time) {
 	// CLOCK pass, Memtis's kmigrated) spend their whole batch at one
 	// instant, and the kernel path could absorb such bursts; the bucket
 	// still enforces the sustained average.
-	e.migTokens += e.cfg.MigrationBWBytes * dt
-	if maxTokens := 5 * e.cfg.MigrationBWBytes; e.migTokens > maxTokens {
+	e.migTokens += float64(e.cfg.MigrationBWBytes) * dt
+	if maxTokens := 5 * float64(e.cfg.MigrationBWBytes); e.migTokens > maxTokens {
 		e.migTokens = maxTokens
 	}
 

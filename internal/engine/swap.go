@@ -3,6 +3,7 @@ package engine
 import (
 	"chrono/internal/mem"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -59,7 +60,7 @@ func (e *Engine) SwapOut(pg *vm.Page) bool {
 	ps.residentSwap += int64(pg.Size)
 
 	// Writeback + unmap cost.
-	e.ChargeKernel(2500 * e.cfg.CostScale)
+	e.ChargeKernel(units.NS(2500 * e.cfg.CostScale))
 	e.M.SwapOuts += int64(pg.Size)
 	return true
 }
@@ -89,7 +90,7 @@ func (e *Engine) swapIn(pg *vm.Page, to mem.TierID) bool {
 	} else {
 		ps.residentSlow += int64(pg.Size)
 	}
-	e.ChargeKernel(3000 * e.cfg.CostScale)
+	e.ChargeKernel(units.NS(3000 * e.cfg.CostScale))
 	e.M.SwapIns += int64(pg.Size)
 	return true
 }

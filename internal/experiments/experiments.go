@@ -22,6 +22,7 @@ import (
 	"chrono/internal/policy/tpp"
 	"chrono/internal/simclock"
 	"chrono/internal/stats"
+	"chrono/internal/units"
 	"chrono/internal/workload"
 )
 
@@ -48,7 +49,7 @@ type RunOpts struct {
 	// PagesPerGB is the memory scale (default 256; see DESIGN.md).
 	PagesPerGB int64
 	// FastGB / SlowGB size the tiers (default 64 / 192: 25% fast).
-	FastGB, SlowGB float64
+	FastGB, SlowGB units.GB
 	// Workers is the number of simulations a multi-run experiment may
 	// execute concurrently (0 or 1 = serial). Every run is an independent
 	// engine with its own seed-derived RNG streams, and results are

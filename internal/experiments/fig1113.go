@@ -6,6 +6,7 @@ import (
 	"chrono/internal/engine"
 	"chrono/internal/parallel"
 	"chrono/internal/report"
+	"chrono/internal/units"
 	"chrono/internal/workload"
 )
 
@@ -13,7 +14,7 @@ import (
 // Figure 13 (design choice analysis) harnesses.
 
 // Fig11Sizes are the working-set sizes of Figure 11a in GB.
-var Fig11Sizes = []float64{128, 192, 256}
+var Fig11Sizes = []units.GB{128, 192, 256}
 
 // RunFig11a runs Graph500 across working-set sizes and page granularities
 // for every policy, reporting execution time (lower is better).

@@ -5,6 +5,7 @@ import (
 
 	"chrono/internal/parallel"
 	"chrono/internal/report"
+	"chrono/internal/units"
 	"chrono/internal/workload"
 )
 
@@ -12,7 +13,7 @@ import (
 type PmbenchConfig struct {
 	Label        string
 	Processes    int
-	WorkingSetGB float64
+	WorkingSetGB units.GB
 }
 
 // The three Figure 6 configurations.

@@ -61,7 +61,7 @@ func RunSensitivity(title string, mkWorkload func() workload.Workload, o RunOpts
 	t := report.NewTable(title, headers...)
 
 	// The default scan step at this scale (mirrors scan.Config defaults).
-	stepPages := int((o.FastGB + o.SlowGB) * float64(o.PagesPerGB) / 1024)
+	stepPages := int(float64(o.FastGB+o.SlowGB) * float64(o.PagesPerGB) / 1024)
 	if stepPages < 8 {
 		stepPages = 8
 	}

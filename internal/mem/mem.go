@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 )
 
 // TierID identifies a memory tier.
@@ -51,20 +52,20 @@ func (t TierID) Other() TierID {
 // and the known read/write asymmetry of Optane PM (§5.1.1: "the biased
 // read/write performance of Optane PM").
 type LatencyModel struct {
-	ReadNS  [NumTiers]float64
-	WriteNS [NumTiers]float64
+	ReadNS  [NumTiers]units.NS
+	WriteNS [NumTiers]units.NS
 }
 
 // DefaultLatency returns the testbed-calibrated latency model.
 func DefaultLatency() LatencyModel {
 	return LatencyModel{
-		ReadNS:  [NumTiers]float64{FastTier: 75, SlowTier: 200},
-		WriteNS: [NumTiers]float64{FastTier: 80, SlowTier: 420},
+		ReadNS:  [NumTiers]units.NS{FastTier: 75, SlowTier: 200},
+		WriteNS: [NumTiers]units.NS{FastTier: 80, SlowTier: 420},
 	}
 }
 
 // Access returns the latency of one access to tier t.
-func (m LatencyModel) Access(t TierID, write bool) float64 {
+func (m LatencyModel) Access(t TierID, write bool) units.NS {
 	if write {
 		return m.WriteNS[t]
 	}
@@ -101,15 +102,15 @@ type Node struct {
 	// token-bucket style budget used to charge copy time.
 	PromotedPages  int64
 	DemotedPages   int64
-	CopyBandwidthB float64 // bytes/second achievable for page copies
+	CopyBandwidthB units.BytesPerSec // achievable for page copies
 
 	// PageSizeBytes is the base page size (4096).
 	PageSizeBytes int64
 
-	// Demand bandwidth limits (bytes/s); see Config.
-	SlowReadBW  float64
-	SlowWriteBW float64
-	FastBW      float64
+	// Demand bandwidth limits; see Config.
+	SlowReadBW  units.BytesPerSec
+	SlowWriteBW units.BytesPerSec
+	FastBW      units.BytesPerSec
 }
 
 // Config sizes a Node.
@@ -119,18 +120,18 @@ type Config struct {
 	Latency   LatencyModel
 	// CopyBandwidthBytes is the sustainable page-copy bandwidth between
 	// tiers; defaults to 6 GB/s (one-direction Optane write bound).
-	CopyBandwidthBytes float64
+	CopyBandwidthBytes units.BytesPerSec
 	// PageSizeBytes is the real bytes one tracked page stands for
 	// (4096 × the simulator's capacity scale). Default 4096.
 	PageSizeBytes int64
 	// SlowReadBW / SlowWriteBW are the slow tier's sustainable demand
-	// bandwidths in bytes/s. Optane PM is severely read/write asymmetric;
-	// defaults are 12 GB/s read and 4 GB/s write for the two-module
-	// testbed. Demand beyond these saturates the media and queueing
-	// inflates access latency (§5.1.1's write-intensive results).
-	SlowReadBW, SlowWriteBW float64
-	// FastBW is the DRAM demand bandwidth in bytes/s (default 100 GB/s).
-	FastBW float64
+	// bandwidths. Optane PM is severely read/write asymmetric; defaults
+	// are 12 GB/s read and 4 GB/s write for the two-module testbed.
+	// Demand beyond these saturates the media and queueing inflates
+	// access latency (§5.1.1's write-intensive results).
+	SlowReadBW, SlowWriteBW units.BytesPerSec
+	// FastBW is the DRAM demand bandwidth (default 100 GB/s).
+	FastBW units.BytesPerSec
 }
 
 // NewNode builds a node with both tiers fully free and default watermarks
@@ -269,8 +270,8 @@ func (n *Node) MovePages(from, to TierID, pages int64) (simclock.Duration, error
 	} else {
 		n.DemotedPages += pages
 	}
-	bytes := float64(pages * n.PageSizeBytes)
-	ns := bytes / n.CopyBandwidthB * 1e9
+	bytes := units.Bytes(pages * n.PageSizeBytes)
+	ns := bytes.Over(n.CopyBandwidthB).NS()
 	return simclock.Duration(ns), nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+
+	"chrono/internal/simclock"
 )
 
 func newTestNode() *Node {
@@ -132,6 +134,26 @@ func TestMovePages(t *testing.T) {
 	}
 	if d2 <= 0 || n.DemotedPages != 40 {
 		t.Fatalf("demotion accounting: d=%v demoted=%d", d2, n.DemotedPages)
+	}
+}
+
+// TestMovePagesCopyTimeConversion pins the copy-time unit chain
+// (Bytes.Over(bw).NS() truncated to clock ns) to the float64 expression
+// it replaced: (pages*pageSize/bandwidth)*1e9. The typed-units migration
+// must not perturb this — results/tables.json is byte-sensitive to it.
+func TestMovePagesCopyTimeConversion(t *testing.T) {
+	n := newTestNode()
+	if err := n.Alloc(SlowTier, 100); err != nil {
+		t.Fatal(err)
+	}
+	d, err := n.MovePages(SlowTier, FastTier, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := float64(100 * n.PageSizeBytes)
+	want := simclock.Duration(bytes / float64(n.CopyBandwidthB) * 1e9)
+	if d != want {
+		t.Fatalf("copy duration %v, want %v (bytes/bw*1e9)", d, want)
 	}
 }
 

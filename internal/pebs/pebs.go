@@ -21,6 +21,7 @@ import (
 	"math/bits"
 
 	"chrono/internal/rng"
+	"chrono/internal/units"
 )
 
 // DefaultSampleRate is the samples/second budget. The paper cites
@@ -32,7 +33,7 @@ const DefaultSampleRate = 20000
 // accumulates per-page counters, as the PEBS DS-area drain would.
 type Sampler struct {
 	// RatePerSec is the sample budget per second of virtual time.
-	RatePerSec float64
+	RatePerSec units.Hz
 	// LossRate is the fraction of samples dropped (buffer overflow,
 	// filtering); 0 by default.
 	LossRate float64
@@ -43,7 +44,7 @@ type Sampler struct {
 }
 
 // NewSampler creates a sampler with the given budget.
-func NewSampler(r *rng.Source, ratePerSec float64) *Sampler {
+func NewSampler(r *rng.Source, ratePerSec units.Hz) *Sampler {
 	if ratePerSec <= 0 {
 		ratePerSec = DefaultSampleRate
 	}
@@ -58,11 +59,11 @@ func (s *Sampler) Grow(n int) {
 }
 
 // SamplePeriod draws the samples of a virtual period of the given length
-// (seconds) from dist, which maps category index -> weight; ids maps
-// category index -> page ID. Counters of the sampled pages increment.
+// from dist, which maps category index -> weight; ids maps category
+// index -> page ID. Counters of the sampled pages increment.
 // It returns the number of samples retained.
-func (s *Sampler) SamplePeriod(dist *rng.Alias, ids []int64, seconds float64) int {
-	n := int(s.RatePerSec * seconds)
+func (s *Sampler) SamplePeriod(dist *rng.Alias, ids []int64, period units.Sec) int {
+	n := int(s.RatePerSec.Count(period))
 	kept := 0
 	for i := 0; i < n; i++ {
 		if s.LossRate > 0 && s.r.Bool(s.LossRate) {

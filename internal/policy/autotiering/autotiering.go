@@ -21,6 +21,7 @@ import (
 	"chrono/internal/policy"
 	"chrono/internal/policy/scan"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -38,7 +39,7 @@ type Config struct {
 	BackgroundPeriod simclock.Duration
 	// LAPMaintainNS is the kernel cost per page per LAP shift pass; the
 	// high default reproduces AutoTiering's measured kernel overhead.
-	LAPMaintainNS float64
+	LAPMaintainNS units.NS
 }
 
 func (c Config) withDefaults() Config {
@@ -94,13 +95,13 @@ func setLAP(pg *vm.Page, v uint64) { pg.Meta = (pg.Meta &^ 0xff) | (v & 0xff) }
 // pages with empty history under watermark pressure.
 func (p *Policy) background() {
 	mask := uint64(1)<<uint(p.cfg.LAPBits) - 1
-	var cost float64
+	var cost units.NS
 	var coldFast []*vm.Page
 	for _, pg := range p.k.Pages() {
 		if pg == nil {
 			continue
 		}
-		cost += p.cfg.LAPMaintainNS * p.k.CostScale()
+		cost += p.cfg.LAPMaintainNS.Mul(p.k.CostScale())
 		v := (lap(pg) << 1) & mask
 		setLAP(pg, v)
 		if pg.Tier == mem.FastTier && v == 0 {

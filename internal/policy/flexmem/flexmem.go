@@ -21,6 +21,7 @@ import (
 	"chrono/internal/policy"
 	"chrono/internal/policy/scan"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -28,7 +29,7 @@ import (
 type Config struct {
 	Scan scan.Config
 	// SampleRate is the PEBS budget (0 = scale-derived default).
-	SampleRate float64
+	SampleRate units.Hz
 	// SamplePeriod is the DS-area drain interval (default 1 s).
 	SamplePeriod simclock.Duration
 	// CoolingPeriods between counter halvings (default 8).
@@ -92,7 +93,7 @@ func (p *Policy) Name() string { return "FlexMem" }
 func (p *Policy) Attach(k policy.Kernel) {
 	p.k = k
 	if p.cfg.SampleRate == 0 {
-		p.cfg.SampleRate = 100000 * 512 / (float64(k.HugeFactor()) * k.CostScale())
+		p.cfg.SampleRate = units.Hz(100000 * 512 / (float64(k.HugeFactor()) * k.CostScale()))
 		if p.cfg.SampleRate < 10 {
 			p.cfg.SampleRate = 10
 		}
@@ -108,7 +109,7 @@ func (p *Policy) Attach(k policy.Kernel) {
 
 	// PEBS sampling + cooling.
 	k.Clock().Every(p.cfg.SamplePeriod, func(now simclock.Time) {
-		k.SamplePEBS(p.sampler, p.cfg.SamplePeriod.Seconds())
+		k.SamplePEBS(p.sampler, units.SecondsOf(p.cfg.SamplePeriod))
 		p.periods++
 		if p.periods%p.cfg.CoolingPeriods == 0 {
 			p.sampler.Cool()

@@ -20,6 +20,7 @@ import (
 	"chrono/internal/pebs"
 	"chrono/internal/policy"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -27,7 +28,7 @@ import (
 type Config struct {
 	// SampleRate is the PEBS budget (0 = scale-derived default shared
 	// with Memtis).
-	SampleRate float64
+	SampleRate units.Hz
 	// SamplePeriod is the DS-area drain interval (default 1 s).
 	SamplePeriod simclock.Duration
 	// HotThreshold is the fixed sample count above which a page is hot
@@ -87,7 +88,7 @@ func (p *Policy) Sampler() *pebs.Sampler { return p.sampler }
 func (p *Policy) Attach(k policy.Kernel) {
 	p.k = k
 	if p.cfg.SampleRate == 0 {
-		p.cfg.SampleRate = 100000 * 512 / (float64(k.HugeFactor()) * k.CostScale())
+		p.cfg.SampleRate = units.Hz(100000 * 512 / (float64(k.HugeFactor()) * k.CostScale()))
 		if p.cfg.SampleRate < 10 {
 			p.cfg.SampleRate = 10
 		}
@@ -101,7 +102,7 @@ func (p *Policy) Attach(k policy.Kernel) {
 	p.sampler = pebs.NewSampler(k.RNG(), p.cfg.SampleRate)
 	p.sampler.Grow(len(k.Pages()))
 	k.Clock().Every(p.cfg.SamplePeriod, func(now simclock.Time) {
-		k.SamplePEBS(p.sampler, p.cfg.SamplePeriod.Seconds())
+		k.SamplePEBS(p.sampler, units.SecondsOf(p.cfg.SamplePeriod))
 		p.periods++
 		if p.periods%p.cfg.CoolingPeriods == 0 {
 			p.sampler.Cool()

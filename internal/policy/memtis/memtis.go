@@ -19,6 +19,7 @@ import (
 	"chrono/internal/pebs"
 	"chrono/internal/policy"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -27,7 +28,7 @@ type Config struct {
 	// SampleRate is the PEBS budget in samples/second. When zero it
 	// defaults to the real 100k/s kernel cap divided by the simulator's
 	// capacity scale, preserving the expected per-page counter value.
-	SampleRate float64
+	SampleRate units.Hz
 	// SamplePeriod is the DS-area drain interval (default 1 s).
 	SamplePeriod simclock.Duration
 	// CoolingPeriods is the number of sample periods between counter
@@ -105,7 +106,7 @@ func (p *Policy) Attach(k policy.Kernel) {
 		// are large and stable, base-page counters collapse toward zero
 		// (Figure 2b), because the base:huge counter ratio is the fold
 		// factor in both worlds.
-		p.cfg.SampleRate = 100000 * 512 / (float64(k.HugeFactor()) * k.CostScale())
+		p.cfg.SampleRate = units.Hz(100000 * 512 / (float64(k.HugeFactor()) * k.CostScale()))
 		if p.cfg.SampleRate < 10 {
 			p.cfg.SampleRate = 10
 		}
@@ -113,7 +114,7 @@ func (p *Policy) Attach(k policy.Kernel) {
 	p.sampler = pebs.NewSampler(k.RNG(), p.cfg.SampleRate)
 	p.sampler.Grow(len(k.Pages()))
 	k.Clock().Every(p.cfg.SamplePeriod, func(now simclock.Time) {
-		k.SamplePEBS(p.sampler, p.cfg.SamplePeriod.Seconds())
+		k.SamplePEBS(p.sampler, units.SecondsOf(p.cfg.SamplePeriod))
 		p.periods++
 		if p.periods%p.cfg.CoolingPeriods == 0 {
 			p.sampler.Cool()

@@ -18,6 +18,7 @@ import (
 	"chrono/internal/rng"
 	"chrono/internal/simclock"
 	"chrono/internal/sysctl"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -66,7 +67,7 @@ type Kernel interface {
 
 	// ChargeKernel accounts ns of kernel CPU to the policy (scan work,
 	// list maintenance, sampling micro-operations).
-	ChargeKernel(ns float64)
+	ChargeKernel(ns units.NS)
 	// CostScale is the real-pages-per-simulated-page factor: per-page
 	// bookkeeping costs passed to ChargeKernel should be multiplied by it
 	// so kernel-time fractions come out in real terms.
@@ -86,7 +87,7 @@ type Kernel interface {
 	// SamplePEBS draws one sampling period's worth of hardware event
 	// samples (the PEBS channel Memtis/HeMem consume) into s. It returns
 	// the number of samples retained.
-	SamplePEBS(s *pebs.Sampler, seconds float64) int
+	SamplePEBS(s *pebs.Sampler, period units.Sec) int
 
 	// InactiveTail returns up to n pages from the cold end of the
 	// kernel's LRU inactive list for the given tier — the candidate

@@ -22,6 +22,7 @@ import (
 	"chrono/internal/mem"
 	"chrono/internal/policy"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -40,7 +41,7 @@ type Config struct {
 	// MigrateBatch caps page moves per cycle (default fast/32).
 	MigrateBatch int
 	// NodeTestNS is the kernel cost per tree-node accessed-bit test.
-	NodeTestNS float64
+	NodeTestNS units.NS
 	// ProfileBudget caps the page-level tests per window (default
 	// totalPages/8). Telescope's efficiency claim rests on access
 	// sparsity; on a dense footprint the profiler must round-robin its
@@ -138,7 +139,7 @@ func (p *Policy) buildRegions() {
 // through the entry; sampling keeps the cost model honest while retaining
 // the any-child semantics for non-sparse regions).
 func (p *Policy) regionAccessed(r *region) bool {
-	p.k.ChargeKernel(p.cfg.NodeTestNS * p.k.CostScale())
+	p.k.ChargeKernel(p.cfg.NodeTestNS.Mul(p.k.CostScale()))
 	// Probe up to 8 spread children.
 	step := len(r.pages) / 8
 	if step < 1 {
@@ -176,7 +177,7 @@ func (p *Policy) profile(now simclock.Time) {
 		budget -= len(r.pages)
 		anyHot := false
 		for _, pg := range r.pages {
-			p.k.ChargeKernel(p.cfg.NodeTestNS * p.k.CostScale())
+			p.k.ChargeKernel(p.cfg.NodeTestNS.Mul(p.k.CostScale()))
 			streak := pg.Meta & 0xff
 			if p.k.AccessedTestAndClear(pg) {
 				if streak < 255 {

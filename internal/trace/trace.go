@@ -24,6 +24,7 @@ import (
 
 	"chrono/internal/engine"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -45,8 +46,8 @@ type Header struct {
 	// Workload is the generator's Name() for provenance.
 	Workload string `json:"workload"`
 	// FastGB/SlowGB/PagesPerGB reproduce the machine shape.
-	FastGB     float64 `json:"fast_gb"`
-	SlowGB     float64 `json:"slow_gb"`
+	FastGB     units.GB `json:"fast_gb"`
+	SlowGB     units.GB `json:"slow_gb"`
 	PagesPerGB int64   `json:"pages_per_gb"`
 }
 
@@ -56,7 +57,7 @@ type Process struct {
 	PID     int        `json:"pid"`
 	Name    string     `json:"name"`
 	Cgroup  int        `json:"cgroup"`
-	DelayNS float64    `json:"delay_ns"`
+	DelayNS units.NS   `json:"delay_ns"`
 	Threads int        `json:"threads"`
 	Pages   uint64     `json:"pages"`
 }

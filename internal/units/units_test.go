@@ -1,0 +1,119 @@
+package units
+
+import (
+	"encoding/json"
+	"testing"
+
+	"chrono/internal/simclock"
+)
+
+// TestSpanConversions pins the scale factors between the time units.
+func TestSpanConversions(t *testing.T) {
+	if got := Sec(2).NS(); got != 2e9 {
+		t.Errorf("Sec(2).NS() = %v, want 2e9", got)
+	}
+	if got := Sec(2).MS(); got != 2000 {
+		t.Errorf("Sec(2).MS() = %v, want 2000", got)
+	}
+	if got := MS(3).NS(); got != 3e6 {
+		t.Errorf("MS(3).NS() = %v, want 3e6", got)
+	}
+	if got := MS(1500).Seconds(); got != 1.5 {
+		t.Errorf("MS(1500).Seconds() = %v, want 1.5", got)
+	}
+	if got := NS(5e8).Seconds(); got != 0.5 {
+		t.Errorf("NS(5e8).Seconds() = %v, want 0.5", got)
+	}
+	if got := NS(2.5e6).MS(); got != 2.5 {
+		t.Errorf("NS(2.5e6).MS() = %v, want 2.5", got)
+	}
+}
+
+// TestClockBridge pins the simclock boundary: Duration truncates exactly
+// like simclock.FromSeconds, and NSOf is lossless.
+func TestClockBridge(t *testing.T) {
+	s := Sec(1.2345678901)
+	if got, want := s.Duration(), simclock.FromSeconds(1.2345678901); got != want {
+		t.Errorf("Sec.Duration() = %v, want %v", got, want)
+	}
+	d := simclock.Duration(123456789)
+	if got := NSOf(d); float64(got) != 123456789 {
+		t.Errorf("NSOf(%v) = %v", d, got)
+	}
+	if got, want := SecondsOf(d), Sec(d.Seconds()); got != want {
+		t.Errorf("SecondsOf(%v) = %v, want %v", d, got, want)
+	}
+}
+
+// TestRates pins Hz and bandwidth arithmetic.
+func TestRates(t *testing.T) {
+	if got := Hz(100).Count(Sec(2.5)); got != 250 {
+		t.Errorf("Hz(100).Count(2.5s) = %v, want 250", got)
+	}
+	if got := Hz(200).Period(); got != 0.005 {
+		t.Errorf("Hz(200).Period() = %v, want 0.005", got)
+	}
+	if got := Bytes(1e9).Over(BytesPerSec(2e9)); got != 0.5 {
+		t.Errorf("Bytes(1e9).Over(2e9 B/s) = %v, want 0.5s", got)
+	}
+	if got := Bytes(6e8).Per(Sec(2)); got != 3e8 {
+		t.Errorf("Bytes(6e8).Per(2s) = %v, want 3e8", got)
+	}
+	if got := BytesPerSec(3e8).Times(Sec(2)); got != 6e8 {
+		t.Errorf("BytesPerSec(3e8).Times(2s) = %v, want 6e8", got)
+	}
+}
+
+// TestPages pins the GB→pages truncation against the int64 expression the
+// helper replaced.
+func TestPages(t *testing.T) {
+	const pagesPerGB = 262144 // 4 KiB pages
+	for _, gb := range []GB{0, 1, 128, 192.5, 256} {
+		want := int64(float64(gb) * float64(pagesPerGB))
+		if got := gb.Pages(pagesPerGB); got != want {
+			t.Errorf("GB(%v).Pages = %d, want %d", float64(gb), got, want)
+		}
+	}
+}
+
+// TestScalingPreservesOrder pins Mul/Div to the exact float64 evaluation
+// the migrated call sites used, including a non-representable factor where
+// a reassociated order would differ in the last ulp.
+func TestScalingPreservesOrder(t *testing.T) {
+	n, f := 130.7, 0.30000000000000004
+	if got := NS(n).Mul(f); float64(got) != n*f {
+		t.Errorf("NS.Mul = %v, want %v", float64(got), n*f)
+	}
+	if got := NS(n).Div(f); float64(got) != n/f {
+		t.Errorf("NS.Div = %v, want %v", float64(got), n/f)
+	}
+	if got := Sec(n).Mul(f); float64(got) != n*f {
+		t.Errorf("Sec.Mul = %v, want %v", float64(got), n*f)
+	}
+	if got := GB(n).Mul(f); float64(got) != n*f {
+		t.Errorf("GB.Mul = %v, want %v", float64(got), n*f)
+	}
+}
+
+// TestJSONRepresentation asserts defined float64 types marshal exactly
+// like the bare float64 fields they replaced — the byte-identity of
+// results/tables.json depends on it.
+func TestJSONRepresentation(t *testing.T) {
+	typed, err := json.Marshal(struct {
+		A NS
+		B GB
+		C BytesPerSec
+	}{130, 192.5, 2.5e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := json.Marshal(struct {
+		A, B, C float64
+	}{130, 192.5, 2.5e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(typed) != string(bare) {
+		t.Errorf("typed marshal %s != bare marshal %s", typed, bare)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"chrono/internal/mem"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 )
 
 // BasePagesPerHuge is the folding factor between base (4 KB) and huge
@@ -115,7 +116,7 @@ type Process struct {
 
 	// DelayNS is extra user-side stall added before every access
 	// (pmbench's delay parameter, §5.1.3: i units of 50 cycles).
-	DelayNS float64
+	DelayNS units.NS
 
 	// MemLimit is the cgroup memory.limit in base pages (0 = unlimited).
 	// When resident memory exceeds it, the kernel reclaims slow-tier

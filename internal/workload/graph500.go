@@ -7,6 +7,7 @@ import (
 
 	"chrono/internal/engine"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -26,7 +27,7 @@ import (
 // of the degree-driven base weights, giving the policies a drifting target.
 type Graph500 struct {
 	// TotalGB is the aggregate working set across processes (128..256).
-	TotalGB float64
+	TotalGB units.GB
 	// Processes splits the graph work (default 8, the multi-process run).
 	Processes int
 	// Mode selects base or huge pages (Figure 11a compares both).
@@ -75,10 +76,10 @@ func (w *Graph500) Build(e *engine.Engine) error {
 	// remainder for the kernel and swap headroom, and a fully exhausted
 	// node would leave the migration path nowhere to demote to.
 	totalGB := w.TotalGB
-	if maxGB := (e.Config().FastGB + e.Config().SlowGB) * 0.97; totalGB > maxGB {
+	if maxGB := (e.Config().FastGB + e.Config().SlowGB).Mul(0.97); totalGB > maxGB {
 		totalGB = maxGB
 	}
-	perProc := GB(e, totalGB/float64(w.Processes))
+	perProc := GB(e, totalGB.Div(float64(w.Processes)))
 	w.baseWeights = make([][]float64, w.Processes)
 	w.hotThresh = make([]float64, w.Processes)
 	rf := w.ReadPct / 100

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chrono/internal/engine"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -33,7 +34,7 @@ const (
 type KVStore struct {
 	Flavor KVFlavor
 	// StoreGB is the total item heap (default 160).
-	StoreGB float64
+	StoreGB units.GB
 	// SetRatio and GetRatio give the SET:GET mix (1:10 or 1:1).
 	SetRatio, GetRatio float64
 	// Shards is the number of server processes (memcached threads modeled
@@ -82,12 +83,12 @@ func (w *KVStore) Build(e *engine.Engine) error {
 	writeFrac := w.SetRatio / (w.SetRatio + w.GetRatio) * 0.85
 	rf := 1 - writeFrac
 
-	perShard := GB(e, w.StoreGB/float64(w.Shards))
+	perShard := GB(e, w.StoreGB.Div(float64(w.Shards)))
 	threads := 4
-	cpuDelay := 0.0
+	var cpuDelay units.NS
 	if w.Flavor == Redis {
-		threads = 1      // single-threaded event loop
-		cpuDelay = 150.0 // command parsing + dict walk per op
+		threads = 1    // single-threaded event loop
+		cpuDelay = 150 // command parsing + dict walk per op
 	}
 
 	for i := 0; i < w.Shards; i++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chrono/internal/engine"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -19,10 +20,10 @@ type MultiTenant struct {
 	// WorkingSetGB is the per-tenant working set, sized so the aggregate
 	// is 4× the fast tier (the paper's 25% DRAM ratio). Default computed
 	// from the engine config when zero.
-	WorkingSetGB float64
+	WorkingSetGB units.GB
 	// DelayUnitNS is one pmbench delay unit (50 cycles ≈ 19.2 ns at
 	// 2.6 GHz).
-	DelayUnitNS float64
+	DelayUnitNS units.NS
 	// ReadPct is the read percentage (default 70).
 	ReadPct float64
 }
@@ -43,14 +44,14 @@ func (w *MultiTenant) Build(e *engine.Engine) error {
 	}
 	if w.WorkingSetGB <= 0 {
 		total := e.Config().FastGB + e.Config().SlowGB
-		w.WorkingSetGB = total * 0.97 / float64(w.Tenants)
+		w.WorkingSetGB = total.Mul(0.97).Div(float64(w.Tenants))
 	}
 	rf := w.ReadPct / 100
 	for i := 0; i < w.Tenants; i++ {
 		n := GB(e, w.WorkingSetGB)
 		p := vm.NewProcess(4000+i, fmt.Sprintf("cgroup-%d", i), n)
 		p.Cgroup = i
-		p.DelayNS = float64(i) * w.DelayUnitNS
+		p.DelayNS = w.DelayUnitNS.Mul(float64(i))
 		start := p.VMAs()[0].Start
 		for j := uint64(0); j < n; j++ {
 			p.SetPattern(start+j, 1, rf)

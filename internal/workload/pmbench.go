@@ -7,6 +7,7 @@ import (
 	"chrono/internal/engine"
 	"chrono/internal/rng"
 	"chrono/internal/simclock"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -33,7 +34,7 @@ type Pmbench struct {
 	// Processes is the concurrency level (50 or 32 in Figure 6).
 	Processes int
 	// WorkingSetGB is the per-process private working set (5, 8, or 4 GB).
-	WorkingSetGB float64
+	WorkingSetGB units.GB
 	// ReadPct is the read percentage of the R/W ratio (95, 70, 30, 5).
 	ReadPct float64
 	// Pattern selects the spatial distribution.
@@ -50,7 +51,7 @@ type Pmbench struct {
 	// DelayUnitNS, if non-zero, adds i*DelayUnitNS of per-access stall to
 	// the i-th process (pmbench's delay parameter; one unit is 50 cycles
 	// ≈ 19 ns at 2.6 GHz).
-	DelayUnitNS float64
+	DelayUnitNS units.NS
 	// ThreadsPerProc is the thread count per process (default 1).
 	ThreadsPerProc int
 	// Mode selects base or huge page mapping.
@@ -102,13 +103,13 @@ func (w *Pmbench) Build(e *engine.Engine) error {
 	// Cap the aggregate at 97% of physical memory (kernel + swap
 	// headroom); a fully exhausted node leaves migration nowhere to go.
 	wsGB := w.WorkingSetGB
-	if maxGB := (e.Config().FastGB + e.Config().SlowGB) * 0.97 / float64(w.Processes); wsGB > maxGB {
+	if maxGB := (e.Config().FastGB + e.Config().SlowGB).Mul(0.97).Div(float64(w.Processes)); wsGB > maxGB {
 		wsGB = maxGB
 	}
 	for i := 0; i < w.Processes; i++ {
 		n := GB(e, wsGB)
 		p := vm.NewProcess(1000+i, fmt.Sprintf("pmbench-%d", i), n)
-		p.DelayNS = float64(i) * w.DelayUnitNS
+		p.DelayNS = w.DelayUnitNS.Mul(float64(i))
 		var weights []float64
 		switch w.Pattern {
 		case PatternUniform:

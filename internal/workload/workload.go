@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"chrono/internal/engine"
+	"chrono/internal/units"
 	"chrono/internal/vm"
 )
 
@@ -59,6 +60,6 @@ func hotCenter(i, n int, frac float64) bool {
 }
 
 // GB converts gigabytes to base pages under the engine's scale.
-func GB(e *engine.Engine, gb float64) uint64 {
-	return uint64(gb * float64(e.Config().PagesPerGB))
+func GB(e *engine.Engine, gb units.GB) uint64 {
+	return uint64(float64(gb) * float64(e.Config().PagesPerGB))
 }

@@ -230,7 +230,7 @@ func TestMultiTenantBuild(t *testing.T) {
 	for _, p := range procs {
 		resident += int64(p.VMAs()[0].Len)
 	}
-	total := (e.Config().FastGB + e.Config().SlowGB) * float64(e.Config().PagesPerGB)
+	total := float64(e.Config().FastGB+e.Config().SlowGB) * float64(e.Config().PagesPerGB)
 	if frac := float64(resident) / total; frac < 0.9 || frac > 1.0 {
 		t.Fatalf("aggregate working set fraction %v", frac)
 	}
