@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint simdebug bench check clean
+.PHONY: build test race vet lint simdebug chaos bench check clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ lint:
 # Run the test suite with the engine's invariant sanitizer forced on.
 simdebug:
 	$(GO) test -tags simdebug ./...
+
+# Fault-matrix soak at full length: every registered policy and the chaos
+# fuzzer under the aggressive fault plan, race detector and sanitizer on.
+# CI runs the same selection with -short (reduced virtual duration).
+chaos:
+	$(GO) test -race -tags simdebug -count 1 -run 'TestFaultMatrix|TestChaos|TestFaultPlan|TestResilientRun' ./internal/engine/ ./internal/experiments/
 
 # Hot-path microbenchmarks (simclock event loop, engine epoch, fault
 # path). Output is benchstat-compatible: run with COUNT=10 and feed two

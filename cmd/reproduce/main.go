@@ -8,6 +8,7 @@
 //	           fig9|fig10a|fig10bc|fig10d|fig11|fig11b|fig12|fig13|appb|
 //	           ext|drift|seeds]
 //	          [-quick] [-seed N] [-duration S] [-j N]
+//	          [-faults SPEC] [-retries N] [-failures F]
 //	          [-cpuprofile F] [-memprofile F] [-trace F]
 //
 // -quick shortens run durations ~4x for a fast smoke pass; the shapes
@@ -16,6 +17,13 @@
 // -j runs independent simulations of each experiment in parallel (0 =
 // GOMAXPROCS). Output is byte-identical at every worker count; see the
 // "Parallel sweeps" section of DESIGN.md for why.
+//
+// -faults enables deterministic fault injection in every run: "aggressive"
+// or a spec like "mig=0.2,alloc=0.1:4,pebs=0.25:0.5,delay=0.2:20" (see
+// internal/faultinject). The same seed and plan reproduce the same faults
+// bit-for-bit. Sweep cells that crash are retried -retries times, then
+// recorded in a failure manifest (stderr summary; full JSON repro bundles
+// to the -failures file) while the surviving grid still renders.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"chrono/internal/experiments"
+	"chrono/internal/faultinject"
 	"chrono/internal/parallel"
 	"chrono/internal/report"
 	"chrono/internal/simclock"
@@ -43,6 +52,9 @@ func main() {
 		duration = flag.Float64("duration", 0, "override virtual run seconds (0 = per-experiment default)")
 		jsonOut  = flag.String("json", "", "also write all tables as JSON to this file")
 		workers  = flag.Int("j", 0, "parallel simulations per experiment (0 = GOMAXPROCS, 1 = serial)")
+		faults   = flag.String("faults", "", "fault-injection plan: none|aggressive|mig=P,alloc=P:N,pebs=P:F,delay=P:MS")
+		retries  = flag.Int("retries", 1, "extra attempts for a crashed sweep run before it enters the failure manifest")
+		failOut  = flag.String("failures", "", "write crashed-run repro bundles as JSON to this file (written only when runs crashed)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -85,7 +97,12 @@ func main() {
 		}
 	}
 
-	o := experiments.RunOpts{Seed: *seed, Workers: parallel.Resolve(*workers)}
+	o := experiments.RunOpts{Seed: *seed, Workers: parallel.Resolve(*workers), Retries: *retries}
+	if *faults != "" {
+		plan, err := faultinject.ParsePlan(*faults)
+		fail(err)
+		o.Faults = plan
+	}
 	longDur := simclock.Duration(1500) * simclock.Second
 	if *quick {
 		o.Duration = 240 * simclock.Second
@@ -103,6 +120,10 @@ func main() {
 			"ext", "drift", "seeds"}
 	}
 
+	// failedRuns accumulates the crash manifest across every sweep; it is
+	// empty (and produces no output) on a healthy run.
+	var failedRuns []experiments.FailedRun
+
 	// Figures 6, 7 and 8 share their runs; cache the sweep.
 	var sweep *experiments.PmbenchSweep
 	getSweep := func() *experiments.PmbenchSweep {
@@ -111,6 +132,7 @@ func main() {
 			sweep, err = experiments.RunPmbenchSweep(
 				experiments.Fig6a, experiments.StandardPolicies, experiments.RWRatios, o)
 			fail(err)
+			failedRuns = append(failedRuns, sweep.Failed...)
 		}
 		return sweep
 	}
@@ -141,6 +163,7 @@ func main() {
 			for _, cfg := range []experiments.PmbenchConfig{experiments.Fig6b, experiments.Fig6c} {
 				sw, err := experiments.RunPmbenchSweep(cfg, experiments.StandardPolicies, experiments.RWRatios, o)
 				fail(err)
+				failedRuns = append(failedRuns, sw.Failed...)
 				emit(sw.ThroughputTable())
 			}
 		case "fig7":
@@ -243,6 +266,22 @@ func main() {
 		fail(enc.Encode(emitted))
 		fail(f.Close())
 		fmt.Fprintf(os.Stderr, "wrote %d tables to %s\n", len(emitted), *jsonOut)
+	}
+
+	if len(failedRuns) > 0 {
+		fmt.Fprintf(os.Stderr, "WARNING: %d run(s) crashed every attempt; their table cells read FAILED\n", len(failedRuns))
+		for i := range failedRuns {
+			fmt.Fprintln(os.Stderr, "  "+failedRuns[i].String())
+		}
+		if *failOut != "" {
+			f, err := os.Create(*failOut)
+			fail(err)
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			fail(enc.Encode(failedRuns))
+			fail(f.Close())
+			fmt.Fprintf(os.Stderr, "wrote %d repro bundles to %s\n", len(failedRuns), *failOut)
+		}
 	}
 }
 

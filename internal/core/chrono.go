@@ -179,6 +179,11 @@ type Chrono struct {
 	// dequeue/promotion accounting for the thrash monitor.
 	promotedPages int64
 	thrashEvents  int64
+	// retries counts transient promotion failures per queued page ID
+	// (busy/pinned-page aborts); pages exceeding maxPromoteRetries are
+	// dropped from the queue. Keyed access only — never iterated — so
+	// map order cannot leak into the migration order.
+	retries map[int64]int8
 
 	// DCSC heat maps (§3.2.2): per-tier CIT bucket counters, decayed at
 	// every tuning step. Sample counts track the scaling denominator.
@@ -205,6 +210,7 @@ type Chrono struct {
 	DCSCSamples  int64
 	FilteredOut  int64 // candidates dropped by a failed second round
 	QueueDropped int64 // submissions dropped by the queue bound
+	RetryDropped int64 // queued pages dropped after repeated transient aborts
 }
 
 // New returns a Chrono policy with the given options.
@@ -215,6 +221,7 @@ func New(opt Options) *Chrono {
 		thresholdMS:  opt.CITThresholdMS,
 		rateLimitBps: opt.RateLimitMBps * 1e6,
 		cands:        &xarray.XArray{},
+		retries:      make(map[int64]int8),
 	}
 	for t := range c.heat {
 		c.heat[t] = make([]float64, opt.BBuckets)
@@ -423,16 +430,33 @@ func (c *Chrono) maxQueueLen() int {
 	return int(pages)
 }
 
+// maxPromoteRetries bounds how many transient aborts one queued page may
+// accumulate before drainQueue stops spending budget on it. A dropped
+// page is not lost: if it stays hot, a later Ticking-scan pass
+// re-qualifies it through the candidate filter.
+const maxPromoteRetries = 3
+
 // drainQueue promotes queued pages within the rate-limit budget.
+//
+// Failure handling distinguishes the two migration outcomes: a transient
+// abort (busy/pinned page) skips-and-requeues the page at the BACK of
+// the queue — the head must not wedge the whole queue, and the next
+// attempt happens no earlier than the next MigrateTick, which is the
+// retry backoff in sim time — while capacity/bandwidth exhaustion
+// re-queues at the front and stops the drain, since every subsequent
+// entry would fail the same way until the budget refills.
 func (c *Chrono) drainQueue(now simclock.Time) {
 	budgetBytes := c.rateLimitBps * c.opt.MigrateTick.Seconds()
 	pageBytes := float64(c.k.Node().PageSizeBytes)
 	pages := c.k.Pages()
-	for len(c.queue) > 0 && budgetBytes >= pageBytes {
+	// Bound the pass to the queue length at entry so a page requeued
+	// after a transient abort is not retried within the same tick.
+	for n := len(c.queue); n > 0 && len(c.queue) > 0 && budgetBytes >= pageBytes; n-- {
 		id := c.queue[0]
 		c.queue = c.queue[1:]
 		pg := pages[id]
 		if pg == nil || pg.Tier != mem.SlowTier {
+			delete(c.retries, id)
 			continue // stale entry
 		}
 		cost := float64(int64(pg.Size) * c.k.Node().PageSizeBytes)
@@ -441,11 +465,20 @@ func (c *Chrono) drainQueue(now simclock.Time) {
 			c.queue = append([]int64{id}, c.queue...)
 			return
 		}
-		if c.k.Promote(pg) {
+		switch c.k.TryPromote(pg) {
+		case policy.MigrateOK:
+			delete(c.retries, id)
 			budgetBytes -= cost
 			c.Promoted++
 			c.promotedPages += int64(pg.Size)
-		} else {
+		case policy.MigrateTransient:
+			if c.retries[id]++; c.retries[id] >= maxPromoteRetries {
+				delete(c.retries, id)
+				c.RetryDropped++
+			} else {
+				c.queue = append(c.queue, id)
+			}
+		default: // MigrateNoCapacity
 			// Migration bandwidth exhausted or fast tier unreclaimable:
 			// retry the page next tick.
 			c.queue = append([]int64{id}, c.queue...)

@@ -3,6 +3,7 @@ package core
 import (
 	"chrono/internal/mem"
 	"chrono/internal/pebs"
+	"chrono/internal/policy"
 	"chrono/internal/policy/scan"
 	"chrono/internal/rng"
 	"chrono/internal/simclock"
@@ -30,6 +31,10 @@ type fakeKernel struct {
 	// promoteOK / demoteOK script migration success (default true).
 	promoteOK func(*vm.Page) bool
 	demoteOK  func(*vm.Page) bool
+	// transient scripts TryPromote/TryDemote transient aborts: when it
+	// returns true the attempt fails with MigrateTransient before any
+	// state changes (default: never).
+	transient func(*vm.Page) bool
 	// inactiveTail scripts the reclaim candidate list.
 	inactiveTail []*vm.Page
 	// accessed scripts the accessed-bit answer.
@@ -128,6 +133,26 @@ func (k *fakeKernel) Demote(pg *vm.Page) bool {
 	pg.DemoteTS = k.clock.Now()
 	k.demotes = append(k.demotes, pg)
 	return true
+}
+
+func (k *fakeKernel) TryPromote(pg *vm.Page) policy.MigrateResult {
+	if k.transient != nil && k.transient(pg) {
+		return policy.MigrateTransient
+	}
+	if k.Promote(pg) {
+		return policy.MigrateOK
+	}
+	return policy.MigrateNoCapacity
+}
+
+func (k *fakeKernel) TryDemote(pg *vm.Page) policy.MigrateResult {
+	if k.transient != nil && k.transient(pg) {
+		return policy.MigrateTransient
+	}
+	if k.Demote(pg) {
+		return policy.MigrateOK
+	}
+	return policy.MigrateNoCapacity
 }
 
 func (k *fakeKernel) SplitHuge(pg *vm.Page) []*vm.Page { return nil }

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"chrono/internal/faultinject"
 	"chrono/internal/mem"
 	"chrono/internal/policy"
 	"chrono/internal/rng"
@@ -165,6 +166,46 @@ func TestChaosInvariants(t *testing.T) {
 	}
 }
 
+// TestChaosInvariantsUnderFaults reruns the fuzzing policy with the
+// aggressive fault plan and the sanitizer forced on: the kernel surface
+// must keep every invariant while ~20% of migrations abort and alloc
+// failures fire near the watermarks. The chaos policy calls the legacy
+// bool Promote/Demote, so this also proves the transient/capacity split
+// degrades cleanly for callers that never look at MigrateResult.
+func TestChaosInvariantsUnderFaults(t *testing.T) {
+	for _, mode := range []PageSizeMode{BasePages, HugePages} {
+		e := New(Config{
+			Seed: 777, FastGB: 4, SlowGB: 12,
+			Faults:      faultinject.Aggressive(),
+			DebugChecks: true,
+		})
+		p := vm.NewProcess(1, "chaos", 2048)
+		start := p.VMAs()[0].Start
+		for i := uint64(0); i < 2048; i++ {
+			w := float64(i%13) / 3
+			p.SetPattern(start+i, w, 0.6)
+		}
+		e.AddProcess(p, 2)
+		if err := e.MapAll(mode); err != nil {
+			t.Fatal(err)
+		}
+		e.AttachPolicy(&chaosPolicy{})
+		for round := 0; round < 10; round++ {
+			e.Run(5 * simclock.Second)
+			checkInvariants(t, e)
+		}
+		if e.M.Promotions == 0 && e.M.Demotions == 0 {
+			t.Fatal("chaos under faults produced no migrations at all")
+		}
+		if e.M.FailedPromotions == 0 && e.M.FailedDemotions == 0 {
+			t.Fatal("aggressive plan aborted no chaos migrations; injection is inert")
+		}
+		if e.Injector().Count(faultinject.MigrationBusy) == 0 {
+			t.Fatal("no migration-busy faults drawn")
+		}
+	}
+}
+
 // TestChaosDeterminism: the fuzzed run is still fully deterministic.
 func TestChaosDeterminism(t *testing.T) {
 	run := func() (float64, int64) {
@@ -186,5 +227,38 @@ func TestChaosDeterminism(t *testing.T) {
 	a2, p2 := run()
 	if a1 != a2 || p1 != p2 {
 		t.Fatalf("chaos runs diverged: %v/%v vs %v/%v", a1, p1, a2, p2)
+	}
+}
+
+// TestChaosDeterminismUnderFaults: a fixed (seed, plan) pins the injected
+// faults too — the fuzzed, fault-injected run is bit-reproducible, and
+// the injector draws the same counts every time.
+func TestChaosDeterminismUnderFaults(t *testing.T) {
+	run := func() (float64, int64, int64, int64) {
+		e := New(Config{
+			Seed: 555, FastGB: 4, SlowGB: 12,
+			Faults: faultinject.Aggressive(),
+		})
+		p := vm.NewProcess(1, "chaos", 1024)
+		start := p.VMAs()[0].Start
+		for i := uint64(0); i < 1024; i++ {
+			p.SetPattern(start+i, float64(i%7), 0.5)
+		}
+		e.AddProcess(p, 1)
+		if err := e.MapAll(BasePages); err != nil {
+			t.Fatal(err)
+		}
+		e.AttachPolicy(&chaosPolicy{})
+		m := e.Run(20 * simclock.Second)
+		return m.Accesses, m.Promotions, m.FailedPromotions, e.Injector().Total()
+	}
+	a1, p1, f1, i1 := run()
+	a2, p2, f2, i2 := run()
+	if a1 != a2 || p1 != p2 || f1 != f2 || i1 != i2 {
+		t.Fatalf("faulted chaos runs diverged: %v/%v/%v/%v vs %v/%v/%v/%v",
+			a1, p1, f1, i1, a2, p2, f2, i2)
+	}
+	if f1 == 0 || i1 == 0 {
+		t.Fatalf("aggressive plan was inert: failed=%d injected=%d", f1, i1)
 	}
 }

@@ -34,6 +34,7 @@ package engine
 import (
 	"fmt"
 
+	"chrono/internal/faultinject"
 	"chrono/internal/lru"
 	"chrono/internal/mem"
 	"chrono/internal/policy"
@@ -121,6 +122,14 @@ type Config struct {
 	// first violation. Building with -tags simdebug forces this on for
 	// every engine regardless of the flag.
 	DebugChecks bool
+
+	// Faults configures deterministic fault injection (see
+	// internal/faultinject): transient migration aborts, allocation
+	// failures near watermarks, PEBS overflow windows, delayed hint
+	// faults. The zero value disables the subsystem entirely — no
+	// injector is built, no extra RNG draws happen, and runs are
+	// byte-identical to an engine without it.
+	Faults faultinject.Plan
 
 	// CostScale is the real-pages-per-simulated-page factor. One
 	// simulated page stands for CostScale real 4 KB pages (the capacity
@@ -293,6 +302,10 @@ type Engine struct {
 	// sanitize enables the per-epoch invariant checks (sanitize.go).
 	sanitize bool
 
+	// inj draws fault-injection decisions; nil (the common case) means
+	// no injection and is handled by faultinject's nil-safe methods.
+	inj *faultinject.Injector
+
 	horizon simclock.Time
 
 	M Metrics
@@ -322,6 +335,17 @@ type Metrics struct {
 
 	KernelNS float64
 	AppNS    float64
+
+	// Robustness accounting: migration attempts aborted by transient
+	// faults (busy/pinned page, watermark allocation failure), the
+	// kernel time those aborts burned, PEBS samples lost to overflow
+	// windows, and moveTier accounting errors recovered in release
+	// builds (always 0 in a healthy simulator).
+	FailedPromotions   int64
+	FailedDemotions    int64
+	AbortedMigrationNS float64
+	PEBSDropped        float64
+	MoveTierErrors     int64
 
 	// Latency observations, weighted by access counts.
 	Lat      *stats.Histogram
@@ -407,8 +431,15 @@ func New(cfg Config) *Engine {
 		e.deliverFault(arg.(*vm.Page), seq, now)
 	}
 	e.table.Int64("kernel/numa_tiering", "enable tiered NUMA management (Chrono)", &e.numaTiering, nil, nil)
+	// The injector's streams derive from (Seed, Plan) only — never from
+	// rMaster — so enabling injection shifts no engine stream, and a
+	// disabled plan builds no injector at all.
+	e.inj = faultinject.New(cfg.Seed, cfg.Faults)
 	return e
 }
+
+// Injector returns the fault injector, nil when injection is disabled.
+func (e *Engine) Injector() *faultinject.Injector { return e.inj }
 
 // Clock returns the virtual clock.
 func (e *Engine) Clock() *simclock.Clock { return e.clock }

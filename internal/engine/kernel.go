@@ -5,6 +5,7 @@ import (
 
 	"chrono/internal/mem"
 	"chrono/internal/pebs"
+	"chrono/internal/policy"
 	"chrono/internal/rng"
 	"chrono/internal/simclock"
 	"chrono/internal/units"
@@ -44,6 +45,9 @@ func (e *Engine) Protect(pg *vm.Page) {
 		gapS = units.Sec(e.rFault.Float64() / rate)
 	}
 	at := now + gapS.Duration()
+	// Injected delivery delay: under scheduling pressure the faulting
+	// thread observes the poisoned PTE late.
+	at += e.inj.FaultDelay()
 	if at > e.horizon {
 		return
 	}
@@ -134,46 +138,110 @@ func (e *Engine) migBudgetOK(pages int64) bool {
 // Promote moves pg to the fast tier, running direct reclaim when the fast
 // tier is short. Reports whether the page ended up in the fast tier.
 func (e *Engine) Promote(pg *vm.Page) bool {
-	if pg.Flags.Has(vm.FlagSwapped) {
-		// Promoting a reclaimed page is a swap-in to the fast tier.
-		if !e.ensureFastFree(int64(pg.Size)) {
-			return false
-		}
-		return e.swapIn(pg, mem.FastTier)
-	}
-	if pg.Tier == mem.FastTier {
-		return true
-	}
-	if !e.ensureFastFree(int64(pg.Size)) {
-		return false
-	}
-	if !e.migBudgetOK(int64(pg.Size)) {
-		return false
-	}
-	e.moveTier(pg, mem.FastTier)
-	return true
+	return e.TryPromote(pg) == policy.MigrateOK
 }
 
 // Demote moves pg to the slow tier.
 func (e *Engine) Demote(pg *vm.Page) bool {
+	return e.TryDemote(pg) == policy.MigrateOK
+}
+
+// TryPromote implements policy.Kernel: Promote with the failure cause
+// surfaced. Transient aborts (injected busy/pinned pages or watermark
+// allocation failures) leave the page and all capacity/budget accounting
+// untouched, so a retry observes the same state the failed attempt did.
+func (e *Engine) TryPromote(pg *vm.Page) policy.MigrateResult {
 	if pg.Flags.Has(vm.FlagSwapped) {
-		return false // non-resident
+		// Promoting a reclaimed page is a swap-in to the fast tier.
+		if !e.ensureFastFree(int64(pg.Size)) {
+			return policy.MigrateNoCapacity
+		}
+		if e.allocFaultNear(mem.FastTier) {
+			e.M.FailedPromotions++
+			return policy.MigrateTransient
+		}
+		if !e.swapIn(pg, mem.FastTier) {
+			return policy.MigrateNoCapacity
+		}
+		return policy.MigrateOK
 	}
-	if pg.Tier == mem.SlowTier {
-		return true
+	if pg.Tier == mem.FastTier {
+		return policy.MigrateOK
 	}
-	if e.node.Free(mem.SlowTier) < int64(pg.Size) {
-		return false // slow tier exhausted: would swap to disk, out of scope
+	if !e.ensureFastFree(int64(pg.Size)) {
+		return policy.MigrateNoCapacity
+	}
+	if e.inj.MigrationBusy() || e.allocFaultNear(mem.FastTier) {
+		e.abortMigration(pg)
+		e.M.FailedPromotions++
+		return policy.MigrateTransient
 	}
 	if !e.migBudgetOK(int64(pg.Size)) {
+		return policy.MigrateNoCapacity
+	}
+	if err := e.moveTier(pg, mem.FastTier); err != nil {
+		e.M.FailedPromotions++
+		return policy.MigrateTransient
+	}
+	return policy.MigrateOK
+}
+
+// TryDemote implements policy.Kernel; same contract as TryPromote toward
+// the slow tier.
+func (e *Engine) TryDemote(pg *vm.Page) policy.MigrateResult {
+	if pg.Flags.Has(vm.FlagSwapped) {
+		return policy.MigrateNoCapacity // non-resident
+	}
+	if pg.Tier == mem.SlowTier {
+		return policy.MigrateOK
+	}
+	if e.node.Free(mem.SlowTier) < int64(pg.Size) {
+		// Slow tier exhausted: would swap to disk, out of scope.
+		return policy.MigrateNoCapacity
+	}
+	if e.inj.MigrationBusy() || e.allocFaultNear(mem.SlowTier) {
+		e.abortMigration(pg)
+		e.M.FailedDemotions++
+		return policy.MigrateTransient
+	}
+	if !e.migBudgetOK(int64(pg.Size)) {
+		return policy.MigrateNoCapacity
+	}
+	if err := e.moveTier(pg, mem.SlowTier); err != nil {
+		e.M.FailedDemotions++
+		return policy.MigrateTransient
+	}
+	return policy.MigrateOK
+}
+
+// allocFaultNear asks the injector for a transient allocation failure,
+// but only when the destination tier is actually near its watermarks —
+// a zone with plenty of free pages does not fail allocations.
+func (e *Engine) allocFaultNear(t mem.TierID) bool {
+	if e.inj == nil {
 		return false
 	}
-	e.moveTier(pg, mem.SlowTier)
-	return true
+	wm := e.node.Watermarks(t)
+	if e.node.Free(t) >= 4*wm.High {
+		return false
+	}
+	return e.inj.AllocFail()
+}
+
+// abortMigration charges the kernel work of a NOMAD-style transactional
+// abort: the unmap and rollback happen, the copy does not. No capacity,
+// token, or LRU state changes — the page is exactly where it was.
+func (e *Engine) abortMigration(pg *vm.Page) {
+	ns := (e.cfg.MigrateFixedNS + e.cfg.MigratePerPageNS.Mul(float64(pg.Size)).Mul(0.5)).Mul(e.cfg.CostScale)
+	e.ChargeKernel(ns)
+	e.M.AbortedMigrationNS += float64(ns)
 }
 
 // ensureFastFree direct-reclaims (demotes inactive fast-tier pages) until
-// at least n pages are free, or reports failure.
+// at least n pages are free, or reports failure. Transient demotion
+// aborts retry within the guard budget — direct reclaim spins past a
+// busy victim the way the real reclaim loop does — while capacity
+// exhaustion stops the reclaim immediately.
 func (e *Engine) ensureFastFree(n int64) bool {
 	if e.node.Free(mem.FastTier) >= n {
 		return true
@@ -186,7 +254,11 @@ func (e *Engine) ensureFastFree(n int64) bool {
 		if victim == nil {
 			return false
 		}
-		if !e.Demote(victim) {
+		switch e.TryDemote(victim) {
+		case policy.MigrateOK:
+		case policy.MigrateTransient:
+			continue
+		default:
 			return false
 		}
 	}
@@ -217,12 +289,21 @@ func (e *Engine) reclaimVictim() *vm.Page {
 	return e.pages[id]
 }
 
-// moveTier performs the tier transfer with full accounting.
-func (e *Engine) moveTier(pg *vm.Page, to mem.TierID) {
+// moveTier performs the tier transfer with full accounting. A MovePages
+// failure here means the capacity check above disagreed with the node's
+// actual state — a simulator accounting bug. Debug builds surface it
+// through the sanitizer; release builds degrade it to a recoverable
+// failed migration (the page stays put, the caller reports transient).
+func (e *Engine) moveTier(pg *vm.Page, to mem.TierID) error {
 	from := pg.Tier
 	copyTime, err := e.node.MovePages(from, to, int64(pg.Size))
 	if err != nil {
-		panic("engine: moveTier after capacity check: " + err.Error())
+		if e.sanitize {
+			sanitizeViolation("moveTier page %d (%d pages, tier %d -> %d) after capacity check: %v",
+				pg.ID, pg.Size, from, to, err)
+		}
+		e.M.MoveTierErrors++
+		return err
 	}
 	// Kernel work: unmap, copy, remap, TLB shootdown.
 	e.ChargeKernel((e.cfg.MigrateFixedNS + e.cfg.MigratePerPageNS.Mul(float64(pg.Size))).Mul(e.cfg.CostScale) + units.NSOf(copyTime))
@@ -274,6 +355,7 @@ func (e *Engine) moveTier(pg *vm.Page, to mem.TierID) {
 	if e.pol != nil {
 		e.pol.OnMigrated(pg, from, to)
 	}
+	return nil
 }
 
 // AccessedSlowPages counts pages that were ever resident in the slow tier
@@ -447,7 +529,11 @@ func (e *Engine) kswapd() {
 		if victim == nil {
 			return
 		}
-		if !e.Demote(victim) {
+		switch e.TryDemote(victim) {
+		case policy.MigrateOK:
+		case policy.MigrateTransient:
+			continue // busy victim: spin past it within the guard budget
+		default:
 			return
 		}
 		target = e.node.DemotionTarget(mem.FastTier)
@@ -475,9 +561,22 @@ func (e *Engine) SamplePEBS(s *pebs.Sampler, period units.Sec) int {
 	if e.aliasTable == nil {
 		return 0
 	}
+	// Injected overflow window: the DS-area buffer overflows and a
+	// fraction of this period's samples is lost on top of the sampler's
+	// own configured loss. The rate is restored right after the draw.
+	var injLoss, oldLoss float64
+	if injLoss = e.inj.PEBSLossFrac(); injLoss > 0 {
+		oldLoss = s.LossRate
+		s.LossRate = oldLoss + (1-oldLoss)*injLoss
+	}
+	before := s.Dropped()
 	// Sampling micro-operations cost kernel/user time (the paper's §2.3
 	// overhead point): ~300 ns per retained sample for the DS-area drain.
 	n := s.SamplePeriod(e.aliasTable, e.aliasIDs, period)
+	if injLoss > 0 {
+		s.LossRate = oldLoss
+	}
+	e.M.PEBSDropped += float64(s.Dropped() - before)
 	e.ChargeKernel(units.NS(float64(n) * 300 * e.cfg.CostScale))
 	return n
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"chrono/internal/engine"
+	"chrono/internal/faultinject"
 	"chrono/internal/mem"
 	"chrono/internal/policy"
 	"chrono/internal/simclock"
@@ -58,10 +59,13 @@ func serializeMetrics(m *engine.Metrics) string {
 	return fmt.Sprintf(
 		"dur=%v acc=%v fast=%v rd=%v wr=%v faults=%v promo=%v demo=%v "+
 			"swapout=%v swapin=%v migbytes=%v ctxsw=%v kns=%v appns=%v "+
+			"failp=%v faild=%v abortns=%v pebsdrop=%v mterr=%v "+
 			"lat(tot=%v mean=%v p50=%v p99=%v) latr(tot=%v mean=%v) latw(tot=%v mean=%v)",
 		m.Duration, m.Accesses, m.FastAccesses, m.Reads, m.Writes,
 		m.Faults, m.Promotions, m.Demotions, m.SwapOuts, m.SwapIns,
 		m.MigratedBytes, m.ContextSwitches, m.KernelNS, m.AppNS,
+		m.FailedPromotions, m.FailedDemotions, m.AbortedMigrationNS,
+		m.PEBSDropped, m.MoveTierErrors,
 		m.Lat.Total(), m.Lat.Mean(), m.Lat.Percentile(0.50), m.Lat.Percentile(0.99),
 		m.LatRead.Total(), m.LatRead.Mean(),
 		m.LatWrite.Total(), m.LatWrite.Mean())
@@ -115,15 +119,19 @@ func TestDifferentSeedDiverges(t *testing.T) {
 }
 
 // sweepFingerprint runs a small (policy × ratio) sweep at the given
-// worker count and serializes every cell's metrics in grid order. The
-// parallel runner's contract is that this string is identical for every
-// worker count (see DESIGN.md "Parallel sweeps").
-func sweepFingerprint(t *testing.T, workers int) string {
+// worker count under the given fault plan and serializes every cell's
+// metrics in grid order. The parallel runner's contract is that this
+// string is identical for every worker count (see DESIGN.md "Parallel
+// sweeps") — and the fault injector's contract is that it stays so under
+// injection, because every injection decision draws from the run's own
+// seed-derived streams.
+func sweepFingerprint(t *testing.T, workers int, plan faultinject.Plan) string {
 	t.Helper()
 	o := RunOpts{
 		Seed: 42, FastGB: 2, SlowGB: 6,
 		Duration: 45 * simclock.Second,
 		Workers:  workers,
+		Faults:   plan,
 	}
 	cfg := PmbenchConfig{Label: "determinism probe", Processes: 4, WorkingSetGB: 5}
 	s, err := RunPmbenchSweep(cfg, []string{"Linux-NB", "Memtis", "Chrono"}, []float64{70, 30}, o)
@@ -143,9 +151,33 @@ func sweepFingerprint(t *testing.T, workers int) string {
 // experiment runner: a sweep fanned across 8 workers must produce
 // byte-identical serialized metrics to the same sweep run serially.
 func TestParallelMatchesSerial(t *testing.T) {
-	serial := sweepFingerprint(t, 1)
-	parallel8 := sweepFingerprint(t, 8)
+	serial := sweepFingerprint(t, 1, faultinject.Plan{})
+	parallel8 := sweepFingerprint(t, 8, faultinject.Plan{})
 	if serial != parallel8 {
 		t.Errorf("workers=1 and workers=8 diverge:\n-- serial --\n%s\n-- parallel --\n%s", serial, parallel8)
+	}
+}
+
+// TestFaultPlanDeterministic extends the fence to fault injection: with a
+// fixed (seed, plan) the injected faults are part of the deterministic
+// event stream, so the sweep is byte-identical run-to-run and across
+// worker counts — and it must actually differ from the fault-free sweep,
+// or the plan injected nothing.
+func TestFaultPlanDeterministic(t *testing.T) {
+	plan := faultinject.Aggressive()
+	serial := sweepFingerprint(t, 1, plan)
+	parallel8 := sweepFingerprint(t, 8, plan)
+	if serial != parallel8 {
+		t.Errorf("faulted sweep diverges across worker counts:\n-- serial --\n%s\n-- parallel --\n%s",
+			serial, parallel8)
+	}
+	repeat := sweepFingerprint(t, 8, plan)
+	if parallel8 != repeat {
+		t.Errorf("same (seed, plan) produced different sweeps:\n-- run1 --\n%s\n-- run2 --\n%s",
+			parallel8, repeat)
+	}
+	clean := sweepFingerprint(t, 1, faultinject.Plan{})
+	if clean == serial {
+		t.Error("aggressive fault plan left the sweep identical to fault-free — injection is inert")
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"chrono/internal/core"
 	"chrono/internal/engine"
+	"chrono/internal/faultinject"
 	"chrono/internal/mem"
 	"chrono/internal/policy"
 	"chrono/internal/policy/autotiering"
@@ -56,6 +57,17 @@ type RunOpts struct {
 	// assembled in specification order, so the output is identical for any
 	// worker count (see DESIGN.md "Parallel sweeps").
 	Workers int
+	// Faults configures deterministic fault injection for every run of
+	// the experiment (zero value: disabled — runs are byte-identical to
+	// a build without the subsystem; see internal/faultinject).
+	Faults faultinject.Plan
+	// DebugChecks forces the engine's invariant sanitizer on for every
+	// run (always on under -tags simdebug regardless).
+	DebugChecks bool
+	// Retries is how many extra attempts a panicking run gets in a
+	// crash-resilient sweep before it lands in the failure manifest
+	// (default 1; negative disables retrying).
+	Retries int
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -73,6 +85,9 @@ func (o RunOpts) withDefaults() RunOpts {
 	}
 	if o.SlowGB == 0 {
 		o.SlowGB = 192
+	}
+	if o.Retries == 0 {
+		o.Retries = 1
 	}
 	return o
 }
@@ -150,12 +165,7 @@ func (r *Result) Compact() {
 // Run executes one (workload, policy) simulation.
 func Run(polName string, w workload.Workload, o RunOpts) (*Result, error) {
 	o = o.withDefaults()
-	e := engine.New(engine.Config{
-		Seed:       o.Seed,
-		PagesPerGB: o.PagesPerGB,
-		FastGB:     o.FastGB,
-		SlowGB:     o.SlowGB,
-	})
+	e := newEngine(o)
 	if err := w.Build(e); err != nil {
 		return nil, fmt.Errorf("build %s: %w", w.Name(), err)
 	}

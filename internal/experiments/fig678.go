@@ -37,34 +37,55 @@ type PmbenchSweep struct {
 	Config   PmbenchConfig
 	Policies []string
 	Ratios   []float64
-	// Results[ratioIdx][policyIdx]
+	// Results[ratioIdx][policyIdx]; a nil cell is a run that crashed every
+	// attempt — its repro bundle is in Failed and the renderers degrade to
+	// "FAILED" cells instead of dying.
 	Results [][]*Result
+	// Failed is the failure manifest, in grid order.
+	Failed []FailedRun
+}
+
+// sweepCell is one grid slot's outcome: exactly one field is set.
+type sweepCell struct {
+	res    *Result
+	failed *FailedRun
 }
 
 // RunPmbenchSweep executes the full (policy × ratio) grid. The grid cells
 // are independent simulations, fanned across o.Workers and reassembled in
 // grid order; each worker constructs its own workload (Build mutates the
 // workload struct) and compacts its result once the metrics are extracted.
+//
+// Each cell runs under ResilientRun: a crashing cell is retried o.Retries
+// times and then recorded in the Failed manifest with a nil Results slot,
+// so the surviving grid still renders. Only deterministic configuration
+// errors (unknown policy) abort the sweep.
 func RunPmbenchSweep(cfg PmbenchConfig, policies []string, ratios []float64, o RunOpts) (*PmbenchSweep, error) {
+	o = o.withDefaults()
 	s := &PmbenchSweep{Config: cfg, Policies: policies, Ratios: ratios}
-	jobs := make([]func() (*Result, error), 0, len(ratios)*len(policies))
+	jobs := make([]func() (sweepCell, error), 0, len(ratios)*len(policies))
 	for _, ratio := range ratios {
 		for _, pol := range policies {
 			ratio, pol := ratio, pol
-			jobs = append(jobs, func() (*Result, error) {
-				w := &workload.Pmbench{
-					Processes:    cfg.Processes,
-					WorkingSetGB: cfg.WorkingSetGB,
-					ReadPct:      ratio,
-					Stride:       2,
-					Mode:         DefaultModeFor(pol),
+			jobs = append(jobs, func() (sweepCell, error) {
+				mk := func() workload.Workload {
+					return &workload.Pmbench{
+						Processes:    cfg.Processes,
+						WorkingSetGB: cfg.WorkingSetGB,
+						ReadPct:      ratio,
+						Stride:       2,
+						Mode:         DefaultModeFor(pol),
+					}
 				}
-				res, err := Run(pol, w, o)
+				experiment := fmt.Sprintf("pmbench/%s/rw=%s", cfg.Label, RatioLabel(ratio))
+				res, failed, err := ResilientRun(experiment, pol, mk, o)
 				if err != nil {
-					return nil, err
+					return sweepCell{}, err
 				}
-				res.Compact()
-				return res, nil
+				if res != nil {
+					res.Compact()
+				}
+				return sweepCell{res: res, failed: failed}, nil
 			})
 		}
 	}
@@ -73,7 +94,15 @@ func RunPmbenchSweep(cfg PmbenchConfig, policies []string, ratios []float64, o R
 		return nil, err
 	}
 	for ri := range ratios {
-		s.Results = append(s.Results, flat[ri*len(policies):(ri+1)*len(policies)])
+		row := make([]*Result, len(policies))
+		for pi := range policies {
+			cell := flat[ri*len(policies)+pi]
+			row[pi] = cell.res
+			if cell.failed != nil {
+				s.Failed = append(s.Failed, *cell.failed)
+			}
+		}
+		s.Results = append(s.Results, row)
 	}
 	return s, nil
 }
@@ -97,14 +126,25 @@ func (s *PmbenchSweep) ThroughputTable() *report.Table {
 	base := s.baselineIdx()
 	for ri, ratio := range s.Ratios {
 		cells := []any{RatioLabel(ratio)}
-		nb := s.Results[ri][base].Metrics.Throughput()
+		nb := 1.0
+		if b := s.Results[ri][base]; b != nil {
+			nb = b.Metrics.Throughput()
+		}
 		for _, res := range s.Results[ri] {
+			if res == nil {
+				cells = append(cells, "FAILED")
+				continue
+			}
 			cells = append(cells, res.Metrics.Throughput()/nb)
 		}
 		t.AddRow(cells...)
 	}
-	t.Note = fmt.Sprintf("absolute Linux-NB throughput at 70:30 = %.1f Mop/s",
-		s.atRatio(70)[base].Metrics.Throughput())
+	if b := s.atRatio(70)[base]; b != nil {
+		t.Note = fmt.Sprintf("absolute Linux-NB throughput at 70:30 = %.1f Mop/s",
+			b.Metrics.Throughput())
+	} else {
+		t.Note = "Linux-NB baseline run failed; see the failure manifest"
+	}
 	return t
 }
 
@@ -126,7 +166,7 @@ func (s *PmbenchSweep) LatencyTables() []*report.Table {
 		t := report.NewTable(
 			fmt.Sprintf("Figure 7: pmbench latency, R/W=%s (normalized to Linux-NB)", RatioLabel(ratio)),
 			append([]string{"Statistic"}, s.Policies...)...)
-		nb := s.Results[ri][base].Metrics
+		nbRes := s.Results[ri][base]
 		for _, stat := range []struct {
 			name string
 			get  func(res *Result) float64
@@ -136,16 +176,22 @@ func (s *PmbenchSweep) LatencyTables() []*report.Table {
 			{"P99", func(r *Result) float64 { return r.Metrics.Lat.Percentile(0.99) }},
 		} {
 			den := 1.0
-			switch stat.name {
-			case "Average":
-				den = nb.Lat.Mean()
-			case "Median":
-				den = nb.Lat.Percentile(0.5)
-			case "P99":
-				den = nb.Lat.Percentile(0.99)
+			if nbRes != nil {
+				switch stat.name {
+				case "Average":
+					den = nbRes.Metrics.Lat.Mean()
+				case "Median":
+					den = nbRes.Metrics.Lat.Percentile(0.5)
+				case "P99":
+					den = nbRes.Metrics.Lat.Percentile(0.99)
+				}
 			}
 			cells := []any{stat.name}
 			for _, res := range s.Results[ri] {
+				if res == nil {
+					cells = append(cells, "FAILED")
+					continue
+				}
 				cells = append(cells, stat.get(res)/den)
 			}
 			t.AddRow(cells...)
@@ -162,6 +208,10 @@ func (s *PmbenchSweep) BaselineLatencyCDF() *report.Table {
 	t := report.NewTable(
 		"Figure 7a: Linux-NB latency distribution (accumulated %)",
 		"Latency (ns)", "Load %", "Store %")
+	if base == nil {
+		t.Note = "Linux-NB baseline run failed; see the failure manifest"
+		return t
+	}
 	marks := []float64{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
 	rd := base.Metrics.LatRead
 	wr := base.Metrics.LatWrite
@@ -187,7 +237,11 @@ func (s *PmbenchSweep) RuntimeCharacteristics() *report.Table {
 	t := report.NewTable(
 		"Figure 8: run-time characteristics (R/W=70:30)",
 		"Policy", "FMAR (%)", "Kernel time (%)", "Context switches (/s)")
-	for _, res := range s.atRatio(70) {
+	for pi, res := range s.atRatio(70) {
+		if res == nil {
+			t.AddRow(s.Policies[pi], "FAILED", "FAILED", "FAILED")
+			continue
+		}
 		t.AddRow(res.Policy,
 			res.Metrics.FMAR()*100,
 			res.Metrics.KernelTimeFrac()*100,

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"chrono/internal/core"
+	"chrono/internal/faultinject"
+	"chrono/internal/units"
+	"chrono/internal/workload"
+)
+
+// Crash-resilient run wrapper: a sweep cell that panics — a policy bug, an
+// engine invariant trip under -tags simdebug, an injected-fault corner case —
+// must not take the other cells of a multi-hour sweep down with it. Each
+// attempt executes under recover; a crash is captured as a self-contained
+// repro bundle (FailedRun) and the cell is retried a bounded number of
+// times before the sweep records it in its failure manifest and moves on.
+
+// RunSpec identifies one simulation run precisely enough to replay it:
+// feed the same fields back through Run (or `reproduce -faults`) and the
+// deterministic engine reproduces the crash bit-for-bit.
+type RunSpec struct {
+	// Experiment labels the sweep cell, e.g. "pmbench/64GB/rw=50:50".
+	Experiment string `json:"experiment"`
+	// Policy is the registry name passed to NewPolicy.
+	Policy string `json:"policy"`
+	// Workload is the workload's name; Detail carries its full parameter
+	// struct for human inspection.
+	Workload string `json:"workload"`
+	Detail   string `json:"detail,omitempty"`
+	// Seed plus Faults pin every RNG stream of the run.
+	Seed      uint64           `json:"seed"`
+	DurationS float64          `json:"duration_s"`
+	FastGB    units.GB         `json:"fast_gb"`
+	SlowGB    units.GB         `json:"slow_gb"`
+	Faults    faultinject.Plan `json:"faults"`
+}
+
+// FailedRun is the repro bundle for one crashed sweep cell: the spec to
+// replay it, what the panic said, and how far the simulation got.
+type FailedRun struct {
+	Spec RunSpec `json:"spec"`
+	// Attempts is how many times the run was tried (1 + retries).
+	Attempts int `json:"attempts"`
+	// PanicValue is the panic value of the last attempt, stringified.
+	PanicValue string `json:"panic"`
+	// Stack is the goroutine stack at the last recovery point.
+	Stack string `json:"stack,omitempty"`
+	// EventsFired is the simulator-event watermark at the crash: the
+	// number of clock events the deterministic engine had dispatched.
+	// Replaying the spec and breaking at this count lands a debugger on
+	// the faulting event.
+	EventsFired uint64 `json:"events_fired"`
+}
+
+func (f *FailedRun) String() string {
+	return fmt.Sprintf("%s policy=%s seed=%d faults=%q attempts=%d events=%d: %s",
+		f.Spec.Experiment, f.Spec.Policy, f.Spec.Seed, f.Spec.Faults.String(),
+		f.Attempts, f.EventsFired, f.PanicValue)
+}
+
+// runAttempt is one guarded execution of a (policy, workload) simulation.
+// It mirrors Run but keeps the engine reachable from the deferred recover
+// so a crash can record the event-count watermark.
+func runAttempt(experiment, polName string, w workload.Workload, o RunOpts) (res *Result, failed *FailedRun, err error) {
+	e := newEngine(o)
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, nil
+			failed = &FailedRun{
+				Spec: RunSpec{
+					Experiment: experiment,
+					Policy:     polName,
+					Workload:   w.Name(),
+					Detail:     fmt.Sprintf("%+v", w),
+					Seed:       o.Seed,
+					DurationS:  o.Duration.Seconds(),
+					FastGB:     o.FastGB,
+					SlowGB:     o.SlowGB,
+					Faults:     o.Faults,
+				},
+				PanicValue:  fmt.Sprint(v),
+				Stack:       string(debug.Stack()),
+				EventsFired: e.Clock().Fired(),
+			}
+		}
+	}()
+	if berr := w.Build(e); berr != nil {
+		return nil, nil, fmt.Errorf("build %s: %w", w.Name(), berr)
+	}
+	pol, perr := NewPolicy(polName)
+	if perr != nil {
+		return nil, nil, perr
+	}
+	e.AttachPolicy(pol)
+	m := e.Run(o.Duration)
+	res = &Result{Policy: polName, Metrics: m, Engine: e, Workload: w}
+	if c, ok := pol.(*core.Chrono); ok {
+		res.Chrono = c
+	}
+	return res, nil, nil
+}
+
+// ResilientRun executes one simulation with crash capture and bounded
+// retry. mkWorkload must return a FRESH workload per call — a workload
+// carries per-run state after Build, so attempts cannot share one.
+//
+// Exactly one of the three returns is meaningful: a *Result on success, a
+// *FailedRun when every attempt panicked (the bundle describes the last
+// attempt), or an error for deterministic configuration failures (unknown
+// policy, workload build error) that no retry can fix.
+func ResilientRun(experiment, polName string, mkWorkload func() workload.Workload, o RunOpts) (*Result, *FailedRun, error) {
+	o = o.withDefaults()
+	attempts := 1 + o.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last *FailedRun
+	for a := 1; a <= attempts; a++ {
+		res, failed, err := runAttempt(experiment, polName, mkWorkload(), o)
+		if err != nil {
+			return nil, nil, err
+		}
+		if failed == nil {
+			return res, nil, nil
+		}
+		failed.Attempts = a
+		last = failed
+		// The engine is deterministic, so a bare retry of the same spec
+		// re-crashes; its value is confined to crashes from outside the
+		// sim contract (resource exhaustion, a racing collector under
+		// -race). Still bounded, still recorded if it keeps failing.
+	}
+	return nil, last, nil
+}

@@ -12,10 +12,12 @@ import (
 // newEngine builds an engine from RunOpts (already defaulted).
 func newEngine(o RunOpts) *engine.Engine {
 	return engine.New(engine.Config{
-		Seed:       o.Seed,
-		PagesPerGB: o.PagesPerGB,
-		FastGB:     o.FastGB,
-		SlowGB:     o.SlowGB,
+		Seed:        o.Seed,
+		PagesPerGB:  o.PagesPerGB,
+		FastGB:      o.FastGB,
+		SlowGB:      o.SlowGB,
+		Faults:      o.Faults,
+		DebugChecks: o.DebugChecks,
 	})
 }
 

@@ -12,7 +12,9 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -26,6 +28,34 @@ func Resolve(n int) int {
 	return n
 }
 
+// Panic is the error a Map/MapRecover slot carries when its job
+// panicked. The panic is confined to the slot: the worker that caught it
+// keeps pulling jobs, siblings run to completion, and the pool never
+// deadlocks on a lost wg.Done.
+type Panic struct {
+	// Index is the job's position in the jobs slice.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *Panic) Error() string {
+	return fmt.Sprintf("parallel: job %d panicked: %v", p.Index, p.Value)
+}
+
+// runJob executes one job with panic confinement.
+func runJob[T any](i int, job func() (T, error)) (result T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &Panic{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return job()
+}
+
 // Map runs every job and returns their results in job order. With
 // workers ≤ 1 the jobs run serially in the calling goroutine — the exact
 // code path a non-parallel build would take. With more workers the jobs are
@@ -36,7 +66,28 @@ func Resolve(n int) int {
 // error of the lowest-indexed failing job — never "whichever failed first
 // on the wall clock" — after all jobs have finished. Results of successful
 // jobs are still returned alongside the error.
+//
+// Panic semantics: a panicking job neither deadlocks the pool nor loses
+// sibling results. The panic is captured in its slot as a *Panic error
+// (zero value in the result slot) and every other job still runs; the
+// *Panic surfaces through the same lowest-indexed rule as ordinary
+// errors. Callers who must distinguish crashes use errors.As or
+// MapRecover.
 func Map[T any](workers int, jobs []func() (T, error)) ([]T, error) {
+	results, errs := MapRecover(workers, jobs)
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// MapRecover is Map with per-slot error reporting: errs[i] is job i's
+// error, a *Panic if it panicked, or nil. Sweeps that tolerate partial
+// failure use it to keep every successful result while collecting the
+// failed slots into a manifest.
+func MapRecover[T any](workers int, jobs []func() (T, error)) ([]T, []error) {
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	if workers > len(jobs) {
@@ -44,7 +95,7 @@ func Map[T any](workers int, jobs []func() (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i, job := range jobs {
-			results[i], errs[i] = job()
+			results[i], errs[i] = runJob(i, job)
 		}
 	} else {
 		// Workers pull the next unclaimed job index from a shared atomic
@@ -61,16 +112,11 @@ func Map[T any](workers int, jobs []func() (T, error)) ([]T, error) {
 					if i >= len(jobs) {
 						return
 					}
-					results[i], errs[i] = jobs[i]()
+					results[i], errs[i] = runJob(i, jobs[i])
 				}
 			}()
 		}
 		wg.Wait()
 	}
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return results, errs
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func squareJobs(n int) []func() (int, error) {
@@ -117,5 +118,113 @@ func TestResolve(t *testing.T) {
 	}
 	if Resolve(0) < 1 || Resolve(-1) < 1 {
 		t.Fatal("non-positive n must resolve to at least one worker")
+	}
+}
+
+func TestMapPanicDoesNotDeadlockOrLoseSiblings(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			jobs := make([]func() (int, error), 20)
+			for i := range jobs {
+				i := i
+				jobs[i] = func() (int, error) {
+					if i == 3 {
+						panic("boom")
+					}
+					return i * i, nil
+				}
+			}
+			done := make(chan struct{})
+			var got []int
+			var err error
+			go func() {
+				defer close(done)
+				got, err = Map(workers, jobs)
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("Map deadlocked on a panicking job")
+			}
+			var p *Panic
+			if !errors.As(err, &p) {
+				t.Fatalf("error %v is not a *Panic", err)
+			}
+			if p.Index != 3 || p.Value != "boom" || len(p.Stack) == 0 {
+				t.Fatalf("panic not captured faithfully: %+v", p)
+			}
+			// Sibling results survive.
+			for i, v := range got {
+				if i == 3 {
+					continue
+				}
+				if v != i*i {
+					t.Fatalf("slot %d holds %d, want %d (sibling result lost)", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapRecoverCapturesPerSlot(t *testing.T) {
+	errPlain := errors.New("plain")
+	jobs := make([]func() (int, error), 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) {
+			switch i {
+			case 2, 7:
+				panic(fmt.Sprintf("crash-%d", i))
+			case 4:
+				return 0, errPlain
+			default:
+				return i, nil
+			}
+		}
+	}
+	for _, workers := range []int{1, 8} {
+		results, errs := MapRecover(workers, jobs)
+		if len(errs) != len(jobs) {
+			t.Fatalf("workers=%d: errs length %d", workers, len(errs))
+		}
+		for _, idx := range []int{2, 7} {
+			var p *Panic
+			if !errors.As(errs[idx], &p) {
+				t.Fatalf("workers=%d: slot %d error %v is not a *Panic", workers, idx, errs[idx])
+			}
+			if p.Index != idx || p.Value != fmt.Sprintf("crash-%d", idx) {
+				t.Fatalf("workers=%d: slot %d captured wrong panic %+v", workers, idx, p)
+			}
+		}
+		if !errors.Is(errs[4], errPlain) {
+			t.Fatalf("workers=%d: ordinary error not preserved per-slot", workers)
+		}
+		for i := range jobs {
+			switch i {
+			case 2, 4, 7:
+			default:
+				if errs[i] != nil || results[i] != i {
+					t.Fatalf("workers=%d: healthy slot %d: result=%d err=%v", workers, i, results[i], errs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	jobs := make([]func() (int, error), 30)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) {
+			if i == 5 || i == 25 {
+				panic(i)
+			}
+			return i, nil
+		}
+	}
+	_, err := Map(8, jobs)
+	var p *Panic
+	if !errors.As(err, &p) || p.Index != 5 {
+		t.Fatalf("want panic of job 5, got %v", err)
 	}
 }

@@ -41,6 +41,7 @@ type Sampler struct {
 	r        *rng.Source
 	counters []uint32
 	total    uint64
+	dropped  uint64
 }
 
 // NewSampler creates a sampler with the given budget.
@@ -67,6 +68,7 @@ func (s *Sampler) SamplePeriod(dist *rng.Alias, ids []int64, period units.Sec) i
 	kept := 0
 	for i := 0; i < n; i++ {
 		if s.LossRate > 0 && s.r.Bool(s.LossRate) {
+			s.dropped++
 			continue
 		}
 		cat := dist.Next()
@@ -97,6 +99,11 @@ func (s *Sampler) Counter(id int64) uint32 {
 
 // TotalSamples returns all samples retained since the last reset.
 func (s *Sampler) TotalSamples() uint64 { return s.total }
+
+// Dropped returns the cumulative samples lost to the loss rate (buffer
+// overflow / filtering) over the sampler's lifetime; Reset does not
+// clear it.
+func (s *Sampler) Dropped() uint64 { return s.dropped }
 
 // Cool halves every counter, Memtis's periodic cooling. It returns the
 // remaining total.

@@ -79,6 +79,9 @@ type Policy struct {
 	cycles int
 	// TimelyPromotions counts fault-path promotions (vs background).
 	TimelyPromotions int64
+	// TransientSkips counts hot pages skipped in a background batch
+	// after repeated transient migration aborts (retried next cycle).
+	TransientSkips int64
 }
 
 // New returns a FlexMem policy.
@@ -142,7 +145,7 @@ func (p *Policy) OnFault(pg *vm.Page, now simclock.Time) {
 	}
 	bin := pebs.BinOf(p.sampler.Counter(pg.ID))
 	if bin >= hot-p.cfg.TimelySlack && bin >= 1 {
-		if p.k.Promote(pg) {
+		if policy.RetryPromote(p.k, pg, 2) == policy.MigrateOK {
 			p.TimelyPromotions++
 		}
 	}
@@ -222,11 +225,16 @@ func (p *Policy) background() {
 				break
 			}
 			for node.Free(mem.FastTier) < node.Watermarks(mem.FastTier).High+int64(pg.Size) && di < len(coldFast) {
-				p.k.Demote(coldFast[di])
+				policy.RetryDemote(p.k, coldFast[di], 2)
 				di++
 			}
-			if p.k.Promote(pg) {
+			switch policy.RetryPromote(p.k, pg, 2) {
+			case policy.MigrateOK:
 				budget -= int(pg.Size)
+			case policy.MigrateTransient:
+				// Skip the busy page; the next background cycle
+				// reclassifies and retries it.
+				p.TransientSkips++
 			}
 		}
 	}

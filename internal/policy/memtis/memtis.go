@@ -76,6 +76,10 @@ type Policy struct {
 	// service order so the shared migration budget is shared fairly
 	// without depending on map iteration order.
 	cycles int
+
+	// TransientSkips counts hot pages skipped in a kmigrated batch after
+	// repeated transient migration aborts (retried next cycle).
+	TransientSkips int64
 }
 
 // New returns a Memtis policy.
@@ -195,8 +199,14 @@ func (p *Policy) kmigrated() {
 				break
 			}
 			p.demoteForSpace(pages, hotBin, int64(pg.Size))
-			if p.k.Promote(pg) {
+			switch policy.RetryPromote(p.k, pg, 2) {
+			case policy.MigrateOK:
 				budget -= int(pg.Size)
+			case policy.MigrateTransient:
+				// Busy page even after the bounded retry: skip it and
+				// keep migrating the rest of the batch; the next
+				// kmigrated cycle reclassifies and retries it.
+				p.TransientSkips++
 			}
 		}
 
@@ -227,7 +237,7 @@ func (p *Policy) demoteForSpace(pages []*vm.Page, hotBin int, need int64) {
 		if freed >= need {
 			return
 		}
-		if p.k.Demote(pg) {
+		if policy.RetryDemote(p.k, pg, 2) == policy.MigrateOK {
 			freed += int64(pg.Size)
 		}
 	}

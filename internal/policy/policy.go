@@ -22,6 +22,38 @@ import (
 	"chrono/internal/vm"
 )
 
+// MigrateResult is the outcome of a TryPromote/TryDemote attempt. It
+// splits "failed" into the two cases a real migration path
+// distinguishes, because they demand opposite reactions.
+type MigrateResult int
+
+const (
+	// MigrateOK: the page is (now) resident in the requested tier.
+	MigrateOK MigrateResult = iota
+	// MigrateNoCapacity: the destination tier or the migration bandwidth
+	// budget is exhausted. Retrying immediately is futile — the caller
+	// should stop its batch and wait for reclaim or the next refill.
+	MigrateNoCapacity
+	// MigrateTransient: the move aborted on a transient condition — a
+	// busy/pinned page or an allocation failure near the watermarks
+	// (NOMAD-style abort). The page is untouched; a bounded retry, now
+	// or after a short sim-time backoff, may well succeed.
+	MigrateTransient
+)
+
+// String returns the result name for logs and test failures.
+func (r MigrateResult) String() string {
+	switch r {
+	case MigrateOK:
+		return "ok"
+	case MigrateNoCapacity:
+		return "no-capacity"
+	case MigrateTransient:
+		return "transient"
+	}
+	return "unknown"
+}
+
 // Kernel is the simulated kernel services available to a policy. It is
 // implemented by internal/engine.
 type Kernel interface {
@@ -56,6 +88,14 @@ type Kernel interface {
 	// Demote moves a page to the slow tier. Returns false when the slow
 	// tier is full.
 	Demote(pg *vm.Page) bool
+	// TryPromote is Promote with the failure cause surfaced: transient
+	// aborts (busy page, watermark allocation failure) are distinguished
+	// from capacity/bandwidth exhaustion so policies can retry the former
+	// and back off the latter. Promote(pg) ≡ TryPromote(pg) == MigrateOK.
+	TryPromote(pg *vm.Page) MigrateResult
+	// TryDemote is Demote with the failure cause surfaced; same contract
+	// as TryPromote toward the slow tier.
+	TryDemote(pg *vm.Page) MigrateResult
 
 	// SplitHuge splits a huge page into base pages and returns them
 	// (Memtis's page splitting). Returns nil if pg is not huge.

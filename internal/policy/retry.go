@@ -1,0 +1,67 @@
+package policy
+
+import (
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// This file provides the shared retry/backoff helpers policies use to
+// degrade gracefully under transient migration failure instead of
+// stalling or silently losing work.
+
+// migrator is the slice of Kernel the inline retry helpers need; tests
+// can satisfy it with a two-method fake.
+type migrator interface {
+	TryPromote(pg *vm.Page) MigrateResult
+	TryDemote(pg *vm.Page) MigrateResult
+}
+
+// backoffKernel adds the clock needed for sim-time deferred retries.
+type backoffKernel interface {
+	migrator
+	Clock() *simclock.Clock
+}
+
+// RetryPromote attempts TryPromote up to attempts times, retrying only
+// transient failures. The inline retry models the kernel migrate_pages
+// loop, which re-tries a busy page a bounded number of times within one
+// call before reporting failure. Capacity exhaustion is returned
+// immediately — retrying it without freeing memory cannot succeed.
+func RetryPromote(k migrator, pg *vm.Page, attempts int) MigrateResult {
+	res := k.TryPromote(pg)
+	for i := 1; i < attempts && res == MigrateTransient; i++ {
+		res = k.TryPromote(pg)
+	}
+	return res
+}
+
+// RetryDemote is RetryPromote toward the slow tier.
+func RetryDemote(k migrator, pg *vm.Page, attempts int) MigrateResult {
+	res := k.TryDemote(pg)
+	for i := 1; i < attempts && res == MigrateTransient; i++ {
+		res = k.TryDemote(pg)
+	}
+	return res
+}
+
+// PromoteBackoff schedules up to attempts sim-time retries of a
+// transiently failed promotion, the first after base and each subsequent
+// one at twice the previous delay. The retry is abandoned if the page
+// migrated or was freed in the meantime, and stops escalating on any
+// non-transient outcome (success, or capacity exhaustion — by then the
+// policy's regular scan owns the decision again). Fault-free runs never
+// reach this path, so it allocates nothing on the common path.
+func PromoteBackoff(k backoffKernel, pg *vm.Page, base simclock.Duration, attempts int) {
+	if attempts <= 0 || base <= 0 {
+		return
+	}
+	from := pg.Tier
+	k.Clock().After(base, func(now simclock.Time) {
+		if pg.Tier != from || pg.Flags.Has(vm.FlagSwapped) {
+			return // already migrated or reclaimed: nothing to retry
+		}
+		if k.TryPromote(pg) == MigrateTransient {
+			PromoteBackoff(k, pg, 2*base, attempts-1)
+		}
+	})
+}

@@ -82,6 +82,10 @@ func (p *Policy) OnFault(pg *vm.Page, now simclock.Time) {
 	prev := simclock.Time(int64(pg.Meta))
 	pg.Meta = uint64(now)
 	if prev > 0 && now-prev <= p.cfg.RecencyWindow {
-		p.k.Promote(pg)
+		if policy.RetryPromote(p.k, pg, 2) == policy.MigrateTransient {
+			// Busy/pinned page: a bounded sim-time backoff retries it
+			// instead of waiting for yet another hint-fault pair.
+			policy.PromoteBackoff(p.k, pg, 50*simclock.Millisecond, 3)
+		}
 	}
 }

@@ -48,7 +48,7 @@ type Header struct {
 	// FastGB/SlowGB/PagesPerGB reproduce the machine shape.
 	FastGB     units.GB `json:"fast_gb"`
 	SlowGB     units.GB `json:"slow_gb"`
-	PagesPerGB int64   `json:"pages_per_gb"`
+	PagesPerGB int64    `json:"pages_per_gb"`
 }
 
 // Process declares one address space.
