@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint simdebug chaos bench check clean
+.PHONY: build test race vet lint simdebug chaos bench resume-check check clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,12 @@ COUNT ?= 1
 BENCHTIME ?= 1s
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(COUNT) ./...
+
+# Kill-and-resume fence: run a quick sweep with -checkpoint-dir, SIGKILL
+# it mid-flight, rerun with -resume, and require stdout byte-identical to
+# an uninterrupted run (fault injection active throughout).
+resume-check:
+	bash scripts/resume_check.sh
 
 check: build vet lint race simdebug
 

@@ -24,19 +24,38 @@
 // bit-for-bit. Sweep cells that crash are retried -retries times, then
 // recorded in a failure manifest (stderr summary; full JSON repro bundles
 // to the -failures file) while the surviving grid still renders.
+//
+// -checkpoint-dir makes sweep cells durable: each cell periodically
+// snapshots its engine (every -checkpoint-interval of wall time), records
+// finished cells, and a stall watchdog aborts cells whose virtual time
+// stops advancing for -stall-timeout. SIGINT/SIGTERM drain gracefully:
+// in-flight cells checkpoint at the next event boundary, the failure
+// manifest records their resume pointers, and a second signal hard-exits.
+// -resume continues a previous invocation from the same directory:
+// finished cells are short-circuited, interrupted cells restore from
+// their snapshots, and the final output is byte-identical to a run that
+// was never interrupted (CI enforces this via `make resume-check`).
+// Resuming with conflicting simulation flags (a changed -faults plan,
+// seed, duration, or -quick) is rejected with a clear error.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
+	"syscall"
 	"time"
 
+	"chrono/internal/checkpoint"
 	"chrono/internal/experiments"
 	"chrono/internal/faultinject"
 	"chrono/internal/parallel"
@@ -58,8 +77,17 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut = flag.String("trace", "", "write a runtime execution trace to this file")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for durable sweep state (periodic cell snapshots, finished-cell records, failure manifest)")
+		resume   = flag.Bool("resume", false, "resume from -checkpoint-dir: skip finished cells, restore interrupted ones")
+		ckptIvl  = flag.Duration("checkpoint-interval", 30*time.Second, "wall-clock cadence of periodic cell snapshots (requires -checkpoint-dir)")
+		stallTO  = flag.Duration("stall-timeout", 2*time.Minute, "abort a cell whose virtual time makes no progress for this wall-clock window, 0 disables (requires -checkpoint-dir)")
 	)
 	flag.Parse()
+
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "reproduce: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -113,6 +141,40 @@ func main() {
 		longDur = o.Duration
 	}
 
+	// Durable sweeps: validate against the directory's recorded
+	// configuration (a resume under different simulation flags would mix
+	// incompatible state), then enable per-cell checkpointing.
+	if *ckptDir != "" {
+		fail(os.MkdirAll(*ckptDir, 0o755))
+		fail(validateSweepInfo(*ckptDir, *resume, sweepInfo{
+			Seed: *seed, Quick: *quick, DurationS: *duration, Faults: *faults,
+		}))
+		o.Checkpoint = &experiments.CheckpointOpts{
+			Dir:          *ckptDir,
+			Resume:       *resume,
+			Interval:     *ckptIvl,
+			StallTimeout: *stallTO,
+		}
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the sweep
+	// context — unstarted cells are skipped, in-flight cells drain to a
+	// resume snapshot at their next event boundary. A second signal
+	// hard-exits immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o.Ctx = ctx
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "reproduce: signal received; draining in-flight runs (second signal exits immediately)")
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "reproduce: second signal; exiting now")
+		os.Exit(130)
+	}()
+
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"tab1", "tab2", "fig1", "fig2a", "fig2b", "fig6", "fig7", "fig8",
@@ -124,69 +186,105 @@ func main() {
 	// empty (and produces no output) on a healthy run.
 	var failedRuns []experiments.FailedRun
 
+	// drained flips when a graceful shutdown (or a sweep's own Interrupted
+	// report) stops the experiment loop early.
+	drained := false
+
 	// Figures 6, 7 and 8 share their runs; cache the sweep.
 	var sweep *experiments.PmbenchSweep
-	getSweep := func() *experiments.PmbenchSweep {
+	getSweep := func() (*experiments.PmbenchSweep, error) {
 		if sweep == nil {
 			var err error
 			sweep, err = experiments.RunPmbenchSweep(
 				experiments.Fig6a, experiments.StandardPolicies, experiments.RWRatios, o)
-			fail(err)
+			if err != nil {
+				return nil, err
+			}
 			failedRuns = append(failedRuns, sweep.Failed...)
+			if sweep.Interrupted {
+				drained = true
+			}
 		}
-		return sweep
+		return sweep, nil
 	}
 
-	for _, id := range ids {
-		start := time.Now() //chrono:wallclock progress reporting on stderr, never enters results
-		switch strings.TrimSpace(id) {
+	// runOne executes one experiment id and emits its tables. An error
+	// return aborts: a context cancellation counts as a graceful drain,
+	// anything else is fatal.
+	runOne := func(id string) error {
+		switch id {
 		case "tab1":
 			emit(experiments.Table1())
 		case "tab2":
 			emit(experiments.Table2())
 		case "fig1":
 			rows, err := experiments.RunFig1(o)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			emit(experiments.Fig1Table(rows))
 		case "fig2a":
 			t, err := experiments.RunFig2a(experiments.StandardPolicies, o)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "fig2b":
 			t, err := experiments.RunFig2b(o)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "fig6":
-			s := getSweep()
+			s, err := getSweep()
+			if err != nil {
+				return err
+			}
 			emit(s.ThroughputTable())
 			// The 6b/6c panels run their own (smaller) grids.
 			for _, cfg := range []experiments.PmbenchConfig{experiments.Fig6b, experiments.Fig6c} {
 				sw, err := experiments.RunPmbenchSweep(cfg, experiments.StandardPolicies, experiments.RWRatios, o)
-				fail(err)
+				if err != nil {
+					return err
+				}
 				failedRuns = append(failedRuns, sw.Failed...)
+				if sw.Interrupted {
+					drained = true
+				}
 				emit(sw.ThroughputTable())
 			}
 		case "fig7":
-			s := getSweep()
+			s, err := getSweep()
+			if err != nil {
+				return err
+			}
 			emit(s.BaselineLatencyCDF())
 			for _, t := range s.LatencyTables() {
 				emit(t)
 			}
 		case "fig8":
-			emit(getSweep().RuntimeCharacteristics())
+			s, err := getSweep()
+			if err != nil {
+				return err
+			}
+			emit(s.RuntimeCharacteristics())
 		case "fig9":
 			ro := o
 			if ro.Duration == 0 {
 				ro.Duration = longDur
 			}
 			results, err := experiments.RunFig9(experiments.StandardPolicies, ro)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			for _, t := range experiments.Fig9Tables(results) {
 				emit(t)
 			}
 		case "fig10a":
 			f, err := experiments.RunFig10a(o)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			emit(experiments.Fig10aTable(f))
 		case "fig10bc":
 			ro := o
@@ -194,27 +292,35 @@ func main() {
 				ro.Duration = longDur
 			}
 			th, rl, err := experiments.RunFig10bc(ro)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			for _, t := range experiments.Fig10bcTables(th, rl) {
 				emit(t)
 			}
 		case "fig10d":
-			ro := shortened(o, 300)
-			t, err := experiments.RunFig10d(ro)
-			fail(err)
+			t, err := experiments.RunFig10d(shortened(o, 300))
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "fig11":
 			t, err := experiments.RunFig11a(experiments.StandardPolicies, o)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "fig11b":
-			ro := shortened(o, 300)
-			t, err := experiments.RunFig11b(ro)
-			fail(err)
+			t, err := experiments.RunFig11b(shortened(o, 300))
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "fig12":
 			ts, err := experiments.RunFig12(experiments.StandardPolicies, o)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			for _, t := range ts {
 				emit(t)
 			}
@@ -227,15 +333,21 @@ func main() {
 				ro.Duration = longDur
 			}
 			t, err := experiments.RunFig13(ro)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "seeds":
 			tbl, err := experiments.RunSeedStability(nil, o)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			emit(tbl)
 		case "ext":
 			t, err := experiments.RunExtendedComparison(o)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "drift":
 			ro := o
@@ -244,7 +356,9 @@ func main() {
 			}
 			results, err := experiments.RunDrift(
 				[]string{"Linux-NB", "Memtis", "Chrono"}, 240, ro)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			emit(experiments.DriftTable(results))
 		case "appb":
 			emit(experiments.AppB1Table(*seed, 20000))
@@ -254,34 +368,134 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
 		}
+		return nil
+	}
+
+	for _, id := range ids {
+		if ctx.Err() != nil {
+			drained = true
+			break
+		}
+		start := time.Now() //chrono:wallclock progress reporting on stderr, never enters results
+		if err := runOne(strings.TrimSpace(id)); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				drained = true
+				break
+			}
+			fail(err)
+		}
 		//chrono:wallclock progress reporting on stderr, never enters results
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		if drained {
+			break
+		}
 	}
 
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		fail(err)
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		fail(enc.Encode(emitted))
-		fail(f.Close())
+		fail(writeJSONAtomic(*jsonOut, emitted))
 		fmt.Fprintf(os.Stderr, "wrote %d tables to %s\n", len(emitted), *jsonOut)
 	}
 
+	// The failure manifest is written atomically (write + rename): a crash
+	// or signal mid-write can never leave a truncated manifest behind. With
+	// a checkpoint directory it also lands at <dir>/failures.json so a bare
+	// `-resume` run finds the resume pointers without extra flags.
 	if len(failedRuns) > 0 {
-		fmt.Fprintf(os.Stderr, "WARNING: %d run(s) crashed every attempt; their table cells read FAILED\n", len(failedRuns))
+		crashed := 0
+		for i := range failedRuns {
+			if !failedRuns[i].Interrupted && !failedRuns[i].Stalled {
+				crashed++
+			}
+		}
+		if crashed > 0 {
+			fmt.Fprintf(os.Stderr, "WARNING: %d run(s) crashed every attempt; their table cells read FAILED\n", crashed)
+		}
 		for i := range failedRuns {
 			fmt.Fprintln(os.Stderr, "  "+failedRuns[i].String())
 		}
 		if *failOut != "" {
-			f, err := os.Create(*failOut)
-			fail(err)
-			enc := json.NewEncoder(f)
-			enc.SetIndent("", "  ")
-			fail(enc.Encode(failedRuns))
-			fail(f.Close())
+			fail(writeJSONAtomic(*failOut, failedRuns))
 			fmt.Fprintf(os.Stderr, "wrote %d repro bundles to %s\n", len(failedRuns), *failOut)
 		}
+	}
+	if *ckptDir != "" {
+		manifest := filepath.Join(*ckptDir, "failures.json")
+		if len(failedRuns) > 0 {
+			fail(writeJSONAtomic(manifest, failedRuns))
+		} else if !drained {
+			// A clean, complete run invalidates any stale manifest.
+			if err := os.Remove(manifest); err != nil && !os.IsNotExist(err) {
+				fail(err)
+			}
+		}
+	}
+
+	if drained {
+		fmt.Fprintln(os.Stderr, "reproduce: drained before completion; output above is partial")
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "reproduce: rerun with -resume -checkpoint-dir %s to continue\n", *ckptDir)
+		}
+		os.Exit(130)
+	}
+}
+
+// writeJSONAtomic marshals v (indented) and writes it with the checkpoint
+// package's write-to-temp-then-rename discipline, so manifests are always
+// observed either whole or absent.
+func writeJSONAtomic(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return checkpoint.WriteFileAtomic(path, append(raw, '\n'))
+}
+
+// sweepInfo pins the simulation-shaping flags of a checkpoint directory.
+// Every field changes which cells exist or what they compute, so a resume
+// under different values would silently mix incompatible state.
+type sweepInfo struct {
+	Seed      uint64  `json:"seed"`
+	Quick     bool    `json:"quick"`
+	DurationS float64 `json:"duration_s"`
+	Faults    string  `json:"faults"`
+}
+
+// validateSweepInfo records cur in a fresh checkpoint directory, and on
+// -resume rejects any drift from the recorded configuration with an error
+// naming the offending flag.
+func validateSweepInfo(dir string, resume bool, cur sweepInfo) error {
+	path := filepath.Join(dir, "sweepinfo.json")
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return writeJSONAtomic(path, cur)
+	}
+	if err != nil {
+		return err
+	}
+	var prev sweepInfo
+	if jerr := json.Unmarshal(raw, &prev); jerr != nil {
+		return fmt.Errorf("corrupt %s (%v); delete it or use a fresh -checkpoint-dir", path, jerr)
+	}
+	if prev == cur {
+		return nil
+	}
+	if !resume {
+		// A fresh (non-resume) invocation may repurpose the directory;
+		// cells keyed by the old configuration simply become unreachable.
+		return writeJSONAtomic(path, cur)
+	}
+	conflict := func(flagName string, was, now any) error {
+		return fmt.Errorf("resume configuration conflict: %s was %v, now %v — rerun with the original flags or use a fresh -checkpoint-dir", flagName, was, now)
+	}
+	switch {
+	case prev.Faults != cur.Faults:
+		return conflict("-faults", fmt.Sprintf("%q", prev.Faults), fmt.Sprintf("%q", cur.Faults))
+	case prev.Seed != cur.Seed:
+		return conflict("-seed", prev.Seed, cur.Seed)
+	case prev.Quick != cur.Quick:
+		return conflict("-quick", prev.Quick, cur.Quick)
+	default:
+		return conflict("-duration", prev.DurationS, cur.DurationS)
 	}
 }
 

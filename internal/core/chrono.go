@@ -281,26 +281,26 @@ func (c *Chrono) Attach(k policy.Kernel) {
 	})
 
 	// Promotion-queue migrator (§3.1.2), budgeted by the rate limit.
-	k.Clock().Every(c.opt.MigrateTick, func(now simclock.Time) {
+	k.Clock().EveryKey("chrono/migrate", c.opt.MigrateTick, func(now simclock.Time) {
 		if c.enabled() {
 			c.drainQueue(now)
 		}
 	})
 
 	// Semi-auto threshold tuning runs once per scan period (§3.2.1).
-	k.Clock().Every(c.scan.Config().Period, func(now simclock.Time) {
+	k.Clock().EveryKey("chrono/semiauto", c.scan.Config().Period, func(now simclock.Time) {
 		c.semiAutoTick(now)
 	})
 
 	if c.opt.Tuning == TuneDCSC {
 		// DCSC statistical scans and the derived parameter updates
 		// (§3.2.2).
-		k.Clock().Every(c.opt.StatPeriod, func(now simclock.Time) {
+		k.Clock().EveryKey("chrono/stat", c.opt.StatPeriod, func(now simclock.Time) {
 			if c.enabled() {
 				c.statScan(now)
 			}
 		})
-		k.Clock().Every(c.opt.TunePeriod, func(now simclock.Time) {
+		k.Clock().EveryKey("chrono/tune", c.opt.TunePeriod, func(now simclock.Time) {
 			if c.enabled() {
 				c.dcscTune(now)
 			}
@@ -308,7 +308,7 @@ func (c *Chrono) Attach(k policy.Kernel) {
 	}
 
 	if !c.opt.DisableProactiveDemotion {
-		k.Clock().Every(c.opt.DemotionPeriod, func(now simclock.Time) {
+		k.Clock().EveryKey("chrono/demote", c.opt.DemotionPeriod, func(now simclock.Time) {
 			if c.enabled() {
 				c.demotionTick(now)
 			}

@@ -1,0 +1,567 @@
+package engine
+
+// Engine checkpoint/restore: capture every piece of mutable simulation
+// state into a plain serializable struct, and overlay such a capture onto
+// a freshly rebuilt engine so the resumed run is bit-identical to one
+// that never stopped (DESIGN.md "Checkpoint format").
+//
+// The snapshot instant is *between events*: Snapshot must only be called
+// before Run, or from a clock AfterStep hook while a run is in flight.
+// Restore expects an engine constructed exactly like the original —
+// same Config, same workload Build, same policy Attached — and overlays
+// dynamic state on top of that structure. Static structure (VMAs, access
+// patterns, thread counts, sysctl registrations, closures) is therefore
+// rebuilt by code, not serialized; anything a run mutates is serialized.
+// Workload pattern drift schedules unkeyed tickers, which makes
+// Clock.Snapshot fail — so a snapshot that succeeds implies the fresh
+// Build's patterns still match, and sweeps fall back to replaying the
+// cell from scratch otherwise (graceful degradation, never corruption).
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chrono/internal/faultinject"
+	"chrono/internal/lru"
+	"chrono/internal/mem"
+	"chrono/internal/policy"
+	"chrono/internal/rng"
+	"chrono/internal/simclock"
+	"chrono/internal/stats"
+	"chrono/internal/vm"
+)
+
+// PageTableState is the dense page table in columnar form: column i of
+// every slice describes the page with ID[i]. Len is the table length
+// including freed (nil) slots, so restored IDs keep their positions.
+type PageTableState struct {
+	Len int `json:"len"`
+
+	ID        []int64         `json:"id"`
+	VPN       []uint64        `json:"vpn"`
+	PID       []int           `json:"pid"`
+	Tier      []int           `json:"tier"`
+	Flags     []uint16        `json:"flags"`
+	Size      []int32         `json:"size"`
+	ProtTS    []simclock.Time `json:"prot_ts"`
+	LastFault []simclock.Time `json:"last_fault"`
+	DemoteTS  []simclock.Time `json:"demote_ts"`
+	ABitTS    []simclock.Time `json:"abit_ts"`
+	Meta      []uint64        `json:"meta"`
+	Meta2     []uint64        `json:"meta2"`
+	FaultSeq  []uint64        `json:"fault_seq"`
+	// W/RF are the engine's cached page weight and read fraction. They are
+	// serialized rather than recomputed because SplitHuge stores the true
+	// read fraction for zero-weight fragments while PageWeight reports 1.
+	W  []float64 `json:"w"`
+	RF []float64 `json:"rf"`
+
+	// EverSlow/EverPromoted are sparse ID sets (most pages are in neither).
+	EverSlow     []int64 `json:"ever_slow,omitempty"`
+	EverPromoted []int64 `json:"ever_promoted,omitempty"`
+}
+
+// ProcRecord is the dynamic engine-side state of one process.
+type ProcRecord struct {
+	PID int `json:"pid"`
+
+	WRead  [mem.NumTiers]float64 `json:"w_read"`
+	WWrite [mem.NumTiers]float64 `json:"w_write"`
+	WTot   float64               `json:"w_tot"`
+	WSwap  float64               `json:"w_swap"`
+
+	Rate            float64 `json:"rate"`
+	FaultOverheadNS float64 `json:"fault_overhead_ns"`
+	EpochFaults     float64 `json:"epoch_faults"`
+
+	ResidentFast int64 `json:"resident_fast"`
+	ResidentSlow int64 `json:"resident_slow"`
+	ResidentSwap int64 `json:"resident_swap"`
+}
+
+// MetricsState is the serializable form of Metrics (histograms as sparse
+// bucket states).
+type MetricsState struct {
+	Duration simclock.Time `json:"duration"`
+
+	Accesses     float64 `json:"accesses"`
+	FastAccesses float64 `json:"fast_accesses"`
+	Reads        float64 `json:"reads"`
+	Writes       float64 `json:"writes"`
+
+	Faults          float64 `json:"faults"`
+	Promotions      int64   `json:"promotions"`
+	Demotions       int64   `json:"demotions"`
+	SwapOuts        int64   `json:"swap_outs"`
+	SwapIns         int64   `json:"swap_ins"`
+	MigratedBytes   float64 `json:"migrated_bytes"`
+	ContextSwitches float64 `json:"context_switches"`
+
+	KernelNS float64 `json:"kernel_ns"`
+	AppNS    float64 `json:"app_ns"`
+
+	FailedPromotions   int64   `json:"failed_promotions"`
+	FailedDemotions    int64   `json:"failed_demotions"`
+	AbortedMigrationNS float64 `json:"aborted_migration_ns"`
+	PEBSDropped        float64 `json:"pebs_dropped"`
+	MoveTierErrors     int64   `json:"move_tier_errors"`
+
+	Lat      stats.HistogramState `json:"lat"`
+	LatRead  stats.HistogramState `json:"lat_read"`
+	LatWrite stats.HistogramState `json:"lat_write"`
+}
+
+// EngineState is a complete dynamic snapshot of a simulation between two
+// events. It serializes deterministically: identical state always yields
+// identical JSON bytes (slices in ID order, no map iteration anywhere).
+type EngineState struct {
+	Clock *simclock.State `json:"clock"`
+
+	RMaster   rng.State `json:"r_master"`
+	RFault    rng.State `json:"r_fault"`
+	RPolicy   rng.State `json:"r_policy"`
+	RWorkload rng.State `json:"r_workload"`
+	RPEBS     rng.State `json:"r_pebs"`
+
+	Inj *faultinject.State `json:"inj,omitempty"`
+
+	Node  mem.NodeState  `json:"node"`
+	Pages PageTableState `json:"pages"`
+	Procs []ProcRecord   `json:"procs"`
+
+	KLRU [mem.NumTiers]lru.TwoListState `json:"k_lru"`
+
+	EpochMigBytes float64 `json:"epoch_mig_bytes"`
+	KernelNSEpoch float64 `json:"kernel_ns_epoch"`
+	KernelFrac    float64 `json:"kernel_frac"`
+	MigTokens     float64 `json:"mig_tokens"`
+	SlowUtilEMA   float64 `json:"slow_util_ema"`
+	FastUtilEMA   float64 `json:"fast_util_ema"`
+	SlowLatMult   float64 `json:"slow_lat_mult"`
+	FastLatMult   float64 `json:"fast_lat_mult"`
+
+	// PEBS alias cache: the exact table contents are rebuilt from AliasW
+	// (construction is deterministic and draws no randomness), so only the
+	// inputs and staleness flags are stored.
+	AliasIDs         []int64       `json:"alias_ids,omitempty"`
+	AliasW           []float64     `json:"alias_w,omitempty"`
+	AliasBuiltAt     simclock.Time `json:"alias_built_at"`
+	AliasWeightDirty bool          `json:"alias_weight_dirty,omitempty"`
+	AliasStructural  bool          `json:"alias_structural,omitempty"`
+	HasAlias         bool          `json:"has_alias,omitempty"`
+
+	NumaTiering int64         `json:"numa_tiering"`
+	Horizon     simclock.Time `json:"horizon"`
+
+	Metrics MetricsState `json:"metrics"`
+
+	// PolicyName guards against restoring into a different policy; Policy
+	// is the attached policy's own Checkpointable state.
+	PolicyName string          `json:"policy_name"`
+	Policy     json.RawMessage `json:"policy,omitempty"`
+}
+
+// Snapshot captures the engine's complete dynamic state. It fails — and
+// the caller must fall back to replaying from scratch — when the event
+// queue holds events the checkpoint subsystem cannot rebind (unkeyed
+// tickers such as workload drift or harness hooks), or when the attached
+// policy does not implement policy.Checkpointable.
+func (e *Engine) Snapshot() (*EngineState, error) {
+	clk, err := e.clock.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	st := &EngineState{
+		Clock:     clk,
+		RMaster:   e.rMaster.State(),
+		RFault:    e.rFault.State(),
+		RPolicy:   e.rPolicy.State(),
+		RWorkload: e.rWorkload.State(),
+		RPEBS:     e.rPEBS.State(),
+		Inj:       e.inj.State(),
+		Node:      e.node.State(),
+
+		EpochMigBytes: e.epochMigBytes,
+		KernelNSEpoch: e.kernelNSEpoch,
+		KernelFrac:    e.kernelFrac,
+		MigTokens:     e.migTokens,
+		SlowUtilEMA:   e.slowUtilEMA,
+		FastUtilEMA:   e.fastUtilEMA,
+		SlowLatMult:   e.slowLatMult,
+		FastLatMult:   e.fastLatMult,
+
+		AliasIDs:         append([]int64(nil), e.aliasIDs...),
+		AliasW:           append([]float64(nil), e.aliasW[:len(e.aliasIDs)]...),
+		AliasBuiltAt:     e.aliasBuiltAt,
+		AliasWeightDirty: e.aliasWeightDirty,
+		AliasStructural:  e.aliasStructural,
+		HasAlias:         e.aliasTable != nil,
+
+		NumaTiering: e.numaTiering,
+		Horizon:     e.horizon,
+		Metrics:     e.metricsState(),
+	}
+	for t := range e.kLRU {
+		st.KLRU[t] = e.kLRU[t].State()
+	}
+	st.Pages = e.pageTableState()
+	for _, ps := range e.procs {
+		st.Procs = append(st.Procs, ProcRecord{
+			PID:             ps.proc.PID,
+			WRead:           ps.wRead,
+			WWrite:          ps.wWrite,
+			WTot:            ps.wTot,
+			WSwap:           ps.wSwap,
+			Rate:            ps.rate,
+			FaultOverheadNS: ps.faultOverheadNS,
+			EpochFaults:     ps.epochFaults,
+			ResidentFast:    ps.residentFast,
+			ResidentSlow:    ps.residentSlow,
+			ResidentSwap:    ps.residentSwap,
+		})
+	}
+	if e.pol != nil {
+		cp, ok := e.pol.(policy.Checkpointable)
+		if !ok {
+			return nil, fmt.Errorf("engine: policy %s does not support checkpointing", e.pol.Name())
+		}
+		pst, err := cp.CheckpointState()
+		if err != nil {
+			return nil, fmt.Errorf("engine: snapshot policy %s: %w", e.pol.Name(), err)
+		}
+		raw, err := json.Marshal(pst)
+		if err != nil {
+			return nil, fmt.Errorf("engine: marshal policy %s state: %w", e.pol.Name(), err)
+		}
+		st.PolicyName = e.pol.Name()
+		st.Policy = raw
+	}
+	return st, nil
+}
+
+func (e *Engine) pageTableState() PageTableState {
+	st := PageTableState{Len: len(e.pages)}
+	for id, pg := range e.pages {
+		if pg == nil {
+			continue
+		}
+		st.ID = append(st.ID, pg.ID)
+		st.VPN = append(st.VPN, pg.VPN)
+		st.PID = append(st.PID, pg.Proc.PID)
+		st.Tier = append(st.Tier, int(pg.Tier))
+		st.Flags = append(st.Flags, uint16(pg.Flags))
+		st.Size = append(st.Size, pg.Size)
+		st.ProtTS = append(st.ProtTS, pg.ProtTS)
+		st.LastFault = append(st.LastFault, pg.LastFault)
+		st.DemoteTS = append(st.DemoteTS, pg.DemoteTS)
+		st.ABitTS = append(st.ABitTS, pg.ABitTS)
+		st.Meta = append(st.Meta, pg.Meta)
+		st.Meta2 = append(st.Meta2, pg.Meta2)
+		st.FaultSeq = append(st.FaultSeq, pg.FaultSeq)
+		st.W = append(st.W, e.pageW[id])
+		st.RF = append(st.RF, e.pageRF[id])
+		if e.everSlow[id] {
+			st.EverSlow = append(st.EverSlow, pg.ID)
+		}
+		if e.everPromoted[id] {
+			st.EverPromoted = append(st.EverPromoted, pg.ID)
+		}
+	}
+	return st
+}
+
+func (e *Engine) metricsState() MetricsState { return e.M.State() }
+
+// State captures the metrics in serializable form — the inverse of
+// MetricsState.Materialize.
+func (m *Metrics) State() MetricsState {
+	return MetricsState{
+		Duration:           m.Duration,
+		Accesses:           m.Accesses,
+		FastAccesses:       m.FastAccesses,
+		Reads:              m.Reads,
+		Writes:             m.Writes,
+		Faults:             m.Faults,
+		Promotions:         m.Promotions,
+		Demotions:          m.Demotions,
+		SwapOuts:           m.SwapOuts,
+		SwapIns:            m.SwapIns,
+		MigratedBytes:      m.MigratedBytes,
+		ContextSwitches:    m.ContextSwitches,
+		KernelNS:           m.KernelNS,
+		AppNS:              m.AppNS,
+		FailedPromotions:   m.FailedPromotions,
+		FailedDemotions:    m.FailedDemotions,
+		AbortedMigrationNS: m.AbortedMigrationNS,
+		PEBSDropped:        m.PEBSDropped,
+		MoveTierErrors:     m.MoveTierErrors,
+		Lat:                m.Lat.State(),
+		LatRead:            m.LatRead.State(),
+		LatWrite:           m.LatWrite.State(),
+	}
+}
+
+// Restore overlays a captured EngineState onto this engine, which must be
+// freshly built from the same Config, with the same workload Built and the
+// same policy Attached, and must not have Run yet. On success the engine
+// continues with ResumeRun; on error the engine is in an undefined state
+// and must be discarded (the caller replays the run from scratch).
+func (e *Engine) Restore(st *EngineState) error {
+	polName := ""
+	if e.pol != nil {
+		polName = e.pol.Name()
+	}
+	if polName != st.PolicyName {
+		return fmt.Errorf("engine: restore: checkpoint is for policy %q, engine has %q", st.PolicyName, polName)
+	}
+	if (e.inj == nil) != (st.Inj == nil) {
+		return fmt.Errorf("engine: restore: fault-injection plan mismatch (checkpoint injector: %v, engine injector: %v)",
+			st.Inj != nil, e.inj != nil)
+	}
+	if err := e.restorePages(&st.Pages); err != nil {
+		return err
+	}
+	if err := e.restoreProcs(st.Procs); err != nil {
+		return err
+	}
+	// The tier lists share one link family: empty every pair before any
+	// refill, or pages that changed tiers since the snapshot would still
+	// occupy their old slots.
+	for t := range e.kLRU {
+		e.kLRU[t].Clear()
+	}
+	for t := range e.kLRU {
+		for _, ids := range [][]int64{st.KLRU[t].Active, st.KLRU[t].Inactive} {
+			for _, id := range ids {
+				if id < 0 || id >= int64(len(e.pages)) || e.pages[id] == nil {
+					return fmt.Errorf("engine: restore: LRU tier %d references page %d", t, id)
+				}
+			}
+		}
+		e.kLRU[t].SetState(st.KLRU[t])
+	}
+	if err := e.node.SetState(st.Node); err != nil {
+		return err
+	}
+
+	e.rMaster.SetState(st.RMaster)
+	e.rFault.SetState(st.RFault)
+	e.rPolicy.SetState(st.RPolicy)
+	e.rWorkload.SetState(st.RWorkload)
+	e.rPEBS.SetState(st.RPEBS)
+	e.inj.SetState(st.Inj)
+
+	e.epochMigBytes = st.EpochMigBytes
+	e.kernelNSEpoch = st.KernelNSEpoch
+	e.kernelFrac = st.KernelFrac
+	e.migTokens = st.MigTokens
+	e.slowUtilEMA = st.SlowUtilEMA
+	e.fastUtilEMA = st.FastUtilEMA
+	e.slowLatMult = st.SlowLatMult
+	e.fastLatMult = st.FastLatMult
+
+	e.aliasIDs = append(e.aliasIDs[:0], st.AliasIDs...)
+	e.aliasW = append(e.aliasW[:0], st.AliasW...)
+	e.aliasBuiltAt = st.AliasBuiltAt
+	e.aliasWeightDirty = st.AliasWeightDirty
+	e.aliasStructural = st.AliasStructural
+	e.aliasTable = nil
+	if st.HasAlias && len(st.AliasW) > 0 {
+		e.aliasTable = rng.NewAlias(e.rPEBS, e.aliasW)
+	}
+
+	e.numaTiering = st.NumaTiering
+	e.horizon = st.Horizon
+
+	if err := e.restoreMetrics(&st.Metrics); err != nil {
+		return err
+	}
+
+	if e.pol != nil {
+		if err := e.pol.(policy.Checkpointable).RestoreCheckpoint(st.Policy); err != nil {
+			return fmt.Errorf("engine: restore policy %s: %w", st.PolicyName, err)
+		}
+	}
+
+	// Arm the engine tickers exactly like Run does, then let the clock
+	// restore drain the fresh arming and rebuild the recorded queue. This
+	// must come last: every keyed ticker and binder has to be registered
+	// before the recorded events can resolve.
+	e.startTickers()
+	if err := e.clock.Restore(st.Clock); err != nil {
+		return fmt.Errorf("engine: restore clock: %w", err)
+	}
+	return nil
+}
+
+// restorePages reconciles the fresh page table against the snapshot.
+// Structure can differ only by huge-page splits: fresh pages missing from
+// the snapshot were freed (split) during the original run and retire;
+// snapshot IDs beyond the fresh table are the split fragments and are
+// created bare (their LRU position, policy counters, and residency are
+// overlaid wholesale by the rest of Restore, so none of mapPage's side
+// effects apply).
+func (e *Engine) restorePages(st *PageTableState) error {
+	n := len(st.ID)
+	for _, col := range []int{
+		len(st.VPN), len(st.PID), len(st.Tier), len(st.Flags), len(st.Size),
+		len(st.ProtTS), len(st.LastFault), len(st.DemoteTS), len(st.ABitTS),
+		len(st.Meta), len(st.Meta2), len(st.FaultSeq), len(st.W), len(st.RF),
+	} {
+		if col != n {
+			return fmt.Errorf("engine: restore: page table column length mismatch")
+		}
+	}
+	if st.Len < len(e.pages) {
+		return fmt.Errorf("engine: restore: checkpoint page table (%d slots) smaller than fresh build (%d)",
+			st.Len, len(e.pages))
+	}
+	present := make([]bool, st.Len)
+	for _, id := range st.ID {
+		if id < 0 || id >= int64(st.Len) {
+			return fmt.Errorf("engine: restore: page ID %d outside table of %d", id, st.Len)
+		}
+		if present[id] {
+			return fmt.Errorf("engine: restore: duplicate page ID %d", id)
+		}
+		present[id] = true
+	}
+	// Retire fresh pages the snapshot freed (mirrors SplitHuge's retire).
+	for id := range e.pages {
+		if e.pages[id] != nil && !present[id] {
+			pg := e.pages[id]
+			pg.Proc.RemovePage(pg)
+			e.pages[id] = nil
+			e.pageW[id] = 0
+		}
+	}
+	for len(e.pages) < st.Len {
+		e.pages = append(e.pages, nil)
+		e.pageW = append(e.pageW, 0)
+		e.pageRF = append(e.pageRF, 1)
+		e.everSlow = append(e.everSlow, false)
+		e.everPromoted = append(e.everPromoted, false)
+	}
+	e.links.Grow(len(e.pages))
+	for i, id := range st.ID {
+		pg := e.pages[id]
+		ps := e.byPID[st.PID[i]]
+		if ps == nil {
+			return fmt.Errorf("engine: restore: page %d references unknown PID %d", id, st.PID[i])
+		}
+		if st.Tier[i] < 0 || st.Tier[i] >= int(mem.NumTiers) {
+			return fmt.Errorf("engine: restore: page %d has tier %d", id, st.Tier[i])
+		}
+		if pg == nil {
+			pg = &vm.Page{ID: id, VPN: st.VPN[i], Proc: ps.proc, Size: st.Size[i]}
+			e.pages[id] = pg
+			ps.proc.InsertPage(pg)
+		} else if pg.VPN != st.VPN[i] || pg.Proc.PID != st.PID[i] {
+			return fmt.Errorf("engine: restore: page %d is (pid %d, vpn %#x) in checkpoint but (pid %d, vpn %#x) in fresh build",
+				id, st.PID[i], st.VPN[i], pg.Proc.PID, pg.VPN)
+		}
+		pg.Tier = mem.TierID(st.Tier[i])
+		pg.Flags = vm.PageFlags(st.Flags[i])
+		pg.Size = st.Size[i]
+		pg.ProtTS = st.ProtTS[i]
+		pg.LastFault = st.LastFault[i]
+		pg.DemoteTS = st.DemoteTS[i]
+		pg.ABitTS = st.ABitTS[i]
+		pg.Meta = st.Meta[i]
+		pg.Meta2 = st.Meta2[i]
+		pg.FaultSeq = st.FaultSeq[i]
+		// Pending fault deliveries are rebuilt by the clock restore through
+		// the fault binder, which reattaches the handle.
+		pg.FaultHandle = simclock.Handle{}
+		e.pageW[id] = st.W[i]
+		e.pageRF[id] = st.RF[i]
+	}
+	for i := range e.everSlow {
+		e.everSlow[i] = false
+		e.everPromoted[i] = false
+	}
+	for _, id := range st.EverSlow {
+		if id < 0 || id >= int64(len(e.everSlow)) {
+			return fmt.Errorf("engine: restore: ever-slow ID %d out of range", id)
+		}
+		e.everSlow[id] = true
+	}
+	for _, id := range st.EverPromoted {
+		if id < 0 || id >= int64(len(e.everPromoted)) {
+			return fmt.Errorf("engine: restore: ever-promoted ID %d out of range", id)
+		}
+		e.everPromoted[id] = true
+	}
+	return nil
+}
+
+func (e *Engine) restoreProcs(recs []ProcRecord) error {
+	if len(recs) != len(e.procs) {
+		return fmt.Errorf("engine: restore: checkpoint has %d processes, engine has %d", len(recs), len(e.procs))
+	}
+	for _, rec := range recs {
+		ps := e.byPID[rec.PID]
+		if ps == nil {
+			return fmt.Errorf("engine: restore: unknown PID %d", rec.PID)
+		}
+		ps.wRead = rec.WRead
+		ps.wWrite = rec.WWrite
+		ps.wTot = rec.WTot
+		ps.wSwap = rec.WSwap
+		ps.rate = rec.Rate
+		ps.faultOverheadNS = rec.FaultOverheadNS
+		ps.epochFaults = rec.EpochFaults
+		ps.residentFast = rec.ResidentFast
+		ps.residentSlow = rec.ResidentSlow
+		ps.residentSwap = rec.ResidentSwap
+	}
+	return nil
+}
+
+func (e *Engine) restoreMetrics(st *MetricsState) error {
+	return applyMetricsState(&e.M, st)
+}
+
+// Materialize reconstructs a standalone Metrics from its serialized form.
+// Resumable sweeps use it to short-circuit cells whose finished metrics
+// are already on disk without re-running the simulation.
+func (st *MetricsState) Materialize() (*Metrics, error) {
+	m := &Metrics{
+		Lat:      stats.NewHistogram(),
+		LatRead:  stats.NewHistogram(),
+		LatWrite: stats.NewHistogram(),
+	}
+	if err := applyMetricsState(m, st); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func applyMetricsState(m *Metrics, st *MetricsState) error {
+	m.Duration = st.Duration
+	m.Accesses = st.Accesses
+	m.FastAccesses = st.FastAccesses
+	m.Reads = st.Reads
+	m.Writes = st.Writes
+	m.Faults = st.Faults
+	m.Promotions = st.Promotions
+	m.Demotions = st.Demotions
+	m.SwapOuts = st.SwapOuts
+	m.SwapIns = st.SwapIns
+	m.MigratedBytes = st.MigratedBytes
+	m.ContextSwitches = st.ContextSwitches
+	m.KernelNS = st.KernelNS
+	m.AppNS = st.AppNS
+	m.FailedPromotions = st.FailedPromotions
+	m.FailedDemotions = st.FailedDemotions
+	m.AbortedMigrationNS = st.AbortedMigrationNS
+	m.PEBSDropped = st.PEBSDropped
+	m.MoveTierErrors = st.MoveTierErrors
+	if err := m.Lat.SetState(st.Lat); err != nil {
+		return err
+	}
+	if err := m.LatRead.SetState(st.LatRead); err != nil {
+		return err
+	}
+	return m.LatWrite.SetState(st.LatWrite)
+}

@@ -1,0 +1,261 @@
+package engine
+
+// The checkpoint fence: a run that is snapshotted mid-flight, rebuilt
+// from scratch, restored, and resumed must end in *bit-identical* state
+// to the run that never stopped — metrics, histograms, page table, node
+// accounting, and the policy's own counters. Any field the snapshot
+// misses, any RNG draw the restore path adds or drops, and any event
+// reordering shows up here as a byte diff.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"chrono/internal/core"
+	"chrono/internal/faultinject"
+	"chrono/internal/policy"
+	"chrono/internal/policy/flexmem"
+	"chrono/internal/policy/memtis"
+	"chrono/internal/policy/tpp"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// buildCkptEngine constructs the fence scenario: one process with a
+// skewed pattern whose hot tail starts in the slow tier, so every policy
+// has promotion work to do across the snapshot point.
+func buildCkptEngine(t *testing.T, pol policy.Policy, mode PageSizeMode, faults faultinject.Plan) *Engine {
+	t.Helper()
+	e := New(Config{Seed: 7, FastGB: 4, SlowGB: 12, Faults: faults})
+	p := vm.NewProcess(1, "ckpt", 3000)
+	start := p.VMAs()[0].Start
+	for i := uint64(0); i < 3000; i++ {
+		w := 1.0
+		if i >= 2500 { // hot tail lands slow under fill-fast-first mapping
+			w = 60
+		}
+		p.SetPattern(start+i, w, 0.7)
+	}
+	e.AddProcess(p, 4)
+	if err := e.MapAll(mode); err != nil {
+		t.Fatal(err)
+	}
+	e.AttachPolicy(pol)
+	return e
+}
+
+// finalState marshals everything the fence compares: the engine's own
+// serializable state at end of run plus the policy's checkpoint state.
+func finalState(t *testing.T, e *Engine) []byte {
+	t.Helper()
+	st := struct {
+		Metrics MetricsState   `json:"metrics"`
+		Pages   PageTableState `json:"pages"`
+		Procs   []ProcRecord   `json:"procs"`
+		Node    any            `json:"node"`
+		Policy  any            `json:"policy"`
+		Now     simclock.Time  `json:"now"`
+	}{
+		Metrics: e.metricsState(),
+		Pages:   e.pageTableState(),
+		Node:    e.node.State(),
+		Now:     e.clock.Now(),
+	}
+	for _, ps := range e.procs {
+		st.Procs = append(st.Procs, ProcRecord{
+			PID: ps.proc.PID, WRead: ps.wRead, WWrite: ps.wWrite,
+			WTot: ps.wTot, WSwap: ps.wSwap, Rate: ps.rate,
+			FaultOverheadNS: ps.faultOverheadNS, EpochFaults: ps.epochFaults,
+			ResidentFast: ps.residentFast, ResidentSlow: ps.residentSlow,
+			ResidentSwap: ps.residentSwap,
+		})
+	}
+	if cp, ok := e.pol.(policy.Checkpointable); ok {
+		pst, err := cp.CheckpointState()
+		if err != nil {
+			t.Fatalf("final policy state: %v", err)
+		}
+		st.Policy = pst
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func newFencePolicy(t *testing.T, name string) (policy.Policy, PageSizeMode) {
+	t.Helper()
+	switch name {
+	case "TPP":
+		return tpp.New(tpp.Config{}), BasePages
+	case "Memtis":
+		// Huge pages exercise the SplitHuge page-table reconciliation.
+		return memtis.New(memtis.Config{}), HugePages
+	case "FlexMem":
+		return flexmem.New(flexmem.Config{}), HugePages
+	case "Chrono":
+		return core.New(core.Options{}), BasePages
+	}
+	t.Fatalf("unknown fence policy %s", name)
+	return nil, BasePages
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const (
+		dur = 60 * simclock.Second
+		mid = 30 * simclock.Second
+	)
+	plans := map[string]faultinject.Plan{
+		"clean":  {},
+		"faulty": faultinject.Aggressive(),
+	}
+	for _, polName := range []string{"TPP", "Memtis", "FlexMem", "Chrono"} {
+		for planName, plan := range plans {
+			t.Run(polName+"/"+planName, func(t *testing.T) {
+				// Reference: run straight through.
+				pol, mode := newFencePolicy(t, polName)
+				ref := buildCkptEngine(t, pol, mode, plan)
+				ref.Run(dur)
+				want := finalState(t, ref)
+
+				// Interrupted: snapshot at the first event past mid, keep
+				// running (the snapshot must not perturb the run), then
+				// restore the snapshot into a fresh build and resume.
+				pol2, _ := newFencePolicy(t, polName)
+				victim := buildCkptEngine(t, pol2, mode, plan)
+				var snap *EngineState
+				victim.Clock().SetAfterStep(func() {
+					if snap == nil && victim.Clock().Now() >= mid {
+						s, err := victim.Snapshot()
+						if err != nil {
+							t.Fatalf("snapshot: %v", err)
+						}
+						snap = s
+					}
+				})
+				victim.Run(dur)
+				if snap == nil {
+					t.Fatal("snapshot hook never fired")
+				}
+				if got := finalState(t, victim); !bytes.Equal(got, want) {
+					t.Fatalf("snapshotting perturbed the run (%s)", diffHint(got, want))
+				}
+
+				// The snapshot must round-trip through bytes, like a real
+				// checkpoint file does.
+				blob, err := json.Marshal(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var loaded EngineState
+				if err := json.Unmarshal(blob, &loaded); err != nil {
+					t.Fatal(err)
+				}
+
+				pol3, _ := newFencePolicy(t, polName)
+				resumed := buildCkptEngine(t, pol3, mode, plan)
+				if err := resumed.Restore(&loaded); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				resumed.ResumeRun()
+				if got := finalState(t, resumed); !bytes.Equal(got, want) {
+					t.Fatalf("resumed run diverged (%s)", diffHint(got, want))
+				}
+			})
+		}
+	}
+}
+
+// diffHint locates the first differing byte for a readable failure.
+func diffHint(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 60
+			g, w := hi, hi
+			if g > len(got) {
+				g = len(got)
+			}
+			if w > len(want) {
+				w = len(want)
+			}
+			return "first diff at byte " + itoa(i) + ": got ..." + string(got[lo:g]) + "... want ..." + string(want[lo:w]) + "..."
+		}
+	}
+	return "lengths differ: " + itoa(len(got)) + " vs " + itoa(len(want))
+}
+
+func itoa(i int) string {
+	return string(json.RawMessage(jsonInt(i)))
+}
+
+func jsonInt(i int) []byte {
+	b, _ := json.Marshal(i)
+	return b
+}
+
+// TestSnapshotFailsOnUnkeyedEvents: an engine with an anonymous harness
+// ticker (e.g. workload drift or RunScored's sampler) must refuse to
+// snapshot instead of producing a checkpoint that cannot resume.
+func TestSnapshotFailsOnUnkeyedEvents(t *testing.T) {
+	pol, mode := newFencePolicy(t, "TPP")
+	e := buildCkptEngine(t, pol, mode, faultinject.Plan{})
+	e.Clock().Every(simclock.Second, func(now simclock.Time) {})
+	var got error
+	e.Clock().SetAfterStep(func() {
+		if got == nil && e.Clock().Now() >= 2*simclock.Second {
+			_, err := e.Snapshot()
+			if err == nil {
+				t.Fatal("snapshot succeeded with an unkeyed ticker armed")
+			}
+			got = err
+		}
+	})
+	e.Run(5 * simclock.Second)
+	if got == nil {
+		t.Fatal("snapshot never attempted")
+	}
+}
+
+// TestRestoreRejectsMismatch: a checkpoint only restores into an engine
+// built the same way — different policy or a changed fault plan is a
+// clear error, not silent divergence.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	pol, mode := newFencePolicy(t, "TPP")
+	e := buildCkptEngine(t, pol, mode, faultinject.Plan{})
+	var snap *EngineState
+	e.Clock().SetAfterStep(func() {
+		if snap == nil && e.Clock().Now() >= 10*simclock.Second {
+			s, err := e.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			snap = s
+		}
+	})
+	e.Run(20 * simclock.Second)
+	if snap == nil {
+		t.Fatal("no snapshot")
+	}
+
+	wrongPol, wrongMode := newFencePolicy(t, "Memtis")
+	other := buildCkptEngine(t, wrongPol, wrongMode, faultinject.Plan{})
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("restore into a different policy succeeded")
+	}
+
+	pol2, _ := newFencePolicy(t, "TPP")
+	faulty := buildCkptEngine(t, pol2, mode, faultinject.Aggressive())
+	if err := faulty.Restore(snap); err == nil {
+		t.Fatal("restore into a different fault plan succeeded")
+	}
+}

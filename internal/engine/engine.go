@@ -306,6 +306,11 @@ type Engine struct {
 	// no injection and is handled by faultinject's nil-safe methods.
 	inj *faultinject.Injector
 
+	// runTickers holds the engine's own periodic work (epoch accounting,
+	// LRU aging, kswapd, cgroup reclaim) while a run is in flight, so
+	// finishRun can cancel it and a Restore can find it registered.
+	runTickers []*simclock.Ticker
+
 	horizon simclock.Time
 
 	M Metrics
@@ -430,6 +435,23 @@ func New(cfg Config) *Engine {
 	e.faultCB = func(now simclock.Time, arg any, seq uint64) {
 		e.deliverFault(arg.(*vm.Page), seq, now)
 	}
+	// Restore support: pending hint-fault deliveries serialize as
+	// (page ID, fault seq); the binder re-attaches the shared callback and
+	// the page object at Restore time. A page freed after scheduling never
+	// leaves a pending fault (Unprotect cancels it), but the inert-event
+	// branch keeps a corrupt record from crashing the resume.
+	e.clock.BindKey(faultKey, func(rec simclock.EventRecord) {
+		var pg *vm.Page
+		if rec.Arg >= 0 && rec.Arg < int64(len(e.pages)) {
+			pg = e.pages[rec.Arg]
+		}
+		if pg == nil {
+			e.clock.AtKey(rec.At, faultKey, rec.Arg, rec.N, func(now simclock.Time) {})
+			return
+		}
+		pg.FaultHandle = e.clock.AtArgKey(rec.At, faultKey, rec.Arg, e.faultCB, pg, rec.N)
+	})
+	policy.RegisterBackoffBinder(e)
 	e.table.Int64("kernel/numa_tiering", "enable tiered NUMA management (Chrono)", &e.numaTiering, nil, nil)
 	// The injector's streams derive from (Seed, Plan) only — never from
 	// rMaster — so enabling injection shifts no engine stream, and a
@@ -764,23 +786,45 @@ func (e *Engine) Run(d simclock.Duration) *Metrics {
 	e.updateBandwidth(0)
 	e.updateRates()
 	e.migTokens = float64(e.cfg.MigrationBWBytes) // one second of initial budget
-	tick := e.clock.Every(e.cfg.EpochNS, func(now simclock.Time) { e.epochTick(now) })
-	// Kernel LRU aging once per minute: the paper (§2.3) observes that
-	// accessed-bit reset intervals in practice "last from minutes to
-	// hours", which is why hardware-bit recency is a coarse hotness
-	// signal. Faster aging would hand every policy an unrealistically
-	// sharp reclaim oracle.
-	age := e.clock.Every(simclock.Minute, func(now simclock.Time) { e.ageLRU() })
-	// kswapd watermark check every 500 ms.
-	kswapd := e.clock.Every(500*simclock.Millisecond, func(now simclock.Time) { e.kswapd() })
-	// cgroup memory.limit enforcement every second (§3.3.1).
-	cgroup := e.clock.Every(simclock.Second, func(now simclock.Time) { e.cgroupReclaim(now) })
+	e.startTickers()
 	e.clock.RunUntil(e.horizon)
-	tick.Cancel()
-	age.Cancel()
-	kswapd.Cancel()
-	cgroup.Cancel()
+	return e.finishRun()
+}
+
+// startTickers arms the engine's periodic work under stable checkpoint
+// keys, in a fixed order so event sequence numbers are reproducible.
+func (e *Engine) startTickers() {
+	e.runTickers = []*simclock.Ticker{
+		e.clock.EveryKey("engine/epoch", e.cfg.EpochNS, func(now simclock.Time) { e.epochTick(now) }),
+		// Kernel LRU aging once per minute: the paper (§2.3) observes that
+		// accessed-bit reset intervals in practice "last from minutes to
+		// hours", which is why hardware-bit recency is a coarse hotness
+		// signal. Faster aging would hand every policy an unrealistically
+		// sharp reclaim oracle.
+		e.clock.EveryKey("engine/age", simclock.Minute, func(now simclock.Time) { e.ageLRU() }),
+		// kswapd watermark check every 500 ms.
+		e.clock.EveryKey("engine/kswapd", 500*simclock.Millisecond, func(now simclock.Time) { e.kswapd() }),
+		// cgroup memory.limit enforcement every second (§3.3.1).
+		e.clock.EveryKey("engine/cgroup", simclock.Second, func(now simclock.Time) { e.cgroupReclaim(now) }),
+	}
+}
+
+// finishRun is the common tail of Run and ResumeRun: cancel the periodic
+// work, stamp the duration, and run the final invariant check.
+func (e *Engine) finishRun() *Metrics {
+	for _, t := range e.runTickers {
+		t.Cancel()
+	}
+	e.runTickers = nil
 	e.M.Duration = e.clock.Now()
 	e.sanitizeTick()
 	return &e.M
+}
+
+// ResumeRun continues a Restored simulation to its recorded horizon. The
+// priming and ticker arming Run performs are already part of the restored
+// state, so it only drains the clock and closes out the run.
+func (e *Engine) ResumeRun() *Metrics {
+	e.clock.RunUntil(e.horizon)
+	return e.finishRun()
 }

@@ -1,0 +1,274 @@
+package engine
+
+// Checkpoint coverage fence, the reflective twin of the bit-identity
+// test: every field of Engine (and of each checkpointable policy) must be
+// either mapped to the state field(s) that serialize it or allowlisted
+// with a justification for why a fresh build reconstructs it. Adding a
+// mutable field without extending Snapshot/Restore fails here by name,
+// instead of as an unexplained byte diff in the resume fence — and the
+// reverse direction catches state fields that stop being backed by
+// anything.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"chrono/internal/faultinject"
+	"chrono/internal/simclock"
+)
+
+// engineCovered maps each Engine field to the EngineState field(s) that
+// carry it (comma-separated when one snapshot field folds several).
+var engineCovered = map[string]string{
+	"clock":     "Clock",
+	"node":      "Node",
+	"rMaster":   "RMaster",
+	"rFault":    "RFault",
+	"rPolicy":   "RPolicy",
+	"rWorkload": "RWorkload",
+	"rPEBS":     "RPEBS",
+	"inj":       "Inj",
+
+	"pages":        "Pages",
+	"pageW":        "Pages", // the W column
+	"pageRF":       "Pages", // the RF column
+	"everSlow":     "Pages", // sparse EverSlow set
+	"everPromoted": "Pages", // sparse EverPromoted set
+	"procs":        "Procs",
+	"kLRU":         "KLRU",
+
+	"pol": "PolicyName,Policy",
+
+	"epochMigBytes": "EpochMigBytes",
+	"kernelNSEpoch": "KernelNSEpoch",
+	"kernelFrac":    "KernelFrac",
+	"migTokens":     "MigTokens",
+	"slowUtilEMA":   "SlowUtilEMA",
+	"fastUtilEMA":   "FastUtilEMA",
+	"slowLatMult":   "SlowLatMult",
+	"fastLatMult":   "FastLatMult",
+
+	"aliasTable":       "HasAlias", // contents rebuilt from AliasW on restore
+	"aliasIDs":         "AliasIDs",
+	"aliasW":           "AliasW",
+	"aliasBuiltAt":     "AliasBuiltAt",
+	"aliasWeightDirty": "AliasWeightDirty",
+	"aliasStructural":  "AliasStructural",
+
+	"numaTiering": "NumaTiering",
+	"horizon":     "Horizon",
+	"M":           "Metrics",
+}
+
+// engineRebuilt lists Engine fields a restore deliberately does NOT
+// serialize, with the reason a fresh New+Build+Attach reconstructs them.
+var engineRebuilt = map[string]string{
+	"cfg":        "construction-time configuration; immutable after New",
+	"table":      "sysctl registrations are code-defined; writable values live in numaTiering and the policy state",
+	"byPID":      "index over procs, rebuilt by AddProcess during Build",
+	"links":      "LRU link storage; regrown by restorePages and refilled by KLRU SetState",
+	"faultCB":    "closure over the engine, re-created by New; pending deliveries rebind through the clock's fault binder",
+	"flushMark":  "scratch buffer, dead between events",
+	"flushList":  "scratch buffer, dead between events",
+	"sanitize":   "derived from Config and build tags",
+	"runTickers": "re-armed by startTickers inside Restore",
+	"EpochHook":  "harness closure; the harness reattaches it before ResumeRun",
+}
+
+// TestEngineStateCoversAllFields cross-checks Engine against EngineState
+// in both directions.
+func TestEngineStateCoversAllFields(t *testing.T) {
+	stateFields := map[string]bool{}
+	st := reflect.TypeOf(EngineState{})
+	for i := 0; i < st.NumField(); i++ {
+		stateFields[st.Field(i).Name] = false
+	}
+
+	et := reflect.TypeOf(Engine{})
+	for i := 0; i < et.NumField(); i++ {
+		name := et.Field(i).Name
+		_, covered := engineCovered[name]
+		_, rebuilt := engineRebuilt[name]
+		switch {
+		case covered && rebuilt:
+			t.Errorf("Engine.%s is in both engineCovered and engineRebuilt", name)
+		case covered:
+			for _, sf := range strings.Split(engineCovered[name], ",") {
+				if _, ok := stateFields[sf]; !ok {
+					t.Errorf("Engine.%s claims EngineState.%s, which does not exist", name, sf)
+					continue
+				}
+				stateFields[sf] = true
+			}
+		case rebuilt:
+			// Justified above; nothing to verify.
+		default:
+			t.Errorf("Engine.%s is not covered by EngineState and not allowlisted as "+
+				"rebuilt-by-code — extend Snapshot/Restore or justify it in engineRebuilt", name)
+		}
+	}
+	for name := range engineCovered {
+		if _, ok := et.FieldByName(name); !ok {
+			t.Errorf("engineCovered lists %s, which is no longer an Engine field", name)
+		}
+	}
+	for name := range engineRebuilt {
+		if _, ok := et.FieldByName(name); !ok {
+			t.Errorf("engineRebuilt lists %s, which is no longer an Engine field", name)
+		}
+	}
+	for sf, claimed := range stateFields {
+		if !claimed {
+			t.Errorf("EngineState.%s is not backed by any Engine field mapping — "+
+				"dead state or a missing engineCovered entry", sf)
+		}
+	}
+}
+
+// policyCoverage is the per-policy analogue: field → state field(s), or a
+// rebuilt justification. The state struct is obtained from a live,
+// attached policy via CheckpointState, so renames on either side fail
+// here by name.
+type policyCoverage struct {
+	covered map[string]string
+	rebuilt map[string]string
+}
+
+var policyFieldCoverage = map[string]policyCoverage{
+	"TPP": {
+		covered: map[string]string{
+			"scan": "Scan",
+		},
+		rebuilt: map[string]string{
+			"Base": "stateless method set",
+			"cfg":  "configuration, finalized in Attach",
+			"k":    "kernel handle, re-bound by Attach",
+		},
+	},
+	"Memtis": {
+		covered: map[string]string{
+			"sampler":        "Sampler",
+			"periods":        "Periods",
+			"cycles":         "Cycles",
+			"TransientSkips": "TransientSkips",
+		},
+		rebuilt: map[string]string{
+			"Base": "stateless method set",
+			"cfg":  "configuration, finalized in Attach",
+			"k":    "kernel handle, re-bound by Attach",
+		},
+	},
+	"FlexMem": {
+		covered: map[string]string{
+			"sampler":          "Sampler",
+			"scan":             "Scan",
+			"periods":          "Periods",
+			"cycles":           "Cycles",
+			"hotBin":           "HotPIDs,HotBins",
+			"TimelyPromotions": "TimelyPromotions",
+			"TransientSkips":   "TransientSkips",
+		},
+		rebuilt: map[string]string{
+			"Base": "stateless method set",
+			"cfg":  "configuration, finalized in Attach",
+			"k":    "kernel handle, re-bound by Attach",
+		},
+	},
+	"Chrono": {
+		covered: map[string]string{
+			// Options is construction-time configuration except for the
+			// three sysctl-writable knobs, which are serialized.
+			"opt":            "DeltaStep,PVictim,ThrashThreshold",
+			"scan":           "Scan",
+			"thresholdMS":    "ThresholdMS",
+			"rateLimitBps":   "RateLimitBps",
+			"cands":          "Cands",
+			"queue":          "Queue",
+			"enqueuedBytes":  "EnqueuedBytes",
+			"enqueueRateEMA": "EnqueueRateEMA",
+			"promotedPages":  "PromotedPages",
+			"thrashEvents":   "ThrashEvents",
+			"retries":        "Retries",
+			"heat":           "Heat",
+			"samples":        "Samples",
+			"probes":         "Probes",
+			"ThresholdHist":  "ThresholdHist",
+			"RateLimitHist":  "RateLimitHist",
+			"Enqueued":       "Enqueued",
+			"Promoted":       "Promoted",
+			"Demoted":        "Demoted",
+			"ThrashTotal":    "ThrashTotal",
+			"DCSCSamples":    "DCSCSamples",
+			"FilteredOut":    "FilteredOut",
+			"QueueDropped":   "QueueDropped",
+			"RetryDropped":   "RetryDropped",
+		},
+		rebuilt: map[string]string{
+			"Base":        "stateless method set",
+			"k":           "kernel handle, re-bound by Attach",
+			"citScale":    "derived from Config.CostScale at Attach",
+			"CITObserver": "harness closure; the harness reattaches it",
+		},
+	},
+}
+
+// TestPolicyStateCoversAllFields attaches each checkpointable policy to a
+// real engine, takes its checkpoint state, and cross-checks the policy
+// struct against the state struct in both directions.
+func TestPolicyStateCoversAllFields(t *testing.T) {
+	for name, cov := range policyFieldCoverage {
+		t.Run(name, func(t *testing.T) {
+			pol, mode := newFencePolicy(t, name)
+			e := buildCkptEngine(t, pol, mode, faultinject.Plan{})
+			e.Run(1 * simclock.Second)
+
+			raw, err := pol.(interface{ CheckpointState() (any, error) }).CheckpointState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := reflect.TypeOf(raw)
+			stateFields := map[string]bool{}
+			for i := 0; i < st.NumField(); i++ {
+				stateFields[st.Field(i).Name] = false
+			}
+
+			pt := reflect.TypeOf(pol).Elem()
+			for i := 0; i < pt.NumField(); i++ {
+				fname := pt.Field(i).Name
+				_, covered := cov.covered[fname]
+				_, rebuilt := cov.rebuilt[fname]
+				switch {
+				case covered && rebuilt:
+					t.Errorf("%s.%s is in both covered and rebuilt", name, fname)
+				case covered:
+					for _, sf := range strings.Split(cov.covered[fname], ",") {
+						if _, ok := stateFields[sf]; !ok {
+							t.Errorf("%s.%s claims state field %s, which does not exist in %s", name, fname, sf, st)
+							continue
+						}
+						stateFields[sf] = true
+					}
+				case rebuilt:
+				default:
+					t.Errorf("%s.%s is not covered by %s and not allowlisted as rebuilt-by-code", name, fname, st)
+				}
+			}
+			for fname := range cov.covered {
+				if _, ok := pt.FieldByName(fname); !ok {
+					t.Errorf("coverage map lists %s.%s, which no longer exists", name, fname)
+				}
+			}
+			for fname := range cov.rebuilt {
+				if _, ok := pt.FieldByName(fname); !ok {
+					t.Errorf("rebuilt map lists %s.%s, which no longer exists", name, fname)
+				}
+			}
+			for sf, claimed := range stateFields {
+				if !claimed {
+					t.Errorf("%s state field %s is not backed by any policy field mapping", name, sf)
+				}
+			}
+		})
+	}
+}

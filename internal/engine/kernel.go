@@ -20,6 +20,9 @@ import (
 // restamps it anyway).
 const minFaultRate = 1e-4 // < one access per ~3 virtual hours
 
+// faultKey is the checkpoint key of pending hint-fault delivery events.
+const faultKey = "engine/fault"
+
 // Protect poisons pg PROT_NONE, stamps the scan timestamp, and schedules
 // the hint fault at the page's next access.
 func (e *Engine) Protect(pg *vm.Page) {
@@ -51,10 +54,11 @@ func (e *Engine) Protect(pg *vm.Page) {
 	if at > e.horizon {
 		return
 	}
-	// AtArg with the engine's one shared fault callback: no closure
+	// AtArgKey with the engine's one shared fault callback: no closure
 	// allocation on this path, which every scan of every policy hits once
-	// per poisoned page.
-	pg.FaultHandle = e.clock.AtArg(at, e.faultCB, pg, pg.FaultSeq)
+	// per poisoned page. The key + (page ID, seq) payload make the pending
+	// fault serializable; the binder in New re-creates it on Restore.
+	pg.FaultHandle = e.clock.AtArgKey(at, faultKey, pg.ID, e.faultCB, pg, pg.FaultSeq)
 }
 
 // Unprotect clears the poisoning without delivering a fault.

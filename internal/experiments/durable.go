@@ -1,0 +1,450 @@
+package experiments
+
+// Durable sweep cells: the experiments-layer half of checkpoint/restore.
+//
+// A sweep cell (one ResilientRun of a (policy, workload) pair) becomes
+// durable when RunOpts.Checkpoint names a directory. While the cell runs,
+// an AfterStep hook snapshots the engine at a wall-clock cadence and
+// writes it — atomically, through internal/checkpoint's envelope — to
+// <dir>/cells/<key>.ckpt, where <key> is a hash of the cell's canonical
+// RunSpec. When the cell finishes, its metrics land in <key>.done and the
+// snapshot is deleted. A later invocation with Resume set short-circuits
+// finished cells from their .done record and continues interrupted cells
+// from their .ckpt via engine.Restore — bit-identical to a run that was
+// never interrupted (the fence in engine/checkpoint_test.go and the
+// kill-and-resume CI job both enforce that).
+//
+// Wall-clock time appears in this file on purpose: checkpoint cadence and
+// stall detection are properties of the *host* execution, not of the
+// simulation, and none of it feeds back into simulation state. Every use
+// is annotated for the detclock linter.
+//
+// The same AfterStep hook implements two more host-side concerns:
+//
+//   - Stall watchdog: a goroutine watches the sim-time watermark the hook
+//     publishes. If it stops advancing for CheckpointOpts.StallTimeout of
+//     wall time, the hook is asked to checkpoint and stop the clock; the
+//     cell is recorded as Stalled in the failure manifest with a resume
+//     pointer. A cell stuck *inside* one event can't run the hook — after
+//     a second timeout the watchdog abandons it (the goroutine leaks, by
+//     design: there is no safe way to preempt it) and reports the stall
+//     from the last snapshot.
+//
+//   - Graceful drain: when RunOpts.Ctx is cancelled (SIGINT/SIGTERM in
+//     cmd/reproduce), the hook checkpoints at the next event boundary and
+//     stops; the cell is recorded as Interrupted with a resume pointer,
+//     and ResilientRun does not retry it.
+//
+// Cells that schedule unkeyed clock events (workload drift, RunScored's
+// sampling hook) fail Snapshot; the cell then simply runs to completion
+// without periodic snapshots — graceful degradation, never corruption.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"chrono/internal/checkpoint"
+	"chrono/internal/engine"
+	"chrono/internal/simclock"
+	"chrono/internal/workload"
+)
+
+// CheckpointOpts configure durable sweep cells (RunOpts.Checkpoint).
+type CheckpointOpts struct {
+	// Dir is the checkpoint directory; cell state lives under Dir/cells.
+	// Empty disables checkpointing entirely.
+	Dir string
+	// Resume makes cells consult Dir before running: finished cells are
+	// short-circuited from their .done record, interrupted cells continue
+	// from their snapshot. Without Resume the directory is write-only.
+	Resume bool
+	// Interval is the wall-clock cadence of periodic snapshots
+	// (default 30s).
+	Interval time.Duration
+	// StallTimeout is how long a cell may make no sim-time progress
+	// before the watchdog checkpoints and aborts it (0 disables the
+	// watchdog).
+	StallTimeout time.Duration
+}
+
+// stallTestHook, when non-nil, substitutes the sim-time progress value
+// the watchdog observes. Tests freeze it to exercise the stall path
+// without building a genuinely wedged simulation.
+var stallTestHook func(simclock.Time) simclock.Time
+
+// errStaleCheckpoint marks a cell snapshot that exists but cannot be
+// restored (corrupt envelope, incompatible version, or state that no
+// longer overlays the freshly built engine). ResilientRun reacts by
+// discarding it and replaying the cell from scratch.
+var errStaleCheckpoint = errors.New("experiments: cell checkpoint not restorable")
+
+// cellCheckpoint is the .ckpt payload: the spec pins what the snapshot
+// belongs to, the state is the full engine capture.
+type cellCheckpoint struct {
+	Spec  RunSpec             `json:"spec"`
+	State *engine.EngineState `json:"state"`
+}
+
+// cellDone is the .done payload for a finished cell.
+type cellDone struct {
+	Spec    RunSpec             `json:"spec"`
+	Metrics engine.MetricsState `json:"metrics"`
+}
+
+// specFor builds the canonical identity of a sweep cell. It must be
+// computed from the *fresh* (pre-Build) workload so the key is identical
+// across processes and attempts.
+func specFor(experiment, polName string, w workload.Workload, o RunOpts) RunSpec {
+	return RunSpec{
+		Experiment: experiment,
+		Policy:     polName,
+		Workload:   w.Name(),
+		Detail:     fmt.Sprintf("%+v", w),
+		Seed:       o.Seed,
+		DurationS:  o.Duration.Seconds(),
+		FastGB:     o.FastGB,
+		SlowGB:     o.SlowGB,
+		Faults:     o.Faults,
+	}
+}
+
+// cellKey is the file-name identity of a cell: a short hash of the
+// canonical spec JSON. Any change to seed, duration, tier sizes, fault
+// plan, workload parameters, or policy changes the key, so stale state
+// is never silently reused for a different configuration.
+func cellKey(spec RunSpec) string {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		// RunSpec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("experiments: marshal RunSpec: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:8])
+}
+
+// durableCell is the per-attempt checkpointing state of one sweep cell.
+type durableCell struct {
+	spec RunSpec
+	opts CheckpointOpts
+	key  string
+
+	// saved reports that at least one snapshot write (or resume load)
+	// succeeded, so ckptPath is a usable resume pointer. Atomic because
+	// the hard-stall path reads it while the run goroutine may still be
+	// writing snapshots.
+	saved atomic.Bool
+
+	// abandoned is set when the watchdog gives up on a hard-stuck cell;
+	// the AfterStep hook of the leaked run goroutine stops the clock (and
+	// stops writing) as soon as it runs again.
+	abandoned atomic.Bool
+}
+
+// newDurableCell returns nil when checkpointing is disabled.
+func newDurableCell(spec RunSpec, o RunOpts) *durableCell {
+	if o.Checkpoint == nil || o.Checkpoint.Dir == "" {
+		return nil
+	}
+	return &durableCell{spec: spec, opts: *o.Checkpoint, key: cellKey(spec)}
+}
+
+func (dc *durableCell) cellDir() string  { return filepath.Join(dc.opts.Dir, "cells") }
+func (dc *durableCell) ckptPath() string { return filepath.Join(dc.cellDir(), dc.key+".ckpt") }
+func (dc *durableCell) donePath() string { return filepath.Join(dc.cellDir(), dc.key+".done") }
+
+// finished short-circuits a cell whose .done record exists: the returned
+// Result carries the recorded metrics and no engine (as after Compact).
+func (dc *durableCell) finished(w workload.Workload) (*Result, bool, error) {
+	if !dc.opts.Resume {
+		return nil, false, nil
+	}
+	var done cellDone
+	err := checkpoint.Load(dc.donePath(), &done)
+	switch {
+	case err == nil:
+	case os.IsNotExist(err):
+		return nil, false, nil
+	case errors.Is(err, checkpoint.ErrCorrupt) || errors.Is(err, checkpoint.ErrVersion):
+		// Unreadable record: drop it and re-run the cell.
+		_ = os.Remove(dc.donePath())
+		return nil, false, nil
+	default:
+		return nil, false, err
+	}
+	if err := dc.checkSpec(done.Spec, dc.donePath()); err != nil {
+		return nil, false, err
+	}
+	m, err := done.Metrics.Materialize()
+	if err != nil {
+		_ = os.Remove(dc.donePath())
+		return nil, false, nil
+	}
+	return &Result{Policy: dc.spec.Policy, Metrics: m, Workload: w}, true, nil
+}
+
+// checkSpec guards against key collisions and hand-edited state: a file
+// recorded for a different configuration is an error, never a resume.
+func (dc *durableCell) checkSpec(got RunSpec, path string) error {
+	want, _ := json.Marshal(dc.spec)
+	have, _ := json.Marshal(got)
+	if string(want) != string(have) {
+		return fmt.Errorf("experiments: %s was recorded for a different run configuration (recorded %s, want %s); "+
+			"remove the checkpoint directory or rerun with the original flags", path, have, want)
+	}
+	return nil
+}
+
+// tryResume overlays the cell's snapshot, if one exists, onto the freshly
+// built engine. It reports whether the engine now continues mid-run.
+// A snapshot that cannot be restored is deleted and surfaces as
+// errStaleCheckpoint: the engine is in an undefined half-overlaid state,
+// so the caller must rebuild and replay from scratch.
+func (dc *durableCell) tryResume(e *engine.Engine) (bool, error) {
+	if !dc.opts.Resume {
+		return false, nil
+	}
+	var ck cellCheckpoint
+	err := checkpoint.Load(dc.ckptPath(), &ck)
+	switch {
+	case err == nil:
+	case os.IsNotExist(err):
+		return false, nil
+	case errors.Is(err, checkpoint.ErrCorrupt) || errors.Is(err, checkpoint.ErrVersion):
+		_ = os.Remove(dc.ckptPath())
+		return false, fmt.Errorf("%w: %v", errStaleCheckpoint, err)
+	default:
+		return false, err
+	}
+	if err := dc.checkSpec(ck.Spec, dc.ckptPath()); err != nil {
+		return false, err
+	}
+	if ck.State == nil {
+		_ = os.Remove(dc.ckptPath())
+		return false, fmt.Errorf("%w: empty snapshot", errStaleCheckpoint)
+	}
+	if err := e.Restore(ck.State); err != nil {
+		_ = os.Remove(dc.ckptPath())
+		return false, fmt.Errorf("%w: %v", errStaleCheckpoint, err)
+	}
+	dc.saved.Store(true)
+	return true, nil
+}
+
+// resumePtr is the manifest's resume pointer: the snapshot path when one
+// exists, empty otherwise.
+func (dc *durableCell) resumePtr() string {
+	if dc.saved.Load() {
+		return dc.ckptPath()
+	}
+	return ""
+}
+
+// save snapshots the engine and writes the cell's .ckpt atomically.
+func (dc *durableCell) save(e *engine.Engine) error {
+	st, err := e.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dc.cellDir(), 0o755); err != nil {
+		return err
+	}
+	if err := checkpoint.Save(dc.ckptPath(), cellCheckpoint{Spec: dc.spec, State: st}); err != nil {
+		return err
+	}
+	dc.saved.Store(true)
+	return nil
+}
+
+// markDone records the finished cell's metrics and drops its snapshot.
+// Best-effort: a write failure costs a future short-circuit, not the
+// already-computed result.
+func (dc *durableCell) markDone(m *engine.Metrics) {
+	if err := os.MkdirAll(dc.cellDir(), 0o755); err != nil {
+		return
+	}
+	done := cellDone{Spec: dc.spec, Metrics: m.State()}
+	if err := checkpoint.Save(dc.donePath(), done); err != nil {
+		return
+	}
+	_ = os.Remove(dc.ckptPath())
+}
+
+// failure builds the manifest entry for a stalled or drained cell.
+func (dc *durableCell) failure(reason string, stalled, interrupted bool, fired uint64) *FailedRun {
+	return &FailedRun{
+		Spec:        dc.spec,
+		PanicValue:  reason,
+		EventsFired: fired,
+		Stalled:     stalled,
+		Interrupted: interrupted,
+		ResumeCkpt:  dc.resumePtr(),
+	}
+}
+
+// cellOutcome carries the run goroutine's result to the driver.
+type cellOutcome struct {
+	m        *engine.Metrics
+	panicVal any
+	stack    []byte
+}
+
+// run drives one durable attempt: resume if a snapshot exists, execute
+// with the periodic-checkpoint/watchdog/drain hook installed, and settle
+// the outcome. Exactly one of the three returns is meaningful.
+func (dc *durableCell) run(e *engine.Engine, o RunOpts) (*engine.Metrics, *FailedRun, error) {
+	resumed, err := dc.tryResume(e)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	clock := e.Clock()
+	ctx := o.ctx()
+
+	var (
+		snapBroken  bool // Snapshot failed once; the cell is not checkpointable
+		interrupted bool
+		stalled     bool
+	)
+	var progress atomic.Int64 // sim-time watermark the watchdog reads
+	var firedW atomic.Uint64  // event watermark, race-free for the driver
+	var stallReq atomic.Bool  // watchdog → hook: checkpoint and stop now
+	progress.Store(int64(clock.Now()))
+	lastSave := time.Now() //chrono:wallclock checkpoint cadence is host-side
+	clock.SetAfterStep(func() {
+		if dc.abandoned.Load() {
+			// The driver already walked away (hard stall): stop this
+			// leaked run at the next event boundary and touch nothing.
+			clock.Stop()
+			return
+		}
+		now := clock.Now()
+		firedW.Store(clock.Fired())
+		if h := stallTestHook; h != nil {
+			now = h(now)
+		}
+		progress.Store(int64(now))
+		switch {
+		case ctx.Err() != nil:
+			_ = dc.save(e) // best-effort resume point
+			interrupted = true
+			clock.Stop()
+		case stallReq.Load():
+			_ = dc.save(e)
+			stalled = true
+			clock.Stop()
+		case !snapBroken && dc.opts.Interval > 0:
+			//chrono:wallclock checkpoint cadence is host-side
+			if time.Since(lastSave) >= dc.opts.Interval {
+				if serr := dc.save(e); serr != nil {
+					snapBroken = true
+				}
+				lastSave = time.Now() //chrono:wallclock checkpoint cadence is host-side
+			}
+		}
+	})
+	// Note: the hook is cleared only on the normal completion path below.
+	// An abandoned (hard-stalled) run keeps it installed — the hook is the
+	// mechanism that parks the leaked goroutine — and the engine itself is
+	// discarded either way.
+
+	// Watchdog: trip stallReq after StallTimeout of frozen sim time, and
+	// declare a hard stall — the hook never got to run — after twice that.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	var hardStall chan struct{}
+	if dc.opts.StallTimeout > 0 {
+		hardStall = make(chan struct{})
+		go dc.watchdog(&progress, &stallReq, hardStall, stopWatch)
+	}
+
+	out := make(chan cellOutcome, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				out <- cellOutcome{panicVal: v, stack: debug.Stack()}
+			}
+		}()
+		if resumed {
+			out <- cellOutcome{m: e.ResumeRun()}
+		} else {
+			out <- cellOutcome{m: e.Run(o.Duration)}
+		}
+	}()
+
+	select {
+	case oc := <-out:
+		clock.SetAfterStep(nil)
+		if oc.panicVal != nil {
+			return nil, &FailedRun{
+				Spec:        dc.spec,
+				PanicValue:  fmt.Sprint(oc.panicVal),
+				Stack:       string(oc.stack),
+				EventsFired: firedW.Load(),
+				ResumeCkpt:  dc.resumePtr(),
+			}, nil
+		}
+		switch {
+		case stalled:
+			return nil, dc.failure(
+				fmt.Sprintf("stalled: no sim-time progress for %v", dc.opts.StallTimeout),
+				true, false, firedW.Load()), nil
+		case interrupted:
+			return nil, dc.failure("interrupted: graceful shutdown requested",
+				false, true, firedW.Load()), nil
+		}
+		return oc.m, nil, nil
+	case <-hardStall:
+		// The run goroutine is wedged inside a single event and cannot be
+		// preempted; abandon it (it parks itself at the next event
+		// boundary, if one ever comes) and report from the last snapshot.
+		dc.abandoned.Store(true)
+		return nil, dc.failure(
+			fmt.Sprintf("stalled hard: no sim-time progress for %v and the event handler never yielded",
+				2*dc.opts.StallTimeout),
+			true, false, firedW.Load()), nil
+	}
+}
+
+// watchdog polls the sim-time watermark on the wall clock. All of this
+// is host-side instrumentation: it influences *whether* a cell keeps
+// running, never what the simulation computes.
+func (dc *durableCell) watchdog(progress *atomic.Int64, stallReq *atomic.Bool, hardStall, stop chan struct{}) {
+	tick := dc.opts.StallTimeout / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick) //chrono:wallclock stall detection is host-side
+	defer t.Stop()
+	last := progress.Load()
+	lastChange := time.Now() //chrono:wallclock stall detection is host-side
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			cur := progress.Load()
+			if cur != last {
+				last = cur
+				lastChange = time.Now() //chrono:wallclock stall detection is host-side
+				continue
+			}
+			//chrono:wallclock stall detection is host-side
+			frozen := time.Since(lastChange)
+			if frozen >= dc.opts.StallTimeout {
+				stallReq.Store(true)
+			}
+			if frozen >= 2*dc.opts.StallTimeout {
+				close(hardStall)
+				return
+			}
+		}
+	}
+}

@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"chrono/internal/core"
 	"chrono/internal/engine"
@@ -68,6 +70,22 @@ type RunOpts struct {
 	// crash-resilient sweep before it lands in the failure manifest
 	// (default 1; negative disables retrying).
 	Retries int
+	// Checkpoint enables durable sweep cells: periodic engine snapshots,
+	// finished-cell records, the stall watchdog, and resume (see
+	// durable.go). Nil disables all of it — the default, zero-cost path.
+	Checkpoint *CheckpointOpts
+	// Ctx, when non-nil, cancels the sweep cooperatively: cells that have
+	// not started are skipped, in-flight checkpointable cells drain to a
+	// resume snapshot, and everything else finishes its current run.
+	Ctx context.Context
+}
+
+// ctx returns the sweep's cancellation context (Background when unset).
+func (o RunOpts) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -88,6 +106,13 @@ func (o RunOpts) withDefaults() RunOpts {
 	}
 	if o.Retries == 0 {
 		o.Retries = 1
+	}
+	if o.Checkpoint != nil {
+		c := *o.Checkpoint // don't mutate the caller's struct
+		if c.Interval == 0 {
+			c.Interval = 30 * time.Second
+		}
+		o.Checkpoint = &c
 	}
 	return o
 }

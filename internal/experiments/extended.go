@@ -43,7 +43,7 @@ func RunExtendedComparison(o RunOpts) (*report.Table, error) {
 				ppr: ppr, kernel: m.KernelTimeFrac() * 100}, nil
 		}
 	}
-	rows, err := parallel.Map(o.Workers, jobs)
+	rows, err := parallel.MapCtx(o.ctx(), o.Workers, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +102,7 @@ func RunDrift(policies []string, shiftEveryS float64, o RunOpts) ([]*DriftResult
 			return dr, nil
 		}
 	}
-	return parallel.Map(o.Workers, jobs)
+	return parallel.MapCtx(o.ctx(), o.Workers, jobs)
 }
 
 // DriftTable renders the adaptivity study.

@@ -43,7 +43,7 @@ func RunFig11a(policies []string, o RunOpts) (*report.Table, error) {
 			}
 		}
 	}
-	times, err := parallel.Map(o.Workers, jobs)
+	times, err := parallel.MapCtx(o.ctx(), o.Workers, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +107,7 @@ func RunFig13(o RunOpts) (*report.Table, error) {
 			})
 		}
 	}
-	flat, err := parallel.Map(o.Workers, jobs)
+	flat, err := parallel.MapCtx(o.ctx(), o.Workers, jobs)
 	if err != nil {
 		return nil, err
 	}

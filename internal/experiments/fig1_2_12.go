@@ -56,7 +56,7 @@ func RunFig1(o RunOpts) ([]Fig1Row, error) {
 			return fig1Row(names[i], res), nil
 		}
 	}
-	return parallel.Map(o.Workers, jobs)
+	return parallel.MapCtx(o.ctx(), o.Workers, jobs)
 }
 
 func fig1Row(name string, res *Result) Fig1Row {
@@ -138,7 +138,7 @@ func RunFig2a(policies []string, o RunOpts) (*report.Table, error) {
 			return scored{cls: cls, ppr: ppr}, nil
 		}
 	}
-	rows, err := parallel.Map(o.Workers, jobs)
+	rows, err := parallel.MapCtx(o.ctx(), o.Workers, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +173,7 @@ func RunFig2b(o RunOpts) (*report.Table, error) {
 			return binGroups(res, res.Engine.Policy().(*memtis.Policy)), nil
 		}
 	}
-	rows, err := parallel.Map(o.Workers, jobs)
+	rows, err := parallel.MapCtx(o.ctx(), o.Workers, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +260,7 @@ func RunFig12(policies []string, o RunOpts) ([]*report.Table, error) {
 			}
 		}
 	}
-	flat, err := parallel.Map(o.Workers, jobs)
+	flat, err := parallel.MapCtx(o.ctx(), o.Workers, jobs)
 	if err != nil {
 		return nil, err
 	}

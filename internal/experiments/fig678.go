@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"chrono/internal/parallel"
@@ -41,8 +43,14 @@ type PmbenchSweep struct {
 	// attempt — its repro bundle is in Failed and the renderers degrade to
 	// "FAILED" cells instead of dying.
 	Results [][]*Result
-	// Failed is the failure manifest, in grid order.
+	// Failed is the failure manifest, in grid order. Interrupted and
+	// stalled cells appear here too, each with a resume pointer when a
+	// snapshot exists.
 	Failed []FailedRun
+	// Interrupted reports that the sweep was drained by a cancelled
+	// context before every cell ran: skipped cells have nil Results slots
+	// and no Failed entry — rerunning with resume enabled completes them.
+	Interrupted bool
 }
 
 // sweepCell is one grid slot's outcome: exactly one field is set.
@@ -89,9 +97,18 @@ func RunPmbenchSweep(cfg PmbenchConfig, policies []string, ratios []float64, o R
 			})
 		}
 	}
-	flat, err := parallel.Map(o.Workers, jobs)
-	if err != nil {
-		return nil, err
+	flat, errs := parallel.MapRecoverCtx(o.ctx(), o.Workers, jobs)
+	for _, jerr := range errs {
+		if jerr == nil {
+			continue
+		}
+		if errors.Is(jerr, context.Canceled) || errors.Is(jerr, context.DeadlineExceeded) {
+			// A cell skipped by the drain is not a failure: its slot stays
+			// nil and the next resume run picks it up.
+			s.Interrupted = true
+			continue
+		}
+		return nil, jerr
 	}
 	for ri := range ratios {
 		row := make([]*Result, len(policies))
@@ -100,6 +117,9 @@ func RunPmbenchSweep(cfg PmbenchConfig, policies []string, ratios []float64, o R
 			row[pi] = cell.res
 			if cell.failed != nil {
 				s.Failed = append(s.Failed, *cell.failed)
+				if cell.failed.Interrupted {
+					s.Interrupted = true
+				}
 			}
 		}
 		s.Results = append(s.Results, row)

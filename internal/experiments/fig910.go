@@ -47,7 +47,7 @@ func RunFig9(policies []string, o RunOpts) ([]*Fig9Result, error) {
 			})
 		}
 	}
-	return parallel.Map(o.Workers, jobs)
+	return parallel.MapCtx(o.ctx(), o.Workers, jobs)
 }
 
 // runWithSampler runs one policy with a 10-second placement sampler.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 
 	"chrono/internal/core"
+	"chrono/internal/engine"
 	"chrono/internal/faultinject"
 	"chrono/internal/units"
 	"chrono/internal/workload"
@@ -37,13 +39,15 @@ type RunSpec struct {
 	Faults    faultinject.Plan `json:"faults"`
 }
 
-// FailedRun is the repro bundle for one crashed sweep cell: the spec to
-// replay it, what the panic said, and how far the simulation got.
+// FailedRun is the repro bundle for one sweep cell that did not finish:
+// the spec to replay it, what stopped it (a panic, the stall watchdog, or
+// a graceful shutdown), and how far the simulation got.
 type FailedRun struct {
 	Spec RunSpec `json:"spec"`
 	// Attempts is how many times the run was tried (1 + retries).
 	Attempts int `json:"attempts"`
-	// PanicValue is the panic value of the last attempt, stringified.
+	// PanicValue is the panic value of the last attempt, stringified —
+	// or, for stalled/interrupted cells, the human-readable reason.
 	PanicValue string `json:"panic"`
 	// Stack is the goroutine stack at the last recovery point.
 	Stack string `json:"stack,omitempty"`
@@ -52,34 +56,52 @@ type FailedRun struct {
 	// Replaying the spec and breaking at this count lands a debugger on
 	// the faulting event.
 	EventsFired uint64 `json:"events_fired"`
+	// Stalled marks a cell the watchdog aborted because its sim time made
+	// no progress over the configured wall-clock window.
+	Stalled bool `json:"stalled,omitempty"`
+	// Interrupted marks a cell drained by a graceful shutdown (cancelled
+	// RunOpts.Ctx); it is not a failure and is not retried.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// ResumeCkpt is the path of the cell's latest engine snapshot, when
+	// one exists: rerunning the sweep with CheckpointOpts.Resume (or
+	// `reproduce -resume`) continues from exactly that point.
+	ResumeCkpt string `json:"resume_ckpt,omitempty"`
 }
 
 func (f *FailedRun) String() string {
-	return fmt.Sprintf("%s policy=%s seed=%d faults=%q attempts=%d events=%d: %s",
+	head := fmt.Sprintf("%s policy=%s seed=%d faults=%q attempts=%d events=%d",
 		f.Spec.Experiment, f.Spec.Policy, f.Spec.Seed, f.Spec.Faults.String(),
-		f.Attempts, f.EventsFired, f.PanicValue)
+		f.Attempts, f.EventsFired)
+	s := head + ": " + f.PanicValue
+	if f.ResumeCkpt != "" {
+		s += " (resume: " + f.ResumeCkpt + ")"
+	}
+	return s
 }
 
 // runAttempt is one guarded execution of a (policy, workload) simulation.
 // It mirrors Run but keeps the engine reachable from the deferred recover
 // so a crash can record the event-count watermark.
 func runAttempt(experiment, polName string, w workload.Workload, o RunOpts) (res *Result, failed *FailedRun, err error) {
+	// The spec is computed from the fresh (pre-Build) workload so the
+	// durable-cell key is stable across attempts and processes.
+	spec := specFor(experiment, polName, w, o)
+	dc := newDurableCell(spec, o)
+	if dc != nil {
+		done, ok, derr := dc.finished(w)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		if ok {
+			return done, nil, nil
+		}
+	}
 	e := newEngine(o)
 	defer func() {
 		if v := recover(); v != nil {
 			res, err = nil, nil
 			failed = &FailedRun{
-				Spec: RunSpec{
-					Experiment: experiment,
-					Policy:     polName,
-					Workload:   w.Name(),
-					Detail:     fmt.Sprintf("%+v", w),
-					Seed:       o.Seed,
-					DurationS:  o.Duration.Seconds(),
-					FastGB:     o.FastGB,
-					SlowGB:     o.SlowGB,
-					Faults:     o.Faults,
-				},
+				Spec:        spec,
 				PanicValue:  fmt.Sprint(v),
 				Stack:       string(debug.Stack()),
 				EventsFired: e.Clock().Fired(),
@@ -94,10 +116,21 @@ func runAttempt(experiment, polName string, w workload.Workload, o RunOpts) (res
 		return nil, nil, perr
 	}
 	e.AttachPolicy(pol)
-	m := e.Run(o.Duration)
+	var m *engine.Metrics
+	if dc != nil {
+		m, failed, err = dc.run(e, o)
+		if err != nil || failed != nil {
+			return nil, failed, err
+		}
+	} else {
+		m = e.Run(o.Duration)
+	}
 	res = &Result{Policy: polName, Metrics: m, Engine: e, Workload: w}
 	if c, ok := pol.(*core.Chrono); ok {
 		res.Chrono = c
+	}
+	if dc != nil {
+		dc.markDone(m)
 	}
 	return res, nil, nil
 }
@@ -119,6 +152,17 @@ func ResilientRun(experiment, polName string, mkWorkload func() workload.Workloa
 	var last *FailedRun
 	for a := 1; a <= attempts; a++ {
 		res, failed, err := runAttempt(experiment, polName, mkWorkload(), o)
+		if errors.Is(err, errStaleCheckpoint) {
+			// The cell's snapshot exists but no longer overlays a fresh
+			// build (corrupt file, version bump, changed code). It has
+			// already been deleted; replay the cell from scratch without
+			// burning an attempt.
+			oc := *o.Checkpoint
+			oc.Resume = false
+			o.Checkpoint = &oc
+			a--
+			continue
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -127,6 +171,12 @@ func ResilientRun(experiment, polName string, mkWorkload func() workload.Workloa
 		}
 		failed.Attempts = a
 		last = failed
+		if failed.Interrupted || failed.Stalled {
+			// A drained cell resumes on the next invocation; a stalled
+			// cell is deterministic and would stall again. Neither is
+			// worth a retry.
+			return nil, last, nil
+		}
 		// The engine is deterministic, so a bare retry of the same spec
 		// re-crashes; its value is confined to crashes from outside the
 		// sim contract (resource exhaustion, a racing collector under

@@ -49,7 +49,7 @@ func RunSeedStability(seeds []uint64, o RunOpts) (*report.Table, error) {
 			})
 		}
 	}
-	flat, err := parallel.Map(o.Workers, jobs)
+	flat, err := parallel.MapCtx(o.ctx(), o.Workers, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -83,7 +83,7 @@ func RunSensitivity(title string, mkWorkload func() workload.Workload, o RunOpts
 			})
 		}
 	}
-	flat, err := parallel.Map(o.Workers, jobs)
+	flat, err := parallel.MapCtx(o.ctx(), o.Workers, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,49 @@
+package faultinject
+
+import "chrono/internal/rng"
+
+// State is the serializable dynamic state of an Injector: the four
+// per-class RNG stream positions, the in-progress allocation-failure
+// burst, and the injection counters. The Plan itself is not part of the
+// state — a restored run rebuilds the injector from (seed, Plan) and then
+// overlays State, and a Plan mismatch is a checkpoint-compatibility error
+// callers must reject before restoring.
+type State struct {
+	Mig            rng.State         `json:"mig"`
+	Alloc          rng.State         `json:"alloc"`
+	Pebs           rng.State         `json:"pebs"`
+	Delay          rng.State         `json:"delay"`
+	AllocBurstLeft int               `json:"alloc_burst_left,omitempty"`
+	Counts         [NumClasses]int64 `json:"counts"`
+}
+
+// State captures the injector's dynamic state; nil for the nil (disabled)
+// injector, whose state is empty by construction.
+func (in *Injector) State() *State {
+	if in == nil {
+		return nil
+	}
+	return &State{
+		Mig:            in.mig.State(),
+		Alloc:          in.alloc.State(),
+		Pebs:           in.pebs.State(),
+		Delay:          in.delay.State(),
+		AllocBurstLeft: in.allocBurstLeft,
+		Counts:         in.counts,
+	}
+}
+
+// SetState overlays a captured State onto an injector built from the same
+// (seed, Plan). A nil state is a no-op on a nil injector and resets
+// nothing otherwise, so callers must pair nil with nil.
+func (in *Injector) SetState(st *State) {
+	if in == nil || st == nil {
+		return
+	}
+	in.mig.SetState(st.Mig)
+	in.alloc.SetState(st.Alloc)
+	in.pebs.SetState(st.Pebs)
+	in.delay.SetState(st.Delay)
+	in.allocBurstLeft = st.AllocBurstLeft
+	in.counts = st.Counts
+}

@@ -1,0 +1,59 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// drawAll exercises every injector decision stream and returns the
+// observable draw sequence.
+func drawAll(in *Injector, n int) []any {
+	var out []any
+	for i := 0; i < n; i++ {
+		out = append(out, in.MigrationBusy(), in.AllocFail(), in.PEBSLossFrac(), in.FaultDelay())
+	}
+	return out
+}
+
+// TestInjectorStateRoundTrip: an injector rebuilt from (seed, Plan) and
+// overlaid with a captured State must continue with the identical
+// decision sequence across all four fault classes, mid-burst state
+// included.
+func TestInjectorStateRoundTrip(t *testing.T) {
+	plan := Aggressive()
+	ref := New(77, plan)
+	drawAll(ref, 500) // advance all streams, likely mid alloc-burst
+	st := ref.State()
+	want := drawAll(ref, 500)
+
+	resumed := New(77, plan)
+	resumed.SetState(st)
+	if got := drawAll(resumed, 500); !reflect.DeepEqual(got, want) {
+		t.Fatal("restored injector decision sequence diverged")
+	}
+	if resumed.Total() != ref.Total() {
+		t.Fatalf("counts diverged: %d vs %d", resumed.Total(), ref.Total())
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if resumed.Count(c) != ref.Count(c) {
+			t.Fatalf("class %v count diverged: %d vs %d", c, resumed.Count(c), ref.Count(c))
+		}
+	}
+}
+
+// TestInjectorStateNil: the disabled injector round-trips as nil state on
+// both sides, and mixing nil with non-nil is a no-op rather than a crash.
+func TestInjectorStateNil(t *testing.T) {
+	var in *Injector
+	if st := in.State(); st != nil {
+		t.Fatalf("nil injector state = %+v", st)
+	}
+	in.SetState(nil) // must not panic
+
+	live := New(1, Aggressive())
+	before := live.State()
+	live.SetState(nil) // nil state: no-op by contract
+	if !reflect.DeepEqual(live.State(), before) {
+		t.Fatal("SetState(nil) mutated a live injector")
+	}
+}

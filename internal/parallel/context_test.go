@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapCtxCancelSkipsUnstartedJobs: after cancellation no new job
+// starts; already-started jobs finish and keep their results.
+func TestMapCtxCancelSkipsUnstartedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan int, 1)
+	release := make(chan struct{})
+	jobs := []func() (int, error){
+		func() (int, error) {
+			started <- 0
+			<-release // in flight while the sweep is cancelled
+			return 100, nil
+		},
+	}
+	for i := 1; i < 64; i++ {
+		i := i
+		jobs = append(jobs, func() (int, error) { return i, nil })
+	}
+	go func() {
+		<-started
+		cancel()
+		close(release)
+	}()
+	results, errs := MapRecoverCtx(ctx, 1, jobs)
+	if errs[0] != nil || results[0] != 100 {
+		t.Fatalf("in-flight job lost: result=%d err=%v", results[0], errs[0])
+	}
+	var skipped int
+	for i := 1; i < len(jobs); i++ {
+		if errs[i] != nil {
+			if !errors.Is(errs[i], context.Canceled) {
+				t.Fatalf("slot %d: unexpected error %v", i, errs[i])
+			}
+			if results[i] != 0 {
+				t.Fatalf("slot %d: skipped job has result %d", i, results[i])
+			}
+			skipped++
+		}
+	}
+	if skipped != len(jobs)-1 {
+		t.Fatalf("serial pool ran %d jobs after cancellation", len(jobs)-1-skipped)
+	}
+}
+
+// TestMapCtxCancelParallel: same contract with a worker pool — every slot
+// either completed or carries context.Canceled, never a zero-value hole.
+func TestMapCtxCancelParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	jobs := make([]func() (int, error), 256)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) {
+			if ran.Add(1) == 8 {
+				cancel()
+			}
+			return i + 1, nil
+		}
+	}
+	results, errs := MapRecoverCtx(ctx, 4, jobs)
+	var done, skipped int
+	for i := range jobs {
+		switch {
+		case errs[i] == nil:
+			if results[i] != i+1 {
+				t.Fatalf("slot %d: result %d", i, results[i])
+			}
+			done++
+		case errors.Is(errs[i], context.Canceled):
+			skipped++
+		default:
+			t.Fatalf("slot %d: unexpected error %v", i, errs[i])
+		}
+	}
+	if done == 0 || skipped == 0 {
+		t.Fatalf("expected a mix of completed and skipped jobs, got %d/%d", done, skipped)
+	}
+	if done+skipped != len(jobs) {
+		t.Fatalf("lost slots: %d + %d != %d", done, skipped, len(jobs))
+	}
+}
+
+// TestMapCtxUncancelledMatchesMap: with a background context the ctx
+// variants are byte-identical to the plain ones.
+func TestMapCtxUncancelledMatchesMap(t *testing.T) {
+	jobs := make([]func() (int, error), 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) { return i * i, nil }
+	}
+	plain, err1 := Map(3, jobs)
+	withCtx, err2 := MapCtx(context.Background(), 3, jobs)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range plain {
+		if plain[i] != withCtx[i] {
+			t.Fatalf("slot %d differs: %d vs %d", i, plain[i], withCtx[i])
+		}
+	}
+}
+
+// TestMapCtxSurfacesCancellation: the aggregate Map error rule reports
+// the lowest-indexed failure, which for a pure cancellation is the
+// context error.
+func TestMapCtxSurfacesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []func() (int, error){func() (int, error) { return 1, nil }}
+	_, err := MapCtx(ctx, 1, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}

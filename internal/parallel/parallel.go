@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -88,6 +89,29 @@ func Map[T any](workers int, jobs []func() (T, error)) ([]T, error) {
 // failure use it to keep every successful result while collecting the
 // failed slots into a manifest.
 func MapRecover[T any](workers int, jobs []func() (T, error)) ([]T, []error) {
+	return MapRecoverCtx(context.Background(), workers, jobs)
+}
+
+// MapCtx is Map with cooperative cancellation: jobs that have not started
+// when ctx is cancelled are skipped, and their slots carry ctx.Err().
+// In-flight jobs run to completion — a simulation cannot be preempted
+// mid-event, only drained — so cancellation bounds *new* work, and the
+// caller decides what to do with the finished prefix. The lowest-indexed
+// error rule still applies, so a cancelled sweep typically surfaces
+// context.Canceled unless an earlier job failed on its own.
+func MapCtx[T any](ctx context.Context, workers int, jobs []func() (T, error)) ([]T, error) {
+	results, errs := MapRecoverCtx(ctx, workers, jobs)
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// MapRecoverCtx is MapRecover with the cancellation semantics of MapCtx:
+// the context is checked before each job starts, never mid-job.
+func MapRecoverCtx[T any](ctx context.Context, workers int, jobs []func() (T, error)) ([]T, []error) {
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	if workers > len(jobs) {
@@ -95,6 +119,10 @@ func MapRecover[T any](workers int, jobs []func() (T, error)) ([]T, []error) {
 	}
 	if workers <= 1 {
 		for i, job := range jobs {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			results[i], errs[i] = runJob(i, job)
 		}
 	} else {
@@ -111,6 +139,10 @@ func MapRecover[T any](workers int, jobs []func() (T, error)) ([]T, []error) {
 					i := int(next.Add(1)) - 1
 					if i >= len(jobs) {
 						return
+					}
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
 					}
 					results[i], errs[i] = runJob(i, jobs[i])
 				}

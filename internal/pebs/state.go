@@ -1,0 +1,40 @@
+package pebs
+
+// SamplerState is the serializable dynamic state of a Sampler: the
+// per-page counters (sparse), the retained-sample total, and the
+// cumulative drop counter. The RNG the sampler draws from is the engine's
+// policy stream, restored separately; RatePerSec/LossRate are
+// configuration the owning policy re-establishes before overlay.
+type SamplerState struct {
+	Len     int      `json:"len"`
+	Idx     []int64  `json:"idx,omitempty"`
+	Count   []uint32 `json:"count,omitempty"`
+	Total   uint64   `json:"total"`
+	Dropped uint64   `json:"dropped,omitempty"`
+}
+
+// State captures the sampler's counters.
+func (s *Sampler) State() SamplerState {
+	st := SamplerState{Len: len(s.counters), Total: s.total, Dropped: s.dropped}
+	for i, c := range s.counters {
+		if c != 0 {
+			st.Idx = append(st.Idx, int64(i))
+			st.Count = append(st.Count, c)
+		}
+	}
+	return st
+}
+
+// SetState overlays captured counters, replacing the current content.
+func (s *Sampler) SetState(st SamplerState) {
+	s.Grow(st.Len)
+	for i := range s.counters {
+		s.counters[i] = 0
+	}
+	for k, id := range st.Idx {
+		s.Grow(int(id) + 1)
+		s.counters[id] = st.Count[k]
+	}
+	s.total = st.Total
+	s.dropped = st.Dropped
+}

@@ -14,6 +14,8 @@
 package flexmem
 
 import (
+	"encoding/json"
+	"fmt"
 	"sort"
 
 	"chrono/internal/mem"
@@ -70,6 +72,7 @@ type Policy struct {
 	cfg     Config
 	k       policy.Kernel
 	sampler *pebs.Sampler
+	scan    *scan.Set
 	periods int
 	// hotBin is the live capacity-derived threshold bin per process.
 	hotBin map[*vm.Process]int
@@ -111,7 +114,7 @@ func (p *Policy) Attach(k policy.Kernel) {
 	p.sampler.Grow(len(k.Pages()))
 
 	// PEBS sampling + cooling.
-	k.Clock().Every(p.cfg.SamplePeriod, func(now simclock.Time) {
+	k.Clock().EveryKey("flexmem/sample", p.cfg.SamplePeriod, func(now simclock.Time) {
 		k.SamplePEBS(p.sampler, units.SecondsOf(p.cfg.SamplePeriod))
 		p.periods++
 		if p.periods%p.cfg.CoolingPeriods == 0 {
@@ -119,15 +122,85 @@ func (p *Policy) Attach(k policy.Kernel) {
 		}
 	})
 	// Background classification + migration.
-	k.Clock().Every(p.cfg.MigratePeriod, func(now simclock.Time) {
+	k.Clock().EveryKey("flexmem/background", p.cfg.MigratePeriod, func(now simclock.Time) {
 		p.background()
 	})
 	// Fault channel: poison slow-tier pages for timely decisions.
-	scan.Start(k, p.cfg.Scan, func(pg *vm.Page, now simclock.Time) {
+	p.scan = scan.Start(k, p.cfg.Scan, func(pg *vm.Page, now simclock.Time) {
 		if pg.Tier == mem.SlowTier {
 			k.Protect(pg)
 		}
 	})
+}
+
+// checkpointState is FlexMem's serializable dynamic state. The hotBin
+// map serializes as (PID, bin) pairs sorted by PID so identical state
+// always produces identical bytes.
+type checkpointState struct {
+	Sampler          pebs.SamplerState `json:"sampler"`
+	Periods          int               `json:"periods"`
+	Cycles           int               `json:"cycles"`
+	HotPIDs          []int             `json:"hot_pids,omitempty"`
+	HotBins          []int             `json:"hot_bins,omitempty"`
+	TimelyPromotions int64             `json:"timely_promotions"`
+	TransientSkips   int64             `json:"transient_skips"`
+	Scan             scan.SetState     `json:"scan"`
+}
+
+// CheckpointState implements policy.Checkpointable.
+func (p *Policy) CheckpointState() (any, error) {
+	st := checkpointState{
+		Sampler:          p.sampler.State(),
+		Periods:          p.periods,
+		Cycles:           p.cycles,
+		TimelyPromotions: p.TimelyPromotions,
+		TransientSkips:   p.TransientSkips,
+		Scan:             p.scan.State(),
+	}
+	//chrono:ordered-irrelevant keys are sorted immediately below
+	for proc := range p.hotBin {
+		st.HotPIDs = append(st.HotPIDs, proc.PID)
+	}
+	sort.Ints(st.HotPIDs)
+	for _, pid := range st.HotPIDs {
+		st.HotBins = append(st.HotBins, p.hotBin[p.procByPID(pid)])
+	}
+	return st, nil
+}
+
+// RestoreCheckpoint implements policy.Checkpointable.
+func (p *Policy) RestoreCheckpoint(data []byte) error {
+	var st checkpointState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.HotPIDs) != len(st.HotBins) {
+		return fmt.Errorf("flexmem: restore: %d hot PIDs, %d bins", len(st.HotPIDs), len(st.HotBins))
+	}
+	p.sampler.SetState(st.Sampler)
+	p.periods = st.Periods
+	p.cycles = st.Cycles
+	p.TimelyPromotions = st.TimelyPromotions
+	p.TransientSkips = st.TransientSkips
+	p.hotBin = make(map[*vm.Process]int, len(st.HotPIDs))
+	for i, pid := range st.HotPIDs {
+		proc := p.procByPID(pid)
+		if proc == nil {
+			return fmt.Errorf("flexmem: restore: no process with PID %d", pid)
+		}
+		p.hotBin[proc] = st.HotBins[i]
+	}
+	return p.scan.SetState(st.Scan)
+}
+
+// procByPID resolves a PID against the kernel's process list.
+func (p *Policy) procByPID(pid int) *vm.Process {
+	for _, proc := range p.k.Processes() {
+		if proc.PID == pid {
+			return proc
+		}
+	}
+	return nil
 }
 
 // OnPageFreed implements policy.Policy.

@@ -13,6 +13,7 @@
 package memtis
 
 import (
+	"encoding/json"
 	"sort"
 
 	"chrono/internal/mem"
@@ -117,16 +118,47 @@ func (p *Policy) Attach(k policy.Kernel) {
 	}
 	p.sampler = pebs.NewSampler(k.RNG(), p.cfg.SampleRate)
 	p.sampler.Grow(len(k.Pages()))
-	k.Clock().Every(p.cfg.SamplePeriod, func(now simclock.Time) {
+	k.Clock().EveryKey("memtis/sample", p.cfg.SamplePeriod, func(now simclock.Time) {
 		k.SamplePEBS(p.sampler, units.SecondsOf(p.cfg.SamplePeriod))
 		p.periods++
 		if p.periods%p.cfg.CoolingPeriods == 0 {
 			p.sampler.Cool()
 		}
 	})
-	k.Clock().Every(p.cfg.MigratePeriod, func(now simclock.Time) {
+	k.Clock().EveryKey("memtis/migrate", p.cfg.MigratePeriod, func(now simclock.Time) {
 		p.kmigrated()
 	})
+}
+
+// checkpointState is Memtis's serializable dynamic state.
+type checkpointState struct {
+	Sampler        pebs.SamplerState `json:"sampler"`
+	Periods        int               `json:"periods"`
+	Cycles         int               `json:"cycles"`
+	TransientSkips int64             `json:"transient_skips"`
+}
+
+// CheckpointState implements policy.Checkpointable.
+func (p *Policy) CheckpointState() (any, error) {
+	return checkpointState{
+		Sampler:        p.sampler.State(),
+		Periods:        p.periods,
+		Cycles:         p.cycles,
+		TransientSkips: p.TransientSkips,
+	}, nil
+}
+
+// RestoreCheckpoint implements policy.Checkpointable.
+func (p *Policy) RestoreCheckpoint(data []byte) error {
+	var st checkpointState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	p.sampler.SetState(st.Sampler)
+	p.periods = st.Periods
+	p.cycles = st.Cycles
+	p.TransientSkips = st.TransientSkips
+	return nil
 }
 
 // OnPageFreed implements policy.Policy (splits retire the huge page).

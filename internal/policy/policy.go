@@ -160,6 +160,24 @@ type Policy interface {
 	OnMigrated(pg *vm.Page, from, to mem.TierID)
 }
 
+// Checkpointable is implemented by policies whose dynamic state can be
+// serialized into an engine checkpoint and overlaid onto a freshly
+// Attached instance of the same policy with the same configuration.
+//
+// CheckpointState returns a JSON-marshalable value holding every mutable
+// field that influences future decisions (candidate sets, queues,
+// counters, EMA accumulators, scan-walker positions). RestoreCheckpoint
+// receives the marshaled bytes back after Attach has rebuilt the
+// policy's structure and must overlay them without scheduling or
+// cancelling any clock events — pending events are the clock snapshot's
+// job. A policy that does not implement this interface simply makes its
+// runs non-checkpointable; resumable sweeps then fall back to replaying
+// the cell from the start.
+type Checkpointable interface {
+	CheckpointState() (any, error)
+	RestoreCheckpoint(data []byte) error
+}
+
 // Base provides no-op implementations of the optional hooks so simple
 // policies only implement what they use.
 type Base struct{}

@@ -6,6 +6,8 @@
 package scan
 
 import (
+	"fmt"
+
 	"chrono/internal/mem"
 	"chrono/internal/policy"
 	"chrono/internal/simclock"
@@ -113,9 +115,55 @@ func (s *Set) start(w *Walker) {
 	if total == 0 {
 		return
 	}
-	w.ticker = s.k.Clock().Every(s.interval(w), func(now simclock.Time) {
+	// One keyed ticker per process: walker events round-trip through
+	// checkpoints (a single policy owns at most one Set, so PID-derived
+	// keys cannot collide on a clock).
+	w.ticker = s.k.Clock().EveryKey(fmt.Sprintf("scan/%d", w.Proc.PID), s.interval(w), func(now simclock.Time) {
 		s.step(w, now)
 	})
+}
+
+// SetState is the serializable dynamic state of a scanner set: the pass
+// period (SetPeriod may have changed it) and each walker's position, in
+// Walkers order (one walker per process, in Processes() order — stable
+// across a rebuild from the same configuration).
+type SetState struct {
+	Period  simclock.Duration `json:"period"`
+	Walkers []WalkerState     `json:"walkers"`
+}
+
+// WalkerState is one walker's position within its process address space.
+type WalkerState struct {
+	VMA    int    `json:"vma"`
+	Next   uint64 `json:"next"`
+	Passes int    `json:"passes"`
+}
+
+// State captures the set's dynamic state.
+func (s *Set) State() SetState {
+	st := SetState{Period: s.cfg.Period}
+	for _, w := range s.Walkers {
+		st.Walkers = append(st.Walkers, WalkerState{VMA: w.vma, Next: w.next, Passes: w.Passes})
+	}
+	return st
+}
+
+// SetState overlays a captured state onto a freshly Started set. It does
+// not touch the tickers: their pending events are restored by the clock
+// snapshot, which also re-applies any Reset period.
+func (s *Set) SetState(st SetState) error {
+	if len(st.Walkers) != len(s.Walkers) {
+		return fmt.Errorf("scan: restore: %d walkers recorded, %d built", len(st.Walkers), len(s.Walkers))
+	}
+	if st.Period > 0 {
+		s.cfg.Period = st.Period
+	}
+	for i, w := range s.Walkers {
+		w.vma = st.Walkers[i].VMA
+		w.next = st.Walkers[i].Next
+		w.Passes = st.Walkers[i].Passes
+	}
+	return nil
 }
 
 // step visits the next StepPages pages of the walker's process. When the

@@ -14,6 +14,8 @@
 package tpp
 
 import (
+	"encoding/json"
+
 	"chrono/internal/mem"
 	"chrono/internal/policy"
 	"chrono/internal/policy/scan"
@@ -38,8 +40,9 @@ type Config struct {
 // pg.Meta (nanoseconds).
 type Policy struct {
 	policy.Base
-	cfg Config
-	k   policy.Kernel
+	cfg  Config
+	k    policy.Kernel
+	scan *scan.Set
 }
 
 // New returns a TPP policy.
@@ -62,7 +65,7 @@ func (p *Policy) Attach(k policy.Kernel) {
 	}
 	// TPP only poisons slow-tier (CXL node) pages: fast-tier faults give
 	// no placement signal and NUMA_BALANCING_MEMORY_TIERING skips them.
-	scan.Start(k, p.cfg.Scan, func(pg *vm.Page, now simclock.Time) {
+	p.scan = scan.Start(k, p.cfg.Scan, func(pg *vm.Page, now simclock.Time) {
 		if pg.Tier == mem.SlowTier {
 			k.Protect(pg)
 		}
@@ -71,6 +74,27 @@ func (p *Policy) Attach(k policy.Kernel) {
 	node := k.Node()
 	high := node.Watermarks(mem.FastTier).High
 	node.SetProWatermark(high + int64(p.cfg.HeadroomFrac*float64(node.Capacity(mem.FastTier))))
+}
+
+// checkpointState is TPP's serializable dynamic state. The per-page
+// fault timestamps live in pg.Meta, which the engine snapshot carries;
+// only the scan-walker positions are TPP's own.
+type checkpointState struct {
+	Scan scan.SetState `json:"scan"`
+}
+
+// CheckpointState implements policy.Checkpointable.
+func (p *Policy) CheckpointState() (any, error) {
+	return checkpointState{Scan: p.scan.State()}, nil
+}
+
+// RestoreCheckpoint implements policy.Checkpointable.
+func (p *Policy) RestoreCheckpoint(data []byte) error {
+	var st checkpointState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	return p.scan.SetState(st.Scan)
 }
 
 // OnFault implements policy.Policy: promote on re-reference within the

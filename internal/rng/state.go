@@ -1,0 +1,26 @@
+package rng
+
+// State is the serializable position of a Source: the xoshiro256** word
+// state plus the cached second Box-Muller deviate. Restoring it resumes
+// the stream exactly where the snapshot left it — the foundation for
+// bit-identical checkpoint/resume of a whole simulation.
+type State struct {
+	S [4]uint64 `json:"s"`
+	// Gauss/HasGauss carry the spare Gaussian deviate: Gauss draws two at a
+	// time and hands the second one out on the next call, so a snapshot in
+	// between must preserve it.
+	Gauss    float64 `json:"gauss,omitempty"`
+	HasGauss bool    `json:"has_gauss,omitempty"`
+}
+
+// State returns the source's current position.
+func (r *Source) State() State {
+	return State{S: r.s, Gauss: r.gauss, HasGauss: r.hasGauss}
+}
+
+// SetState repositions the source to a previously captured State.
+func (r *Source) SetState(st State) {
+	r.s = st.S
+	r.gauss = st.Gauss
+	r.hasGauss = st.HasGauss
+}

@@ -1,0 +1,149 @@
+package simclock
+
+// Checkpointing: a Clock can serialize its complete dynamic state — the
+// current time, sequence counter, fired-event watermark, and every pending
+// event — and later rebuild it verbatim inside a freshly constructed
+// simulation.
+//
+// Events are not serialized as callbacks (closures don't round-trip);
+// instead every checkpointable event carries a string key plus an integer
+// payload pair (argI, n). Periodic events round-trip through the ticker
+// registry: a record with Period > 0 re-arms the ticker registered under
+// its key. One-shot events round-trip through binders: Restore hands the
+// record to the BindFunc registered for its key, which must re-create the
+// callback from the payload and schedule it (exactly once, same key); the
+// clock patches the recorded sequence number onto whatever the binder
+// schedules, so FIFO order among equal timestamps is preserved.
+//
+// Events scheduled through the unkeyed APIs (At, AtArg, After, Every) are
+// deliberately not serializable: Snapshot returns an error when any are
+// pending. Callers treat that as "this run opted out of checkpointing"
+// and fall back to deterministic re-execution from the start.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventRecord is one pending event in a State.
+type EventRecord struct {
+	At  Time   `json:"at"`
+	Seq uint64 `json:"seq"`
+	Key string `json:"key"`
+	Arg int64  `json:"arg,omitempty"`
+	N   uint64 `json:"n,omitempty"`
+	// Period is the owning ticker's period for periodic events; 0 marks a
+	// one-shot event (re-created through a binder).
+	Period Duration `json:"period,omitempty"`
+}
+
+// State is the complete dynamic state of a Clock.
+type State struct {
+	Now   Time   `json:"now"`
+	Seq   uint64 `json:"seq"`
+	Fired uint64 `json:"fired"`
+	// Events is the pending queue in (At, Seq) order.
+	Events []EventRecord `json:"events"`
+}
+
+// BindFunc re-creates one keyed one-shot event at Restore time. It must
+// schedule exactly one event under the record's key (AtKey/AtArgKey); the
+// clock assigns the record's sequence number to it.
+type BindFunc func(rec EventRecord)
+
+// BindKey registers the binder for one-shot events scheduled under key.
+// Re-binding a key replaces the previous binder.
+func (c *Clock) BindKey(key string, bind BindFunc) {
+	if c.binders == nil {
+		c.binders = make(map[string]BindFunc)
+	}
+	c.binders[key] = bind
+}
+
+// Snapshot serializes the clock's dynamic state. It fails if any pending
+// event was scheduled through an unkeyed API — such events cannot be
+// re-created, so the run as a whole is not checkpointable and must be
+// replayed from the start instead.
+func (c *Clock) Snapshot() (*State, error) {
+	st := &State{Now: c.now, Seq: c.seq, Fired: c.fired}
+	st.Events = make([]EventRecord, 0, len(c.queue))
+	for _, ev := range c.queue {
+		if ev.key == "" {
+			return nil, fmt.Errorf("simclock: pending event at %v has no checkpoint key (scheduled via At/AtArg/After/Every); use the keyed APIs or replay from the start", ev.at)
+		}
+		rec := EventRecord{At: ev.at, Seq: ev.seq, Key: ev.key, Arg: ev.argI, N: ev.n}
+		if ev.tkr != nil {
+			rec.Period = ev.tkr.period
+		}
+		st.Events = append(st.Events, rec)
+	}
+	sort.Slice(st.Events, func(i, j int) bool {
+		a, b := st.Events[i], st.Events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Seq < b.Seq
+	})
+	return st, nil
+}
+
+// Restore rebuilds the clock's dynamic state from a Snapshot taken on an
+// identically constructed clock: every recorded ticker key must already be
+// registered (EveryKey) and every one-shot key bound (BindKey). The
+// current queue — the freshly armed tickers of a just-built simulation —
+// is discarded and replaced by the recorded events, each keeping its
+// original (At, Seq) position.
+func (c *Clock) Restore(st *State) error {
+	// Validate resolvability up front so a failed Restore leaves the clock
+	// untouched and the caller can fall back to a from-scratch replay.
+	for _, rec := range st.Events {
+		if rec.Period > 0 {
+			if _, ok := c.tickers[rec.Key]; !ok {
+				return fmt.Errorf("simclock: restore: no ticker registered for key %q", rec.Key)
+			}
+		} else if _, ok := c.binders[rec.Key]; !ok {
+			return fmt.Errorf("simclock: restore: no binder registered for key %q", rec.Key)
+		}
+		if rec.At < st.Now {
+			return fmt.Errorf("simclock: restore: event %q at %v precedes snapshot time %v", rec.Key, rec.At, st.Now)
+		}
+	}
+
+	// Drop the fresh queue, un-arming tickers so records can re-arm them.
+	for len(c.queue) > 0 {
+		ev := c.popMin()
+		if ev.tkr != nil {
+			ev.tkr.armed = false
+			ev.tkr.handle = Handle{}
+		}
+		c.release(ev)
+	}
+
+	c.stopped = false
+	c.now = st.Now
+	c.fired = st.Fired
+	for _, rec := range st.Events {
+		c.restoring = true
+		c.restoreSeq = rec.Seq
+		c.restoreUsed = false
+		if rec.Period > 0 {
+			t := c.tickers[rec.Key]
+			t.cancel = false
+			t.period = rec.Period
+			if t.armed {
+				c.restoring = false
+				return fmt.Errorf("simclock: restore: duplicate pending event for ticker %q", rec.Key)
+			}
+			t.rearmAt(rec.At)
+		} else {
+			c.binders[rec.Key](rec)
+		}
+		used := c.restoreUsed
+		c.restoring = false
+		if !used {
+			return fmt.Errorf("simclock: restore: binder for key %q scheduled no event", rec.Key)
+		}
+	}
+	c.seq = st.Seq
+	return nil
+}

@@ -71,6 +71,15 @@ type event struct {
 	afn ArgFunc
 	arg any
 	n   uint64
+	// key names the event for checkpointing; empty for events scheduled
+	// through the unkeyed APIs (which a Snapshot refuses to serialize).
+	key string
+	// argI is the event's serializable integer payload. It is carried into
+	// EventRecord.Arg verbatim; the callback itself still receives arg/n.
+	argI int64
+	// tkr points back to the owning Ticker for periodic events, so Snapshot
+	// can record the period and Restore can re-arm through the ticker.
+	tkr *Ticker
 	// index in the heap; -1 once fired or cancelled (i.e. on the free list).
 	index int32
 	// gen increments every time the event is released to the free list, so
@@ -102,12 +111,38 @@ type Clock struct {
 	free    []*event
 	fired   uint64
 	stopped bool
+
+	// afterStep, when set, runs after every dispatched event, between
+	// events: at that point every armed ticker has its next firing in the
+	// queue, which makes it the one consistent instant to Snapshot, check
+	// for cooperative interrupts, or publish progress.
+	afterStep func()
+
+	// tickers indexes the keyed periodic tickers by key; Restore re-arms
+	// pending ticker events through it.
+	tickers map[string]*Ticker
+	// binders re-create keyed one-shot events at Restore time: the binder
+	// for a record's key must schedule exactly one event under that key.
+	binders map[string]BindFunc
+
+	// Restore threads the exact recorded sequence number into the next
+	// schedule call through these fields, so re-created events keep their
+	// original FIFO order among equal timestamps.
+	restoring   bool
+	restoreSeq  uint64
+	restoreUsed bool
 }
 
 // New returns a clock positioned at virtual time zero with an empty queue.
 func New() *Clock {
 	return &Clock{}
 }
+
+// SetAfterStep installs fn to run after every dispatched event (nil
+// uninstalls it). The callback runs between events — every armed ticker's
+// next firing is already queued — so it is the safe point to Snapshot the
+// clock or Stop the run without perturbing event order.
+func (c *Clock) SetAfterStep(fn func()) { c.afterStep = fn }
 
 // Now returns the current virtual time.
 func (c *Clock) Now() Time { return c.now }
@@ -140,6 +175,10 @@ func (c *Clock) release(ev *event) {
 	ev.fn = nil
 	ev.afn = nil
 	ev.arg = nil
+	ev.key = ""
+	ev.argI = 0
+	ev.n = 0
+	ev.tkr = nil
 	c.free = append(c.free, ev)
 }
 
@@ -247,8 +286,19 @@ func (c *Clock) schedule(t Time, ev *event) Handle {
 		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", t, c.now))
 	}
 	ev.at = t
-	ev.seq = c.seq
-	c.seq++
+	if c.restoring {
+		// Restore re-creates a recorded event: reuse its original sequence
+		// number instead of drawing a fresh one, so FIFO order among equal
+		// timestamps survives the round trip.
+		if c.restoreUsed {
+			panic(fmt.Sprintf("simclock: binder for key %q scheduled more than one event", ev.key))
+		}
+		ev.seq = c.restoreSeq
+		c.restoreUsed = true
+	} else {
+		ev.seq = c.seq
+		c.seq++
+	}
 	c.push(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }
@@ -281,14 +331,69 @@ func (c *Clock) After(d Duration, fn EventFunc) Handle {
 	return c.At(c.now+d, fn)
 }
 
+// AtKey schedules fn at absolute time t under a checkpoint key with a
+// serializable integer payload pair. A Snapshot records (key, argI, n); the
+// binder registered for key re-creates the callback from them at Restore.
+func (c *Clock) AtKey(t Time, key string, argI int64, n uint64, fn EventFunc) Handle {
+	ev := c.alloc()
+	ev.fn = fn
+	ev.key = key
+	ev.argI = argI
+	ev.n = n
+	return c.schedule(t, ev)
+}
+
+// AtArgKey is AtArg under a checkpoint key: fn/arg/n behave exactly as in
+// AtArg (one long-lived ArgFunc, no per-event closure), and argI is the
+// serializable payload a Snapshot records alongside n.
+func (c *Clock) AtArgKey(t Time, key string, argI int64, fn ArgFunc, arg any, n uint64) Handle {
+	ev := c.alloc()
+	ev.afn = fn
+	ev.arg = arg
+	ev.n = n
+	ev.key = key
+	ev.argI = argI
+	return c.schedule(t, ev)
+}
+
 // Every schedules fn to run every period, starting one period from now.
 // The callback may call Clock.Stop or cancel via the returned handle's
 // cancellation to end the series. Period must be positive.
+//
+// Tickers created with Every are unkeyed: a clock with an unkeyed pending
+// event cannot be Snapshot. Long-lived simulation tickers should use
+// EveryKey; Every remains for harness-local instrumentation that opts out
+// of checkpointing.
 func (c *Clock) Every(period Duration, fn EventFunc) *Ticker {
+	return c.newTicker("", period, fn)
+}
+
+// EveryKey is Every under a checkpoint key: the ticker registers itself so
+// a Restore can re-arm its pending event (and restore a Reset period) by
+// key. Keys must be unique per clock.
+func (c *Clock) EveryKey(key string, period Duration, fn EventFunc) *Ticker {
+	if key == "" {
+		panic("simclock: EveryKey with empty key")
+	}
+	if old, dup := c.tickers[key]; dup && !old.cancel {
+		// A cancelled ticker may be superseded (an engine Run after a
+		// previous Run under the same keys); two live tickers on one key
+		// would make Restore ambiguous.
+		panic(fmt.Sprintf("simclock: duplicate ticker key %q", key))
+	}
+	t := c.newTicker(key, period, fn)
+	if c.tickers == nil {
+		c.tickers = make(map[string]*Ticker)
+	}
+	c.tickers[key] = t
+	return t
+}
+
+func (c *Clock) newTicker(key string, period Duration, fn EventFunc) *Ticker {
 	if period <= 0 {
 		panic(fmt.Sprintf("simclock: non-positive period %d", period))
 	}
-	t := &Ticker{clock: c, period: period, fn: fn}
+	t := &Ticker{clock: c, key: key, period: period, fn: fn}
 	// One tick closure for the ticker's whole life: re-arming schedules the
 	// same function value again instead of building a fresh closure per
 	// firing.
@@ -310,6 +415,7 @@ func (c *Clock) Every(period Duration, fn EventFunc) *Ticker {
 // Ticker re-arms a periodic callback. Cancel stops future firings.
 type Ticker struct {
 	clock    *Clock
+	key      string
 	period   Duration
 	fn       EventFunc
 	tick     EventFunc
@@ -320,8 +426,19 @@ type Ticker struct {
 }
 
 func (t *Ticker) schedule() {
+	t.rearmAt(t.clock.now + t.period)
+}
+
+// rearmAt schedules the ticker's next firing at an absolute time, tagging
+// the event with the ticker so Snapshot/Restore can round-trip it.
+func (t *Ticker) rearmAt(at Time) {
 	t.armed = true
-	t.handle = t.clock.After(t.period, t.tick)
+	c := t.clock
+	ev := c.alloc()
+	ev.fn = t.tick
+	ev.key = t.key
+	ev.tkr = t
+	t.handle = c.schedule(at, ev)
 }
 
 // Cancel stops the ticker after any in-flight callback.
@@ -388,6 +505,9 @@ func (c *Clock) Step() bool {
 func (c *Clock) RunUntil(deadline Time) {
 	for !c.stopped && len(c.queue) > 0 && c.queue[0].at <= deadline {
 		c.Step()
+		if c.afterStep != nil {
+			c.afterStep()
+		}
 	}
 	if !c.stopped && c.now < deadline {
 		c.now = deadline
@@ -397,6 +517,9 @@ func (c *Clock) RunUntil(deadline Time) {
 // Run drains the queue completely (or until Stop).
 func (c *Clock) Run() {
 	for c.Step() {
+		if c.afterStep != nil {
+			c.afterStep()
+		}
 	}
 }
 

@@ -1,0 +1,44 @@
+package stats
+
+import "fmt"
+
+// HistogramState is the serializable content of a Histogram. Counts is
+// stored sparsely (index/value pairs) because latency histograms occupy a
+// narrow band of their 512 buckets.
+type HistogramState struct {
+	Idx   []int     `json:"idx,omitempty"`
+	Count []float64 `json:"count,omitempty"`
+	Total float64   `json:"total"`
+	Sum   float64   `json:"sum"`
+}
+
+// State captures the histogram's content.
+func (h *Histogram) State() HistogramState {
+	st := HistogramState{Total: h.total, Sum: h.sum}
+	for i, c := range h.counts {
+		if c != 0 {
+			st.Idx = append(st.Idx, i)
+			st.Count = append(st.Count, c)
+		}
+	}
+	return st
+}
+
+// SetState overlays a captured state, replacing the current content.
+func (h *Histogram) SetState(st HistogramState) error {
+	if len(st.Idx) != len(st.Count) {
+		return fmt.Errorf("stats: histogram state idx/count length mismatch (%d vs %d)", len(st.Idx), len(st.Count))
+	}
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	for k, i := range st.Idx {
+		if i < 0 || i >= len(h.counts) {
+			return fmt.Errorf("stats: histogram state bucket %d out of range", i)
+		}
+		h.counts[i] = st.Count[k]
+	}
+	h.total = st.Total
+	h.sum = st.Sum
+	return nil
+}
