@@ -40,12 +40,36 @@ import (
 	"strings"
 )
 
+// Severity classifies how the driver treats an analyzer's findings:
+// errors fail the build, warnings are reported but do not. The zero
+// value is SevError, so existing analyzers stay gating by default.
+type Severity int
+
+const (
+	// SevError findings fail chronolint (non-zero exit).
+	SevError Severity = iota
+	// SevWarn findings are reported but never fail the build — the
+	// warn-first rollout mode for analyzers landing over legacy code.
+	SevWarn
+)
+
+// String renders the severity in the SARIF level vocabulary.
+func (s Severity) String() string {
+	if s == SevWarn {
+		return "warning"
+	}
+	return "error"
+}
+
 // Analyzer describes one static-analysis pass.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and annotations.
 	Name string
 	// Doc is the one-paragraph description shown by chronolint -help.
 	Doc string
+	// Severity is the default severity of the analyzer's findings
+	// (overridable per run via Options.Severities). Zero value: SevError.
+	Severity Severity
 	// Run applies the analyzer to one package, reporting findings through
 	// pass.Reportf.
 	Run func(pass *Pass) error
@@ -168,6 +192,14 @@ func (p *Pass) ImportedPkg(ident *ast.Ident) *types.Package {
 // by a //chrono:allow <analyzer> directive on the finding's line or the
 // line above.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	kept, _, err := RunCount(a, pkg)
+	return kept, err
+}
+
+// RunCount is Run plus the number of diagnostics the central
+// //chrono:allow filter suppressed, so drivers can report suppression
+// counts.
+func RunCount(a *Analyzer, pkg *Package) (kept []Diagnostic, suppressed int, err error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
@@ -176,19 +208,123 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		TypesInfo: pkg.TypesInfo,
 	}
 	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		return nil, 0, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
 	if pass.annotations == nil {
 		pass.buildAnnotations()
 	}
 	allow := "allow:" + a.Name
-	kept := pass.Diagnostics()[:0]
+	kept = pass.Diagnostics()[:0]
 	for _, d := range pass.Diagnostics() {
 		if pass.annotations[annotationKey{d.Pos.Filename, d.Pos.Line, allow}] ||
 			pass.annotations[annotationKey{d.Pos.Filename, d.Pos.Line - 1, allow}] {
+			suppressed++
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept, nil
+	return kept, suppressed, nil
+}
+
+// Directive is one parsed //chrono:<name> [args] comment.
+type Directive struct {
+	Pos  token.Position
+	Name string // "allow", "state", "rebuilt", "statesync", ...
+	Args string // everything after the name, space-trimmed
+}
+
+// ParseDirective parses a single comment as a //chrono: directive,
+// reporting ok=false for ordinary comments. Only comments whose text
+// starts exactly with "//chrono:" parse — prose that merely mentions the
+// grammar (doc comments, indented examples) does not.
+func ParseDirective(c *ast.Comment) (name, args string, ok bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	if !strings.HasPrefix(text, "chrono:") {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, "chrono:")
+	name = rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name = rest[:i]
+		args = strings.TrimSpace(rest[i:])
+	}
+	return name, args, true
+}
+
+// Directives parses every //chrono: directive in the comment group
+// (nil-safe).
+func Directives(fset *token.FileSet, cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		if name, args, ok := ParseDirective(c); ok {
+			out = append(out, Directive{Pos: fset.Position(c.Pos()), Name: name, Args: args})
+		}
+	}
+	return out
+}
+
+// knownDirectives is the complete //chrono: directive vocabulary (see
+// DESIGN.md "Directive grammar"). Anything else is a typo the driver
+// reports as a lint error — a misspelled suppression must never be a
+// silent no-op.
+var knownDirectives = map[string]bool{
+	"allow":              true, // //chrono:allow <analyzer> <reason>
+	"wallclock":          true, // detclock: legitimate wall-clock use
+	"ordered-irrelevant": true, // maporder/floatorder: order provably irrelevant
+	"statesync":          true, // statesync: pairs a struct with its checkpoint state struct
+	"state":              true, // statesync: field -> state field(s) mapping
+	"rebuilt":            true, // statesync: field rebuilt by code, with justification
+}
+
+// CheckDirectives validates every //chrono: directive of the package
+// against the vocabulary and, for //chrono:allow, against the set of
+// analyzer names: unknown directives and typo'd or reasonless allows are
+// diagnostics (rule "directive"), so a suppression that would silently
+// match nothing fails the lint run instead.
+func CheckDirectives(pkg *Package, analyzerNames map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		out = append(out, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: "directive"})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, d := range Directives(pkg.Fset, cg) {
+				if !knownDirectives[d.Name] {
+					report(d.Pos, "unknown //chrono:%s directive (known: allow, wallclock, "+
+						"ordered-irrelevant, statesync, state, rebuilt)", d.Name)
+					continue
+				}
+				if d.Name != "allow" {
+					continue
+				}
+				fields := strings.Fields(d.Args)
+				if len(fields) == 0 {
+					report(d.Pos, "//chrono:allow names no analyzer; write //chrono:allow <analyzer> <reason>")
+					continue
+				}
+				if !analyzerNames[fields[0]] {
+					report(d.Pos, "//chrono:allow names unknown analyzer %q — the suppression matches "+
+						"nothing; known analyzers: see chronolint -list", fields[0])
+					continue
+				}
+				if len(fields) == 1 {
+					report(d.Pos, "//chrono:allow %s has no reason; a suppression must carry its justification", fields[0])
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
 }

@@ -1,0 +1,175 @@
+// Package atomicmix flags mixed atomic and plain access to the same
+// memory: a variable or struct field that is touched through sync/atomic
+// anywhere in the package may never be read or written plainly anywhere
+// else. A plain access racing an atomic one is undefined behaviour the
+// race detector only catches when the schedule cooperates; at lint time
+// the mix is visible unconditionally.
+//
+// The analyzer keys memory by its types.Object, so every instance of a
+// struct field unifies: atomic.AddInt64(&s.n, 1) in one function plus a
+// bare s.n++ in another is a finding on the plain access, pointing back
+// at the atomic site. Deliberate mixes (an init path that provably runs
+// before any goroutine starts) carry //chrono:allow atomicmix <reason>.
+//
+// The atomic.Int64/Bool/... wrapper types need no analysis — their
+// methods are the only access path — and are the recommended fix.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chrono/internal/analysis"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "atomicmix"
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag plain reads/writes of variables and fields that are accessed " +
+		"through sync/atomic elsewhere in the package; suppress with " +
+		"//chrono:allow atomicmix <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: every object whose address is taken inside a sync/atomic
+	// call argument is atomic memory; remember the first such site and
+	// exempt the exact AST nodes forming those arguments.
+	atomicAt := make(map[types.Object]ast.Node)
+	exempt := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				target := unparen(un.X)
+				obj := accessedObject(pass, target)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicAt[obj]; !seen {
+					atomicAt[obj] = target
+				}
+				exempt[target] = true
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+	// Pass 2: any other use of those objects is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if exempt[n] {
+				return false
+			}
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			switch e.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				return true
+			}
+			obj := accessedObject(pass, e)
+			if obj == nil {
+				return true
+			}
+			site, isAtomic := atomicAt[obj]
+			if !isAtomic {
+				return true
+			}
+			pos := pass.Fset.Position(site.Pos())
+			pass.Reportf(e.Pos(),
+				"%s is accessed atomically at %s:%d but read/written plainly here — "+
+					"a data race; use sync/atomic for every access or an atomic.%s wrapper type",
+				obj.Name(), pos.Filename, pos.Line, wrapperName(obj))
+			return false // one report per access chain
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a function of sync/atomic
+// (the function-style API; the wrapper-type methods are inherently safe).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	qual, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg := pass.ImportedPkg(qual)
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// accessedObject resolves an identifier or field selector to the variable
+// object it reads or writes; nil for anything else (calls, conversions,
+// package qualifiers, methods).
+func accessedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[v]; ok {
+			if vr, ok := obj.(*types.Var); ok {
+				return vr
+			}
+		}
+	case *ast.SelectorExpr:
+		if pass.ImportedPkg(firstIdent(v.X)) != nil {
+			return nil // qualified identifier, not a field access
+		}
+		if obj, ok := pass.TypesInfo.Uses[v.Sel]; ok {
+			if vr, ok := obj.(*types.Var); ok && vr.IsField() {
+				return vr
+			}
+		}
+	}
+	return nil
+}
+
+// wrapperName suggests the atomic wrapper type for the object's type.
+func wrapperName(obj types.Object) string {
+	switch obj.Type().String() {
+	case "int32":
+		return "Int32"
+	case "uint32":
+		return "Uint32"
+	case "uint64":
+		return "Uint64"
+	case "bool":
+		return "Bool"
+	default:
+		return "Int64"
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func firstIdent(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	if id == nil {
+		return &ast.Ident{}
+	}
+	return id
+}

@@ -1,0 +1,58 @@
+// Package atomicmix is the atomicmix fixture: fields and package vars
+// accessed both atomically and plainly, plus the clean and allowed forms.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64 // atomic everywhere except the bugs below
+	m     int64 // plain everywhere: fine
+	boxed atomic.Int64
+}
+
+var hits int64
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// plainRead mixes: n is atomic memory but read without sync/atomic.
+func (c *counter) plainRead() int64 {
+	return c.n // want `n is accessed atomically at .*a\.go:16 but read/written plainly`
+}
+
+// plainWrite mixes on the write side.
+func (c *counter) plainWrite() {
+	c.n = 0 // want `n is accessed atomically at .*a\.go:16 but read/written plainly`
+}
+
+// plainVar mixes on a package-level variable.
+func plainVar() {
+	hits++ // want `hits is accessed atomically at .*a\.go:17 but read/written plainly`
+}
+
+// plainOnly is fine: m is never touched atomically.
+func (c *counter) plainOnly() int64 {
+	c.m++
+	return c.m
+}
+
+// wrapper is fine: atomic.Int64's methods are the only access path.
+func (c *counter) wrapper() int64 {
+	c.boxed.Add(1)
+	return c.boxed.Load()
+}
+
+// allowed demonstrates suppression: a constructor that runs before any
+// goroutine can observe the field.
+func newCounter() *counter {
+	c := &counter{}
+	//chrono:allow atomicmix constructor runs before the counter is shared
+	c.n = 0
+	return c
+}

@@ -1,0 +1,68 @@
+package analysis
+
+// Baseline support: a committed JSON file of acknowledged finding
+// fingerprints. chronolint -baseline <file> drops findings whose
+// fingerprint appears in the file (counting them as Baselined) while new
+// findings — different rule, file, or message — still surface and gate.
+// Fingerprints are line-insensitive (see Fingerprint), so reformatting
+// and unrelated edits do not invalidate the baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// baselineFile is the on-disk format. The context strings exist for
+// human review of the committed file; only the fingerprint keys matter
+// to matching.
+type baselineFile struct {
+	Version int `json:"version"`
+	// Findings maps fingerprint -> "file: message (rule)" context.
+	Findings map[string]string `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file into a fingerprint set.
+func LoadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("analysis: baseline %s: unsupported version %d", path, bf.Version)
+	}
+	set := make(map[string]bool, len(bf.Findings))
+	for fp := range bf.Findings {
+		set[fp] = true
+	}
+	return set, nil
+}
+
+// WriteBaseline writes the findings of a run as a baseline file.
+func WriteBaseline(path string, findings []Finding) error {
+	bf := baselineFile{Version: 1, Findings: make(map[string]string, len(findings))}
+	for _, f := range findings {
+		bf.Findings[f.Fingerprint] = fmt.Sprintf("%s: %s (%s)", f.File, f.Message, f.Rule)
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BaselineFingerprints returns the sorted fingerprints of a finding set —
+// a convenience for tests asserting baseline round-trips.
+func BaselineFingerprints(findings []Finding) []string {
+	out := make([]string, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, f.Fingerprint)
+	}
+	sort.Strings(out)
+	return out
+}

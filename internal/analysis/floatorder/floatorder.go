@@ -115,9 +115,8 @@ func (c *checker) checkTarget(loop *ast.RangeStmt, lhs ast.Expr) {
 	if root := rootIdentOf(lhs); root != nil && c.localTo(loop, root) {
 		return // loop-local accumulator dies with the iteration
 	}
-	if c.pass.Annotated(lhs.Pos(), "allow:"+Name) {
-		return
-	}
+	// //chrono:allow floatorder suppressions are filtered centrally by
+	// the driver (analysis.RunCount), which also counts them.
 	c.pass.Reportf(lhs.Pos(),
 		"float accumulation into %s inside range over map: iteration order "+
 			"perturbs the sum (float addition is not associative); sort the keys "+

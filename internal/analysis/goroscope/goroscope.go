@@ -1,0 +1,205 @@
+// Package goroscope requires every goroutine launched in internal/ to
+// have a lifecycle owner. An unowned goroutine cannot be stopped, waited
+// for, or drained at shutdown — the exact leak class the durable-sweep
+// watchdog and the future chronod daemon must not have.
+//
+// A `go` statement is owned if any of these signals is present:
+//
+//   - an argument or parameter of type context.Context, a struct{}
+//     channel (stop/done channel), or a *sync.WaitGroup;
+//   - a func-literal body that references a context.Context or struct{}
+//     channel in scope, or calls (*sync.WaitGroup).Done;
+//   - a (*sync.WaitGroup).Add call in the function that launches it
+//     (the wg.Add(1); go func() { defer wg.Done() ... }() idiom).
+//
+// Deliberately fire-and-forget goroutines carry
+// //chrono:allow goroscope <reason> stating why abandonment is safe.
+package goroscope
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chrono/internal/analysis"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "goroscope"
+
+// Analyzer is the goroscope pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "require every goroutine to have a lifecycle owner (context, stop " +
+		"channel, or WaitGroup registration); suppress deliberate " +
+		"fire-and-forget goroutines with //chrono:allow goroscope <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			launcherAdds := callsWaitGroupAdd(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if launcherAdds || owned(pass, g.Call) {
+					return true
+				}
+				pass.Reportf(g.Pos(),
+					"goroutine has no lifecycle owner — pass a context.Context or stop "+
+						"channel, or register it with a WaitGroup (//chrono:allow goroscope "+
+						"<reason> if fire-and-forget is intended)")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// owned reports whether the spawned call carries a lifecycle signal.
+func owned(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && lifecycleType(tv.Type) {
+			return true
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		if sigHasLifecycle(pass.TypesInfo.Types[fun].Type) {
+			return true
+		}
+		return bodyHasLifecycle(pass, fun.Body)
+	default:
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && sigHasLifecycle(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// lifecycleType reports whether t is a lifecycle handle: context.Context,
+// a struct{} channel of any direction, or a sync.WaitGroup (pointer or
+// value).
+func lifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		if isPkgType(named, "context", "Context") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		if st, ok := u.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+			return true
+		}
+	case *types.Interface:
+		if named, ok := t.(*types.Named); ok && isPkgType(named, "context", "Context") {
+			return true
+		}
+	case *types.Pointer:
+		return lifecycleType(u.Elem())
+	}
+	if named, ok := t.(*types.Named); ok && isPkgType(named, "sync", "WaitGroup") {
+		return true
+	}
+	return false
+}
+
+// sigHasLifecycle reports whether a function type takes a lifecycle
+// handle as a parameter.
+func sigHasLifecycle(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if lifecycleType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyHasLifecycle reports whether a func-literal body references a
+// lifecycle handle from its enclosing scope or calls WaitGroup.Done.
+func bodyHasLifecycle(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[v]; ok {
+				if _, isVar := obj.(*types.Var); isVar && lifecycleType(obj.Type()) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupMethod(pass, v, "Done") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsWaitGroupAdd reports whether the block calls (*sync.WaitGroup).Add.
+func callsWaitGroupAdd(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupMethod(pass, call, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupMethod reports whether call invokes the named method on a
+// sync.WaitGroup receiver.
+func isWaitGroupMethod(pass *analysis.Pass, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return lifecycleWaitGroup(sig.Recv().Type())
+}
+
+func lifecycleWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && isPkgType(named, "sync", "WaitGroup")
+}
+
+func isPkgType(named *types.Named, pkgPath, name string) bool {
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

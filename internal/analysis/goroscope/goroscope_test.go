@@ -1,0 +1,12 @@
+package goroscope_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/goroscope"
+)
+
+func TestGoroscope(t *testing.T) {
+	analysistest.Run(t, "testdata", goroscope.Analyzer, "goroscope")
+}

@@ -1,0 +1,77 @@
+// Package goroscope is the goroscope fixture: unowned goroutines, every
+// ownership signal, and the allowed fire-and-forget form.
+package goroscope
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	stop chan struct{}
+	out  chan int
+}
+
+// bareLeak launches a goroutine nothing can stop or wait for.
+func (s *server) bareLeak() {
+	go func() { // want `goroutine has no lifecycle owner`
+		s.out <- 1
+	}()
+}
+
+// namedLeak spawns a named function with no lifecycle parameter.
+func pump(ch chan int) { ch <- 1 }
+
+func (s *server) namedLeak() {
+	go pump(s.out) // want `goroutine has no lifecycle owner`
+}
+
+// ctxArg is owned: the context argument is the cancellation handle.
+func worker(ctx context.Context, ch chan int) {
+	<-ctx.Done()
+}
+
+func (s *server) ctxArg(ctx context.Context) {
+	go worker(ctx, s.out)
+}
+
+// stopParam is owned: the spawned method takes a stop channel.
+func (s *server) run(stop chan struct{}) { <-stop }
+
+func (s *server) stopParam() {
+	go s.run(s.stop)
+}
+
+// stopCapture is owned: the literal selects on a captured stop channel.
+func (s *server) stopCapture() {
+	go func() {
+		select {
+		case <-s.stop:
+		case s.out <- 1:
+		}
+	}()
+}
+
+// wgRegistered is owned: the launcher Adds and the literal Dones.
+func (s *server) wgRegistered(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.out <- 1
+	}()
+}
+
+// ctxCapture is owned: the literal references a context in scope.
+func (s *server) ctxCapture(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// allowed demonstrates suppression: a deliberate fire-and-forget.
+func (s *server) allowed() {
+	//chrono:allow goroscope best-effort notification, loss is acceptable
+	go func() {
+		s.out <- 1
+	}()
+}

@@ -71,6 +71,10 @@ func NewLoader(dir string) (*Loader, error) {
 // ModulePath returns the module path of the loader's module.
 func (l *Loader) ModulePath() string { return l.modPath }
 
+// ModRoot returns the absolute directory containing the module's go.mod,
+// the base against which report paths are made relative.
+func (l *Loader) ModRoot() string { return l.modRoot }
+
 // findModule walks up from dir to the nearest go.mod and returns the
 // module root directory and module path.
 func findModule(dir string) (root, modPath string, err error) {

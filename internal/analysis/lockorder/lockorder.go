@@ -1,0 +1,447 @@
+// Package lockorder flags the two lock-discipline bugs that turn a
+// single-threaded simulator into a deadlocking daemon: inconsistent mutex
+// acquisition order (goroutine 1 locks A then B, goroutine 2 locks B then
+// A) and blocking operations performed while a lock is held (channel
+// send/receive, select, WaitGroup.Wait, time.Sleep — each can park the
+// goroutine indefinitely with the lock pinned, freezing every other
+// taker).
+//
+// Lock identity is canonicalized so acquisition sites unify across
+// functions: a mutex field reached through a method receiver or a
+// parameter keys by its owning type ("Table.mu"), a package-level mutex
+// by its qualified name, and anything else per-function. The held-set
+// tracking is flow-light: it threads through straight-line statements,
+// descends into branches with a copy of the held set, and conservatively
+// forgets locks that any branch releases — so branch-dependent lock
+// lifecycles cannot false-positive, at the cost of some recall.
+//
+// sync.Cond.Wait is exempt (its contract requires the lock held);
+// TryLock acquisitions are untracked (conditional). Suppress deliberate
+// patterns with //chrono:allow lockorder <reason>.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"chrono/internal/analysis"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "lockorder"
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag inconsistent mutex acquisition order across the package and " +
+		"blocking operations (channel ops, select, WaitGroup.Wait, time.Sleep) " +
+		"performed while a lock is held; suppress with //chrono:allow lockorder <reason>.",
+	Run: run,
+}
+
+// lockAt records one live acquisition.
+type lockAt struct {
+	name string // display name (source expression text)
+	pos  token.Pos
+}
+
+// edge is one observed "to acquired while from held" ordering.
+type edge struct {
+	from, to         string // canonical node ids
+	fromName, toName string // display names
+	pos              token.Pos
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	fn    string // enclosing function name, for local-lock canonicalization
+	edges []edge
+	seen  map[[2]string]bool // dedup edges by (from, to)
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, seen: make(map[[2]string]bool)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.fn = fd.Name.Name
+			c.stmts(fd.Body.List, map[string]lockAt{})
+		}
+	}
+	c.reportCycles()
+	return nil
+}
+
+// stmts threads the held set through one statement sequence.
+func (c *checker) stmts(list []ast.Stmt, held map[string]lockAt) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+// stmt processes one statement, mutating held.
+func (c *checker) stmt(s ast.Stmt, held map[string]lockAt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if c.lockCall(s.X, held) {
+			return
+		}
+		c.checkBlocking(s, held)
+		c.funcLits(s)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end — the
+		// conventional pattern; the held set already reflects it. A
+		// deferred closure runs at exit with an unknown held set.
+		c.funcLits(s)
+	case *ast.GoStmt:
+		// The spawned goroutine starts with no locks of ours held.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.stmts(lit.Body.List, map[string]lockAt{})
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	case *ast.CaseClause:
+		c.stmts(s.Body, held)
+	case *ast.CommClause:
+		// The comm statement itself is select machinery — a taken arm does
+		// not block, and a blocking select was already reported wholesale.
+		c.stmts(s.Body, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 && c.selectBlocks(s) {
+			c.reportHeld(s.Select, "blocks in select", held)
+		}
+		c.branch(s, held)
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t := c.pass.TypesInfo.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					c.reportHeld(s.For, "receives from channel "+exprString(s.X), held)
+				}
+			}
+		}
+		c.branch(s, held)
+	case *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		c.branch(s, held)
+	default:
+		// Assignments, declarations, returns, sends: no control flow, but
+		// the RHS can still receive from a channel or call Sleep/Wait.
+		c.checkBlocking(s, held)
+		c.funcLits(s)
+	}
+}
+
+// branch analyses a control-flow statement: every nested block runs with
+// a copy of the held set, blocking ops in the headers (conditions, init
+// statements) are checked against the current set, and any lock released
+// somewhere inside is conservatively dropped from the outer set.
+func (c *checker) branch(s ast.Stmt, held map[string]lockAt) {
+	c.checkBlocking(s, held) // headers only; nested blocks skipped inside
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			inner := make(map[string]lockAt, len(held))
+			for k, v := range held {
+				inner[k] = v
+			}
+			c.stmts(n.List, inner)
+			return false
+		case *ast.FuncLit:
+			c.stmts(n.Body.List, map[string]lockAt{})
+			return false
+		}
+		return true
+	})
+	// Forget locks the branch may have released.
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if node, _, kind := c.lockTarget(call); kind == opRelease {
+				delete(held, node)
+			}
+		}
+		return true
+	})
+}
+
+// funcLits analyses function literals nested in a non-branch statement
+// with a fresh held set (they run at an unknown time).
+func (c *checker) funcLits(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.stmts(lit.Body.List, map[string]lockAt{})
+			return false
+		}
+		return true
+	})
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opAcquire
+	opRelease
+)
+
+// lockCall handles a statement-level mu.Lock()/mu.Unlock() call,
+// reporting ordering violations and updating held. It returns false for
+// anything that is not a lock call.
+func (c *checker) lockCall(e ast.Expr, held map[string]lockAt) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	node, name, kind := c.lockTarget(call)
+	switch kind {
+	case opNone:
+		return false
+	case opRelease:
+		delete(held, node)
+		return true
+	}
+	if prev, dup := held[node]; dup {
+		c.pass.Reportf(call.Pos(),
+			"%s is acquired while already held (previous acquisition at %s) — "+
+				"self-deadlock", name, c.pass.Fset.Position(prev.pos))
+		return true
+	}
+	// Record ordering edges: node acquired while every member of held is.
+	for from, at := range held {
+		key := [2]string{from, node}
+		if !c.seen[key] {
+			c.seen[key] = true
+			c.edges = append(c.edges, edge{
+				from: from, to: node,
+				fromName: at.name, toName: name,
+				pos: call.Pos(),
+			})
+		}
+	}
+	held[node] = lockAt{name: name, pos: call.Pos()}
+	return true
+}
+
+// lockTarget classifies a call as a mutex acquire/release and returns the
+// canonical node id and display name of the lock.
+func (c *checker) lockTarget(call *ast.CallExpr) (node, name string, kind lockOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", "", opNone
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", "", opNone
+	}
+	obj := c.pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", opNone
+	}
+	node = c.lockNode(sel.X)
+	if node == "" {
+		return "", "", opNone
+	}
+	if acquire {
+		return node, exprString(sel.X), opAcquire
+	}
+	return node, exprString(sel.X), opRelease
+}
+
+// lockNode canonicalizes the lock expression so acquisition sites unify
+// across functions: a field chain rooted at a receiver/parameter keys by
+// the root's named type, a package-level variable by its qualified name,
+// and locals per-function.
+func (c *checker) lockNode(e ast.Expr) string {
+	root, tail := rootAndTail(e)
+	if root == nil {
+		return ""
+	}
+	obj := c.pass.TypesInfo.Uses[root]
+	if obj == nil {
+		return ""
+	}
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil &&
+		v.Parent() == v.Pkg().Scope() {
+		return v.Id() + tail // package-level lock
+	}
+	t := obj.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + tail // unify by owning type
+	}
+	return c.fn + ":" + root.Name + tail // function-local lock
+}
+
+// rootAndTail splits a selector chain into its root identifier and the
+// dotted remainder (".mu.inner"); non-chains return nil.
+func rootAndTail(e ast.Expr) (*ast.Ident, string) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v, ""
+	case *ast.ParenExpr:
+		return rootAndTail(v.X)
+	case *ast.SelectorExpr:
+		root, tail := rootAndTail(v.X)
+		if root == nil {
+			return nil, ""
+		}
+		return root, tail + "." + v.Sel.Name
+	default:
+		return nil, ""
+	}
+}
+
+// checkBlocking reports blocking operations in s (excluding nested blocks
+// and function literals) while any lock is held.
+func (c *checker) checkBlocking(s ast.Stmt, held map[string]lockAt) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			c.reportHeld(n.Arrow, "sends on channel "+exprString(n.Chan), held)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.reportHeld(n.OpPos, "receives from channel "+exprString(n.X), held)
+			}
+		case *ast.CallExpr:
+			if what := c.blockingCall(n); what != "" {
+				c.reportHeld(n.Pos(), what, held)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that can park the goroutine: time.Sleep
+// and sync.WaitGroup.Wait. sync.Cond.Wait is exempt — its contract
+// requires the lock held.
+func (c *checker) blockingCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if pkg := c.pass.ImportedPkg(firstIdent(sel.X)); pkg != nil && pkg.Path() == "time" && sel.Sel.Name == "Sleep" {
+		return "calls time.Sleep"
+	}
+	if sel.Sel.Name != "Wait" {
+		return ""
+	}
+	obj := c.pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	if recv := obj.(*types.Func).Type().(*types.Signature).Recv(); recv != nil &&
+		strings.Contains(recv.Type().String(), "WaitGroup") {
+		return "waits on " + exprString(sel.X)
+	}
+	return ""
+}
+
+// firstIdent returns e when it is a plain identifier (for package
+// qualifier checks).
+func firstIdent(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	if id == nil {
+		return &ast.Ident{} // never resolves
+	}
+	return id
+}
+
+// selectBlocks reports whether the select statement can block (no
+// default clause).
+func (c *checker) selectBlocks(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return false // default clause: non-blocking poll
+		}
+	}
+	return true
+}
+
+// reportHeld reports one blocking operation with the held locks named,
+// in deterministic order.
+func (c *checker) reportHeld(pos token.Pos, what string, held map[string]lockAt) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, 0, len(held))
+	for _, at := range held {
+		names = append(names, at.name)
+	}
+	sort.Strings(names)
+	c.pass.Reportf(pos, "%s while %s is held — a parked goroutine pins the lock "+
+		"and freezes every other taker; release it before blocking",
+		what, strings.Join(names, ", "))
+}
+
+// reportCycles finds ordering cycles in the package's acquisition graph
+// and reports every edge that participates in one.
+func (c *checker) reportCycles() {
+	succ := make(map[string][]string)
+	for _, e := range c.edges {
+		succ[e.from] = append(succ[e.from], e.to)
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, succ[n]...)
+		}
+		return false
+	}
+	for _, e := range c.edges {
+		if reaches(e.to, e.from) {
+			c.pass.Reportf(e.pos,
+				"acquires %s while %s is held, but the package elsewhere acquires them "+
+					"in the opposite order — inconsistent lock order (deadlock risk); "+
+					"pick one order and use it everywhere", e.toName, e.fromName)
+		}
+	}
+}
+
+// exprString renders a simple expression for messages.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

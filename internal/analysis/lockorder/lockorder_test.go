@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockorder")
+}

@@ -1,0 +1,136 @@
+// Package lockorder is the lockorder fixture: inconsistent acquisition
+// orders, blocking under lock, double-lock, and the allowed forms.
+package lockorder
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	aux   sync.Mutex
+	ch    chan int
+	items map[int]int
+}
+
+// abOrder locks mu then aux: establishes the A->B edge.
+func (s *store) abOrder() {
+	s.mu.Lock()
+	s.aux.Lock() // want `inconsistent lock order`
+	s.aux.Unlock()
+	s.mu.Unlock()
+}
+
+// baOrder locks aux then mu: the reverse edge completes the cycle.
+func (s *store) baOrder() {
+	s.aux.Lock()
+	s.mu.Lock() // want `inconsistent lock order`
+	s.mu.Unlock()
+	s.aux.Unlock()
+}
+
+// sleepUnderLock blocks with the lock held.
+func (s *store) sleepUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `calls time.Sleep while s.mu is held`
+}
+
+// sendUnderLock sends on a channel with the lock held, inside a branch.
+func (s *store) sendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > 0 {
+		s.ch <- v // want `sends on channel s.ch while s.mu is held`
+	}
+}
+
+// recvUnderLock receives with the lock held.
+func (s *store) recvUnderLock() int {
+	s.mu.Lock()
+	v := <-s.ch // want `receives from channel s.ch while s.mu is held`
+	s.mu.Unlock()
+	return v
+}
+
+// waitUnderLock parks on a WaitGroup with the lock held.
+func (s *store) waitUnderLock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `waits on wg while s.mu is held`
+}
+
+// selectUnderLock blocks in a select with the lock held.
+func (s *store) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocks in select while s.mu is held`
+	case v := <-s.ch:
+		_ = v
+	case s.ch <- 1:
+	}
+}
+
+// doubleLock re-acquires a lock it already holds.
+func (s *store) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `acquired while already held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// releaseThenBlock is fine: the lock is released before the send.
+func (s *store) releaseThenBlock(v int) {
+	s.mu.Lock()
+	s.items[v] = v
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// condWait is fine: sync.Cond.Wait requires the lock held by contract.
+func (s *store) condWait(c *sync.Cond) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Wait()
+}
+
+// nonBlockingSelect is fine: the default clause makes it a poll.
+func (s *store) nonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+// branchRelease is fine: a branch may release the lock, so the blocking
+// op after it is not flagged (conservative forget).
+func (s *store) branchRelease(v int) {
+	s.mu.Lock()
+	if v > 0 {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	s.ch <- v
+}
+
+// allowed demonstrates suppression: a deliberate sleep under lock.
+func (s *store) allowed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//chrono:allow lockorder fixture demonstrates a justified suppression
+	time.Sleep(time.Millisecond)
+}
+
+// goroutineStartsFresh is fine: the spawned goroutine holds nothing.
+func (s *store) goroutineStartsFresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}

@@ -229,9 +229,8 @@ func (w *walker) checkTarget(lhs ast.Expr) {
 }
 
 func (w *walker) report(pos token.Pos, format string, args ...any) {
-	if w.pass.Annotated(pos, "allow:"+Name) {
-		return
-	}
+	// //chrono:allow parcapture suppressions are filtered centrally by
+	// the driver (analysis.RunCount), which also counts them.
 	w.pass.Reportf(pos, "%s "+format+
 		" (concurrent closures must only write results[i]-style, through their "+
 		"own job index)", append([]any{w.kind}, args...)...)

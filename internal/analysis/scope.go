@@ -81,6 +81,14 @@ func isAnalysisPackage(path string) bool {
 //	parcapture  — everywhere except the analysis framework
 //	handlecheck — everywhere except the analysis framework
 //	floatorder  — everywhere except the analysis framework
+//	lockorder   — everywhere except the analysis framework
+//	atomicmix   — everywhere except the analysis framework
+//	goroscope   — internal/ only (the daemon/engine code whose goroutines
+//	              must have lifecycle owners), excluding the framework
+//	statesync   — everywhere except the analysis framework (no-op in
+//	              packages without //chrono:statesync pairs or
+//	              Checkpointable-shaped types)
+//	snapalias   — everywhere except the analysis framework
 func Applies(analyzer, modPath, pkgPath string) bool {
 	switch analyzer {
 	case "detclock", "detrand":
@@ -93,8 +101,11 @@ func Applies(analyzer, modPath, pkgPath string) bool {
 			pkgPath == "chrono/internal/engine"
 	case "unitmix":
 		return !isUnitFree(pkgPath)
-	case "parcapture", "handlecheck", "floatorder":
+	case "parcapture", "handlecheck", "floatorder",
+		"lockorder", "atomicmix", "statesync", "snapalias":
 		return !isAnalysisPackage(pkgPath)
+	case "goroscope":
+		return strings.HasPrefix(pkgPath, modPath+"/internal/") && !isAnalysisPackage(pkgPath)
 	default:
 		return false
 	}

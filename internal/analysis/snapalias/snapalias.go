@@ -1,0 +1,241 @@
+// Package snapalias flags checkpoint snapshots that alias live state: a
+// field of a state struct (a named struct type ending in "State")
+// assigned a reference-typed value — slice, map, or pointer — read
+// straight off the method receiver. The snapshot then shares a backing
+// array or map with the running simulation, and mutations between
+// Snapshot and serialization corrupt the checkpoint bytes silently.
+//
+// Any call in the value position (append(nil, ...), a .State() helper, a
+// clone) is assumed to produce a copy; only bare selector chains rooted
+// at the receiver are findings. Both the composite-literal form
+// (seriesState{T: c.hist.T}) and the assignment form
+// (st.Heat[t] = c.heat[t]) are checked.
+//
+// Deliberate sharing (an immutable slice, a copy made by the caller)
+// carries //chrono:allow snapalias <reason>.
+package snapalias
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"chrono/internal/analysis"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "snapalias"
+
+// Analyzer is the snapalias pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag snapshot state fields that alias live slices/maps/pointers " +
+		"from the receiver instead of deep-copying; suppress deliberate " +
+		"sharing with //chrono:allow snapalias <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			roots := liveRoots(pass, fd)
+			if len(roots) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.CompositeLit:
+					checkLiteral(pass, v, roots)
+				case *ast.AssignStmt:
+					checkAssign(pass, v, roots)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// liveRoots collects the receiver object of the method — the identifier
+// whose reference-typed fields are live state. Parameters are deliberately
+// not roots: registration helpers legitimately store caller-owned pointers
+// (AddProcess keeping *vm.Process), and snapshot methods read live state
+// off their receiver.
+func liveRoots(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	roots := make(map[types.Object]bool)
+	if fd.Recv == nil {
+		return roots
+	}
+	for _, f := range fd.Recv.List {
+		for _, name := range f.Names {
+			if obj, ok := pass.TypesInfo.Defs[name]; ok && obj != nil {
+				roots[obj] = true
+			}
+		}
+	}
+	return roots
+}
+
+// checkLiteral flags aliasing key-value elements of state-struct literals.
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit, roots map[types.Object]bool) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !stateStruct(tv.Type) {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if chain, ok := aliasingChain(pass, kv.Value, roots); ok {
+			pass.Reportf(kv.Value.Pos(),
+				"snapshot field %s aliases live %s %s — deep-copy it "+
+					"(append for slices, an element-wise copy for maps) so the checkpoint "+
+					"cannot change under the serializer",
+				keyName(kv.Key), refKind(pass.TypesInfo.Types[kv.Value].Type), chain)
+		}
+	}
+}
+
+// checkAssign flags aliasing stores into state-struct fields, the
+// st.Field = c.live form (including indexed st.Field[i] = c.live[i]).
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, roots map[types.Object]bool) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		if !stateFieldTarget(pass, lhs) {
+			continue
+		}
+		if chain, ok := aliasingChain(pass, as.Rhs[i], roots); ok {
+			pass.Reportf(as.Rhs[i].Pos(),
+				"snapshot field %s aliases live %s %s — deep-copy it "+
+					"(append for slices, an element-wise copy for maps) so the checkpoint "+
+					"cannot change under the serializer",
+				exprString(lhs), refKind(pass.TypesInfo.Types[as.Rhs[i]].Type), chain)
+		}
+	}
+}
+
+// stateFieldTarget reports whether lhs is a field (possibly indexed) of a
+// value whose type is a state struct.
+func stateFieldTarget(pass *analysis.Pass, lhs ast.Expr) bool {
+	for {
+		switch v := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = v.X
+		case *ast.SelectorExpr:
+			if tv, ok := pass.TypesInfo.Types[v.X]; ok && stateStruct(tv.Type) {
+				return true
+			}
+			lhs = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// aliasingChain reports whether e is a reference-typed selector/index
+// chain rooted at a live-state object, returning the chain's source text.
+func aliasingChain(pass *analysis.Pass, e ast.Expr, roots map[types.Object]bool) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || !refType(tv.Type) {
+		return "", false
+	}
+	cur := e
+	for {
+		switch v := cur.(type) {
+		case *ast.ParenExpr:
+			cur = v.X
+		case *ast.SliceExpr:
+			cur = v.X // c.queue[:] still shares the backing array
+		case *ast.IndexExpr:
+			cur = v.X // c.heat[t] is a live row
+		case *ast.SelectorExpr:
+			cur = v.X
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[v]; ok && roots[obj] {
+				return exprString(e), true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+// stateStruct reports whether t (or what it points to) is a named struct
+// type whose name ends in "State".
+func stateStruct(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Name(), "State")
+}
+
+// refType reports whether t shares underlying storage on plain assignment.
+func refType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// refKind names the reference kind for the diagnostic.
+func refKind(t types.Type) string {
+	if t == nil {
+		return "reference"
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Pointer:
+		return "pointer"
+	}
+	return "reference"
+}
+
+// keyName renders a composite-literal key.
+func keyName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return exprString(e)
+}
+
+// exprString renders a selector/index chain compactly for messages.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.SliceExpr:
+		return exprString(v.X) + "[:]"
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	}
+	return "value"
+}

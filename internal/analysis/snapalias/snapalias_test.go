@@ -1,0 +1,12 @@
+package snapalias_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/snapalias"
+)
+
+func TestSnapalias(t *testing.T) {
+	analysistest.Run(t, "testdata", snapalias.Analyzer, "snapalias")
+}

@@ -1,0 +1,103 @@
+// Package snapalias is the snapalias fixture: snapshots that alias live
+// slices, maps, and pointers, the deep-copying forms, and the allowed
+// deliberate share.
+package snapalias
+
+type ring struct {
+	t []float64
+	v []float64
+}
+
+type box struct {
+	hist    ring
+	queue   []int64
+	heat    [2][]float64
+	index   map[int64]int
+	cursor  *int
+	samples [2]float64
+	n       int
+}
+
+type ringState struct {
+	T []float64
+	V []float64
+}
+
+type boxState struct {
+	Hist    ringState
+	Queue   []int64
+	Heat    [2][]float64
+	Index   map[int64]int
+	Cursor  *int
+	Samples [2]float64
+	N       int
+}
+
+// aliasedSnapshot shares backing storage with the live box.
+func (b *box) aliasedSnapshot() boxState {
+	st := boxState{
+		Hist:  ringState{T: b.hist.t, V: b.hist.v}, // want `snapshot field T aliases live slice b.hist.t` `snapshot field V aliases live slice b.hist.v`
+		Queue: b.queue[:],                          // want `snapshot field Queue aliases live slice b.queue`
+		Index: b.index,                             // want `snapshot field Index aliases live map b.index`
+	}
+	st.Cursor = b.cursor // want `snapshot field st.Cursor aliases live pointer b.cursor`
+	for t := range b.heat {
+		st.Heat[t] = b.heat[t] // want `snapshot field st.Heat\[...\] aliases live slice b.heat\[...\]`
+	}
+	return st
+}
+
+// copiedSnapshot deep-copies every reference-typed field: clean.
+func (b *box) copiedSnapshot() boxState {
+	idx := make(map[int64]int, len(b.index))
+	for k, v := range b.index {
+		idx[k] = v
+	}
+	cur := *b.cursor
+	st := boxState{
+		Hist: ringState{
+			T: append([]float64(nil), b.hist.t...),
+			V: append([]float64(nil), b.hist.v...),
+		},
+		Queue:   append([]int64(nil), b.queue...),
+		Index:   idx,
+		Cursor:  &cur,
+		Samples: b.samples, // array: copied by value
+		N:       b.n,
+	}
+	for t := range b.heat {
+		st.Heat[t] = append([]float64(nil), b.heat[t]...)
+	}
+	return st
+}
+
+// helperSnapshot builds through calls: any call is assumed to copy.
+func (b *box) helperSnapshot() boxState {
+	return boxState{
+		Hist:  b.hist.state(),
+		Queue: cloneInts(b.queue),
+	}
+}
+
+func (r ring) state() ringState {
+	return ringState{
+		T: append([]float64(nil), r.t...),
+		V: append([]float64(nil), r.v...),
+	}
+}
+
+func cloneInts(s []int64) []int64 { return append([]int64(nil), s...) }
+
+// localOnly is clean: the slice is built locally, not read off live state.
+func (b *box) localOnly() boxState {
+	local := make([]int64, 0, b.n)
+	return boxState{Queue: local}
+}
+
+// allowed demonstrates suppression: a deliberately shared immutable slice.
+func (b *box) allowed() boxState {
+	return boxState{
+		//chrono:allow snapalias queue is frozen before every snapshot
+		Queue: b.queue,
+	}
+}

@@ -1,0 +1,304 @@
+// Package statesync is the static replacement for the reflective
+// checkpoint-coverage fence: every mutable field of a checkpointable
+// struct must be explicitly mapped to the state field(s) that serialize
+// it, or justified as rebuilt by code — and, in the reverse direction,
+// every field of the state struct must be backed by some mapping.
+//
+// The pairing and the mapping live as directives next to the fields they
+// describe, so a new field fails lint at the declaration site instead of
+// failing a reflection test (or worse, a resume byte-diff) later:
+//
+//	//chrono:statesync EngineState
+//	type Engine struct {
+//		clock *simclock.Clock //chrono:state Clock
+//		cfg   Config          //chrono:rebuilt immutable after New
+//		...
+//	}
+//
+// Grammar:
+//
+//   - //chrono:statesync <StateType> — on the struct's type declaration,
+//     naming the same-package checkpoint state struct it serializes to.
+//   - //chrono:state <F1[,F2,...]> — on a field, naming the state
+//     field(s) that carry it (several when one snapshot field folds
+//     multiple live fields, or one live field spreads across several).
+//   - //chrono:rebuilt <reason> — on a field a restore deliberately does
+//     not serialize; the reason is mandatory.
+//
+// A struct with CheckpointState/RestoreCheckpoint methods and no
+// //chrono:statesync directive is itself a finding: checkpointable state
+// may not opt out of the fence silently.
+package statesync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"chrono/internal/analysis"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "statesync"
+
+// Analyzer is the statesync pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "cross-check //chrono:statesync-paired structs against their " +
+		"checkpoint state structs in both directions: every live field is " +
+		"mapped (//chrono:state) or justified (//chrono:rebuilt), and every " +
+		"state field is backed by a mapping.",
+	Run: run,
+}
+
+// pairing is one //chrono:statesync declaration.
+type pairing struct {
+	structName string
+	stateName  string
+	pos        token.Pos
+	fields     *ast.StructType
+}
+
+func run(pass *analysis.Pass) error {
+	// Index every struct type declaration in the package by name, keeping
+	// the AST so field directives and positions are reachable.
+	structDecls := make(map[string]*ast.StructType)
+	specPos := make(map[string]token.Pos)
+	var pairs []pairing
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				structDecls[ts.Name.Name] = st
+				specPos[ts.Name.Name] = ts.Name.Pos()
+				for _, d := range typeDirectives(pass.Fset, gd, ts) {
+					if d.Name != "statesync" {
+						continue
+					}
+					target := strings.TrimSpace(d.Args)
+					if target == "" {
+						pass.Reportf(ts.Name.Pos(),
+							"//chrono:statesync names no state type; write //chrono:statesync <StateType>")
+						continue
+					}
+					pairs = append(pairs, pairing{
+						structName: ts.Name.Name,
+						stateName:  target,
+						pos:        ts.Name.Pos(),
+						fields:     st,
+					})
+				}
+			}
+		}
+	}
+
+	paired := make(map[string]bool)
+	for _, p := range pairs {
+		paired[p.structName] = true
+	}
+
+	// A checkpointable struct without the directive is a finding.
+	for name, st := range structDecls {
+		if !paired[name] && isCheckpointable(pass, name) {
+			pass.Reportf(specPos[name],
+				"%s has CheckpointState/RestoreCheckpoint methods but no //chrono:statesync "+
+					"directive — its checkpoint coverage is unfenced", name)
+		}
+		_ = st
+	}
+
+	for _, p := range pairs {
+		checkPairing(pass, p, structDecls)
+	}
+	return nil
+}
+
+// typeDirectives gathers //chrono: directives attached to a type
+// declaration: the GenDecl doc (the usual placement), the TypeSpec doc,
+// and the TypeSpec trailing comment.
+func typeDirectives(fset *token.FileSet, gd *ast.GenDecl, ts *ast.TypeSpec) []analysis.Directive {
+	var out []analysis.Directive
+	out = append(out, analysis.Directives(fset, gd.Doc)...)
+	out = append(out, analysis.Directives(fset, ts.Doc)...)
+	out = append(out, analysis.Directives(fset, ts.Comment)...)
+	return out
+}
+
+// checkPairing validates one statesync pair in both directions.
+func checkPairing(pass *analysis.Pass, p pairing, structDecls map[string]*ast.StructType) {
+	stateFields, ok := stateStructFields(pass, p.stateName)
+	if !ok {
+		pass.Reportf(p.pos, "//chrono:statesync %s: no struct type of that name in this package", p.stateName)
+		return
+	}
+	claimed := make(map[string]bool, len(stateFields))
+
+	for _, field := range p.fields.Fields.List {
+		dirs := fieldDirectives(pass.Fset, field)
+		var state, rebuilt *analysis.Directive
+		for i, d := range dirs {
+			switch d.Name {
+			case "state":
+				state = &dirs[i]
+			case "rebuilt":
+				rebuilt = &dirs[i]
+			}
+		}
+		for _, name := range fieldNames(field) {
+			pos := fieldPos(field)
+			switch {
+			case state != nil && rebuilt != nil:
+				pass.Reportf(pos, "%s.%s carries both //chrono:state and //chrono:rebuilt — pick one", p.structName, name)
+			case state != nil:
+				args := strings.TrimSpace(state.Args)
+				if args == "" {
+					pass.Reportf(pos, "%s.%s: //chrono:state names no state field; write //chrono:state <F1[,F2,...]>", p.structName, name)
+					continue
+				}
+				for _, sf := range strings.Split(args, ",") {
+					sf = strings.TrimSpace(sf)
+					if _, exists := stateFields[sf]; !exists {
+						pass.Reportf(pos, "%s.%s claims %s.%s, which does not exist", p.structName, name, p.stateName, sf)
+						continue
+					}
+					claimed[sf] = true
+				}
+			case rebuilt != nil:
+				if strings.TrimSpace(rebuilt.Args) == "" {
+					pass.Reportf(pos, "%s.%s: //chrono:rebuilt has no justification; state skipped by a restore must say why a fresh build reconstructs it", p.structName, name)
+				}
+			default:
+				pass.Reportf(pos,
+					"%s.%s is not mapped to %s and not marked rebuilt — add //chrono:state <Field> "+
+						"(and extend Snapshot/Restore) or //chrono:rebuilt <reason>", p.structName, name, p.stateName)
+			}
+		}
+	}
+
+	// Reverse direction: state fields nothing claims are dead state or a
+	// missing mapping. Report at the state field's own declaration when its
+	// AST is in this package (it always is; the lookup above guarantees it).
+	var dead []string
+	for sf := range stateFields {
+		if !claimed[sf] {
+			dead = append(dead, sf)
+		}
+	}
+	sort.Strings(dead)
+	stateAST := structDecls[p.stateName]
+	for _, sf := range dead {
+		pos := p.pos
+		if stateAST != nil {
+			if fp, ok := stateFieldPos(stateAST, sf); ok {
+				pos = fp
+			}
+		}
+		pass.Reportf(pos,
+			"%s.%s is not backed by any %s field mapping — dead state or a missing //chrono:state entry",
+			p.stateName, sf, p.structName)
+	}
+}
+
+// fieldDirectives gathers //chrono: directives attached to a struct field:
+// the doc comment above it and the trailing comment on its line.
+func fieldDirectives(fset *token.FileSet, f *ast.Field) []analysis.Directive {
+	var out []analysis.Directive
+	out = append(out, analysis.Directives(fset, f.Doc)...)
+	out = append(out, analysis.Directives(fset, f.Comment)...)
+	return out
+}
+
+// fieldNames returns the declared names of a struct field, deriving the
+// implicit name of an embedded field from its type.
+func fieldNames(f *ast.Field) []string {
+	if len(f.Names) > 0 {
+		names := make([]string, len(f.Names))
+		for i, n := range f.Names {
+			names[i] = n.Name
+		}
+		return names
+	}
+	return []string{embeddedName(f.Type)}
+}
+
+func embeddedName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.StarExpr:
+		return embeddedName(v.X)
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.IndexExpr:
+		return embeddedName(v.X)
+	}
+	return "?"
+}
+
+func fieldPos(f *ast.Field) token.Pos {
+	if len(f.Names) > 0 {
+		return f.Names[0].Pos()
+	}
+	return f.Pos()
+}
+
+// stateFieldPos finds the declaration position of a named field inside a
+// struct AST.
+func stateFieldPos(st *ast.StructType, name string) (token.Pos, bool) {
+	for _, f := range st.Fields.List {
+		for _, n := range fieldNames(f) {
+			if n == name {
+				return fieldPos(f), true
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// stateStructFields resolves a state type name in the package scope to
+// its field-name set.
+func stateStructFields(pass *analysis.Pass, name string) (map[string]bool, bool) {
+	obj := pass.Pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil, false
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, false
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, false
+	}
+	fields := make(map[string]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i).Name()] = true
+	}
+	return fields, true
+}
+
+// isCheckpointable reports whether the named type (or its pointer) has
+// both CheckpointState and RestoreCheckpoint methods.
+func isCheckpointable(pass *analysis.Pass, name string) bool {
+	obj := pass.Pkg.Scope().Lookup(name)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(tn.Type()))
+	return ms.Lookup(pass.Pkg, "CheckpointState") != nil &&
+		ms.Lookup(pass.Pkg, "RestoreCheckpoint") != nil
+}

@@ -1,0 +1,12 @@
+package statesync_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/statesync"
+)
+
+func TestStatesync(t *testing.T) {
+	analysistest.Run(t, "testdata", statesync.Analyzer, "statesync")
+}

@@ -1,0 +1,82 @@
+// Package statesync is the statesync fixture: a fully fenced pair, every
+// violation class, and the allowed form.
+package statesync
+
+// tracker is fully fenced: every field mapped or justified, every state
+// field backed.
+//
+//chrono:statesync trackerState
+type tracker struct {
+	count int            //chrono:state Count
+	hist  []int64        //chrono:state HistT,HistV
+	seen  map[int]bool   //chrono:state Seen
+	cfg   int            //chrono:rebuilt construction-time configuration
+	cb    func()         //chrono:rebuilt harness closure, reattached before resume
+	cache map[int]string //chrono:rebuilt index over seen, regrown on restore
+}
+
+type trackerState struct {
+	Count int
+	HistT []int64
+	HistV []int64
+	Seen  map[int]bool
+}
+
+func (t *tracker) CheckpointState() (any, error)  { return trackerState{}, nil }
+func (t *tracker) RestoreCheckpoint([]byte) error { return nil }
+
+// leaky demonstrates the violation classes: an unmapped field, a claim on
+// a state field that does not exist, a field with both directives, a
+// rebuilt with no reason, and a state field nothing backs.
+//
+//chrono:statesync leakyState
+type leaky struct {
+	a int //chrono:state A
+	b int // want `leaky.b is not mapped to leakyState and not marked rebuilt`
+	//chrono:state Missing
+	c int // want `leaky.c claims leakyState.Missing, which does not exist`
+	//chrono:state A
+	//chrono:rebuilt also claims to be rebuilt
+	d int // want `leaky.d carries both //chrono:state and //chrono:rebuilt`
+	//chrono:rebuilt
+	e int // want `//chrono:rebuilt has no justification`
+}
+
+type leakyState struct {
+	A    int
+	Dead int // want `leakyState.Dead is not backed by any leaky field mapping`
+}
+
+// badPair names a state type that does not exist.
+//
+//chrono:statesync nowhereState
+type badPair struct { // want `no struct type of that name in this package`
+	x int
+}
+
+// orphan has checkpoint methods but no statesync directive.
+type orphan struct { // want `orphan has CheckpointState/RestoreCheckpoint methods but no //chrono:statesync directive`
+	y int
+}
+
+func (o *orphan) CheckpointState() (any, error)  { return nil, nil }
+func (o *orphan) RestoreCheckpoint([]byte) error { return nil }
+
+// allowed demonstrates suppression: an unmapped field with a justified
+// allow.
+//
+//chrono:statesync allowedState
+type allowed struct {
+	p int //chrono:state P
+	//chrono:allow statesync fixture demonstrates a justified suppression
+	q int
+}
+
+type allowedState struct {
+	P int
+}
+
+// plain is not checkpointable and not paired: statesync ignores it.
+type plain struct {
+	z int
+}

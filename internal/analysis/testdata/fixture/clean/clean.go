@@ -1,0 +1,6 @@
+// Package clean has no findings: the integration test asserts the driver
+// reports nothing from it.
+package clean
+
+// Add is ordinary arithmetic no analyzer objects to.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,64 @@
+// Package dirty seeds one finding per concurrency analyzer plus a
+// directive-grammar violation; the driver integration test asserts these
+// exactly, including positions and the suppression count.
+package dirty
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var mu sync.Mutex
+
+var hits int64
+
+// doubleLock seeds a lockorder self-deadlock.
+func doubleLock() {
+	mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock()
+}
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// plainRead seeds an atomicmix mixed access.
+func plainRead() int64 {
+	return hits
+}
+
+// allowedRead is the same mix, suppressed: it must count as suppressed,
+// not reported.
+func allowedRead() int64 {
+	//chrono:allow atomicmix fixture demonstrates an acknowledged mix
+	return hits
+}
+
+// leak seeds a goroscope unowned goroutine.
+func leak(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+// typo seeds a directive-grammar violation: the directive name below is
+// misspelled, so the suppression would silently match nothing.
+//
+//chrono:alow lockorder oops
+func typo() {}
+
+// ghost seeds the other directive-grammar violation: the directive is
+// well-formed but names an analyzer that does not exist, so the
+// suppression would silently match nothing.
+//
+//chrono:allow lockordering suppressing a rule that is not registered
+func ghost() {}
+
+// plainReadAgain duplicates plainRead's mix exactly — same rule, file,
+// and message — so the driver must assign it a distinct fingerprint or
+// a baseline entry for one would silently swallow the other.
+func plainReadAgain() int64 {
+	return hits
+}

@@ -1,0 +1,28 @@
+// Package state pairs a tracker with its checkpoint state and then
+// breaks the fence the way a careless refactor would: the hist field
+// mapping is deleted, leaving the live field unmapped and its state twin
+// dead, and Snapshot aliases the live slice instead of copying it.
+package state
+
+// tracker's hist mapping has been deleted (it read
+// "//chrono:state Hist" before): both fence directions must fire.
+//
+//chrono:statesync trackerState
+type tracker struct {
+	count int //chrono:state Count
+	hist  []int64
+	cfg   int //chrono:rebuilt construction-time configuration
+}
+
+type trackerState struct {
+	Count int
+	Hist  []int64
+}
+
+// Snapshot aliases the live history slice.
+func (t *tracker) Snapshot() trackerState {
+	return trackerState{
+		Count: t.count,
+		Hist:  t.hist,
+	}
+}

@@ -190,9 +190,8 @@ func (c *checker) checkConversion(call *ast.CallExpr) {
 }
 
 func (c *checker) report(pos token.Pos, format string, args ...any) {
-	if c.pass.Annotated(pos, "allow:"+Name) {
-		return // cheap pre-filter; the driver filters centrally too
-	}
+	// //chrono:allow unitmix suppressions are filtered centrally by the
+	// driver (analysis.RunCount), which also counts them.
 	c.pass.Reportf(pos, format, args...)
 }
 

@@ -99,17 +99,23 @@ func (c *Chrono) CheckpointState() (any, error) {
 		PromotedPages:   c.promotedPages,
 		ThrashEvents:    c.thrashEvents,
 		Samples:         c.samples,
-		ThresholdHist:   seriesState{T: c.ThresholdHist.T, V: c.ThresholdHist.V},
-		RateLimitHist:   seriesState{T: c.RateLimitHist.T, V: c.RateLimitHist.V},
-		Enqueued:        c.Enqueued,
-		Promoted:        c.Promoted,
-		Demoted:         c.Demoted,
-		ThrashTotal:     c.ThrashTotal,
-		DCSCSamples:     c.DCSCSamples,
-		FilteredOut:     c.FilteredOut,
-		QueueDropped:    c.QueueDropped,
-		RetryDropped:    c.RetryDropped,
-		Scan:            c.scan.State(),
+		ThresholdHist: seriesState{
+			T: append([]float64(nil), c.ThresholdHist.T...),
+			V: append([]float64(nil), c.ThresholdHist.V...),
+		},
+		RateLimitHist: seriesState{
+			T: append([]float64(nil), c.RateLimitHist.T...),
+			V: append([]float64(nil), c.RateLimitHist.V...),
+		},
+		Enqueued:     c.Enqueued,
+		Promoted:     c.Promoted,
+		Demoted:      c.Demoted,
+		ThrashTotal:  c.ThrashTotal,
+		DCSCSamples:  c.DCSCSamples,
+		FilteredOut:  c.FilteredOut,
+		QueueDropped: c.QueueDropped,
+		RetryDropped: c.RetryDropped,
+		Scan:         c.scan.State(),
 	}
 	for t := range c.heat {
 		st.Heat[t] = append([]float64(nil), c.heat[t]...)

@@ -149,67 +149,74 @@ type probe struct {
 }
 
 // Chrono is the tiering policy.
+//
+//chrono:statesync checkpointState
 type Chrono struct {
-	policy.Base
-	opt Options
-	k   policy.Kernel
+	policy.Base //chrono:rebuilt stateless method set
+	// opt is construction-time configuration except for the three
+	// sysctl-writable knobs, which are serialized.
+	opt Options       //chrono:state DeltaStep,PVictim,ThrashThreshold
+	k   policy.Kernel //chrono:rebuilt kernel handle, re-bound by Attach
 
-	scan *scan.Set
+	scan *scan.Set //chrono:state Scan
 	// citScale converts an observed poison-to-fault gap into the CIT of
 	// a representative real 4 KB page: the simulated page aggregates
 	// CostScale real pages, so a real page's idle gap is CostScale× the
 	// region's first-fault gap (uniform-phase periodic model). All CIT
 	// values, buckets, and thresholds are therefore in real-page
 	// milliseconds, directly comparable with the paper's Table 2.
-	citScale float64
+	citScale float64 //chrono:rebuilt derived from Config.CostScale at Attach
 
 	// thresholdMS is the live CIT classification threshold.
-	thresholdMS float64
+	thresholdMS float64 //chrono:state ThresholdMS
 	// rateLimitBps is the live promotion rate limit in bytes/second.
-	rateLimitBps float64
+	rateLimitBps float64 //chrono:state RateLimitBps
 
 	// Candidate filtering (§3.1.2).
-	cands *xarray.XArray
+	cands *xarray.XArray //chrono:state Cands
 	// Promotion queue, FIFO of page IDs, drained rate-limited.
-	queue []int64
+	queue []int64 //chrono:state Queue
 	// enqueue accounting for the semi-auto tuner (bytes per scan period),
 	// plus the cross-period average the §3.2.1 controller divides by.
-	enqueuedBytes  float64
-	enqueueRateEMA float64
+	enqueuedBytes  float64 //chrono:state EnqueuedBytes
+	enqueueRateEMA float64 //chrono:state EnqueueRateEMA
 	// dequeue/promotion accounting for the thrash monitor.
-	promotedPages int64
-	thrashEvents  int64
+	promotedPages int64 //chrono:state PromotedPages
+	thrashEvents  int64 //chrono:state ThrashEvents
 	// retries counts transient promotion failures per queued page ID
 	// (busy/pinned-page aborts); pages exceeding maxPromoteRetries are
 	// dropped from the queue. Keyed access only — never iterated — so
 	// map order cannot leak into the migration order.
-	retries map[int64]int8
+	retries map[int64]int8 //chrono:state Retries
 
 	// DCSC heat maps (§3.2.2): per-tier CIT bucket counters, decayed at
 	// every tuning step. Sample counts track the scaling denominator.
-	heat    [mem.NumTiers][]float64
-	samples [mem.NumTiers]float64
+	heat    [mem.NumTiers][]float64 //chrono:state Heat
+	samples [mem.NumTiers]float64   //chrono:state Samples
 	// probes tracks outstanding PG_probed victims so ones that never
 	// fault (cold pages) are expired into the coldest bucket instead of
 	// silently biasing the heat map toward hot pages.
-	probes []probe
+	probes []probe //chrono:state Probes
 
 	// Histories for Figure 10b/c.
-	ThresholdHist stats.Series
-	RateLimitHist stats.Series
+	ThresholdHist stats.Series //chrono:state ThresholdHist
+	RateLimitHist stats.Series //chrono:state RateLimitHist
 
 	// CITObserver, if set, receives every Ticking-scan CIT observation
 	// (page, CIT in ms). Used by the Figure 10a harness.
-	CITObserver func(pg *vm.Page, citMS float64)
+	CITObserver func(pg *vm.Page, citMS float64) //chrono:rebuilt harness closure; the harness reattaches it
 
 	// Counters exported for tests and reports.
-	Enqueued     int64
-	Promoted     int64
-	Demoted      int64
-	ThrashTotal  int64
-	DCSCSamples  int64
-	FilteredOut  int64 // candidates dropped by a failed second round
+	Enqueued    int64 //chrono:state Enqueued
+	Promoted    int64 //chrono:state Promoted
+	Demoted     int64 //chrono:state Demoted
+	ThrashTotal int64 //chrono:state ThrashTotal
+	DCSCSamples int64 //chrono:state DCSCSamples
+	//chrono:state FilteredOut
+	FilteredOut int64 // candidates dropped by a failed second round
+	//chrono:state QueueDropped
 	QueueDropped int64 // submissions dropped by the queue bound
+	//chrono:state RetryDropped
 	RetryDropped int64 // queued pages dropped after repeated transient aborts
 }
 

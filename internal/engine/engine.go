@@ -235,90 +235,106 @@ type procState struct {
 func (ps *procState) Rate() float64 { return ps.rate }
 
 // Engine is one simulation instance.
+//
+// The //chrono:state and //chrono:rebuilt directives below are the
+// checkpoint-coverage fence (enforced by the statesync linter): every
+// field is either mapped to the EngineState field(s) that serialize it or
+// justified as rebuilt by a fresh New+Build+Attach, and every EngineState
+// field must be backed by some mapping.
+//
+//chrono:statesync EngineState
 type Engine struct {
-	cfg   Config
-	clock *simclock.Clock
-	node  *mem.Node
-	table *sysctl.Table
+	cfg   Config          //chrono:rebuilt construction-time configuration; immutable after New
+	clock *simclock.Clock //chrono:state Clock
+	node  *mem.Node       //chrono:state Node
+	table *sysctl.Table   //chrono:rebuilt sysctl registrations are code-defined; writable values live in numaTiering and the policy state
 
-	rMaster   *rng.Source
-	rFault    *rng.Source
-	rPolicy   *rng.Source
-	rWorkload *rng.Source
-	rPEBS     *rng.Source
+	rMaster   *rng.Source //chrono:state RMaster
+	rFault    *rng.Source //chrono:state RFault
+	rPolicy   *rng.Source //chrono:state RPolicy
+	rWorkload *rng.Source //chrono:state RWorkload
+	rPEBS     *rng.Source //chrono:state RPEBS
 
-	pages        []*vm.Page // dense by ID; nil after free
-	pageW        []float64  // cached page weight (sum over covered base pages)
-	pageRF       []float64  // cached weighted read fraction
-	everSlow     []bool     // page was ever resident in the slow tier
-	everPromoted []bool     // page was promoted at least once
-	procs        []*procState
-	byPID        map[int]*procState
+	//chrono:state Pages
+	pages []*vm.Page // dense by ID; nil after free
+	//chrono:state Pages
+	pageW []float64 // the W column: cached page weight (sum over covered base pages)
+	//chrono:state Pages
+	pageRF []float64 // the RF column: cached weighted read fraction
+	//chrono:state Pages
+	everSlow []bool // sparse EverSlow set: page was ever resident in the slow tier
+	//chrono:state Pages
+	everPromoted []bool             // sparse EverPromoted set: page was promoted at least once
+	procs        []*procState       //chrono:state Procs
+	byPID        map[int]*procState //chrono:rebuilt index over procs, rebuilt by AddProcess during Build
 
-	pol policy.Policy
+	pol policy.Policy //chrono:state PolicyName,Policy
 
 	// Kernel LRU (active/inactive per tier) maintained on faults and by
 	// periodic aging; source of reclaim/demotion candidates.
-	links *lru.Links
-	kLRU  [mem.NumTiers]*lru.TwoList
+	links *lru.Links                 //chrono:rebuilt LRU link storage; regrown by restorePages and refilled by KLRU SetState
+	kLRU  [mem.NumTiers]*lru.TwoList //chrono:state KLRU
 
 	// epoch accumulators
-	epochMigBytes float64
-	kernelNSEpoch float64
-	kernelFrac    float64
+	epochMigBytes float64 //chrono:state EpochMigBytes
+	kernelNSEpoch float64 //chrono:state KernelNSEpoch
+	kernelFrac    float64 //chrono:state KernelFrac
 	// migTokens is the migration token bucket (bytes), refilled per epoch
 	// at MigrationBWBytes; migrations fail when it runs dry.
-	migTokens float64
+	migTokens float64 //chrono:state MigTokens
 	// Bandwidth-driven latency inflation (see metrics.go).
-	slowUtilEMA float64
-	fastUtilEMA float64
-	slowLatMult float64
-	fastLatMult float64
+	slowUtilEMA float64 //chrono:state SlowUtilEMA
+	fastUtilEMA float64 //chrono:state FastUtilEMA
+	slowLatMult float64 //chrono:state SlowLatMult
+	fastLatMult float64 //chrono:state FastLatMult
 
 	// PEBS alias cache. Weight-staleness (pattern drift) tolerates a
 	// rate-limited rebuild; structural staleness (pages created or freed)
 	// must rebuild before the next sample or freed IDs would be drawn.
-	aliasTable       *rng.Alias
-	aliasIDs         []int64
-	aliasW           []float64 // scratch reused across rebuilds
-	aliasBuiltAt     simclock.Time
-	aliasWeightDirty bool
-	aliasStructural  bool
+	//
+	//chrono:state HasAlias
+	aliasTable *rng.Alias // contents rebuilt from AliasW on restore
+	aliasIDs   []int64    //chrono:state AliasIDs
+	//chrono:state AliasW
+	aliasW           []float64     // scratch reused across rebuilds
+	aliasBuiltAt     simclock.Time //chrono:state AliasBuiltAt
+	aliasWeightDirty bool          //chrono:state AliasWeightDirty
+	aliasStructural  bool          //chrono:state AliasStructural
 
 	// faultCB is the single fault-delivery callback shared by every
 	// Protect: scheduling through AtArg with (page, seq) as the argument
 	// pair avoids allocating a closure per poisoned page.
-	faultCB simclock.ArgFunc
+	faultCB simclock.ArgFunc //chrono:rebuilt closure over the engine, re-created by New; pending deliveries rebind through the clock's fault binder
 
 	// flushMark/flushList are scratch for FlushPattern's page dedup and
 	// recomputeProcAggregates' VMA walk, reused across calls (indexed by
 	// page ID).
-	flushMark []bool
-	flushList []int64
+	flushMark []bool  //chrono:rebuilt scratch buffer, dead between events
+	flushList []int64 //chrono:rebuilt scratch buffer, dead between events
 
 	// numaTiering mirrors the sysctl toggle; policies may consult it.
-	numaTiering int64
+	numaTiering int64 //chrono:state NumaTiering
 
 	// sanitize enables the per-epoch invariant checks (sanitize.go).
-	sanitize bool
+	sanitize bool //chrono:rebuilt derived from Config and build tags
 
 	// inj draws fault-injection decisions; nil (the common case) means
 	// no injection and is handled by faultinject's nil-safe methods.
-	inj *faultinject.Injector
+	inj *faultinject.Injector //chrono:state Inj
 
 	// runTickers holds the engine's own periodic work (epoch accounting,
 	// LRU aging, kswapd, cgroup reclaim) while a run is in flight, so
 	// finishRun can cancel it and a Restore can find it registered.
-	runTickers []*simclock.Ticker
+	runTickers []*simclock.Ticker //chrono:rebuilt re-armed by startTickers inside Restore
 
-	horizon simclock.Time
+	horizon simclock.Time //chrono:state Horizon
 
-	M Metrics
+	M Metrics //chrono:state Metrics
 
 	// EpochHook, if set, runs at the end of every metric epoch (used by
 	// the harness to sample time series such as Figure 9's placement
 	// history).
-	EpochHook func(now simclock.Time)
+	EpochHook func(now simclock.Time) //chrono:rebuilt harness closure; the harness reattaches it before ResumeRun
 }
 
 // Metrics aggregates a run's results.

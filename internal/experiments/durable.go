@@ -366,6 +366,7 @@ func (dc *durableCell) run(e *engine.Engine, o RunOpts) (*engine.Metrics, *Faile
 	}
 
 	out := make(chan cellOutcome, 1)
+	//chrono:allow goroscope deliberately abandonable: a hard-stalled run goroutine is parked by the checkpoint hook and the engine discarded (see the hardStall arm below)
 	go func() {
 		defer func() {
 			if v := recover(); v != nil {

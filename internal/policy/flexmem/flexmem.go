@@ -67,24 +67,26 @@ func (c Config) withDefaults() Config {
 }
 
 // Policy is the FlexMem baseline.
+//
+//chrono:statesync checkpointState
 type Policy struct {
-	policy.Base
-	cfg     Config
-	k       policy.Kernel
-	sampler *pebs.Sampler
-	scan    *scan.Set
-	periods int
+	policy.Base               //chrono:rebuilt stateless method set
+	cfg         Config        //chrono:rebuilt configuration, finalized in Attach
+	k           policy.Kernel //chrono:rebuilt kernel handle, re-bound by Attach
+	sampler     *pebs.Sampler //chrono:state Sampler
+	scan        *scan.Set     //chrono:state Scan
+	periods     int           //chrono:state Periods
 	// hotBin is the live capacity-derived threshold bin per process.
-	hotBin map[*vm.Process]int
+	hotBin map[*vm.Process]int //chrono:state HotPIDs,HotBins
 	// cycles counts background invocations; it rotates the per-process
 	// service order so the shared migration budget is shared fairly
 	// without depending on map iteration order.
-	cycles int
+	cycles int //chrono:state Cycles
 	// TimelyPromotions counts fault-path promotions (vs background).
-	TimelyPromotions int64
+	TimelyPromotions int64 //chrono:state TimelyPromotions
 	// TransientSkips counts hot pages skipped in a background batch
 	// after repeated transient migration aborts (retried next cycle).
-	TransientSkips int64
+	TransientSkips int64 //chrono:state TransientSkips
 }
 
 // New returns a FlexMem policy.

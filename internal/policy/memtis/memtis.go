@@ -67,20 +67,22 @@ func (c Config) withDefaults() Config {
 }
 
 // Policy is the Memtis baseline.
+//
+//chrono:statesync checkpointState
 type Policy struct {
-	policy.Base
-	cfg     Config
-	k       policy.Kernel
-	sampler *pebs.Sampler
-	periods int
+	policy.Base               //chrono:rebuilt stateless method set
+	cfg         Config        //chrono:rebuilt configuration, finalized in Attach
+	k           policy.Kernel //chrono:rebuilt kernel handle, re-bound by Attach
+	sampler     *pebs.Sampler //chrono:state Sampler
+	periods     int           //chrono:state Periods
 	// cycles counts kmigrated invocations; it rotates the per-process
 	// service order so the shared migration budget is shared fairly
 	// without depending on map iteration order.
-	cycles int
+	cycles int //chrono:state Cycles
 
 	// TransientSkips counts hot pages skipped in a kmigrated batch after
 	// repeated transient migration aborts (retried next cycle).
-	TransientSkips int64
+	TransientSkips int64 //chrono:state TransientSkips
 }
 
 // New returns a Memtis policy.

@@ -38,11 +38,13 @@ type Config struct {
 
 // Policy is the TPP baseline. The previous fault timestamp is kept in
 // pg.Meta (nanoseconds).
+//
+//chrono:statesync checkpointState
 type Policy struct {
-	policy.Base
-	cfg  Config
-	k    policy.Kernel
-	scan *scan.Set
+	policy.Base               //chrono:rebuilt stateless method set
+	cfg         Config        //chrono:rebuilt configuration, finalized in Attach
+	k           policy.Kernel //chrono:rebuilt kernel handle, re-bound by Attach
+	scan        *scan.Set     //chrono:state Scan
 }
 
 // New returns a TPP policy.
