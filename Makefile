@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-suggest lint-sarif bench-snapshot simdebug chaos bench resume-check check clean
+.PHONY: build test race vet lint lint-suggest lint-sarif bench-snapshot bench-diff simdebug chaos bench resume-check check clean
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,16 @@ lint-sarif: bin/chronolint
 # and BENCH_*.json; compare runs with benchstat).
 bench-snapshot:
 	bash scripts/bench_snapshot.sh
+
+# Perf regression gate: snapshot the hot-path benchmarks into a fresh
+# JSON and diff against the committed baseline (BASELINE=... to pick one;
+# default: newest BENCH_*.json). Fails on a >10% median ns/op regression
+# or ANY allocs/op increase (override the slack with THRESHOLD_PCT).
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-diff:
+	@test -n "$(BASELINE)" || { echo "bench-diff: no BENCH_*.json baseline found"; exit 2; }
+	OUT=/tmp/bench_current.json COUNT=5 bash scripts/bench_snapshot.sh
+	THRESHOLD_PCT=$(THRESHOLD_PCT) bash scripts/bench_compare.sh $(BASELINE) /tmp/bench_current.json
 
 # Run the test suite with the engine's invariant sanitizer forced on.
 simdebug:

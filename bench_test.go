@@ -515,6 +515,43 @@ func BenchmarkEngineEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineEpochShards8 is the same scenario with the fault
+// machinery sharded 8 ways: the tentpole contract says the results are
+// byte-identical, so any delta against BenchmarkEngineEpoch is pure
+// execution-strategy cost (or, on multi-core hosts, speedup).
+func BenchmarkEngineEpochShards8(b *testing.B) {
+	e := engine.New(engine.Config{Seed: 42, Shards: 8})
+	w := &workload.Pmbench{Processes: 50, WorkingSetGB: 5, ReadPct: 70, Stride: 2}
+	if err := w.Build(e); err != nil {
+		b.Fatal(err)
+	}
+	e.AttachPolicy(core.New(core.Options{}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(250 * simclock.Millisecond)
+	}
+}
+
+// BenchmarkEngineEpochHighFidelity runs epochs at PagesPerGB=32768 (128×
+// the default simulation resolution — every simulated page stands for two
+// real 4 KB pages per GB short of full fidelity) on 8 GB of tiers, the
+// scale the sharded engine exists for. Completing this benchmark is the
+// repo's standing proof that full-fidelity page counts are reachable.
+func BenchmarkEngineEpochHighFidelity(b *testing.B) {
+	e := engine.New(engine.Config{
+		Seed: 42, PagesPerGB: 32768, FastGB: 2, SlowGB: 6, Shards: 8,
+	})
+	w := &workload.Pmbench{Processes: 4, WorkingSetGB: 1.5, ReadPct: 70, Stride: 2}
+	if err := w.Build(e); err != nil {
+		b.Fatal(err)
+	}
+	e.AttachPolicy(core.New(core.Options{}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(250 * simclock.Millisecond)
+	}
+}
+
 // BenchmarkHugeFactor sweeps the huge-page fold factor (the §3.4 scaling
 // rules are fold-size generic: TH/size, heat bucket + log2(size)).
 func BenchmarkHugeFactor(b *testing.B) {

@@ -40,6 +40,8 @@ func main() {
 		series  = flag.Bool("series", false, "print per-process DRAM placement at the end")
 		fastGB  = flag.Float64("fast", 64, "fast tier GB")
 		slowGB  = flag.Float64("slow", 192, "slow tier GB")
+		shards  = flag.Int("shards", 1, "fault-machinery shards (multi-core single-run execution; never affects results)")
+		ppg     = flag.Int64("pages-per-gb", 0, "simulated pages per GB (0 = default 256; 262144 = full fidelity, one page per real 4 KB)")
 	)
 	flag.Parse()
 
@@ -75,10 +77,12 @@ func main() {
 	}
 
 	opts := experiments.RunOpts{
-		Seed:     *seed,
-		Duration: simclock.FromSeconds(*secs),
-		FastGB:   units.GB(*fastGB),
-		SlowGB:   units.GB(*slowGB),
+		Seed:       *seed,
+		Duration:   simclock.FromSeconds(*secs),
+		FastGB:     units.GB(*fastGB),
+		SlowGB:     units.GB(*slowGB),
+		Shards:     *shards,
+		PagesPerGB: *ppg,
 	}
 	res, err := experiments.Run(*polName, w, opts)
 	if err != nil {

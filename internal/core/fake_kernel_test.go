@@ -20,8 +20,9 @@ type fakeKernel struct {
 	table *sysctl.Table
 	r     *rng.Source
 
-	procs []*vm.Process
-	pages []*vm.Page
+	procs   []*vm.Process
+	pages   []*vm.Page
+	nextVPN uint64
 
 	protects   []*vm.Page
 	unprotects []*vm.Page
@@ -57,14 +58,19 @@ func (k *fakeKernel) addPage(tier mem.TierID, size int32) *vm.Page {
 	if len(k.procs) == 0 {
 		p := vm.NewProcess(1, "fake", 4096)
 		k.procs = append(k.procs, p)
+		k.nextVPN = p.VMAs()[0].Start
 	}
+	// Pages pack contiguously by their actual size: the dense page table
+	// rejects VPNs outside the VMA, and the scan-pacing tests assume the
+	// 4096-page address space (one full scan pass per ~Period).
 	pg := &vm.Page{
 		ID:   int64(len(k.pages)),
-		VPN:  k.procs[0].VMAs()[0].Start + uint64(len(k.pages))*64,
+		VPN:  k.nextVPN,
 		Proc: k.procs[0],
 		Tier: tier,
 		Size: size,
 	}
+	k.nextVPN += uint64(size)
 	if size > 1 {
 		pg.Flags |= vm.FlagHuge
 	}

@@ -20,6 +20,7 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"chrono/internal/faultinject"
 	"chrono/internal/lru"
@@ -77,6 +78,16 @@ type ProcRecord struct {
 	ResidentFast int64 `json:"resident_fast"`
 	ResidentSlow int64 `json:"resident_slow"`
 	ResidentSwap int64 `json:"resident_swap"`
+}
+
+// PendingProtRecord serializes one deferred Protect: the page, the fault
+// sequence the Protect stamped, and the injected delivery delay drawn at
+// Protect time. Materialization is stateless, so this is all a restore
+// needs to reproduce the eventual timer exactly.
+type PendingProtRecord struct {
+	ID      int64             `json:"id"`
+	Seq     uint64            `json:"seq"`
+	DelayNS simclock.Duration `json:"delay_ns"`
 }
 
 // MetricsState is the serializable form of Metrics (histograms as sparse
@@ -150,6 +161,15 @@ type EngineState struct {
 	AliasStructural  bool          `json:"alias_structural,omitempty"`
 	HasAlias         bool          `json:"has_alias,omitempty"`
 
+	// PendingFaults are the materialized fault timers gathered from every
+	// shard queue, sorted by (At, ID, Seq); PendingProts are deferred
+	// Protects not yet materialized, sorted by (ID, Seq). Both are stored
+	// flat — ownership is recomputed as ID mod the restoring engine's shard
+	// count — so a checkpoint round-trips bit-identically across different
+	// -shards settings.
+	PendingFaults []simclock.ShardEntry `json:"pending_faults,omitempty"`
+	PendingProts  []PendingProtRecord   `json:"pending_prots,omitempty"`
+
 	NumaTiering int64         `json:"numa_tiering"`
 	Horizon     simclock.Time `json:"horizon"`
 
@@ -205,6 +225,44 @@ func (e *Engine) Snapshot() (*EngineState, error) {
 		st.KLRU[t] = e.kLRU[t].State()
 	}
 	st.Pages = e.pageTableState()
+	// Gather the sharded fault state into flat, canonically sorted lists:
+	// identical simulation state yields identical bytes no matter how many
+	// shards (or which per-queue heap layouts) produced it.
+	// Stale records (the page was re-protected, unprotected, or freed since
+	// they were queued) are filtered out: replay would drop them anyway, so
+	// omitting them is semantics-free and keeps the bytes a pure function of
+	// simulation state rather than of queue-replacement history.
+	live := func(id int64, seq uint64) bool {
+		if id < 0 || id >= int64(len(e.pages)) {
+			return false
+		}
+		pg := e.pages[id]
+		return pg != nil && pg.FaultSeq == seq && pg.Flags.Has(vm.FlagProtNone)
+	}
+	var gather []simclock.ShardEntry
+	for _, sh := range e.shards {
+		gather = sh.queue.AppendEntries(gather[:0])
+		for _, en := range gather {
+			if live(en.ID, en.Seq) {
+				st.PendingFaults = append(st.PendingFaults, en)
+			}
+		}
+		for _, pp := range sh.pending {
+			if live(pp.id, pp.seq) {
+				st.PendingProts = append(st.PendingProts, PendingProtRecord{ID: pp.id, Seq: pp.seq, DelayNS: pp.delay})
+			}
+		}
+	}
+	sort.Slice(st.PendingFaults, func(i, j int) bool {
+		return st.PendingFaults[i].Before(st.PendingFaults[j])
+	})
+	sort.Slice(st.PendingProts, func(i, j int) bool {
+		a, b := st.PendingProts[i], st.PendingProts[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Seq < b.Seq
+	})
 	for _, ps := range e.procs {
 		st.Procs = append(st.Procs, ProcRecord{
 			PID:             ps.proc.PID,
@@ -323,6 +381,27 @@ func (e *Engine) Restore(st *EngineState) error {
 	}
 	if err := e.restoreProcs(st.Procs); err != nil {
 		return err
+	}
+	// Scatter the flat pending-fault state back into shard ownership. The
+	// restoring engine may use a different shard count than the one that
+	// snapshotted: ownership is just ID mod the current count, and replay
+	// order is shard-independent.
+	for _, sh := range e.shards {
+		sh.queue.Reset()
+		sh.pending = sh.pending[:0]
+	}
+	for _, en := range st.PendingFaults {
+		if en.ID < 0 || en.ID >= int64(len(e.pages)) || e.pages[en.ID] == nil {
+			return fmt.Errorf("engine: restore: pending fault references page %d", en.ID)
+		}
+		e.ownerShard(en.ID).queue.Push(en)
+	}
+	for _, pp := range st.PendingProts {
+		if pp.ID < 0 || pp.ID >= int64(len(e.pages)) || e.pages[pp.ID] == nil {
+			return fmt.Errorf("engine: restore: pending protect references page %d", pp.ID)
+		}
+		sh := e.ownerShard(pp.ID)
+		sh.pending = append(sh.pending, pendingProt{id: pp.ID, seq: pp.Seq, delay: pp.DelayNS})
 	}
 	// The tier lists share one link family: empty every pair before any
 	// refill, or pages that changed tiers since the snapshot would still
@@ -470,9 +549,6 @@ func (e *Engine) restorePages(st *PageTableState) error {
 		pg.Meta = st.Meta[i]
 		pg.Meta2 = st.Meta2[i]
 		pg.FaultSeq = st.FaultSeq[i]
-		// Pending fault deliveries are rebuilt by the clock restore through
-		// the fault binder, which reattaches the handle.
-		pg.FaultHandle = simclock.Handle{}
 		e.pageW[id] = st.W[i]
 		e.pageRF[id] = st.RF[i]
 	}

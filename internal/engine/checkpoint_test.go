@@ -10,6 +10,7 @@ package engine
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"chrono/internal/core"
@@ -25,9 +26,11 @@ import (
 // buildCkptEngine constructs the fence scenario: one process with a
 // skewed pattern whose hot tail starts in the slow tier, so every policy
 // has promotion work to do across the snapshot point.
-func buildCkptEngine(t *testing.T, pol policy.Policy, mode PageSizeMode, faults faultinject.Plan) *Engine {
+func buildCkptEngine(t *testing.T, pol policy.Policy, mode PageSizeMode, faults faultinject.Plan, shards int) *Engine {
 	t.Helper()
-	e := New(Config{Seed: 7, FastGB: 4, SlowGB: 12, Faults: faults})
+	// ShardWorkers 2 keeps the concurrent materialization path exercised
+	// (and under -race, raced) whenever shards > 1.
+	e := New(Config{Seed: 7, FastGB: 4, SlowGB: 12, Faults: faults, Shards: shards, ShardWorkers: 2})
 	p := vm.NewProcess(1, "ckpt", 3000)
 	start := p.VMAs()[0].Start
 	for i := uint64(0); i < 3000; i++ {
@@ -113,57 +116,72 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	}
 	for _, polName := range []string{"TPP", "Memtis", "FlexMem", "Chrono"} {
 		for planName, plan := range plans {
-			t.Run(polName+"/"+planName, func(t *testing.T) {
-				// Reference: run straight through.
-				pol, mode := newFencePolicy(t, polName)
-				ref := buildCkptEngine(t, pol, mode, plan)
-				ref.Run(dur)
-				want := finalState(t, ref)
+			for _, shards := range []int{1, 8} {
+				t.Run(fmt.Sprintf("%s/%s/shards=%d", polName, planName, shards), func(t *testing.T) {
+					// Reference: run straight through.
+					pol, mode := newFencePolicy(t, polName)
+					ref := buildCkptEngine(t, pol, mode, plan, shards)
+					ref.Run(dur)
+					want := finalState(t, ref)
 
-				// Interrupted: snapshot at the first event past mid, keep
-				// running (the snapshot must not perturb the run), then
-				// restore the snapshot into a fresh build and resume.
-				pol2, _ := newFencePolicy(t, polName)
-				victim := buildCkptEngine(t, pol2, mode, plan)
-				var snap *EngineState
-				victim.Clock().SetAfterStep(func() {
-					if snap == nil && victim.Clock().Now() >= mid {
-						s, err := victim.Snapshot()
-						if err != nil {
-							t.Fatalf("snapshot: %v", err)
+					// Interrupted: snapshot at the first event past mid, keep
+					// running (the snapshot must not perturb the run), then
+					// restore the snapshot into a fresh build and resume.
+					pol2, _ := newFencePolicy(t, polName)
+					victim := buildCkptEngine(t, pol2, mode, plan, shards)
+					var snap *EngineState
+					victim.Clock().SetAfterStep(func() {
+						if snap == nil && victim.Clock().Now() >= mid {
+							s, err := victim.Snapshot()
+							if err != nil {
+								t.Fatalf("snapshot: %v", err)
+							}
+							snap = s
 						}
-						snap = s
+					})
+					victim.Run(dur)
+					if snap == nil {
+						t.Fatal("snapshot hook never fired")
+					}
+					if got := finalState(t, victim); !bytes.Equal(got, want) {
+						t.Fatalf("snapshotting perturbed the run (%s)", diffHint(got, want))
+					}
+
+					// The snapshot must round-trip through bytes, like a real
+					// checkpoint file does.
+					blob, err := json.Marshal(snap)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var loaded EngineState
+					if err := json.Unmarshal(blob, &loaded); err != nil {
+						t.Fatal(err)
+					}
+
+					pol3, _ := newFencePolicy(t, polName)
+					resumed := buildCkptEngine(t, pol3, mode, plan, shards)
+					if err := resumed.Restore(&loaded); err != nil {
+						t.Fatalf("restore: %v", err)
+					}
+					resumed.ResumeRun()
+					if got := finalState(t, resumed); !bytes.Equal(got, want) {
+						t.Fatalf("resumed run diverged (%s)", diffHint(got, want))
+					}
+
+					// Pending-fault state is flat in the checkpoint, so a
+					// snapshot taken under one shard count must restore and
+					// resume under another — to the same final state.
+					pol4, _ := newFencePolicy(t, polName)
+					cross := buildCkptEngine(t, pol4, mode, plan, 3)
+					if err := cross.Restore(&loaded); err != nil {
+						t.Fatalf("cross-shard restore: %v", err)
+					}
+					cross.ResumeRun()
+					if got := finalState(t, cross); !bytes.Equal(got, want) {
+						t.Fatalf("cross-shard-count resume diverged (%s)", diffHint(got, want))
 					}
 				})
-				victim.Run(dur)
-				if snap == nil {
-					t.Fatal("snapshot hook never fired")
-				}
-				if got := finalState(t, victim); !bytes.Equal(got, want) {
-					t.Fatalf("snapshotting perturbed the run (%s)", diffHint(got, want))
-				}
-
-				// The snapshot must round-trip through bytes, like a real
-				// checkpoint file does.
-				blob, err := json.Marshal(snap)
-				if err != nil {
-					t.Fatal(err)
-				}
-				var loaded EngineState
-				if err := json.Unmarshal(blob, &loaded); err != nil {
-					t.Fatal(err)
-				}
-
-				pol3, _ := newFencePolicy(t, polName)
-				resumed := buildCkptEngine(t, pol3, mode, plan)
-				if err := resumed.Restore(&loaded); err != nil {
-					t.Fatalf("restore: %v", err)
-				}
-				resumed.ResumeRun()
-				if got := finalState(t, resumed); !bytes.Equal(got, want) {
-					t.Fatalf("resumed run diverged (%s)", diffHint(got, want))
-				}
-			})
+			}
 		}
 	}
 }
@@ -208,7 +226,7 @@ func jsonInt(i int) []byte {
 // snapshot instead of producing a checkpoint that cannot resume.
 func TestSnapshotFailsOnUnkeyedEvents(t *testing.T) {
 	pol, mode := newFencePolicy(t, "TPP")
-	e := buildCkptEngine(t, pol, mode, faultinject.Plan{})
+	e := buildCkptEngine(t, pol, mode, faultinject.Plan{}, 1)
 	e.Clock().Every(simclock.Second, func(now simclock.Time) {})
 	var got error
 	e.Clock().SetAfterStep(func() {
@@ -231,7 +249,7 @@ func TestSnapshotFailsOnUnkeyedEvents(t *testing.T) {
 // clear error, not silent divergence.
 func TestRestoreRejectsMismatch(t *testing.T) {
 	pol, mode := newFencePolicy(t, "TPP")
-	e := buildCkptEngine(t, pol, mode, faultinject.Plan{})
+	e := buildCkptEngine(t, pol, mode, faultinject.Plan{}, 1)
 	var snap *EngineState
 	e.Clock().SetAfterStep(func() {
 		if snap == nil && e.Clock().Now() >= 10*simclock.Second {
@@ -248,13 +266,13 @@ func TestRestoreRejectsMismatch(t *testing.T) {
 	}
 
 	wrongPol, wrongMode := newFencePolicy(t, "Memtis")
-	other := buildCkptEngine(t, wrongPol, wrongMode, faultinject.Plan{})
+	other := buildCkptEngine(t, wrongPol, wrongMode, faultinject.Plan{}, 1)
 	if err := other.Restore(snap); err == nil {
 		t.Fatal("restore into a different policy succeeded")
 	}
 
 	pol2, _ := newFencePolicy(t, "TPP")
-	faulty := buildCkptEngine(t, pol2, mode, faultinject.Aggressive())
+	faulty := buildCkptEngine(t, pol2, mode, faultinject.Aggressive(), 1)
 	if err := faulty.Restore(snap); err == nil {
 		t.Fatal("restore into a different fault plan succeeded")
 	}

@@ -33,6 +33,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"chrono/internal/faultinject"
 	"chrono/internal/lru"
@@ -138,6 +139,17 @@ type Config struct {
 	// fractions and bandwidth figures in real units. Default
 	// 262144/PagesPerGB.
 	CostScale float64
+
+	// Shards partitions the fault machinery by page ID (owner = ID mod
+	// Shards) for multi-core execution at high page fidelity. Results are
+	// independent of the shard count: gap draws are stateless hashes and
+	// replay is a canonical (time, page, seq)-ordered merge (see shard.go).
+	// Default 1.
+	Shards int
+	// ShardWorkers caps the goroutines used for shard materialization.
+	// 0 means min(Shards, GOMAXPROCS); 1 forces inline execution. Like
+	// Shards, the setting never affects results, only wall-clock.
+	ShardWorkers int
 }
 
 // Defaults fills zero fields with defaults and returns cfg.
@@ -198,6 +210,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.HugeFactor == 0 {
 		cfg.HugeFactor = 64
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
 	return cfg
 }
@@ -301,10 +316,18 @@ type Engine struct {
 	aliasWeightDirty bool          //chrono:state AliasWeightDirty
 	aliasStructural  bool          //chrono:state AliasStructural
 
-	// faultCB is the single fault-delivery callback shared by every
-	// Protect: scheduling through AtArg with (page, seq) as the argument
-	// pair avoids allocating a closure per poisoned page.
-	faultCB simclock.ArgFunc //chrono:rebuilt closure over the engine, re-created by New; pending deliveries rebind through the clock's fault binder
+	// shards own the pending-fault timers and deferred Protects, keyed by
+	// page ID mod shard count (see shard.go for the determinism argument).
+	//
+	//chrono:state PendingFaults,PendingProts
+	shards []*engineShard
+	// faultSeed keys the stateless per-(page, seq) fault-gap hash. Derived
+	// from Config.Seed only — never from the shard count — so every shard
+	// layout draws identical gaps.
+	faultSeed uint64 //chrono:rebuilt derived from Config.Seed by New
+	// shardWorkers is the resolved materialization parallelism; execution
+	// strategy never affects results.
+	shardWorkers int //chrono:rebuilt derived from Config and GOMAXPROCS; wall-clock only
 
 	// flushMark/flushList are scratch for FlushPattern's page dedup and
 	// recomputeProcAggregates' VMA walk, reused across calls (indexed by
@@ -326,6 +349,10 @@ type Engine struct {
 	// LRU aging, kswapd, cgroup reclaim) while a run is in flight, so
 	// finishRun can cancel it and a Restore can find it registered.
 	runTickers []*simclock.Ticker //chrono:rebuilt re-armed by startTickers inside Restore
+	// engTickers caches the ticker objects across Run calls: keyed tickers
+	// keep their registry slot through Cancel/Restart, so repeated runs
+	// re-arm the same four tickers instead of allocating fresh ones.
+	engTickers []*simclock.Ticker //chrono:rebuilt ticker cache, re-armed by startTickers
 
 	horizon simclock.Time //chrono:state Horizon
 
@@ -448,25 +475,24 @@ func New(cfg Config) *Engine {
 	for t := mem.TierID(0); t < mem.NumTiers; t++ {
 		e.kLRU[t] = lru.NewTwoList(e.links)
 	}
-	e.faultCB = func(now simclock.Time, arg any, seq uint64) {
-		e.deliverFault(arg.(*vm.Page), seq, now)
+	// Sharded fault machinery (shard.go). The gap-hash seed folds in a
+	// domain constant so it never collides with another derived stream; it
+	// deliberately ignores Shards/ShardWorkers, which must not affect
+	// results.
+	e.faultSeed = rng.Hash(cfg.Seed, 0x66a0, 1)
+	e.shards = make([]*engineShard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = &engineShard{}
+		e.shards[i].queue.SetStride(int64(cfg.Shards))
 	}
-	// Restore support: pending hint-fault deliveries serialize as
-	// (page ID, fault seq); the binder re-attaches the shared callback and
-	// the page object at Restore time. A page freed after scheduling never
-	// leaves a pending fault (Unprotect cancels it), but the inert-event
-	// branch keeps a corrupt record from crashing the resume.
-	e.clock.BindKey(faultKey, func(rec simclock.EventRecord) {
-		var pg *vm.Page
-		if rec.Arg >= 0 && rec.Arg < int64(len(e.pages)) {
-			pg = e.pages[rec.Arg]
-		}
-		if pg == nil {
-			e.clock.AtKey(rec.At, faultKey, rec.Arg, rec.N, func(now simclock.Time) {})
-			return
-		}
-		pg.FaultHandle = e.clock.AtArgKey(rec.At, faultKey, rec.Arg, e.faultCB, pg, rec.N)
-	})
+	w := cfg.ShardWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cfg.Shards {
+		w = cfg.Shards
+	}
+	e.shardWorkers = w
 	policy.RegisterBackoffBinder(e)
 	e.table.Int64("kernel/numa_tiering", "enable tiered NUMA management (Chrono)", &e.numaTiering, nil, nil)
 	// The injector's streams derive from (Seed, Plan) only — never from
@@ -515,6 +541,9 @@ func (e *Engine) AddProcess(p *vm.Process, threads int) {
 	if threads <= 0 {
 		threads = 1
 	}
+	// Slot is the dense engine index of the process; hot paths (fault
+	// replay, alias rebuild, page rates) use it instead of the byPID map.
+	p.Slot = len(e.procs)
 	ps := &procState{proc: p, threads: threads}
 	e.procs = append(e.procs, ps)
 	e.byPID[p.PID] = ps
@@ -770,8 +799,8 @@ func (e *Engine) procOf(p *vm.Process) *procState { return e.byPID[p.PID] }
 // ground-truth rate — available to the harness and the fault generator,
 // not part of the policy.Kernel surface.
 func (e *Engine) PageRate(pg *vm.Page) float64 {
-	ps := e.byPID[pg.Proc.PID]
-	if ps == nil || ps.wTot == 0 {
+	ps := e.procs[pg.Proc.Slot]
+	if ps.wTot == 0 {
 		return 0
 	}
 	return ps.rate * e.pageW[pg.ID] / ps.wTot
@@ -803,26 +832,36 @@ func (e *Engine) Run(d simclock.Duration) *Metrics {
 	e.updateRates()
 	e.migTokens = float64(e.cfg.MigrationBWBytes) // one second of initial budget
 	e.startTickers()
-	e.clock.RunUntil(e.horizon)
+	e.runLoop()
 	return e.finishRun()
 }
 
 // startTickers arms the engine's periodic work under stable checkpoint
-// keys, in a fixed order so event sequence numbers are reproducible.
+// keys, in a fixed order so event sequence numbers are reproducible. The
+// ticker objects are created once and re-armed on later runs: a keyed
+// ticker keeps its registry slot through Cancel/Restart, so repeated Run
+// calls (sweeps, benchmarks) allocate nothing here.
 func (e *Engine) startTickers() {
-	e.runTickers = []*simclock.Ticker{
-		e.clock.EveryKey("engine/epoch", e.cfg.EpochNS, func(now simclock.Time) { e.epochTick(now) }),
-		// Kernel LRU aging once per minute: the paper (§2.3) observes that
-		// accessed-bit reset intervals in practice "last from minutes to
-		// hours", which is why hardware-bit recency is a coarse hotness
-		// signal. Faster aging would hand every policy an unrealistically
-		// sharp reclaim oracle.
-		e.clock.EveryKey("engine/age", simclock.Minute, func(now simclock.Time) { e.ageLRU() }),
-		// kswapd watermark check every 500 ms.
-		e.clock.EveryKey("engine/kswapd", 500*simclock.Millisecond, func(now simclock.Time) { e.kswapd() }),
-		// cgroup memory.limit enforcement every second (§3.3.1).
-		e.clock.EveryKey("engine/cgroup", simclock.Second, func(now simclock.Time) { e.cgroupReclaim(now) }),
+	if e.engTickers == nil {
+		e.engTickers = []*simclock.Ticker{
+			e.clock.EveryKey("engine/epoch", e.cfg.EpochNS, func(now simclock.Time) { e.epochTick(now) }),
+			// Kernel LRU aging once per minute: the paper (§2.3) observes that
+			// accessed-bit reset intervals in practice "last from minutes to
+			// hours", which is why hardware-bit recency is a coarse hotness
+			// signal. Faster aging would hand every policy an unrealistically
+			// sharp reclaim oracle.
+			e.clock.EveryKey("engine/age", simclock.Minute, func(now simclock.Time) { e.ageLRU() }),
+			// kswapd watermark check every 500 ms.
+			e.clock.EveryKey("engine/kswapd", 500*simclock.Millisecond, func(now simclock.Time) { e.kswapd() }),
+			// cgroup memory.limit enforcement every second (§3.3.1).
+			e.clock.EveryKey("engine/cgroup", simclock.Second, func(now simclock.Time) { e.cgroupReclaim(now) }),
+		}
+	} else {
+		for _, t := range e.engTickers {
+			t.Restart()
+		}
 	}
+	e.runTickers = e.engTickers
 }
 
 // finishRun is the common tail of Run and ResumeRun: cancel the periodic
@@ -841,6 +880,6 @@ func (e *Engine) finishRun() *Metrics {
 // priming and ticker arming Run performs are already part of the restored
 // state, so it only drains the clock and closes out the run.
 func (e *Engine) ResumeRun() *Metrics {
-	e.clock.RunUntil(e.horizon)
+	e.runLoop()
 	return e.finishRun()
 }

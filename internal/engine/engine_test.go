@@ -17,6 +17,32 @@ func newTestEngine(seed uint64) *Engine {
 	return New(Config{Seed: seed, FastGB: 4, SlowGB: 12})
 }
 
+// drainTo replays pending faults and master events up to deadline — the
+// white-box twin of runLoop for tests that drive the fault path without a
+// full Run (fault timers live in the shard queues, not the clock, so a bare
+// Clock().RunUntil would never deliver them).
+func drainTo(e *Engine, deadline simclock.Time) {
+	for !e.clock.Stopped() {
+		next := e.clock.NextAt()
+		limit := deadline
+		if next < limit {
+			limit = next
+		}
+		if e.drainFaults(limit) {
+			continue
+		}
+		if next > deadline {
+			break
+		}
+		if !e.clock.StepAfter() {
+			break
+		}
+	}
+	if !e.clock.Stopped() && e.clock.Now() < deadline {
+		e.clock.AdvanceTo(deadline)
+	}
+}
+
 // addUniformProc maps one process with n uniformly weighted pages.
 func addUniformProc(e *Engine, pid int, n uint64, readFrac float64) *vm.Process {
 	p := vm.NewProcess(pid, "t", n)
@@ -216,7 +242,7 @@ func TestProtectDeliversFault(t *testing.T) {
 	if !pg.Flags.Has(vm.FlagProtNone) {
 		t.Fatal("Protect did not set PROT_NONE")
 	}
-	e.Clock().RunUntil(5 * simclock.Second)
+	drainTo(e, 5*simclock.Second)
 	if len(faulted) != 1 || faulted[0] != pg {
 		t.Fatalf("fault delivery: %v", faulted)
 	}
@@ -246,7 +272,7 @@ func TestUnprotectCancelsFault(t *testing.T) {
 	pg := e.Pages()[0]
 	e.Protect(pg)
 	e.Unprotect(pg)
-	e.Clock().RunUntil(9 * simclock.Second)
+	drainTo(e, 9*simclock.Second)
 	if faults != 0 {
 		t.Fatalf("%d faults after Unprotect", faults)
 	}
@@ -263,7 +289,7 @@ func TestReprotectInvalidatesStaleFault(t *testing.T) {
 	pg := e.Pages()[0]
 	e.Protect(pg)
 	e.Protect(pg) // restamp; old event must not double-deliver
-	e.Clock().RunUntil(20 * simclock.Second)
+	drainTo(e, 20*simclock.Second)
 	if faults != 1 {
 		t.Fatalf("faults=%d after re-protect, want exactly 1", faults)
 	}
@@ -278,7 +304,7 @@ func TestZeroWeightPageNeverFaults(t *testing.T) {
 	e.AttachPolicy(&recordingPolicy{onFault: func(*vm.Page, simclock.Time) { faults++ }})
 	e.horizon = 10 * simclock.Second
 	e.Protect(e.Pages()[0])
-	e.Clock().RunUntil(9 * simclock.Second)
+	drainTo(e, 9*simclock.Second)
 	if faults != 0 {
 		t.Fatal("zero-weight page faulted")
 	}

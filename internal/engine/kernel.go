@@ -7,7 +7,6 @@ import (
 	"chrono/internal/pebs"
 	"chrono/internal/policy"
 	"chrono/internal/rng"
-	"chrono/internal/simclock"
 	"chrono/internal/units"
 	"chrono/internal/vm"
 )
@@ -20,81 +19,34 @@ import (
 // restamps it anyway).
 const minFaultRate = 1e-4 // < one access per ~3 virtual hours
 
-// faultKey is the checkpoint key of pending hint-fault delivery events.
-const faultKey = "engine/fault"
-
-// Protect poisons pg PROT_NONE, stamps the scan timestamp, and schedules
-// the hint fault at the page's next access.
+// Protect poisons pg PROT_NONE and stamps the scan timestamp. The fault
+// timer is deferred: Protect records (page, seq, injected delay) on the
+// page's owner shard, and the gap draw happens at the next fault drain
+// (shard.go), possibly in parallel. The draw is a stateless hash of
+// (faultSeed, page ID, fault seq), so deferral changes neither the value
+// nor any engine RNG stream.
 func (e *Engine) Protect(pg *vm.Page) {
 	if pg.Flags.Has(vm.FlagSwapped) {
 		return // non-resident: there is no PTE to poison
 	}
-	now := e.clock.Now()
 	pg.Flags |= vm.FlagProtNone
-	pg.ProtTS = now
+	pg.ProtTS = e.clock.Now()
 	pg.FaultSeq++
-	e.clock.Cancel(pg.FaultHandle)
 	e.ChargeKernel(e.cfg.ScanPageNS.Mul(float64(pg.Size)).Mul(e.cfg.CostScale))
-
-	rate := e.PageRate(pg)
-	if rate < minFaultRate {
-		return
-	}
-	var gapS units.Sec
-	switch e.cfg.Gap {
-	case GapExp:
-		gapS = units.Sec(e.rFault.Exp(rate))
-	default:
-		gapS = units.Sec(e.rFault.Float64() / rate)
-	}
-	at := now + gapS.Duration()
 	// Injected delivery delay: under scheduling pressure the faulting
-	// thread observes the poisoned PTE late.
-	at += e.inj.FaultDelay()
-	if at > e.horizon {
-		return
-	}
-	// AtArgKey with the engine's one shared fault callback: no closure
-	// allocation on this path, which every scan of every policy hits once
-	// per poisoned page. The key + (page ID, seq) payload make the pending
-	// fault serializable; the binder in New re-creates it on Restore.
-	pg.FaultHandle = e.clock.AtArgKey(at, faultKey, pg.ID, e.faultCB, pg, pg.FaultSeq)
+	// thread observes the poisoned PTE late. Drawn here — the injector
+	// stream is serial — so materialization stays stateless.
+	delay := e.inj.FaultDelay()
+	sh := e.ownerShard(pg.ID)
+	sh.pending = append(sh.pending, pendingProt{id: pg.ID, seq: pg.FaultSeq, delay: delay})
 }
 
-// Unprotect clears the poisoning without delivering a fault.
+// Unprotect clears the poisoning without delivering a fault. Cancellation
+// is lazy: the seq bump invalidates any pending deferred Protect or
+// materialized timer, which the drain filters on pop.
 func (e *Engine) Unprotect(pg *vm.Page) {
 	pg.Flags &^= vm.FlagProtNone
 	pg.FaultSeq++
-	e.clock.Cancel(pg.FaultHandle)
-}
-
-// deliverFault runs when a protected page is first accessed.
-func (e *Engine) deliverFault(pg *vm.Page, seq uint64, now simclock.Time) {
-	if pg.FaultSeq != seq || !pg.Flags.Has(vm.FlagProtNone) {
-		return // stale event: page was re-protected or unprotected
-	}
-	pg.Flags &^= vm.FlagProtNone
-	pg.LastFault = now
-
-	e.M.Faults++
-	e.M.ContextSwitches++
-	ps := e.byPID[pg.Proc.PID]
-	ps.epochFaults++
-	e.ChargeKernel(e.cfg.FaultKernelNS.Mul(e.cfg.CostScale))
-	// The faulting event stands for CostScale real page faults, each an
-	// access that observed the fault-handling latency on top of its tier
-	// latency.
-	lat := e.cfg.FaultLatencyNS + e.cfg.Latency.Access(pg.Tier, false)
-	e.M.Lat.Add(float64(lat), e.cfg.CostScale)
-	e.M.LatRead.Add(float64(lat), e.cfg.CostScale)
-
-	// Hint faults do NOT rotate the kernel LRU: the real fault handler
-	// never touches the lists, and reclaim learns about references only
-	// through its own (slow) accessed-bit scans. Giving the LRU
-	// fault-recency information would make reclaim unrealistically sharp.
-	if e.pol != nil {
-		e.pol.OnFault(pg, now)
-	}
 }
 
 // AccessedTestAndClear emulates the PTE accessed-bit read-and-clear.
@@ -335,7 +287,7 @@ func (e *Engine) moveTier(pg *vm.Page, to mem.TierID) error {
 	}
 
 	// Aggregates.
-	ps := e.byPID[pg.Proc.PID]
+	ps := e.procs[pg.Proc.Slot]
 	w := e.pageW[pg.ID]
 	rf := e.pageRF[pg.ID]
 	ps.wRead[from] -= w * rf
@@ -395,7 +347,7 @@ func (e *Engine) SplitHuge(pg *vm.Page) []*vm.Page {
 	if !pg.IsHuge() {
 		return nil
 	}
-	ps := e.byPID[pg.Proc.PID]
+	ps := e.procs[pg.Proc.Slot]
 	now := e.clock.Now()
 	// Retire the huge page.
 	if pg.Flags.Has(vm.FlagProtNone) {
@@ -586,25 +538,20 @@ func (e *Engine) SamplePEBS(s *pebs.Sampler, period units.Sec) int {
 }
 
 // rebuildAlias reconstructs the PEBS sampling distribution from current
-// page rates. The weight/ID buffers are reused across rebuilds (NewAlias
-// copies what it needs; the sampler reads aliasIDs only during
-// SamplePeriod), and the per-page rate is computed from the per-process
-// rate/wTot pair cached across the run of consecutive same-process pages
-// in the dense table — no byPID map lookup per page.
+// page rates. The weight/ID buffers are reused across rebuilds (the
+// sampler reads aliasIDs only during SamplePeriod), the per-page rate uses
+// the dense proc-slot index instead of a byPID map lookup, and a live
+// table is refreshed in place with Rebuild, so steady-state rebuilds
+// allocate nothing.
 func (e *Engine) rebuildAlias() {
 	weights := e.aliasW[:0]
 	ids := e.aliasIDs[:0]
-	var lastProc *vm.Process
-	var ps *procState
 	for _, pg := range e.pages {
 		if pg == nil {
 			continue
 		}
-		if pg.Proc != lastProc {
-			lastProc = pg.Proc
-			ps = e.byPID[pg.Proc.PID]
-		}
-		if ps == nil || ps.wTot == 0 {
+		ps := e.procs[pg.Proc.Slot]
+		if ps.wTot == 0 {
 			continue
 		}
 		r := ps.rate * e.pageW[pg.ID] / ps.wTot
@@ -623,5 +570,9 @@ func (e *Engine) rebuildAlias() {
 		e.aliasTable = nil
 		return
 	}
-	e.aliasTable = rng.NewAlias(e.rPEBS, weights)
+	if e.aliasTable == nil {
+		e.aliasTable = rng.NewAlias(e.rPEBS, weights)
+	} else {
+		e.aliasTable.Rebuild(weights)
+	}
 }

@@ -123,6 +123,11 @@ func (e *Engine) SlowUtilization() float64 { return e.slowUtilEMA }
 func (e *Engine) epochTick(now simclock.Time) {
 	dt := e.cfg.EpochNS.Seconds()
 
+	// Per-tier access masses accumulate across processes first: the jitter
+	// histogram expansion depends only on the tier and op, so one expansion
+	// per tier replaces one per (process, tier) — at fig6a scale that turns
+	// ~2000 histogram inserts per epoch into ~40.
+	var tierReads, tierWrites [mem.NumTiers]float64
 	for _, ps := range e.procs {
 		if ps.wTot <= 0 || ps.rate <= 0 {
 			continue
@@ -138,18 +143,8 @@ func (e *Engine) epochTick(now simclock.Time) {
 			writes := acc * ps.wWrite[t] / ps.wTot
 			e.M.Reads += reads
 			e.M.Writes += writes
-			for _, j := range jitter {
-				if reads > 0 {
-					l := float64(e.cfg.Latency.ReadNS[t]) * e.latMult(t, false) * j.mult
-					e.M.Lat.Add(l, reads*j.frac)
-					e.M.LatRead.Add(l, reads*j.frac)
-				}
-				if writes > 0 {
-					l := float64(e.cfg.Latency.WriteNS[t]) * e.latMult(t, true) * j.mult
-					e.M.Lat.Add(l, writes*j.frac)
-					e.M.LatWrite.Add(l, writes*j.frac)
-				}
-			}
+			tierReads[t] += reads
+			tierWrites[t] += writes
 		}
 
 		// Fault overhead per access (EMA over epochs).
@@ -159,6 +154,21 @@ func (e *Engine) epochTick(now simclock.Time) {
 		}
 		ps.faultOverheadNS = 0.7*ps.faultOverheadNS + 0.3*perAccess
 		ps.epochFaults = 0
+	}
+	for t := mem.TierID(0); t < mem.NumTiers; t++ {
+		reads, writes := tierReads[t], tierWrites[t]
+		for _, j := range jitter {
+			if reads > 0 {
+				l := float64(e.cfg.Latency.ReadNS[t]) * e.latMult(t, false) * j.mult
+				e.M.Lat.Add(l, reads*j.frac)
+				e.M.LatRead.Add(l, reads*j.frac)
+			}
+			if writes > 0 {
+				l := float64(e.cfg.Latency.WriteNS[t]) * e.latMult(t, true) * j.mult
+				e.M.Lat.Add(l, writes*j.frac)
+				e.M.LatWrite.Add(l, writes*j.frac)
+			}
+		}
 	}
 
 	// Baseline scheduler context switches and the kernel-time fraction

@@ -1,0 +1,181 @@
+package engine
+
+// Fences for the sharded fault machinery (shard.go): the shard count, the
+// worker count, and the order in which shards materialize their deferred
+// Protects are pure execution strategy — none of them may change a single
+// simulated byte.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"chrono/internal/faultinject"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// TestShardCountInvariant runs the checkpoint-fence scenario to completion
+// under a spread of shard counts (including non-divisors of the page count)
+// and demands a byte-identical final state — metrics, histograms, page
+// table, node accounting, and policy counters.
+func TestShardCountInvariant(t *testing.T) {
+	const dur = 60 * simclock.Second
+	run := func(shards int) []byte {
+		pol, mode := newFencePolicy(t, "Chrono")
+		e := buildCkptEngine(t, pol, mode, faultinject.Plan{}, shards)
+		e.Run(dur)
+		return finalState(t, e)
+	}
+	want := run(1)
+	for _, shards := range []int{2, 3, 5, 8, 13} {
+		if got := run(shards); !bytes.Equal(got, want) {
+			t.Errorf("shards=%d diverged from shards=1 (%s)", shards, diffHint(got, want))
+		}
+	}
+}
+
+// TestShardWorkerCountInvariant pins the other half of the contract: for a
+// fixed shard count, the materialization worker count (inline, 2, many)
+// never affects results.
+func TestShardWorkerCountInvariant(t *testing.T) {
+	const dur = 60 * simclock.Second
+	run := func(workers int) []byte {
+		pol, mode := newFencePolicy(t, "Chrono")
+		e := New(Config{Seed: 7, FastGB: 4, SlowGB: 12, Shards: 8, ShardWorkers: workers})
+		p := vm.NewProcess(1, "sw", 3000)
+		start := p.VMAs()[0].Start
+		for i := uint64(0); i < 3000; i++ {
+			w := 1.0
+			if i >= 2500 {
+				w = 60
+			}
+			p.SetPattern(start+i, w, 0.7)
+		}
+		e.AddProcess(p, 4)
+		if err := e.MapAll(mode); err != nil {
+			t.Fatal(err)
+		}
+		e.AttachPolicy(pol)
+		e.Run(dur)
+		return finalState(t, e)
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !bytes.Equal(got, want) {
+			t.Errorf("ShardWorkers=%d diverged from inline (%s)", workers, diffHint(got, want))
+		}
+	}
+}
+
+// TestShardMergeOrderIndependence is the property test behind the worker
+// fence: materializing the shards in ANY order — here, random permutations,
+// standing in for arbitrary goroutine completion orders — must produce the
+// identical globally merged fault sequence. It drives materializeShard
+// directly so the permutation is exact rather than left to the scheduler.
+func TestShardMergeOrderIndependence(t *testing.T) {
+	type fault struct {
+		id  int64
+		at  simclock.Time
+		seq int
+	}
+	// run protects a batch of pages (every shard gets several), materializes
+	// the shards in the given order, drains, and returns the fault log.
+	run := func(order []int) []fault {
+		e := New(Config{Seed: 11, FastGB: 4, SlowGB: 12, Shards: 8, ShardWorkers: 1})
+		addUniformProc(e, 1, 512, 1)
+		if err := e.MapAll(BasePages); err != nil {
+			t.Fatal(err)
+		}
+		var log []fault
+		e.AttachPolicy(&recordingPolicy{onFault: func(pg *vm.Page, now simclock.Time) {
+			log = append(log, fault{id: pg.ID, at: now, seq: len(log)})
+		}})
+		e.horizon = 20 * simclock.Second
+		e.updateRates()
+		for _, pg := range e.Pages()[:256] {
+			e.Protect(pg)
+		}
+		now := e.clock.Now()
+		for _, si := range order {
+			e.materializeShard(e.shards[si], now)
+		}
+		if e.havePending() {
+			t.Fatal("permutation did not cover every shard with pending Protects")
+		}
+		drainTo(e, 15*simclock.Second)
+		return log
+	}
+
+	inOrder := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	want := run(inOrder)
+	if len(want) == 0 {
+		t.Fatal("scenario produced no faults — the property is vacuous")
+	}
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		perm := r.Perm(8)
+		got := run(perm)
+		if len(got) != len(want) {
+			t.Fatalf("order %v: %d faults, want %d", perm, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("order %v: fault %d = %+v, want %+v", perm, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardQueueReplacement pins the eager-replacement contract of the
+// shard queue: pushing a newer entry for a page evicts the stale one, so
+// Protect/Unprotect churn cannot grow the heap beyond the live page count.
+func TestShardQueueReplacement(t *testing.T) {
+	var q simclock.ShardQueue
+	q.SetStride(4)
+	for cycle := 0; cycle < 1000; cycle++ {
+		for id := int64(0); id < 16; id += 4 { // one shard's IDs under stride 4
+			q.Push(simclock.ShardEntry{At: simclock.Time(1000 + cycle), ID: id, Seq: uint64(cycle)})
+		}
+		if q.Len() > 4 {
+			t.Fatalf("cycle %d: queue holds %d entries for 4 pages — replacement broken", cycle, q.Len())
+		}
+	}
+	for want := int64(0); want < 16; want += 4 {
+		en, ok := q.PopLE(simclock.MaxTime)
+		if !ok || en.ID != want || en.Seq != 999 {
+			t.Fatalf("pop: got (%v,%v), want ID %d Seq 999", en, ok, want)
+		}
+	}
+	if _, ok := q.PopLE(simclock.MaxTime); ok {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+// TestShardQueueCanonicalOrder pins the (At, ID, Seq) pop order on ties.
+func TestShardQueueCanonicalOrder(t *testing.T) {
+	var q simclock.ShardQueue
+	entries := []simclock.ShardEntry{
+		{At: 50, ID: 9, Seq: 1},
+		{At: 50, ID: 2, Seq: 7},
+		{At: 10, ID: 30, Seq: 3},
+		{At: 50, ID: 4, Seq: 2},
+		{At: 99, ID: 1, Seq: 1},
+	}
+	for _, e := range entries {
+		q.Push(e)
+	}
+	var got []string
+	for {
+		en, ok := q.PopLE(simclock.MaxTime)
+		if !ok {
+			break
+		}
+		got = append(got, fmt.Sprintf("%d/%d/%d", en.At, en.ID, en.Seq))
+	}
+	want := []string{"10/30/3", "50/2/7", "50/4/2", "50/9/1", "99/1/1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("pop order %v, want %v", got, want)
+	}
+}

@@ -101,7 +101,10 @@ type cellDone struct {
 
 // specFor builds the canonical identity of a sweep cell. It must be
 // computed from the *fresh* (pre-Build) workload so the key is identical
-// across processes and attempts.
+// across processes and attempts. Execution-strategy knobs (Workers,
+// Shards, ShardWorkers) are deliberately absent: they never affect
+// results, so a sweep checkpointed under one shard count resumes cleanly
+// under another.
 func specFor(experiment, polName string, w workload.Workload, o RunOpts) RunSpec {
 	return RunSpec{
 		Experiment: experiment,

@@ -59,6 +59,15 @@ type RunOpts struct {
 	// assembled in specification order, so the output is identical for any
 	// worker count (see DESIGN.md "Parallel sweeps").
 	Workers int
+	// Shards partitions each engine's fault machinery for multi-core
+	// execution of a single run (default 1). Like Workers, it never
+	// affects results — only wall-clock — so it is deliberately excluded
+	// from durable-sweep cell identity (see specFor) and a sweep may be
+	// resumed under a different shard count.
+	Shards int
+	// ShardWorkers caps the goroutines materializing shard timers
+	// (0 = min(Shards, GOMAXPROCS)).
+	ShardWorkers int
 	// Faults configures deterministic fault injection for every run of
 	// the experiment (zero value: disabled — runs are byte-identical to
 	// a build without the subsystem; see internal/faultinject).

@@ -12,12 +12,14 @@ import (
 // newEngine builds an engine from RunOpts (already defaulted).
 func newEngine(o RunOpts) *engine.Engine {
 	return engine.New(engine.Config{
-		Seed:        o.Seed,
-		PagesPerGB:  o.PagesPerGB,
-		FastGB:      o.FastGB,
-		SlowGB:      o.SlowGB,
-		Faults:      o.Faults,
-		DebugChecks: o.DebugChecks,
+		Seed:         o.Seed,
+		PagesPerGB:   o.PagesPerGB,
+		FastGB:       o.FastGB,
+		SlowGB:       o.SlowGB,
+		Faults:       o.Faults,
+		DebugChecks:  o.DebugChecks,
+		Shards:       o.Shards,
+		ShardWorkers: o.ShardWorkers,
 	})
 }
 

@@ -52,11 +52,19 @@ func NewSampler(r *rng.Source, ratePerSec units.Hz) *Sampler {
 	return &Sampler{RatePerSec: ratePerSec, r: r}
 }
 
-// Grow ensures counter storage covers page IDs < n.
+// Grow ensures counter storage covers page IDs < n, growing geometrically
+// so repeated one-past-the-end growth stays amortized allocation-free.
 func (s *Sampler) Grow(n int) {
-	for len(s.counters) < n {
-		s.counters = append(s.counters, 0)
+	if n <= len(s.counters) {
+		return
 	}
+	if cap(s.counters) >= n {
+		s.counters = s.counters[:n]
+		return
+	}
+	grown := make([]uint32, n, max(n, 2*cap(s.counters)))
+	copy(grown, s.counters)
+	s.counters = grown
 }
 
 // SamplePeriod draws the samples of a virtual period of the given length
@@ -65,6 +73,18 @@ func (s *Sampler) Grow(n int) {
 // It returns the number of samples retained.
 func (s *Sampler) SamplePeriod(dist *rng.Alias, ids []int64, period units.Sec) int {
 	n := int(s.RatePerSec.Count(period))
+	// Pre-size counter storage for the whole period up front: one pass over
+	// the category map is far cheaper than a bounds check + growth inside
+	// the per-sample loop, and it keeps the sample path allocation-free.
+	maxID := int64(-1)
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if maxID >= 0 {
+		s.Grow(int(maxID) + 1)
+	}
 	kept := 0
 	for i := 0; i < n; i++ {
 		if s.LossRate > 0 && s.r.Bool(s.LossRate) {
@@ -73,7 +93,6 @@ func (s *Sampler) SamplePeriod(dist *rng.Alias, ids []int64, period units.Sec) i
 		}
 		cat := dist.Next()
 		id := ids[cat]
-		s.Grow(int(id) + 1)
 		s.counters[id]++
 		s.total++
 		kept++

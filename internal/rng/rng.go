@@ -21,6 +21,39 @@ func splitmix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// mix is the splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash statelessly maps (seed, a, b) to 64 uniform bits. Unlike a Source it
+// has no stream position: the result depends only on the inputs, so
+// concurrent shard workers can each evaluate it for the keys they own and
+// obtain exactly the values a serial walk would — the foundation of the
+// engine's order-independent fault-gap draws.
+func Hash(seed, a, b uint64) uint64 {
+	return mix(mix(mix(seed+0x9e3779b97f4a7c15)^a*0xbf58476d1ce4e5b9) ^ b*0x94d049bb133111eb)
+}
+
+// HashFloat64 returns a uniform float64 in [0, 1) statelessly derived from
+// (seed, a, b), with the same 53-bit construction as Source.Float64.
+func HashFloat64(seed, a, b uint64) float64 {
+	return float64(Hash(seed, a, b)>>11) / (1 << 53)
+}
+
+// HashExp returns an exponentially distributed variate with the given rate
+// (mean 1/rate), statelessly derived from (seed, a, b). Rate must be
+// positive.
+func HashExp(seed, a, b uint64, rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: HashExp with non-positive rate")
+	}
+	u := HashFloat64(seed, a, b)
+	return -math.Log(1-u) / rate
+}
+
 // Source is a deterministic xoshiro256** PRNG. It is not safe for concurrent
 // use; the simulator is single-threaded per run by design.
 type Source struct {
@@ -250,11 +283,39 @@ type Alias struct {
 	r     *Source
 	prob  []float64
 	alias []int32
+	// Build scratch, retained across Rebuild calls so refreshing the table
+	// with a same-sized distribution allocates nothing once warm.
+	scaled []float64
+	small  []int32
+	large  []int32
 }
 
 // NewAlias builds an alias table from the (unnormalized, non-negative)
 // weights. A nil or all-zero weight vector panics.
 func NewAlias(r *Source, weights []float64) *Alias {
+	a := &Alias{r: r}
+	a.Rebuild(weights)
+	return a
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// Rebuild replaces the table's distribution in place, reusing the existing
+// backing arrays when capacity allows. The resulting table is identical to
+// what NewAlias would build from the same weights.
+func (a *Alias) Rebuild(weights []float64) {
 	n := len(weights)
 	if n == 0 {
 		panic("rng: Alias with empty weights")
@@ -269,14 +330,11 @@ func NewAlias(r *Source, weights []float64) *Alias {
 	if total <= 0 {
 		panic("rng: Alias with zero total weight")
 	}
-	a := &Alias{
-		r:     r,
-		prob:  make([]float64, n),
-		alias: make([]int32, n),
-	}
-	scaled := make([]float64, n)
-	small := make([]int32, 0, n)
-	large := make([]int32, 0, n)
+	a.prob = growF64(a.prob, n)
+	a.alias = growI32(a.alias, n)
+	scaled := growF64(a.scaled, n)
+	small := a.small[:0]
+	large := a.large[:0]
 	for i, w := range weights {
 		scaled[i] = w * float64(n) / total
 		if scaled[i] < 1 {
@@ -305,7 +363,9 @@ func NewAlias(r *Source, weights []float64) *Alias {
 	for _, s := range small {
 		a.prob[s] = 1
 	}
-	return a
+	a.scaled = scaled
+	a.small = small[:0]
+	a.large = large[:0]
 }
 
 // Next draws one index following the weight distribution.

@@ -147,6 +147,31 @@ func (c *Clock) SetAfterStep(fn func()) { c.afterStep = fn }
 // Now returns the current virtual time.
 func (c *Clock) Now() Time { return c.now }
 
+// NextAt returns the timestamp of the earliest pending event, or MaxTime
+// when the queue is empty. It lets an external sequencer (the engine's
+// sharded fault replay) interleave its own timestamped work with the event
+// queue without popping anything.
+func (c *Clock) NextAt() Time {
+	if len(c.queue) == 0 {
+		return MaxTime
+	}
+	return c.queue[0].at
+}
+
+// AdvanceTo moves the clock forward to t without firing any event. It
+// panics if t is in the past or if a pending event precedes t: callers
+// replaying externally sequenced work must stop at NextAt and let Step
+// dispatch the queued event first, or monotonicity would break.
+func (c *Clock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: AdvanceTo %v before now %v", t, c.now))
+	}
+	if len(c.queue) > 0 && c.queue[0].at < t {
+		panic(fmt.Sprintf("simclock: AdvanceTo %v skips pending event at %v", t, c.queue[0].at))
+	}
+	c.now = t
+}
+
 // Pending returns the number of events still queued.
 func (c *Clock) Pending() int { return len(c.queue) }
 
@@ -451,6 +476,18 @@ func (t *Ticker) Cancel() {
 // Period returns the ticker's current period.
 func (t *Ticker) Period() Duration { return t.period }
 
+// Restart revives a cancelled ticker, scheduling its next firing one period
+// from now. Restarting a live ticker is a no-op. A keyed ticker keeps its
+// registry slot across Cancel/Restart, so a caller running the same
+// simulation phases repeatedly can reuse one ticker per key instead of
+// allocating a fresh one per run.
+func (t *Ticker) Restart() {
+	t.cancel = false
+	if !t.armed {
+		t.schedule()
+	}
+}
+
 // Reset changes the ticker period. A pending firing is rescheduled to the
 // new cadence immediately; when called from inside the ticker's own
 // callback, the new period applies from the next firing.
@@ -495,6 +532,20 @@ func (c *Clock) Step() bool {
 		afn(c.now, arg, n)
 	} else {
 		fn(c.now)
+	}
+	return true
+}
+
+// StepAfter fires the single earliest event and then runs the afterStep
+// hook, exactly as one iteration of RunUntil would. Callers that interleave
+// their own work between master events (the engine's sharded fault replay)
+// use it to keep hook semantics identical to a plain RunUntil drain.
+func (c *Clock) StepAfter() bool {
+	if !c.Step() {
+		return false
+	}
+	if c.afterStep != nil {
+		c.afterStep()
 	}
 	return true
 }

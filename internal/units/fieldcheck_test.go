@@ -37,11 +37,13 @@ var unitSuffixes = []string{
 // units type, a unit suffix, or an entry here.
 var dimensionless = map[string]bool{
 	// engine.Config
-	"Seed":       true,
-	"Gap":        true, // GapModel enum selector, not a quantity
-	"NCPU":       true, // hardware thread count
-	"HugeFactor": true, // pages folded per huge page
-	"CostScale":  true, // real pages per simulated page (ratio)
+	"Seed":         true,
+	"Gap":          true, // GapModel enum selector, not a quantity
+	"NCPU":         true, // hardware thread count
+	"HugeFactor":   true, // pages folded per huge page
+	"CostScale":    true, // real pages per simulated page (ratio)
+	"Shards":       true, // fault-machinery partition count
+	"ShardWorkers": true, // materialization goroutine cap
 	// mem.Config / mem.Node
 	"FastPages":     true,
 	"SlowPages":     true,

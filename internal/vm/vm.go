@@ -84,11 +84,10 @@ type Page struct {
 	Meta  uint64
 	Meta2 uint64
 
-	// FaultHandle is the engine's pending-fault event for this page, so a
-	// re-scan or unmap can cancel a stale fault. Owned by the engine.
-	FaultHandle simclock.Handle
 	// FaultSeq guards against stale fault events firing after the page
-	// was unprotected and re-protected. Owned by the engine.
+	// was unprotected and re-protected. Owned by the engine; it also keys
+	// the engine's stateless fault-gap draws, so each protect round of a
+	// page gets an independent deterministic gap.
 	FaultSeq uint64
 }
 
@@ -114,6 +113,11 @@ type Process struct {
 	Name   string
 	Cgroup int
 
+	// Slot is the process's dense index in the engine's process table.
+	// Owned by the engine; it gives fault-path code O(1) access to engine
+	// per-process state without a PID map lookup.
+	Slot int
+
 	// DelayNS is extra user-side stall added before every access
 	// (pmbench's delay parameter, §5.1.3: i units of 50 cycles).
 	DelayNS units.NS
@@ -124,9 +128,12 @@ type Process struct {
 	MemLimit int64
 
 	vmas []VMA
-	// pages maps VPN -> resident Page. Huge pages appear once at their
-	// head VPN; tail VPNs map to the same *Page.
-	pages map[uint64]*Page
+	// pages is the resident page table, indexed by PatternIndex(VPN). A
+	// huge page occupies every covered slot (all of which are contiguous:
+	// pages never span VMAs — InsertPage panics on a VPN outside every
+	// VMA). A dense slice beats the former VPN-keyed map decisively on the
+	// scan/fault hot paths.
+	pages []*Page
 
 	// weights and readFrac give the per-base-page access pattern set by
 	// the workload; index is VPN - vmas[0].Start for the single-VMA case,
@@ -152,7 +159,7 @@ func NewProcess(pid int, name string, lenPages uint64) *Process {
 	p := &Process{
 		PID:   pid,
 		Name:  name,
-		pages: make(map[uint64]*Page, lenPages),
+		pages: make([]*Page, lenPages),
 	}
 	p.vmas = []VMA{{Start: 0x1000, Len: lenPages, Name: "anon"}}
 	p.weights = make([]float64, lenPages)
@@ -170,6 +177,7 @@ func (p *Process) AddVMA(lenPages uint64, name string) VMA {
 	last := p.vmas[len(p.vmas)-1]
 	v := VMA{Start: last.End() + 0x1000, Len: lenPages, Name: name}
 	p.vmas = append(p.vmas, v)
+	p.pages = append(p.pages, make([]*Page, lenPages)...)
 	p.weights = append(p.weights, make([]float64, lenPages)...)
 	p.readFrac = append(p.readFrac, make([]float64, lenPages)...)
 	p.dirtyMark = append(p.dirtyMark, make([]bool, lenPages)...)
@@ -265,38 +273,63 @@ func (p *Process) RecomputeTotalWeight() {
 
 // PageAt returns the resident page covering vpn, or nil.
 func (p *Process) PageAt(vpn uint64) *Page {
-	if pg, ok := p.pages[vpn]; ok {
-		return pg
+	// Huge pages are registered at every covered slot at map time, so a
+	// simple lookup suffices; nil means not resident.
+	i := p.PatternIndex(vpn)
+	if i < 0 {
+		return nil
 	}
-	// Huge pages are registered at every covered VPN at map time, so a
-	// simple lookup suffices; missing means not resident.
-	return nil
+	return p.pages[i]
 }
 
-// InsertPage registers a resident page in the process page table.
+// PageAtIndex returns the resident page at a pattern index, or nil. Hot
+// loops that already walk pattern indices (the scan walker, the engine's
+// alias gather) use it to skip the VPN translation entirely.
+func (p *Process) PageAtIndex(i int) *Page {
+	if i < 0 || i >= len(p.pages) {
+		return nil
+	}
+	return p.pages[i]
+}
+
+// PatternLen returns the total pattern-index space (page-table slots).
+func (p *Process) PatternLen() int { return len(p.pages) }
+
+// InsertPage registers a resident page in the process page table. Every
+// covered VPN must lie inside a VMA.
 func (p *Process) InsertPage(pg *Page) {
 	for i := uint64(0); i < uint64(pg.Size); i++ {
-		p.pages[pg.VPN+i] = pg
+		idx := p.PatternIndex(pg.VPN + i)
+		if idx < 0 {
+			panic(fmt.Sprintf("vm: InsertPage vpn %#x outside every VMA", pg.VPN+i))
+		}
+		p.pages[idx] = pg
 	}
 }
 
 // RemovePage unregisters a resident page.
 func (p *Process) RemovePage(pg *Page) {
 	for i := uint64(0); i < uint64(pg.Size); i++ {
-		delete(p.pages, pg.VPN+i)
+		idx := p.PatternIndex(pg.VPN + i)
+		if idx >= 0 {
+			p.pages[idx] = nil
+		}
 	}
 }
 
 // ResidentPages returns the number of resident base pages.
 func (p *Process) ResidentPages() int64 {
 	var n int64
-	seen := make(map[*Page]bool)
-	//chrono:ordered-irrelevant idempotent dedup + integer sum commute
-	for _, pg := range p.pages {
-		if !seen[pg] {
-			seen[pg] = true
-			n += int64(pg.Size)
+	// A page's covered slots are contiguous, so counting it at its first
+	// slot and skipping its span dedups huge pages without a seen-set.
+	for i := 0; i < len(p.pages); {
+		pg := p.pages[i]
+		if pg == nil {
+			i++
+			continue
 		}
+		n += int64(pg.Size)
+		i += int(pg.Size)
 	}
 	return n
 }

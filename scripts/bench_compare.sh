@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# bench_compare.sh — regression gate between two bench_snapshot.sh JSONs.
+#
+# Compares every benchmark present in BOTH snapshots (median ns/op and
+# max allocs/op across samples) and fails when:
+#   - median ns/op regresses by more than THRESHOLD_PCT (default 10), or
+#   - allocs/op increases at all (the hot paths are allocation-free by
+#     design; a single new alloc per op is a structural regression, not
+#     noise).
+# Benchmarks present in only one snapshot are reported and skipped, so
+# adding a benchmark never breaks the gate retroactively.
+#
+#   scripts/bench_compare.sh BASELINE.json CURRENT.json
+#   THRESHOLD_PCT=15 scripts/bench_compare.sh BENCH_2026-08.json /tmp/after.json
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 <baseline.json> <current.json>" >&2
+	exit 2
+fi
+base="$1" cur="$2"
+[ -r "$base" ] || { echo "bench_compare: cannot read $base" >&2; exit 2; }
+[ -r "$cur" ] || { echo "bench_compare: cannot read $cur" >&2; exit 2; }
+THRESHOLD_PCT="${THRESHOLD_PCT:-10}"
+
+# extract <file> <field> — one "name value" line per sample, in file order.
+# The snapshots are machine-written by bench_snapshot.sh, so a line-regex
+# parse is reliable (and keeps the gate dependency-free: no jq, no python).
+extract() {
+	awk -v field="$2" '
+	/^    "/ {
+		line = $0
+		sub(/^[[:space:]]*"/, "", line)
+		name = line
+		sub(/".*/, "", name)
+		while (match(line, "\"" field "\": [0-9.]+")) {
+			v = substr(line, RSTART, RLENGTH)
+			sub(/.*: /, "", v)
+			print name, v
+			line = substr(line, RSTART + RLENGTH)
+		}
+	}' "$1"
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+extract "$base" "ns_per_op" >"$tmp/base_ns"
+extract "$cur" "ns_per_op" >"$tmp/cur_ns"
+extract "$base" "allocs_per_op" >"$tmp/base_allocs"
+extract "$cur" "allocs_per_op" >"$tmp/cur_allocs"
+
+median_of() { # median_of <file> <name>
+	awk -v n="$2" '$1 == n { v[c++] = $2 }
+	END {
+		if (c == 0) exit 1
+		for (i = 0; i < c; i++) for (j = i + 1; j < c; j++)
+			if (v[j] + 0 < v[i] + 0) { t = v[i]; v[i] = v[j]; v[j] = t }
+		if (c % 2) print v[int(c / 2)]
+		else print (v[c / 2 - 1] + v[c / 2]) / 2
+	}' "$1"
+}
+
+max_of() { # max_of <file> <name>
+	awk -v n="$2" '$1 == n && ($2 + 0) > m { m = $2 + 0 } END { print m + 0 }' "$1"
+}
+
+fail=0
+for name in $(awk '{ print $1 }' "$tmp/cur_ns" | sort -u); do
+	if ! grep -q "^$name " "$tmp/base_ns"; then
+		echo "bench_compare: $name: new benchmark, no baseline — skipped"
+		continue
+	fi
+	bns="$(median_of "$tmp/base_ns" "$name")"
+	cns="$(median_of "$tmp/cur_ns" "$name")"
+	balloc="$(max_of "$tmp/base_allocs" "$name")"
+	calloc="$(max_of "$tmp/cur_allocs" "$name")"
+	verdict="$(awk -v b="$bns" -v c="$cns" -v t="$THRESHOLD_PCT" \
+		'BEGIN { d = (c - b) / b * 100; printf "%+.1f%%", d; exit !(d > t) }')" && ns_bad=1 || ns_bad=0
+	echo "bench_compare: $name: ns/op $bns -> $cns ($verdict), allocs/op $balloc -> $calloc"
+	if [ "$ns_bad" = 1 ]; then
+		echo "bench_compare: FAIL: $name ns/op regressed beyond ${THRESHOLD_PCT}%" >&2
+		fail=1
+	fi
+	if awk -v b="$balloc" -v c="$calloc" 'BEGIN { exit !(c > b) }'; then
+		echo "bench_compare: FAIL: $name allocs/op increased ($balloc -> $calloc)" >&2
+		fail=1
+	fi
+done
+for name in $(awk '{ print $1 }' "$tmp/base_ns" | sort -u); do
+	grep -q "^$name " "$tmp/cur_ns" ||
+		echo "bench_compare: $name: in baseline but not in current snapshot"
+done
+
+exit "$fail"

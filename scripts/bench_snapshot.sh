@@ -17,7 +17,7 @@ COUNT="${COUNT:-10}"
 BENCHTIME="${BENCHTIME:-1s}"
 STAMP="${STAMP:-$(date +%Y-%m)}"
 OUT="${OUT:-BENCH_${STAMP}.json}"
-BENCHES='BenchmarkSimclockEvents|BenchmarkEngineEpoch|BenchmarkFaultPath'
+BENCHES='BenchmarkSimclockEvents|BenchmarkEngineEpoch|BenchmarkEngineEpochShards8|BenchmarkEngineEpochHighFidelity|BenchmarkFaultPath'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
