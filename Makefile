@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-suggest lint-sarif bench-snapshot bench-diff simdebug chaos bench resume-check check clean
+.PHONY: build test race vet lint lint-suggest lint-sarif lint-budget bench-snapshot bench-diff simdebug chaos bench resume-check check clean
 
 build:
 	$(GO) build ./...
@@ -17,12 +17,12 @@ race:
 vet:
 	$(GO) vet ./...
 
-# chronolint: the repo's thirteen determinism, unit-safety, concurrency-
-# safety, and checkpoint-integrity analyzers over every package including
-# cmd/ and examples/ — see internal/analysis and DESIGN.md for the
-# catalog. The driver binary is built once into bin/ so repeated lint
-# runs (and the CI cache) skip the compile. Exits non-zero on any
-# unsuppressed error-severity finding.
+# chronolint: the repo's sixteen determinism, unit-safety, concurrency-
+# safety, checkpoint-integrity, and interprocedural data-flow analyzers
+# over every package including cmd/ and examples/ — see internal/analysis
+# and DESIGN.md for the catalog. The driver binary is built once into
+# bin/ so repeated lint runs (and the CI cache) skip the compile. Exits
+# non-zero on any unsuppressed error-severity finding.
 CHRONOLINT_SRCS := $(shell find internal/analysis cmd/chronolint -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
 
 bin/chronolint: $(CHRONOLINT_SRCS)
@@ -41,6 +41,13 @@ lint-suggest: bin/chronolint
 # GitHub security tab).
 lint-sarif: bin/chronolint
 	bin/chronolint -format sarif ./... > chronolint.sarif
+
+# Lint-timing budget: chronolint's wall time over the full tree must stay
+# within 2x the committed lint-budget.json baseline — the interprocedural
+# flow layer makes lint cost a real quantity worth fencing. Re-record an
+# intentional slowdown with WRITE=1 bash scripts/lint_budget.sh.
+lint-budget: bin/chronolint
+	bash scripts/lint_budget.sh
 
 # Re-record the tier-1 perf baseline: COUNT=10 runs of the hot-path
 # benchmarks into a dated JSON snapshot (see scripts/bench_snapshot.sh

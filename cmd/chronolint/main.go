@@ -34,8 +34,9 @@ func main() {
 		all           = flag.Bool("all", false, "ignore package scoping; run every analyzer everywhere")
 		format        = flag.String("format", "text", "output format: text, json, or sarif")
 		baselinePath  = flag.String("baseline", "", "baseline file of acknowledged findings to suppress")
+		baselineMatch = flag.String("baseline-match", "path", "fingerprint mode: path (rule+file+message) or content (rule+message; survives file renames)")
 		writeBaseline = flag.String("write-baseline", "", "write surviving findings to this baseline file and exit 0")
-		suggest       = flag.Bool("suggest", false, "print the exact //chrono:allow line to insert for each finding")
+		suggest       = flag.Bool("suggest", false, "print the directive line to insert for each finding: the structural fence the analyzer suggests (//chrono:statesync, //chrono:owned, //chrono:hotpath, //chrono:merge) when it knows one, else a //chrono:allow template")
 		severityFlag  = flag.String("severity", "", "per-analyzer severity overrides, e.g. goroscope=warn,lockorder=error")
 	)
 	flag.Usage = func() {
@@ -53,6 +54,12 @@ func main() {
 	}
 
 	opts := analysis.Options{All: *all}
+	switch *baselineMatch {
+	case analysis.BaselineMatchPath, analysis.BaselineMatchContent:
+		opts.BaselineMatch = *baselineMatch
+	default:
+		fatal(fmt.Errorf("unknown -baseline-match %q (want path or content)", *baselineMatch))
+	}
 	var err error
 	if opts.Severities, err = parseSeverities(*severityFlag, analyzers); err != nil {
 		fatal(err)
@@ -89,8 +96,12 @@ func main() {
 		for _, f := range res.Findings {
 			fmt.Println(f)
 			if *suggest {
-				fmt.Printf("\tto suppress, insert above %s:%d:\n\t//chrono:allow %s <why this is safe>\n",
-					f.File, f.Line, f.Rule)
+				if f.Suggest != "" {
+					fmt.Printf("\tto resolve, insert above %s:%d:\n\t%s\n", f.File, f.Line, f.Suggest)
+				} else {
+					fmt.Printf("\tto suppress, insert above %s:%d:\n\t//chrono:allow %s <why this is safe>\n",
+						f.File, f.Line, f.Rule)
+				}
 			}
 		}
 	case "json":

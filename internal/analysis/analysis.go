@@ -83,6 +83,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// SourcePkg is the loaded package the pass runs over, giving
+	// interprocedural analyzers (internal/analysis/flow) access to the
+	// loader for module-local callee ASTs. Nil for hand-built passes.
+	SourcePkg *Package
 
 	diags       []Diagnostic
 	annotations map[annotationKey]bool
@@ -93,6 +97,12 @@ type Diagnostic struct {
 	Pos      token.Position
 	Message  string
 	Analyzer string
+	// Suggest, when non-empty, is the exact directive line chronolint
+	// -suggest prints for this finding instead of the generic
+	// //chrono:allow template — e.g. a //chrono:statesync, //chrono:owned,
+	// //chrono:hotpath, or //chrono:merge fence the analyzer knows would
+	// resolve the finding structurally.
+	Suggest string
 }
 
 // String formats the diagnostic in the canonical file:line:col style.
@@ -106,6 +116,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// ReportSuggestf records a finding at pos carrying a concrete fence
+// suggestion — the directive line -suggest prints for it.
+func (p *Pass) ReportSuggestf(pos token.Pos, suggest, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+		Suggest:  suggest,
 	})
 }
 
@@ -206,6 +227,7 @@ func RunCount(a *Analyzer, pkg *Package) (kept []Diagnostic, suppressed int, err
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
+		SourcePkg: pkg,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, 0, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -277,6 +299,9 @@ var knownDirectives = map[string]bool{
 	"statesync":          true, // statesync: pairs a struct with its checkpoint state struct
 	"state":              true, // statesync: field -> state field(s) mapping
 	"rebuilt":            true, // statesync: field rebuilt by code, with justification
+	"owned":              true, // shardown: field is per-shard state, owner = ID mod Shards
+	"merge":              true, // shardown: function is a canonical merge/fan-out fence
+	"hotpath":            true, // hotalloc: function (and transitive callees) must not allocate
 }
 
 // CheckDirectives validates every //chrono: directive of the package
@@ -294,7 +319,7 @@ func CheckDirectives(pkg *Package, analyzerNames map[string]bool) []Diagnostic {
 			for _, d := range Directives(pkg.Fset, cg) {
 				if !knownDirectives[d.Name] {
 					report(d.Pos, "unknown //chrono:%s directive (known: allow, wallclock, "+
-						"ordered-irrelevant, statesync, state, rebuilt)", d.Name)
+						"ordered-irrelevant, statesync, state, rebuilt, owned, merge, hotpath)", d.Name)
 					continue
 				}
 				if d.Name != "allow" {

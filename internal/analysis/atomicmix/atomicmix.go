@@ -18,6 +18,7 @@ package atomicmix
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 
 	"chrono/internal/analysis"
 )
@@ -90,11 +91,13 @@ func run(pass *analysis.Pass) error {
 			if !isAtomic {
 				return true
 			}
+			// Base name + line only: an absolute path would make the
+			// finding's fingerprint depend on where the module is checked out.
 			pos := pass.Fset.Position(site.Pos())
 			pass.Reportf(e.Pos(),
 				"%s is accessed atomically at %s:%d but read/written plainly here — "+
 					"a data race; use sync/atomic for every access or an atomic.%s wrapper type",
-				obj.Name(), pos.Filename, pos.Line, wrapperName(obj))
+				obj.Name(), filepath.Base(pos.Filename), pos.Line, wrapperName(obj))
 			return false // one report per access chain
 		})
 	}

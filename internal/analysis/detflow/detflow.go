@@ -1,0 +1,137 @@
+// Package detflow tracks determinism taint interprocedurally: values
+// derived from the wall clock (time.Now), the global math/rand
+// generators, map iteration order, or goroutine identity (multi-case
+// select winners, runtime.NumGoroutine) must not reach checkpointed
+// state — fields annotated //chrono:state. detclock and detrand ban the
+// sources syntactically in simulation packages; detflow closes the
+// laundering gap: a wall-clock reading returned through two helper
+// calls and then stored into a checkpointed counter is still a finding.
+//
+// Two sink forms are checked, both through the flow layer's summaries:
+//
+//   - direct stores: an assignment whose left side is a //chrono:state
+//     field and whose right side carries taint;
+//   - call sinks: an argument carrying taint passed to a parameter the
+//     callee's summary marks param→state (the callee, or something it
+//     calls, stores that parameter into checkpointed state).
+//
+// Line-level escape hatches mirror the v1 analyzers: //chrono:wallclock
+// exempts a deliberate wall-clock use, //chrono:ordered-irrelevant an
+// order-insensitive map fold, and //chrono:allow detflow <reason>
+// anything else.
+package detflow
+
+import (
+	"go/ast"
+	"go/token"
+
+	"chrono/internal/analysis"
+	"chrono/internal/analysis/flow"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "detflow"
+
+// Analyzer is the detflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag determinism-tainted values (wall clock, global rand, map " +
+		"order, goroutine identity) flowing into //chrono:state checkpointed " +
+		"fields, directly or through calls; suppress with " +
+		"//chrono:allow detflow <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pf, err := flow.Of(pass)
+	if err != nil {
+		return err
+	}
+	for _, fi := range pf.Ordered() {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		env := pf.EnvOf(fi)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, pf, env, v)
+			case *ast.CallExpr:
+				checkCall(pass, pf, env, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags stores of tainted values into checkpointed fields.
+// Compound assignments (+=) taint through their right side; the left
+// side's own history is the same field and adds nothing.
+func checkAssign(pass *analysis.Pass, pf *flow.PkgFlow, env *flow.Env, as *ast.AssignStmt) {
+	for i, l := range as.Lhs {
+		sel, ok := l.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		field := flow.SelectedField(pass.TypesInfo, sel)
+		if field == nil || !pf.FieldAnnOf(field).State {
+			continue
+		}
+		var rhs ast.Expr
+		switch {
+		case len(as.Rhs) == len(as.Lhs):
+			rhs = as.Rhs[i]
+		case len(as.Rhs) == 1:
+			rhs = as.Rhs[0]
+		default:
+			continue
+		}
+		taint, _ := env.Eval(rhs)
+		taint = exempt(pass, sel.Pos(), taint)
+		if taint == 0 {
+			continue
+		}
+		pass.Reportf(sel.Pos(),
+			"%s reaches checkpointed field %q; checkpointed state must be a "+
+				"function of the seed (//chrono:allow detflow <reason> if deliberate)",
+			taint, field.Name())
+	}
+}
+
+// checkCall flags tainted arguments feeding callee parameters whose
+// summaries reach checkpointed state.
+func checkCall(pass *analysis.Pass, pf *flow.PkgFlow, env *flow.Env, call *ast.CallExpr) {
+	callee := flow.StaticCallee(pass.TypesInfo, call)
+	fi := pf.FuncInfoOf(callee)
+	if fi == nil || fi.ParamToState == 0 {
+		return
+	}
+	for i, a := range call.Args {
+		if i >= 32 || fi.ParamToState&(1<<uint(i)) == 0 {
+			continue
+		}
+		taint, _ := env.Eval(a)
+		taint = exempt(pass, a.Pos(), taint)
+		if taint == 0 {
+			continue
+		}
+		pass.Reportf(a.Pos(),
+			"%s flows into checkpointed state through %s (parameter %d); "+
+				"checkpointed state must be a function of the seed",
+			taint, fi.Name(), i)
+	}
+}
+
+// exempt drops taints the line's directives deliberately accept:
+// //chrono:wallclock for wall-clock reads, //chrono:ordered-irrelevant
+// for order-insensitive map folds.
+func exempt(pass *analysis.Pass, pos token.Pos, taint flow.TaintSet) flow.TaintSet {
+	if pass.Annotated(pos, "wallclock") {
+		taint &^= 1 << flow.TaintWallClock
+	}
+	if pass.Annotated(pos, "ordered-irrelevant") {
+		taint &^= 1 << flow.TaintMapOrder
+	}
+	return taint
+}

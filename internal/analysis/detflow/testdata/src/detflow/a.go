@@ -1,0 +1,65 @@
+package detflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+type ckpt struct {
+	Total float64 //chrono:state
+	Seen  int64   //chrono:state
+	note  string
+}
+
+// add stores its parameter into checkpointed state: param→state summary.
+func (c *ckpt) add(v float64) {
+	c.Total += v
+}
+
+func (c *ckpt) direct() {
+	c.Seen = time.Now().UnixNano() // want `wall-clock reaches checkpointed field "Seen"`
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func (c *ckpt) laundered() {
+	t := stamp()
+	c.Seen = t // want `wall-clock reaches checkpointed field`
+}
+
+func (c *ckpt) viaCall() {
+	c.add(rand.Float64()) // want `global rand flows into checkpointed state through ckpt.add`
+}
+
+func (c *ckpt) mapFold(m map[int64]float64) {
+	for _, v := range m {
+		c.Total = c.Total + v // want `map iteration order reaches checkpointed field`
+	}
+}
+
+func (c *ckpt) commutative(m map[int64]float64) {
+	for _, v := range m {
+		c.Total = c.Total + v //chrono:ordered-irrelevant sum is commutative
+	}
+}
+
+func (c *ckpt) racy(a, b chan int64) {
+	select {
+	case v := <-a:
+		c.Seen = v // want `goroutine identity reaches checkpointed field`
+	case v := <-b:
+		c.Seen = v // want `goroutine identity reaches checkpointed field`
+	}
+}
+
+// clean stores seed-derived values only.
+func (c *ckpt) clean(seed int64) {
+	c.Seen = seed * 6364136223846793005
+	c.note = time.Now().String() // ok: note is not checkpointed
+}
+
+func (c *ckpt) exempted() {
+	c.Seen = time.Now().UnixNano() //chrono:allow detflow wall-clock watermark is diagnostic only
+}

@@ -35,12 +35,31 @@ type Finding struct {
 	// Fingerprint identifies the finding across line drift: it hashes
 	// rule, file, and message, but not position.
 	Fingerprint string `json:"fingerprint"`
+	// Suggest, when non-empty, is the exact directive line that would
+	// resolve the finding structurally (//chrono:statesync <T>,
+	// //chrono:owned, //chrono:hotpath, //chrono:merge) — printed by
+	// chronolint -suggest in place of the generic //chrono:allow template.
+	Suggest string `json:"suggest,omitempty"`
 }
 
 // String formats the finding in the canonical file:line:col style.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Column, f.Message, f.Rule)
 }
+
+// Baseline-matching modes: how fingerprints identify a finding across
+// edits.
+const (
+	// BaselineMatchPath (the default) hashes rule, file, and message — a
+	// finding keeps its identity across line drift but not across file
+	// renames.
+	BaselineMatchPath = "path"
+	// BaselineMatchContent hashes rule and message only, so moving a file
+	// does not resurrect its baselined findings. Identical messages in
+	// different files collapse onto one occurrence sequence (ordered by
+	// file, then position).
+	BaselineMatchContent = "content"
+)
 
 // Options configures one driver run.
 type Options struct {
@@ -52,6 +71,10 @@ type Options struct {
 	// acknowledged findings). Findings matching it are counted in
 	// Result.Baselined instead of being reported.
 	Baseline map[string]bool
+	// BaselineMatch selects the fingerprint mode: BaselineMatchPath
+	// (default, "" included) or BaselineMatchContent. The mode must match
+	// the one the baseline file was written under.
+	BaselineMatch string
 }
 
 // Result is the outcome of one driver run.
@@ -136,6 +159,7 @@ func Drive(l *Loader, analyzers []*Analyzer, patterns []string, opts Options) (*
 			Column:   d.Pos.Column,
 			Message:  d.Message,
 			Severity: severity[d.Analyzer].String(),
+			Suggest:  d.Suggest,
 		})
 	}
 
@@ -183,12 +207,17 @@ func Drive(l *Loader, analyzers []*Analyzer, patterns []string, opts Options) (*
 	})
 	// Fingerprints are assigned after sorting so duplicate occurrence
 	// numbers are deterministic (position order), then the baseline is
-	// applied to the uniquified set.
+	// applied to the uniquified set. Content mode drops the file from the
+	// hash (and from the occurrence key, to stay collision-consistent).
 	occ := make(map[string]int, len(all))
 	for i := range all {
-		key := all[i].Rule + "\x00" + all[i].File + "\x00" + all[i].Message
+		fpFile := all[i].File
+		if opts.BaselineMatch == BaselineMatchContent {
+			fpFile = ""
+		}
+		key := all[i].Rule + "\x00" + fpFile + "\x00" + all[i].Message
 		occ[key]++
-		all[i].Fingerprint = fingerprintN(all[i].Rule, all[i].File, all[i].Message, occ[key])
+		all[i].Fingerprint = fingerprintN(all[i].Rule, fpFile, all[i].Message, occ[key])
 	}
 	for _, f := range all {
 		if opts.Baseline[f.Fingerprint] {

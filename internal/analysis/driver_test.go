@@ -1,14 +1,17 @@
 package analysis_test
 
-// Driver-level integration tests: the full 13-analyzer suite runs over
+// Driver-level integration tests: the full 16-analyzer suite runs over
 // the fixture module in testdata/fixture and the results are checked end
 // to end — finding set, suppression counts, JSON and SARIF round-trips
-// (rule IDs, positions, fingerprints), baseline semantics, and severity
-// overrides.
+// (rule IDs, positions, fingerprints), baseline semantics, baseline-match
+// modes, and severity overrides. The flowpkg fixture seeds the v4
+// interprocedural analyzers (shardown, hotalloc, detflow); detclock also
+// fires there, on the raw time.Now source detflow tracks into the sink.
 
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -41,6 +44,10 @@ var fixtureWant = []string{
 	"dirty/dirty.go:49:directive",
 	"dirty/dirty.go:56:directive",
 	"dirty/dirty.go:63:atomicmix",
+	"flowpkg/flowpkg.go:31:shardown",
+	"flowpkg/flowpkg.go:40:hotalloc",
+	"flowpkg/flowpkg.go:45:detclock",
+	"flowpkg/flowpkg.go:50:detflow",
 	"state/state.go:13:statesync",
 	"state/state.go:19:statesync",
 	"state/state.go:26:snapalias",
@@ -329,6 +336,120 @@ func TestSeverityOverride(t *testing.T) {
 		}
 		if f.Severity != want {
 			t.Errorf("%s severity = %s, want %s", f, f.Severity, want)
+		}
+	}
+}
+
+// copyTree clones src into dst, applying rename (old→new relative path)
+// to file names along the way.
+func copyTree(t *testing.T, src, dst string, rename map[string]string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if to, ok := rename[filepath.ToSlash(rel)]; ok {
+			rel = filepath.FromSlash(to)
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// driveAt runs the full suite over a fixture clone rooted at dir.
+func driveAt(t *testing.T, dir string, opts analysis.Options) *analysis.Result {
+	t.Helper()
+	opts.All = true
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Drive(l, registry.All(), []string{"./..."}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestBaselineMatchContent exercises the rename robustness the content
+// mode buys: a baseline written with -baseline-match=content keeps
+// suppressing a file's findings after the file is renamed, where the
+// default path mode resurrects them.
+func TestBaselineMatchContent(t *testing.T) {
+	content := analysis.Options{BaselineMatch: analysis.BaselineMatchContent}
+	resPath := driveFixture(t, analysis.Options{})
+	resContent := driveFixture(t, content)
+	if len(resContent.Findings) != len(resPath.Findings) {
+		t.Fatalf("content mode changed the finding set: %d vs %d", len(resContent.Findings), len(resPath.Findings))
+	}
+	differ := false
+	for i := range resContent.Findings {
+		if resContent.Findings[i].Fingerprint != resPath.Findings[i].Fingerprint {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("content fingerprints are identical to path fingerprints")
+	}
+
+	writeBaseline := func(findings []analysis.Finding) map[string]bool {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		if err := analysis.WriteBaseline(path, findings); err != nil {
+			t.Fatal(err)
+		}
+		b, err := analysis.LoadBaseline(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Clone the fixture with state/state.go renamed. (The lockorder and
+	// atomicmix findings in dirty/ cite their own file's base name in the
+	// message, so renaming that file legitimately changes their content —
+	// state/'s statesync and snapalias messages are position-free.)
+	clone := t.TempDir()
+	copyTree(t, "testdata/fixture", clone, map[string]string{"state/state.go": "state/renamed.go"})
+
+	// Content baseline: the rename does not resurrect anything.
+	res := driveAt(t, clone, analysis.Options{
+		Baseline:      writeBaseline(resContent.Findings),
+		BaselineMatch: analysis.BaselineMatchContent,
+	})
+	if len(res.Findings) != 0 {
+		t.Errorf("content baseline after rename: findings = %v, want none", keys(res.Findings))
+	}
+	if res.Baselined != len(resContent.Findings) {
+		t.Errorf("content baseline after rename: baselined = %d, want %d", res.Baselined, len(resContent.Findings))
+	}
+
+	// Path baseline: the renamed file's findings come back — the failure
+	// mode content mode exists for.
+	resBack := driveAt(t, clone, analysis.Options{Baseline: writeBaseline(resPath.Findings)})
+	if len(resBack.Findings) == 0 {
+		t.Error("path baseline after rename: expected the renamed file's findings to resurface")
+	}
+	if len(resBack.Findings) != 3 {
+		t.Errorf("path baseline after rename: findings = %v, want the 3 from the renamed file", keys(resBack.Findings))
+	}
+	for _, f := range resBack.Findings {
+		if f.File != "state/renamed.go" {
+			t.Errorf("path baseline resurrected %s; only state/renamed.go findings should resurface", f)
 		}
 	}
 }

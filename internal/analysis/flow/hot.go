@@ -1,0 +1,114 @@
+package flow
+
+// Hot-path reachability for hotalloc: the transitive static-call closure
+// of a package's own //chrono:hotpath roots, module-wide. Each package's
+// closure is computed from its OWN roots only — that is what makes
+// findings deduplicable across driver passes: a callee package with its
+// own hot roots reports its own allocation sites, and the caller package
+// reports only sites the callee's roots do not already cover.
+
+import (
+	"go/types"
+	"sort"
+)
+
+// HotPath explains why a function is on a hot path: the annotated root
+// and the immediate caller through which the BFS reached it.
+type HotPath struct {
+	Root *FuncInfo
+	// Via is the calling function, nil when the function is itself a root.
+	Via *FuncInfo
+}
+
+// Chain renders "root → ... caller" provenance for diagnostics: the
+// annotated root, and the immediate caller when it is not the root.
+func (hp HotPath) Chain() string {
+	if hp.Via == nil || hp.Via == hp.Root {
+		return hp.Root.Name()
+	}
+	return hp.Root.Name() + " → " + hp.Via.Name()
+}
+
+// HotReachable returns every function reachable from this package's
+// //chrono:hotpath roots through static calls (including the roots),
+// mapped to its provenance. The result is cached; the traversal is
+// deterministic (source order roots, FIFO, first-reach wins).
+func (pf *PkgFlow) HotReachable() map[*types.Func]HotPath {
+	if pf.hot != nil {
+		return pf.hot
+	}
+	hot := make(map[*types.Func]HotPath)
+	type item struct {
+		fi   *FuncInfo
+		path HotPath
+	}
+	var queue []item
+	for _, fi := range pf.ordered {
+		if fi.Hotpath {
+			queue = append(queue, item{fi, HotPath{Root: fi}})
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if _, seen := hot[it.fi.Obj]; seen {
+			continue
+		}
+		hot[it.fi.Obj] = it.path
+		// Deterministic callee order: Calls are sorted by position.
+		for _, c := range it.fi.Calls {
+			callee := pf.FuncInfoOf(c.Callee)
+			if callee == nil {
+				continue
+			}
+			if _, seen := hot[callee.Obj]; !seen {
+				queue = append(queue, item{callee, HotPath{Root: it.path.Root, Via: it.fi}})
+			}
+		}
+	}
+	pf.hot = hot
+	return hot
+}
+
+// HotLocally reports whether fn (declared in any module package) is
+// reachable from the hot roots of ITS OWN package — the dedup predicate
+// hotalloc uses before reporting a cross-package site.
+func (pf *PkgFlow) HotLocally(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	var owner *PkgFlow
+	if fn.Pkg() == pf.Pkg.Types {
+		owner = pf
+	} else {
+		cache.Lock()
+		owner = cache.pkgs[fn.Pkg()]
+		cache.Unlock()
+	}
+	if owner == nil {
+		return false
+	}
+	_, ok := owner.HotReachable()[fn]
+	return ok
+}
+
+// SortedHot returns the hot-reachable functions of the package closure in
+// deterministic order (package path, then source position) — the
+// iteration order hotalloc reports in.
+func (pf *PkgFlow) SortedHot() []*FuncInfo {
+	hot := pf.HotReachable()
+	out := make([]*FuncInfo, 0, len(hot))
+	for fn := range hot {
+		if fi := pf.FuncInfoOf(fn); fi != nil {
+			out = append(out, fi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Pkg.Path, out[j].Pkg.Path
+		if pi != pj {
+			return pi < pj
+		}
+		return out[i].Decl.Pos() < out[j].Decl.Pos()
+	})
+	return out
+}

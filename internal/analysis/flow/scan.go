@@ -1,0 +1,301 @@
+package flow
+
+// Static per-function scan: call sites (the call-graph edges) and direct
+// heap-allocation sources. Both are structural facts — no fixpoint — so
+// they are gathered once when the package's flow is built.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// scan fills fi.Calls and fi.Allocs from the declaration body.
+func (pf *PkgFlow) scan(fi *FuncInfo) {
+	if fi.Decl.Body == nil {
+		return
+	}
+	info := pf.Pkg.TypesInfo
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			pf.scanCall(fi, v)
+		case *ast.AssignStmt:
+			pf.scanAssign(fi, v)
+		case *ast.CompositeLit:
+			pf.scanCompositeLit(fi, v)
+		case *ast.FuncLit:
+			if captured := capturedVars(info, v); len(captured) > 0 {
+				fi.addAlloc(v.Pos(), AllocClosure, "captures "+strings.Join(captured, ", "))
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isStringType(info, v.X) {
+				fi.addAlloc(v.Pos(), AllocString, "string +")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				pf.scanBoxing(fi, r, returnBoxTarget(pf, fi, v, r))
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := unparen(v.X).(*ast.IndexExpr); ok && isMapIndex(info, ix) {
+				fi.addAlloc(v.Pos(), AllocMapWrite, "map element update")
+			}
+		}
+		return true
+	})
+	sort.SliceStable(fi.Allocs, func(i, j int) bool { return fi.Allocs[i].Pos < fi.Allocs[j].Pos })
+	sort.SliceStable(fi.Calls, func(i, j int) bool { return fi.Calls[i].Pos < fi.Calls[j].Pos })
+}
+
+// scanCall records the call edge and its allocation consequences:
+// make/new, modelled allocating stdlib calls, string conversions, and
+// interface boxing of concrete arguments.
+func (pf *PkgFlow) scanCall(fi *FuncInfo, call *ast.CallExpr) {
+	info := pf.Pkg.TypesInfo
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && allocatingConversion(info, tv.Type, call.Args[0]) {
+			fi.addAlloc(call.Pos(), AllocString, fmt.Sprintf("%s(...)", types.TypeString(tv.Type, types.RelativeTo(pf.Pkg.Types))))
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				fi.addAlloc(call.Pos(), AllocMake, "make")
+			case "new":
+				fi.addAlloc(call.Pos(), AllocNew, "new")
+			}
+			// append is classified at the assignment (reuse vs fresh);
+			// a bare append in argument position is always fresh.
+			return
+		}
+	}
+	callee := StaticCallee(info, call)
+	if callee != nil {
+		fi.Calls = append(fi.Calls, Call{Pos: call.Pos(), Callee: callee, Args: call.Args})
+		if detail, allocs := stdlibAllocates(callee); allocs {
+			fi.addAlloc(call.Pos(), AllocCall, detail)
+			return // the model subsumes per-argument boxing
+		}
+	}
+	// Interface boxing of concrete arguments.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, a := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis == token.NoPos {
+				pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		if pt != nil && boxes(info, pt, a) {
+			fi.addAlloc(a.Pos(), AllocBox, "concrete value passed as "+pt.String())
+		}
+	}
+}
+
+// scanAssign classifies appends (reused vs fresh), map stores, and
+// interface boxing through assignment.
+func (pf *PkgFlow) scanAssign(fi *FuncInfo, as *ast.AssignStmt) {
+	info := pf.Pkg.TypesInfo
+	for i, r := range as.Rhs {
+		if call, ok := unparen(r).(*ast.CallExpr); ok {
+			if id, isIdent := unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "append" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+					if i >= len(as.Lhs) || types.ExprString(as.Lhs[i]) != types.ExprString(call.Args[0]) {
+						fi.addAlloc(call.Pos(), AllocAppendFresh,
+							"append result does not reuse "+types.ExprString(call.Args[0]))
+					}
+					continue
+				}
+			}
+		}
+		if i < len(as.Lhs) && len(as.Lhs) == len(as.Rhs) {
+			if lt, ok := info.Types[as.Lhs[i]]; ok && boxes(info, lt.Type, r) {
+				fi.addAlloc(r.Pos(), AllocBox, "concrete value assigned to "+lt.Type.String())
+			}
+		}
+	}
+	for _, l := range as.Lhs {
+		if ix, ok := unparen(l).(*ast.IndexExpr); ok && isMapIndex(info, ix) {
+			fi.addAlloc(l.Pos(), AllocMapWrite, "map store")
+		}
+	}
+}
+
+// scanCompositeLit flags heap-bound literals: slice and map literals
+// always allocate; struct literals only when their address is taken
+// (&T{...} — detected via the parent unary, so here: the literal's type).
+func (pf *PkgFlow) scanCompositeLit(fi *FuncInfo, lit *ast.CompositeLit) {
+	tv, ok := pf.Pkg.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		fi.addAlloc(lit.Pos(), AllocLit, "slice literal")
+	case *types.Map:
+		fi.addAlloc(lit.Pos(), AllocLit, "map literal")
+	}
+}
+
+// scanBoxing flags a concrete expression flowing into an interface
+// position (here: return values; call args and assignments are handled
+// at their sites).
+func (pf *PkgFlow) scanBoxing(fi *FuncInfo, e ast.Expr, target types.Type) {
+	if target != nil && boxes(pf.Pkg.TypesInfo, target, e) {
+		fi.addAlloc(e.Pos(), AllocBox, "concrete value returned as "+target.String())
+	}
+}
+
+// returnBoxTarget resolves the declared result type a return expression
+// flows into (single-value positional mapping only).
+func returnBoxTarget(pf *PkgFlow, fi *FuncInfo, ret *ast.ReturnStmt, r ast.Expr) types.Type {
+	sig, _ := fi.Obj.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return nil
+	}
+	for i, rr := range ret.Results {
+		if rr == r {
+			return sig.Results().At(i).Type()
+		}
+	}
+	return nil
+}
+
+// addAlloc appends one allocation site. Address-taken struct literals
+// arrive as two nodes (& and the literal); dedupe by position+kind.
+func (fi *FuncInfo) addAlloc(pos token.Pos, kind AllocKind, detail string) {
+	for _, a := range fi.Allocs {
+		if a.Pos == pos && a.Kind == kind {
+			return
+		}
+	}
+	fi.Allocs = append(fi.Allocs, AllocSite{Pos: pos, Kind: kind, Detail: detail})
+}
+
+// boxes reports whether assigning e to a target of type t is a
+// concrete→interface conversion that heap-allocates. Nil literals,
+// interface-typed sources, and pointer-shaped values the runtime can
+// store inline do still allocate in the general case — only nil and
+// already-interface values are exempt.
+func boxes(info *types.Info, target types.Type, e ast.Expr) bool {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok {
+		tv, ok = info.Types[unparen(e)]
+		if !ok {
+			return false
+		}
+	}
+	if tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	return !types.IsInterface(tv.Type.Underlying())
+}
+
+// allocatingConversion reports whether the conversion T(x) copies memory:
+// string <-> []byte/[]rune in either direction, and integer-to-string.
+func allocatingConversion(info *types.Info, target types.Type, arg ast.Expr) bool {
+	at, ok := info.Types[arg]
+	if !ok || at.Type == nil {
+		return false
+	}
+	toString := isString(target)
+	fromString := isString(at.Type)
+	switch {
+	case toString && (isByteOrRuneSlice(at.Type) || isInteger(at.Type)):
+		return true
+	case fromString && isByteOrRuneSlice(target):
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isStringType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isString(tv.Type)
+}
+
+func isMapIndex(info *types.Info, ix *ast.IndexExpr) bool {
+	tv, ok := info.Types[ix.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// callSignature resolves the signature a call invokes (static callee,
+// method value, or func-typed value).
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// capturedVars lists the names of enclosing-function variables a function
+// literal captures (package-level variables are not captures — they live
+// in static memory).
+func capturedVars(info *types.Info, lit *ast.FuncLit) []string {
+	seen := make(map[types.Object]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[obj] || obj.IsField() {
+			return true
+		}
+		// Declared outside the literal, but not at package scope.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		seen[obj] = true
+		names = append(names, obj.Name())
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,3 @@
+module flowmod
+
+go 1.22

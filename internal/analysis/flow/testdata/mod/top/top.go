@@ -1,0 +1,60 @@
+// Package top is the upper layer of the flow-test module: it exercises
+// cross-package summaries (taint through util, state sinks through
+// util.Store), owner selection, owned-field obligations, merge fences,
+// and hot-path reachability.
+package top
+
+import "flowmod/util"
+
+type shard struct {
+	pending []int64 //chrono:owned
+}
+
+type eng struct {
+	shards []*shard
+	store  *util.Store
+}
+
+// owner returns the canonical owner-selected shard (ID-mod index).
+func (e *eng) owner(id int64) *shard {
+	return e.shards[id%int64(len(e.shards))]
+}
+
+// enqueue touches an owned field through its parameter: callers owe an
+// owner-selected argument (ParamOwnedUse bit 0).
+func enqueue(s *shard, id int64) {
+	s.pending = append(s.pending, id)
+}
+
+// mergeAll is fenced: cross-shard access inside it is legitimate.
+//
+//chrono:merge
+func mergeAll(e *eng) {
+	for _, s := range e.shards {
+		s.pending = s.pending[:0]
+	}
+}
+
+// stamp launders a wall-clock reading through two calls; its summary must
+// still carry the taint (return taint: wall-clock, via util).
+func stamp() int64 {
+	return util.PassThrough(util.Wall())
+}
+
+// push forwards v into checkpointed state through util.Store.Add
+// (param→state bit 1).
+func push(e *eng, v float64) {
+	e.store.Add(v)
+}
+
+// hotRoot is a hot-path root; helper is hot by reachability.
+//
+//chrono:hotpath
+func (e *eng) hotRoot(id int64) {
+	helper(e, id)
+}
+
+func helper(e *eng, id int64) {
+	scratch := make([]int64, 8)
+	_ = scratch
+}

@@ -1,0 +1,20 @@
+// Package util is the lower layer of the flow-test module: taint sources,
+// pass-through helpers, and a checkpointed sink reached from the top
+// package only through summaries.
+package util
+
+import "time"
+
+// PassThrough returns its argument unchanged (param→return bit 0).
+func PassThrough(x int64) int64 { return x }
+
+// Wall returns a wall-clock reading (return taint: wall-clock).
+func Wall() int64 { return time.Now().UnixNano() }
+
+// Store holds checkpointed state.
+type Store struct {
+	Total float64 //chrono:state
+}
+
+// Add stores v into checkpointed state (param→state bit 0).
+func (s *Store) Add(v float64) { s.Total += v }

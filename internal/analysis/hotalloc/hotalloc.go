@@ -1,0 +1,73 @@
+// Package hotalloc statically checks //chrono:hotpath functions — and
+// everything they transitively call, across package boundaries — for
+// heap-allocation sources: make/new, heap-bound composite literals,
+// appends that do not reuse their first argument, capturing closures,
+// interface boxing, string conversions and concatenation, allocating
+// standard-library calls (fmt, strconv.Format*, strings.Join,
+// sort.Slice, ...), and map stores.
+//
+// Reachability comes from the flow layer's call graph. Each package
+// reports the sites reachable from its OWN hot roots; a site in another
+// package is reported by the caller's pass only when the callee package's
+// own roots do not already cover it, so a hot leaf package (ShardQueue)
+// annotated directly self-reports and the engine pass stays quiet about
+// it. Cross-package findings land in the callee's file and honour that
+// file's //chrono:allow hotalloc lines.
+//
+// Amortized allocations (slice growth inside a push, a once-per-run
+// scratch resize) are legitimate — exempt them with
+// //chrono:allow hotalloc <reason>. Dynamic dispatch is not resolved
+// (documented recall tradeoff): an interface method call on a hot path is
+// invisible to the closure.
+package hotalloc
+
+import (
+	"chrono/internal/analysis"
+	"chrono/internal/analysis/flow"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "hotalloc"
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag heap-allocation sources in //chrono:hotpath functions and " +
+		"their transitive callees; exempt amortized growth with " +
+		"//chrono:allow hotalloc <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pf, err := flow.Of(pass)
+	if err != nil {
+		return err
+	}
+	for _, fi := range pf.SortedHot() {
+		cross := fi.Pkg.Types != pass.Pkg
+		if cross && pf.HotLocally(fi.Obj) {
+			continue // the callee package's own roots cover it; it reports itself
+		}
+		ownerPF := pf
+		if cross {
+			if ownerPF, err = flow.PackageFlow(fi.Pkg); err != nil {
+				return err
+			}
+		}
+		hp := pf.HotReachable()[fi.Obj]
+		for _, a := range fi.Allocs {
+			if cross && ownerPF.AllowedAt(fi.Pkg.Fset.Position(a.Pos), Name) {
+				continue
+			}
+			// Suggest annotating an un-fenced cross-package callee directly:
+			// its own package then polices (and documents) the hot path.
+			suggest := ""
+			if cross && !fi.Hotpath {
+				suggest = "//chrono:hotpath"
+			}
+			pass.ReportSuggestf(a.Pos, suggest,
+				"allocation on hot path (via %s): %s — %s", hp.Chain(), a.Kind, a.Detail)
+		}
+	}
+	return nil
+}

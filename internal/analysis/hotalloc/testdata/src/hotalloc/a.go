@@ -1,0 +1,63 @@
+package hotalloc
+
+import "fmt"
+
+type q struct {
+	heap []int64
+}
+
+// push is hot; its amortized append reuses the backing array and is fine,
+// but its callee grow allocates on every call.
+//
+//chrono:hotpath
+func (s *q) push(v int64) {
+	s.heap = append(s.heap, v) // ok: reused append
+	s.grow()
+}
+
+func (s *q) grow() {
+	tmp := make([]int64, len(s.heap)*2) // want `allocation on hot path \(via q.push\): make`
+	_ = tmp
+}
+
+//chrono:hotpath
+func format(v int64) string {
+	return fmt.Sprintf("%d", v) // want `fmt.Sprintf`
+}
+
+//chrono:hotpath
+func fresh(src []int64) []int64 {
+	dst := append([]int64(nil), src...) // want `non-reused append`
+	return dst
+}
+
+//chrono:hotpath
+func capture(n int64) func() int64 {
+	return func() int64 { return n } // want `captures n`
+}
+
+//chrono:hotpath
+func box(v int64) any {
+	return v // want `interface boxing`
+}
+
+//chrono:hotpath
+func concat(a, b string) string {
+	return a + b // want `string \+`
+}
+
+//chrono:hotpath
+func tally(m map[int64]int64, k int64) {
+	m[k]++ // want `map element update`
+}
+
+// cold allocates freely: not reachable from any hot root.
+func cold() {
+	_ = make([]int64, 8)
+}
+
+//chrono:hotpath
+func exempted() {
+	m := map[int64]int64{} //chrono:allow hotalloc built once at startup
+	_ = m
+}

@@ -25,6 +25,29 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	loader *Loader
+}
+
+// Import loads a module-local import of this package through the loader
+// that produced it, giving interprocedural layers (internal/analysis/flow)
+// access to callee ASTs across package boundaries. Results are memoized by
+// the loader, so repeated requests are free. Non-module-local paths (the
+// standard library) have no source AST here and return an error.
+func (p *Package) Import(path string) (*Package, error) {
+	if p.loader == nil {
+		return nil, fmt.Errorf("analysis: package %s has no loader", p.Path)
+	}
+	return p.loader.Load(path)
+}
+
+// ModulePath returns the module path of the loader that produced this
+// package ("" for loaderless packages).
+func (p *Package) ModulePath() string {
+	if p.loader == nil {
+		return ""
+	}
+	return p.loader.ModulePath()
 }
 
 // Loader parses and type-checks packages from source. Standard-library
@@ -242,6 +265,7 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		Files:     files,
 		Types:     tpkg,
 		TypesInfo: info,
+		loader:    l,
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil

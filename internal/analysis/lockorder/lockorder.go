@@ -25,6 +25,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -211,9 +212,12 @@ func (c *checker) lockCall(e ast.Expr, held map[string]lockAt) bool {
 		return true
 	}
 	if prev, dup := held[node]; dup {
+		// Base name + line only: an absolute path would make the finding's
+		// fingerprint depend on where the module is checked out.
+		pp := c.pass.Fset.Position(prev.pos)
 		c.pass.Reportf(call.Pos(),
-			"%s is acquired while already held (previous acquisition at %s) — "+
-				"self-deadlock", name, c.pass.Fset.Position(prev.pos))
+			"%s is acquired while already held (previous acquisition at %s:%d) — "+
+				"self-deadlock", name, filepath.Base(pp.Filename), pp.Line)
 		return true
 	}
 	// Record ordering edges: node acquired while every member of held is.

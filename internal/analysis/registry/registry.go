@@ -8,22 +8,26 @@ import (
 	"chrono/internal/analysis"
 	"chrono/internal/analysis/atomicmix"
 	"chrono/internal/analysis/detclock"
+	"chrono/internal/analysis/detflow"
 	"chrono/internal/analysis/detrand"
 	"chrono/internal/analysis/errsink"
 	"chrono/internal/analysis/floatorder"
 	"chrono/internal/analysis/goroscope"
 	"chrono/internal/analysis/handlecheck"
+	"chrono/internal/analysis/hotalloc"
 	"chrono/internal/analysis/lockorder"
 	"chrono/internal/analysis/maporder"
 	"chrono/internal/analysis/parcapture"
+	"chrono/internal/analysis/shardown"
 	"chrono/internal/analysis/snapalias"
 	"chrono/internal/analysis/statesync"
 	"chrono/internal/analysis/unitmix"
 )
 
 // All returns the full chronolint suite in reporting order: the v1
-// determinism linters, the v2 correctness wave, then the v3
-// concurrency-safety and checkpoint-integrity wave.
+// determinism linters, the v2 correctness wave, the v3
+// concurrency-safety and checkpoint-integrity wave, then the v4
+// interprocedural flow wave.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detclock.Analyzer,
@@ -39,5 +43,8 @@ func All() []*analysis.Analyzer {
 		goroscope.Analyzer,
 		statesync.Analyzer,
 		snapalias.Analyzer,
+		shardown.Analyzer,
+		hotalloc.Analyzer,
+		detflow.Analyzer,
 	}
 }

@@ -125,7 +125,7 @@ func SARIFReport(analyzers []*Analyzer, res *Result) ([]byte, error) {
 		Runs: []sarifRun{{
 			Tool: sarifTool{Driver: sarifDriver{
 				Name:    "chronolint",
-				Version: "3.0.0",
+				Version: "4.0.0",
 				Rules:   rules,
 			}},
 			Results: results,

@@ -89,6 +89,12 @@ func isAnalysisPackage(path string) bool {
 //	              packages without //chrono:statesync pairs or
 //	              Checkpointable-shaped types)
 //	snapalias   — everywhere except the analysis framework
+//	shardown    — everywhere except the analysis framework (no-op in
+//	              packages without //chrono:owned fields)
+//	hotalloc    — everywhere except the analysis framework (no-op in
+//	              packages without //chrono:hotpath roots)
+//	detflow     — everywhere except the analysis framework (no-op in
+//	              packages where no //chrono:state sink is reachable)
 func Applies(analyzer, modPath, pkgPath string) bool {
 	switch analyzer {
 	case "detclock", "detrand":
@@ -102,7 +108,8 @@ func Applies(analyzer, modPath, pkgPath string) bool {
 	case "unitmix":
 		return !isUnitFree(pkgPath)
 	case "parcapture", "handlecheck", "floatorder",
-		"lockorder", "atomicmix", "statesync", "snapalias":
+		"lockorder", "atomicmix", "statesync", "snapalias",
+		"shardown", "hotalloc", "detflow":
 		return !isAnalysisPackage(pkgPath)
 	case "goroscope":
 		return strings.HasPrefix(pkgPath, modPath+"/internal/") && !isAnalysisPackage(pkgPath)

@@ -1,0 +1,177 @@
+// Package shardown enforces the sharded engine's ownership discipline
+// statically: a value derived from a page ID may only reach per-shard
+// state owned by id mod Shards. Per-shard fields carry //chrono:owned;
+// the analyzer then checks, interprocedurally through the flow layer,
+// that every access to such a field goes through one of the legitimate
+// channels:
+//
+//   - the base expression is owner-selected — an index containing an
+//     ID-mod (or masking AND) expression, or the result of a function
+//     summarized ReturnsOwnerSelected (Engine.ownerShard);
+//   - the base is the method receiver — a shard operating on itself;
+//   - the base is a function parameter — the obligation transfers to the
+//     call sites, where arguments feeding owned-touching parameters must
+//     themselves be owner-selected (the ParamOwnedUse summary carries
+//     this across calls and packages);
+//   - the base is a freshly constructed, unpublished value;
+//   - the enclosing function is fenced //chrono:merge — the sequential
+//     merge phase legitimately sees every shard.
+//
+// Anything else is a cross-shard access that breaks the single-writer
+// invariant the sharded engine's determinism proof rests on.
+//
+// A consistency check rides along: a struct that annotates some fields
+// //chrono:owned but leaves a sibling slice- or map-typed field bare is
+// flagged — per-shard containers must be annotated so the main check can
+// see them (or exempted with //chrono:allow shardown <reason>).
+package shardown
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"chrono/internal/analysis"
+	"chrono/internal/analysis/flow"
+)
+
+// Name identifies the analyzer (used in //chrono:allow directives).
+const Name = "shardown"
+
+// Analyzer is the shardown pass.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag accesses to //chrono:owned per-shard state whose base is not " +
+		"owner-selected (id mod shards), the receiver, a parameter, or inside " +
+		"a //chrono:merge fence; suppress with //chrono:allow shardown <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pf, err := flow.Of(pass)
+	if err != nil {
+		return err
+	}
+	checkSiblings(pass, pf)
+	for _, fi := range pf.Ordered() {
+		if fi.Merge || fi.Decl.Body == nil {
+			continue
+		}
+		env := pf.EnvOf(fi)
+		seen := make(map[string]bool)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				checkFieldAccess(pass, pf, env, v, seen)
+			case *ast.CallExpr:
+				checkCallSite(pass, pf, env, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFieldAccess flags a selector reaching an owned field through a base
+// that is none of: owner-selected, the receiver, a parameter, or a fresh
+// composite. One finding per field and line — `s.pending = append(s.pending,
+// x)` is one violation, not two.
+func checkFieldAccess(pass *analysis.Pass, pf *flow.PkgFlow, env *flow.Env, sel *ast.SelectorExpr, seen map[string]bool) {
+	field := flow.SelectedField(pass.TypesInfo, sel)
+	if field == nil || !pf.FieldAnnOf(field).Owned {
+		return
+	}
+	base := sel.X
+	if env.OwnerSelected(base) || env.IsReceiver(base) || env.ParamIndex(base) >= 0 {
+		return
+	}
+	pos := pass.Fset.Position(sel.Pos())
+	key := fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, field.Name())
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	pass.ReportSuggestf(sel.Pos(), "//chrono:merge",
+		"shard-owned field %q accessed outside its owner: base is not "+
+			"owner-selected (id mod shards), the receiver, or a parameter; "+
+			"select the owner or fence the function //chrono:merge", field.Name())
+}
+
+// checkCallSite flags arguments that feed a callee parameter summarized
+// ParamOwnedUse (the callee or its callees touch the parameter's owned
+// fields) without being owner-selected themselves. Parameters and the
+// receiver pass the obligation further up.
+func checkCallSite(pass *analysis.Pass, pf *flow.PkgFlow, env *flow.Env, call *ast.CallExpr) {
+	callee := flow.StaticCallee(pass.TypesInfo, call)
+	fi := pf.FuncInfoOf(callee)
+	if fi == nil || fi.ParamOwnedUse == 0 {
+		return
+	}
+	for i, a := range call.Args {
+		if i >= 32 || fi.ParamOwnedUse&(1<<uint(i)) == 0 {
+			continue
+		}
+		if env.OwnerSelected(a) || env.ParamIndex(a) >= 0 || env.IsReceiver(a) {
+			continue
+		}
+		pass.ReportSuggestf(a.Pos(), "//chrono:merge",
+			"argument %d of %s reaches shard-owned state but is not "+
+				"owner-selected; pass the id mod shards owner or fence the "+
+				"caller //chrono:merge", i, fi.Name())
+	}
+}
+
+// checkSiblings flags bare slice/map fields in structs that annotate other
+// fields //chrono:owned — per-shard containers the main check cannot see.
+func checkSiblings(pass *analysis.Pass, pf *flow.PkgFlow) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStruct(pass, pf, ts.Name.Name, st)
+			}
+		}
+	}
+}
+
+func checkStruct(pass *analysis.Pass, pf *flow.PkgFlow, typeName string, st *ast.StructType) {
+	hasOwned := false
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && pf.FieldAnnOf(v).Owned {
+				hasOwned = true
+			}
+		}
+	}
+	if !hasOwned {
+		return
+	}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok || pf.FieldAnnOf(v).Owned {
+				continue
+			}
+			switch v.Type().Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.ReportSuggestf(name.Pos(), "//chrono:owned",
+					"field %q of %s is a bare container beside //chrono:owned "+
+						"siblings; annotate it //chrono:owned so shardown can "+
+						"police it, or exempt it with //chrono:allow shardown <reason>",
+					v.Name(), typeName)
+			}
+		}
+	}
+}

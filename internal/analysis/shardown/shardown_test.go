@@ -1,0 +1,12 @@
+package shardown_test
+
+import (
+	"testing"
+
+	"chrono/internal/analysis/analysistest"
+	"chrono/internal/analysis/shardown"
+)
+
+func TestShardown(t *testing.T) {
+	analysistest.Run(t, "testdata", shardown.Analyzer, "shardown")
+}

@@ -1,0 +1,68 @@
+package shardown
+
+type shard struct {
+	pending []int64         //chrono:owned
+	tally   map[int64]int64 //chrono:owned
+	tmp     []int64         // want `bare container beside`
+	n       int             // scalar: no sibling finding
+}
+
+type eng struct {
+	shards []*shard
+}
+
+// owner is the canonical selector: summarized ReturnsOwnerSelected.
+func (e *eng) owner(id int64) *shard {
+	return e.shards[id%int64(len(e.shards))]
+}
+
+func (e *eng) good(id int64) {
+	s := e.owner(id)
+	s.pending = append(s.pending, id) // ok: owner-selected via summary
+	e.shards[id%4].tally[id]++        // ok: ID-mod index
+}
+
+func (e *eng) bad(id int64) {
+	s := e.shards[0]
+	s.pending = append(s.pending, id) // want `accessed outside its owner`
+}
+
+// pushTo touches owned state through its parameter: the obligation moves
+// to its call sites.
+func pushTo(s *shard, id int64) {
+	s.pending = append(s.pending, id) // ok: parameter base
+}
+
+func (e *eng) badCall(id int64) {
+	pushTo(e.shards[1], id) // want `not owner-selected`
+}
+
+func (e *eng) goodCall(id int64) {
+	pushTo(e.owner(id), id) // ok: owner-selected argument
+}
+
+// reset operates on the receiver — a shard touching itself.
+func (s *shard) reset() {
+	s.pending = s.pending[:0] // ok: receiver base
+}
+
+// build constructs a fresh, unpublished shard.
+func build() *shard {
+	s := &shard{}
+	s.pending = make([]int64, 0, 8) // ok: fresh composite
+	return s
+}
+
+// drainAll is the sequential merge phase.
+//
+//chrono:merge
+func (e *eng) drainAll() {
+	for _, s := range e.shards {
+		s.pending = s.pending[:0] // ok: fenced
+	}
+}
+
+func (e *eng) exempted() {
+	s := e.shards[2]
+	s.pending = s.pending[:0] //chrono:allow shardown single-goroutine test helper
+}

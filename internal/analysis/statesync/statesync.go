@@ -110,10 +110,13 @@ func run(pass *analysis.Pass) error {
 		paired[p.structName] = true
 	}
 
-	// A checkpointable struct without the directive is a finding.
+	// A checkpointable struct without the directive is a finding. The
+	// suggestion names the concrete state type CheckpointState returns, so
+	// -suggest prints a paste-ready fence.
 	for name, st := range structDecls {
 		if !paired[name] && isCheckpointable(pass, name) {
-			pass.Reportf(specPos[name],
+			pass.ReportSuggestf(specPos[name],
+				"//chrono:statesync "+stateTypeName(pass, name),
 				"%s has CheckpointState/RestoreCheckpoint methods but no //chrono:statesync "+
 					"directive — its checkpoint coverage is unfenced", name)
 		}
@@ -301,4 +304,35 @@ func isCheckpointable(pass *analysis.Pass, name string) bool {
 	ms := types.NewMethodSet(types.NewPointer(tn.Type()))
 	return ms.Lookup(pass.Pkg, "CheckpointState") != nil &&
 		ms.Lookup(pass.Pkg, "RestoreCheckpoint") != nil
+}
+
+// stateTypeName resolves the named type CheckpointState returns — the
+// argument the suggested //chrono:statesync directive should carry — or a
+// placeholder when the shape is unexpected.
+func stateTypeName(pass *analysis.Pass, name string) string {
+	obj := pass.Pkg.Scope().Lookup(name)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return "<StateType>"
+	}
+	sel := types.NewMethodSet(types.NewPointer(tn.Type())).Lookup(pass.Pkg, "CheckpointState")
+	if sel == nil {
+		return "<StateType>"
+	}
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return "<StateType>"
+	}
+	results := fn.Type().(*types.Signature).Results()
+	if results.Len() == 0 {
+		return "<StateType>"
+	}
+	t := results.At(0).Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return "<StateType>"
 }

@@ -1,0 +1,51 @@
+// Package flowpkg seeds one finding for each v4 flow analyzer: a
+// cross-shard access outside a merge fence (shardown), an allocation
+// reachable from a //chrono:hotpath root (hotalloc), and a wall-clock
+// reading laundered through a helper into checkpointed state (detflow).
+package flowpkg
+
+import "time"
+
+type shard struct {
+	pending []int64 //chrono:owned
+}
+
+type eng struct {
+	shards []*shard
+	Seen   int64 //chrono:state
+}
+
+func (e *eng) owner(id int64) *shard {
+	return e.shards[id%int64(len(e.shards))]
+}
+
+// good goes through the owner index: clean.
+func (e *eng) good(id int64) {
+	s := e.owner(id)
+	s.pending = append(s.pending, id)
+}
+
+// bad grabs shard zero regardless of the id's owner.
+func (e *eng) bad(id int64) {
+	s := e.shards[0]
+	s.pending = append(s.pending, id)
+}
+
+//chrono:hotpath
+func (e *eng) hot(id int64) {
+	e.grow()
+}
+
+func (e *eng) grow() {
+	scratch := make([]int64, 4)
+	_ = scratch
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// record launders the wall clock into checkpointed state.
+func (e *eng) record() {
+	e.Seen = stamp()
+}

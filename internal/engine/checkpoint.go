@@ -186,6 +186,8 @@ type EngineState struct {
 // queue holds events the checkpoint subsystem cannot rebind (unkeyed
 // tickers such as workload drift or harness hooks), or when the attached
 // policy does not implement policy.Checkpointable.
+//
+//chrono:merge gathers every shard's fault state into one canonical list
 func (e *Engine) Snapshot() (*EngineState, error) {
 	clk, err := e.clock.Snapshot()
 	if err != nil {
@@ -364,6 +366,8 @@ func (m *Metrics) State() MetricsState {
 // same policy Attached, and must not have Run yet. On success the engine
 // continues with ResumeRun; on error the engine is in an undefined state
 // and must be discarded (the caller replays the run from scratch).
+//
+//chrono:merge scatters flat checkpoint state back across every shard
 func (e *Engine) Restore(st *EngineState) error {
 	polName := ""
 	if e.pol != nil {

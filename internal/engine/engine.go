@@ -440,6 +440,8 @@ func (m *Metrics) ContextSwitchRate() float64 {
 }
 
 // New creates an engine.
+//
+//chrono:merge construction fan-out: wires every shard before any worker exists
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	fastPages := cfg.FastGB.Pages(cfg.PagesPerGB)
@@ -703,6 +705,8 @@ func (e *Engine) SetPattern(p *vm.Process, vpn uint64, weight, readFrac float64)
 // process recorded since the last flush — not every VMA — applying
 // per-page deltas, so a drift phase that retouches a few thousand pages
 // costs O(touched), independent of the working-set size.
+//
+//chrono:hotpath
 func (e *Engine) FlushPattern(p *vm.Process) {
 	dirty := p.DirtyIndexes()
 	if len(dirty) == 0 {
@@ -744,6 +748,7 @@ func (e *Engine) FlushPattern(p *vm.Process) {
 // growScratch sizes the per-page scratch marks to the page table.
 func (e *Engine) growScratch() {
 	if len(e.flushMark) < len(e.pages) {
+		//chrono:allow hotalloc grows once per page-table extension, then reused every flush
 		e.flushMark = append(e.flushMark, make([]bool, len(e.pages)-len(e.flushMark))...)
 	}
 }

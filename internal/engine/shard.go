@@ -51,8 +51,8 @@ type pendingProt struct {
 // engineShard owns the fault state of the page IDs congruent to its index
 // modulo the shard count.
 type engineShard struct {
-	queue   simclock.ShardQueue
-	pending []pendingProt
+	queue   simclock.ShardQueue //chrono:owned
+	pending []pendingProt       //chrono:owned
 }
 
 // ownerShard returns the shard owning a page ID.
@@ -61,6 +61,8 @@ func (e *Engine) ownerShard(id int64) *engineShard {
 }
 
 // havePending reports whether any shard holds unmaterialized Protects.
+//
+//chrono:merge fan-in scan: reads every shard's pending count, serial
 func (e *Engine) havePending() bool {
 	for _, sh := range e.shards {
 		if len(sh.pending) > 0 {
@@ -113,6 +115,8 @@ func (e *Engine) materializeShard(sh *engineShard, now simclock.Time) {
 // entries, fanning out across shard workers when the batch is large enough
 // to pay for the handoff. The execution strategy (inline vs. workers) never
 // affects results; see the determinism argument above.
+//
+//chrono:merge fan-out fence: each shard is handed to exactly one worker
 func (e *Engine) materializePending() {
 	total := 0
 	for _, sh := range e.shards {
@@ -130,6 +134,7 @@ func (e *Engine) materializePending() {
 		var wg sync.WaitGroup
 		wg.Add(w)
 		for k := 0; k < w; k++ {
+			//chrono:allow hotalloc worker closure amortized over >=parallelMaterializeMin draws
 			go func(k int) {
 				defer wg.Done()
 				// Striped ownership: each shard is touched by exactly one
@@ -154,6 +159,8 @@ func (e *Engine) materializePending() {
 // peekEarliest returns the globally earliest pending fault entry across all
 // shard queues under the canonical (At, ID, Seq) order, or nil when every
 // queue is empty.
+//
+//chrono:merge k-way merge head: inspects every shard queue, serial
 func (e *Engine) peekEarliest() (simclock.ShardEntry, *engineShard) {
 	var best simclock.ShardEntry
 	var bestSh *engineShard
@@ -179,6 +186,9 @@ func (e *Engine) peekEarliest() (simclock.ShardEntry, *engineShard) {
 // Termination: each iteration either pops a queue entry or breaks;
 // materialization always empties the pending lists, and new pendings appear
 // only from OnFault — which consumed an entry to run.
+//
+//chrono:merge serial replay loop: pops from whichever shard is earliest
+//chrono:hotpath
 func (e *Engine) drainFaults(limit simclock.Time) bool {
 	replayed := false
 	var perTier [mem.NumTiers]int64
@@ -250,6 +260,8 @@ func (e *Engine) flushFaultBatch(perTier *[mem.NumTiers]int64) {
 // event at t, and the afterStep hook (checkpoint safe points, watchdogs)
 // runs only at master-event boundaries — exactly the instants Snapshot is
 // specified for.
+//
+//chrono:hotpath
 func (e *Engine) runLoop() {
 	for !e.clock.Stopped() {
 		next := e.clock.NextAt()

@@ -62,6 +62,7 @@ func (s *Sampler) Grow(n int) {
 		s.counters = s.counters[:n]
 		return
 	}
+	//chrono:allow hotalloc geometric growth, amortized allocation-free in steady state
 	grown := make([]uint32, n, max(n, 2*cap(s.counters)))
 	copy(grown, s.counters)
 	s.counters = grown
@@ -71,6 +72,8 @@ func (s *Sampler) Grow(n int) {
 // from dist, which maps category index -> weight; ids maps category
 // index -> page ID. Counters of the sampled pages increment.
 // It returns the number of samples retained.
+//
+//chrono:hotpath
 func (s *Sampler) SamplePeriod(dist *rng.Alias, ids []int64, period units.Sec) int {
 	n := int(s.RatePerSec.Count(period))
 	// Pre-size counter storage for the whole period up front: one pass over
@@ -102,6 +105,8 @@ func (s *Sampler) SamplePeriod(dist *rng.Alias, ids []int64, period units.Sec) i
 
 // AddDirect increments a page's counter without drawing (used when the
 // caller computes expected counts analytically).
+//
+//chrono:hotpath
 func (s *Sampler) AddDirect(id int64, n uint32) {
 	s.Grow(int(id) + 1)
 	s.counters[id] += n

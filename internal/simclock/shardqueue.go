@@ -86,6 +86,8 @@ func (q *ShardQueue) set(i int, e ShardEntry) {
 
 // Push inserts an entry, replacing any queued entry of the same page ID
 // (the older entry is stale by construction; see the type comment).
+//
+//chrono:hotpath
 func (q *ShardQueue) Push(e ShardEntry) {
 	slot := q.slotOf(e.ID)
 	if int64(len(q.pos)) <= slot {
@@ -93,6 +95,7 @@ func (q *ShardQueue) Push(e ShardEntry) {
 		if c := 2 * int64(len(q.pos)); c > n {
 			n = c
 		}
+		//chrono:allow hotalloc position index doubles, amortized allocation-free
 		grown := make([]int32, n)
 		copy(grown, q.pos)
 		q.pos = grown
@@ -111,6 +114,8 @@ func (q *ShardQueue) Push(e ShardEntry) {
 
 // Peek returns the earliest entry without removing it. The second return is
 // false when the queue is empty.
+//
+//chrono:hotpath
 func (q *ShardQueue) Peek() (ShardEntry, bool) {
 	if len(q.heap) == 0 {
 		return ShardEntry{}, false
@@ -121,6 +126,8 @@ func (q *ShardQueue) Peek() (ShardEntry, bool) {
 // PopLE removes and returns the earliest entry if its timestamp is <= limit.
 // The second return is false when the queue is empty or the minimum lies
 // beyond limit.
+//
+//chrono:hotpath
 func (q *ShardQueue) PopLE(limit Time) (ShardEntry, bool) {
 	h := q.heap
 	if len(h) == 0 || h[0].At > limit {

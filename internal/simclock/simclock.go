@@ -164,9 +164,11 @@ func (c *Clock) NextAt() Time {
 // dispatch the queued event first, or monotonicity would break.
 func (c *Clock) AdvanceTo(t Time) {
 	if t < c.now {
+		//chrono:allow hotalloc panic path only, never taken in a healthy run
 		panic(fmt.Sprintf("simclock: AdvanceTo %v before now %v", t, c.now))
 	}
 	if len(c.queue) > 0 && c.queue[0].at < t {
+		//chrono:allow hotalloc panic path only, never taken in a healthy run
 		panic(fmt.Sprintf("simclock: AdvanceTo %v skips pending event at %v", t, c.queue[0].at))
 	}
 	c.now = t
@@ -540,6 +542,8 @@ func (c *Clock) Step() bool {
 // hook, exactly as one iteration of RunUntil would. Callers that interleave
 // their own work between master events (the engine's sharded fault replay)
 // use it to keep hook semantics identical to a plain RunUntil drain.
+//
+//chrono:hotpath
 func (c *Clock) StepAfter() bool {
 	if !c.Step() {
 		return false

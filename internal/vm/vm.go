@@ -241,6 +241,7 @@ func (p *Process) IndexVPN(i int) uint64 {
 		}
 		base -= v.Len
 	}
+	//chrono:allow hotalloc panic path only, never taken in a healthy run
 	panic(fmt.Sprintf("vm: IndexVPN out of range: %d", i))
 }
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Lint-timing budget: chronolint's wall time over the full tree must stay
+# within BUDGET_FACTOR (default 2x) of the committed baseline. The v4
+# interprocedural layer made lint cost a real quantity — cross-package
+# summary fixpoints can go quadratic if a change breaks memoization — so
+# the budget turns a silent slowdown into a failing check, with enough
+# slack that machine variance between CI runners and dev boxes never
+# trips it.
+#
+# Usage:
+#   bash scripts/lint_budget.sh           # gate against lint-budget.json
+#   WRITE=1 bash scripts/lint_budget.sh   # re-record the baseline
+#
+# The measurement is the best of RUNS (default 3) timed invocations of
+# the prebuilt binary — best-of minimizes scheduler noise, and the binary
+# is built outside the timed region so compile time never pollutes the
+# number.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE_FILE="${BASELINE_FILE:-lint-budget.json}"
+BUDGET_FACTOR="${BUDGET_FACTOR:-2}"
+RUNS="${RUNS:-3}"
+
+make bin/chronolint >/dev/null
+
+best_ms=""
+for _ in $(seq "$RUNS"); do
+    t0=$(date +%s%N)
+    bin/chronolint ./... >/dev/null
+    t1=$(date +%s%N)
+    ms=$(((t1 - t0) / 1000000))
+    if [ -z "$best_ms" ] || [ "$ms" -lt "$best_ms" ]; then
+        best_ms=$ms
+    fi
+done
+
+if [ "${WRITE:-0}" = "1" ]; then
+    printf '{\n "best_ms": %d,\n "runs": %d,\n "date": "%s"\n}\n' \
+        "$best_ms" "$RUNS" "$(date -u +%F)" > "$BASELINE_FILE"
+    echo "lint_budget: wrote baseline ${best_ms}ms to $BASELINE_FILE"
+    exit 0
+fi
+
+if [ ! -f "$BASELINE_FILE" ]; then
+    echo "lint_budget: no baseline $BASELINE_FILE; record one with WRITE=1" >&2
+    exit 2
+fi
+
+baseline_ms=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['best_ms'])" "$BASELINE_FILE")
+limit_ms=$((baseline_ms * BUDGET_FACTOR))
+
+echo "lint_budget: ${best_ms}ms (baseline ${baseline_ms}ms, limit ${limit_ms}ms = ${BUDGET_FACTOR}x)"
+if [ "$best_ms" -gt "$limit_ms" ]; then
+    echo "lint_budget: chronolint wall time regressed beyond ${BUDGET_FACTOR}x the committed baseline" >&2
+    echo "lint_budget: if the slowdown is intentional, re-record with: WRITE=1 bash scripts/lint_budget.sh" >&2
+    exit 1
+fi
