@@ -11,8 +11,11 @@ build:
 test:
 	$(GO) test ./...
 
+# -timeout: the experiments suite runs minutes of virtual time per test;
+# under the race detector (or the sanitizer) the default 10m per-package
+# cap is too tight on small machines. 30m still catches a genuine hang.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 vet:
 	$(GO) vet ./...
@@ -67,13 +70,15 @@ bench-diff:
 
 # Run the test suite with the engine's invariant sanitizer forced on.
 simdebug:
-	$(GO) test -tags simdebug ./...
+	$(GO) test -tags simdebug -timeout 30m ./...
 
 # Fault-matrix soak at full length: every registered policy and the chaos
-# fuzzer under the aggressive fault plan, race detector and sanitizer on.
-# CI runs the same selection with -short (reduced virtual duration).
+# fuzzer under the aggressive fault plan, race detector and sanitizer on —
+# including the adversarial oscillation soak over all policies ±thrash-
+# guard and Nomad. CI runs the same selection with -short (reduced
+# virtual duration).
 chaos:
-	$(GO) test -race -tags simdebug -count 1 -run 'TestFaultMatrix|TestChaos|TestFaultPlan|TestResilientRun' ./internal/engine/ ./internal/experiments/
+	$(GO) test -race -tags simdebug -timeout 30m -count 1 -run 'TestFaultMatrix|TestChaos|TestFaultPlan|TestResilientRun' ./internal/engine/ ./internal/experiments/
 
 # Hot-path microbenchmarks (simclock event loop, engine epoch, fault
 # path). Output is benchstat-compatible: run with COUNT=10 and feed two

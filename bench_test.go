@@ -626,6 +626,23 @@ func BenchmarkCgroupReclaim(b *testing.B) {
 	b.ReportMetric(float64(swapped), "swappedPages")
 }
 
+// BenchmarkAdversarialOscillation is the anti-thrashing tier-1 case: the
+// capacity-breathing scenario under the transactional baseline (Nomad's
+// shadow bookkeeping on the migration hot path) and Chrono with and
+// without the thrash guard (the guard's admission gate interposes on
+// every promotion, so its overhead shows up here first). ns/op tracks
+// simulator cost; the custom metrics carry the robustness results.
+func BenchmarkAdversarialOscillation(b *testing.B) {
+	for _, pol := range []string{"Nomad", "Chrono", "Chrono+guard"} {
+		b.Run(pol, func(b *testing.B) {
+			res := runAndReport(b, pol, func() workload.Workload {
+				return &workload.Oscillation{}
+			})
+			b.ReportMetric(res.Metrics.MigratedBytes/(1<<30), "migGB")
+		})
+	}
+}
+
 // BenchmarkDriftAdaptivity measures placement recovery under a moving
 // hotspot (the §3.2.2 adaptivity extension).
 func BenchmarkDriftAdaptivity(b *testing.B) {

@@ -6,7 +6,7 @@
 //
 //	reproduce [-experiment all|tab1|tab2|fig1|fig2a|fig2b|fig6|fig7|fig8|
 //	           fig9|fig10a|fig10bc|fig10d|fig11|fig11b|fig12|fig13|appb|
-//	           ext|drift|seeds]
+//	           ext|drift|seeds|adv]
 //	          [-quick] [-seed N] [-duration S] [-j N]
 //	          [-faults SPEC] [-retries N] [-failures F]
 //	          [-cpuprofile F] [-memprofile F] [-trace F]
@@ -184,7 +184,7 @@ func main() {
 	if *exp == "all" {
 		ids = []string{"tab1", "tab2", "fig1", "fig2a", "fig2b", "fig6", "fig7", "fig8",
 			"fig9", "fig10a", "fig10bc", "fig10d", "fig11", "fig11b", "fig12", "fig13", "appb",
-			"ext", "drift", "seeds"}
+			"ext", "drift", "seeds", "adv"}
 	}
 
 	// failedRuns accumulates the crash manifest across every sweep; it is
@@ -365,6 +365,18 @@ func main() {
 				return err
 			}
 			emit(experiments.DriftTable(results))
+		case "adv":
+			s, err := experiments.RunAdversarial(shortened(o, 300))
+			if err != nil {
+				return err
+			}
+			for i := range s.Failed {
+				failedRuns = append(failedRuns, *s.Failed[i])
+				if s.Failed[i].Interrupted {
+					drained = true
+				}
+			}
+			emit(s.Tables...)
 		case "appb":
 			emit(experiments.AppB1Table(*seed, 20000))
 			emit(experiments.FigB1Table())

@@ -47,6 +47,7 @@ type PageTableState struct {
 	ProtTS    []simclock.Time `json:"prot_ts"`
 	LastFault []simclock.Time `json:"last_fault"`
 	DemoteTS  []simclock.Time `json:"demote_ts"`
+	PromoteTS []simclock.Time `json:"promote_ts"`
 	ABitTS    []simclock.Time `json:"abit_ts"`
 	Meta      []uint64        `json:"meta"`
 	Meta2     []uint64        `json:"meta2"`
@@ -60,6 +61,12 @@ type PageTableState struct {
 	// EverSlow/EverPromoted are sparse ID sets (most pages are in neither).
 	EverSlow     []int64 `json:"ever_slow,omitempty"`
 	EverPromoted []int64 `json:"ever_promoted,omitempty"`
+
+	// Shadowed is the sparse ID set of pages holding a slow-tier shadow
+	// copy (Nomad transactional promotion); ShadowTS[i] is the shadow cut
+	// time of Shadowed[i].
+	Shadowed []int64         `json:"shadowed,omitempty"`
+	ShadowTS []simclock.Time `json:"shadow_ts,omitempty"`
 }
 
 // ProcRecord is the dynamic engine-side state of one process.
@@ -117,6 +124,14 @@ type MetricsState struct {
 	PEBSDropped        float64 `json:"pebs_dropped"`
 	MoveTierErrors     int64   `json:"move_tier_errors"`
 
+	RePromotions    int64   `json:"re_promotions,omitempty"`
+	ThrashDemotions int64   `json:"thrash_demotions,omitempty"`
+	ThrashBytes     float64 `json:"thrash_bytes,omitempty"`
+	ShadowDemotions int64   `json:"shadow_demotions,omitempty"`
+	ShadowStale     int64   `json:"shadow_stale,omitempty"`
+	ShadowReclaims  int64   `json:"shadow_reclaims,omitempty"`
+	NomadAborts     int64   `json:"nomad_aborts,omitempty"`
+
 	Lat      stats.HistogramState `json:"lat"`
 	LatRead  stats.HistogramState `json:"lat_read"`
 	LatWrite stats.HistogramState `json:"lat_write"`
@@ -133,6 +148,7 @@ type EngineState struct {
 	RPolicy   rng.State `json:"r_policy"`
 	RWorkload rng.State `json:"r_workload"`
 	RPEBS     rng.State `json:"r_pebs"`
+	RShadow   rng.State `json:"r_shadow"`
 
 	Inj *faultinject.State `json:"inj,omitempty"`
 
@@ -170,6 +186,11 @@ type EngineState struct {
 	PendingFaults []simclock.ShardEntry `json:"pending_faults,omitempty"`
 	PendingProts  []PendingProtRecord   `json:"pending_prots,omitempty"`
 
+	// Shadow ledger: FIFO reclaim order (may hold stale entries, filtered
+	// on pop) and total base pages held as shadow copies.
+	ShadowFIFO []int64 `json:"shadow_fifo,omitempty"`
+	ShadowBase int64   `json:"shadow_base,omitempty"`
+
 	NumaTiering int64         `json:"numa_tiering"`
 	Horizon     simclock.Time `json:"horizon"`
 
@@ -200,6 +221,7 @@ func (e *Engine) Snapshot() (*EngineState, error) {
 		RPolicy:   e.rPolicy.State(),
 		RWorkload: e.rWorkload.State(),
 		RPEBS:     e.rPEBS.State(),
+		RShadow:   e.rShadow.State(),
 		Inj:       e.inj.State(),
 		Node:      e.node.State(),
 
@@ -218,6 +240,9 @@ func (e *Engine) Snapshot() (*EngineState, error) {
 		AliasWeightDirty: e.aliasWeightDirty,
 		AliasStructural:  e.aliasStructural,
 		HasAlias:         e.aliasTable != nil,
+
+		ShadowFIFO: append([]int64(nil), e.shadowFIFO...),
+		ShadowBase: e.shadowBase,
 
 		NumaTiering: e.numaTiering,
 		Horizon:     e.horizon,
@@ -314,6 +339,7 @@ func (e *Engine) pageTableState() PageTableState {
 		st.ProtTS = append(st.ProtTS, pg.ProtTS)
 		st.LastFault = append(st.LastFault, pg.LastFault)
 		st.DemoteTS = append(st.DemoteTS, pg.DemoteTS)
+		st.PromoteTS = append(st.PromoteTS, pg.PromoteTS)
 		st.ABitTS = append(st.ABitTS, pg.ABitTS)
 		st.Meta = append(st.Meta, pg.Meta)
 		st.Meta2 = append(st.Meta2, pg.Meta2)
@@ -325,6 +351,10 @@ func (e *Engine) pageTableState() PageTableState {
 		}
 		if e.everPromoted[id] {
 			st.EverPromoted = append(st.EverPromoted, pg.ID)
+		}
+		if e.shadowActive(pg.ID) {
+			st.Shadowed = append(st.Shadowed, pg.ID)
+			st.ShadowTS = append(st.ShadowTS, e.shadowTS[pg.ID])
 		}
 	}
 	return st
@@ -355,6 +385,13 @@ func (m *Metrics) State() MetricsState {
 		AbortedMigrationNS: m.AbortedMigrationNS,
 		PEBSDropped:        m.PEBSDropped,
 		MoveTierErrors:     m.MoveTierErrors,
+		RePromotions:       m.RePromotions,
+		ThrashDemotions:    m.ThrashDemotions,
+		ThrashBytes:        m.ThrashBytes,
+		ShadowDemotions:    m.ShadowDemotions,
+		ShadowStale:        m.ShadowStale,
+		ShadowReclaims:     m.ShadowReclaims,
+		NomadAborts:        m.NomadAborts,
 		Lat:                m.Lat.State(),
 		LatRead:            m.LatRead.State(),
 		LatWrite:           m.LatWrite.State(),
@@ -384,6 +421,9 @@ func (e *Engine) Restore(st *EngineState) error {
 		return err
 	}
 	if err := e.restoreProcs(st.Procs); err != nil {
+		return err
+	}
+	if err := e.restorePattern(); err != nil {
 		return err
 	}
 	// Scatter the flat pending-fault state back into shard ownership. The
@@ -432,7 +472,11 @@ func (e *Engine) Restore(st *EngineState) error {
 	e.rPolicy.SetState(st.RPolicy)
 	e.rWorkload.SetState(st.RWorkload)
 	e.rPEBS.SetState(st.RPEBS)
+	e.rShadow.SetState(st.RShadow)
 	e.inj.SetState(st.Inj)
+
+	e.shadowFIFO = append(e.shadowFIFO[:0], st.ShadowFIFO...)
+	e.shadowBase = st.ShadowBase
 
 	e.epochMigBytes = st.EpochMigBytes
 	e.kernelNSEpoch = st.KernelNSEpoch
@@ -488,7 +532,8 @@ func (e *Engine) restorePages(st *PageTableState) error {
 	n := len(st.ID)
 	for _, col := range []int{
 		len(st.VPN), len(st.PID), len(st.Tier), len(st.Flags), len(st.Size),
-		len(st.ProtTS), len(st.LastFault), len(st.DemoteTS), len(st.ABitTS),
+		len(st.ProtTS), len(st.LastFault), len(st.DemoteTS), len(st.PromoteTS),
+		len(st.ABitTS),
 		len(st.Meta), len(st.Meta2), len(st.FaultSeq), len(st.W), len(st.RF),
 	} {
 		if col != n {
@@ -549,6 +594,7 @@ func (e *Engine) restorePages(st *PageTableState) error {
 		pg.ProtTS = st.ProtTS[i]
 		pg.LastFault = st.LastFault[i]
 		pg.DemoteTS = st.DemoteTS[i]
+		pg.PromoteTS = st.PromoteTS[i]
 		pg.ABitTS = st.ABitTS[i]
 		pg.Meta = st.Meta[i]
 		pg.Meta2 = st.Meta2[i]
@@ -571,6 +617,56 @@ func (e *Engine) restorePages(st *PageTableState) error {
 			return fmt.Errorf("engine: restore: ever-promoted ID %d out of range", id)
 		}
 		e.everPromoted[id] = true
+	}
+	if len(st.Shadowed) != len(st.ShadowTS) {
+		return fmt.Errorf("engine: restore: shadowed/shadow_ts column length mismatch")
+	}
+	for i := range e.shadowed {
+		e.shadowed[i] = false
+		e.shadowTS[i] = 0
+	}
+	if len(st.Shadowed) > 0 {
+		e.growShadow()
+		for i, id := range st.Shadowed {
+			if id < 0 || id >= int64(len(e.pages)) || e.pages[id] == nil {
+				return fmt.Errorf("engine: restore: shadowed ID %d references no live page", id)
+			}
+			e.shadowed[id] = true
+			e.shadowTS[id] = st.ShadowTS[i]
+		}
+	}
+	return nil
+}
+
+// restorePattern writes the restored per-page weights back into the
+// pattern arrays of processes whose workload registered for pattern
+// restore (EnablePatternRestore: dynamic scenarios whose pattern is a
+// pure function of the clock). A fresh Build leaves the pattern at its
+// t=0 phase; the overlaid pageW/pageRF columns carry the snapshot-time
+// phase, so writing them back makes the resumed workload's next tick see
+// exactly the state the live run had. Only base pages are supported —
+// huge-page workloads must not register.
+func (e *Engine) restorePattern() error {
+	for _, p := range e.patternRestore {
+		n := p.PatternLen()
+		for i := 0; i < n; i++ {
+			pg := p.PageAtIndex(i)
+			if pg == nil {
+				continue
+			}
+			if pg.Size != 1 {
+				return fmt.Errorf("engine: restore: pattern restore on huge page (pid %d, vpn %#x)", p.PID, pg.VPN)
+			}
+			if e.pageW[pg.ID] <= 0 {
+				// A zero engine weight is indistinguishable from "never
+				// set" (PageWeight reports weight 0, readFrac 1); scenarios
+				// registering for restore keep every weight positive.
+				return fmt.Errorf("engine: restore: pattern restore with zero weight (pid %d, vpn %#x)", p.PID, pg.VPN)
+			}
+			p.SetPattern(pg.VPN, e.pageW[pg.ID], e.pageRF[pg.ID])
+		}
+		p.ClearDirty()
+		p.RecomputeTotalWeight()
 	}
 	return nil
 }
@@ -637,6 +733,13 @@ func applyMetricsState(m *Metrics, st *MetricsState) error {
 	m.AbortedMigrationNS = st.AbortedMigrationNS
 	m.PEBSDropped = st.PEBSDropped
 	m.MoveTierErrors = st.MoveTierErrors
+	m.RePromotions = st.RePromotions
+	m.ThrashDemotions = st.ThrashDemotions
+	m.ThrashBytes = st.ThrashBytes
+	m.ShadowDemotions = st.ShadowDemotions
+	m.ShadowStale = st.ShadowStale
+	m.ShadowReclaims = st.ShadowReclaims
+	m.NomadAborts = st.NomadAborts
 	if err := m.Lat.SetState(st.Lat); err != nil {
 		return err
 	}

@@ -100,6 +100,15 @@ func newFencePolicy(t *testing.T, name string) (policy.Policy, PageSizeMode) {
 		return flexmem.New(flexmem.Config{}), HugePages
 	case "Chrono":
 		return core.New(core.Options{}), BasePages
+	case "Nomad":
+		return policy.NewNomad(policy.NomadConfig{}), BasePages
+	case "TPP+guard":
+		// The guard wrapper must keep the inner policy's durability class:
+		// guardedCkpt serializes the detector columns alongside TPP's state.
+		return policy.WithThrashGuard(tpp.New(tpp.Config{}), policy.ThrashConfig{}), BasePages
+	case "Memtis+guard":
+		// Guarded huge-page inner: SplitHuge reconciliation under the wrapper.
+		return policy.WithThrashGuard(memtis.New(memtis.Config{}), policy.ThrashConfig{}), HugePages
 	}
 	t.Fatalf("unknown fence policy %s", name)
 	return nil, BasePages
@@ -114,7 +123,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 		"clean":  {},
 		"faulty": faultinject.Aggressive(),
 	}
-	for _, polName := range []string{"TPP", "Memtis", "FlexMem", "Chrono"} {
+	for _, polName := range []string{"TPP", "Memtis", "FlexMem", "Chrono", "Nomad", "TPP+guard", "Memtis+guard"} {
 		for planName, plan := range plans {
 			for _, shards := range []int{1, 8} {
 				t.Run(fmt.Sprintf("%s/%s/shards=%d", polName, planName, shards), func(t *testing.T) {

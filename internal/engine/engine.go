@@ -74,6 +74,11 @@ type Config struct {
 
 	// EpochNS is the metric accounting step. Default 250 ms.
 	EpochNS simclock.Duration
+	// ThrashWindowNS is the promote→demote round-trip window counted as
+	// thrash by the wasted-bandwidth metrics (ThrashDemotions/ThrashBytes).
+	// Default 60 s — one scan period, the natural reaction timescale of the
+	// fault-based policies.
+	ThrashWindowNS simclock.Duration
 	// NCPU bounds compute (Xeon Gold 6348: 28 cores, 56 threads).
 	NCPU int
 
@@ -165,6 +170,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.EpochNS == 0 {
 		cfg.EpochNS = 250 * simclock.Millisecond
+	}
+	if cfg.ThrashWindowNS == 0 {
+		cfg.ThrashWindowNS = 60 * simclock.Second
 	}
 	if cfg.NCPU == 0 {
 		cfg.NCPU = 56
@@ -283,6 +291,34 @@ type Engine struct {
 	procs        []*procState       //chrono:state Procs
 	byPID        map[int]*procState //chrono:rebuilt index over procs, rebuilt by AddProcess during Build
 
+	// Nomad-style transactional shadow state (kernel.go): a shadowed page
+	// is fast-tier resident while its old slow-tier frames are retained as
+	// a clean copy, making a later clean demotion a zero-copy remap. The
+	// arrays grow lazily (growShadow) — engines that never promote
+	// transactionally keep them empty.
+	//
+	//chrono:state Pages
+	shadowed []bool // sparse Shadowed column: page holds a slow-tier shadow copy
+	//chrono:state Pages
+	shadowTS []simclock.Time // shadow cut time, parallel to shadowed
+	// shadowFIFO orders live shadows by creation for capacity reclaim
+	// (oldest dropped first); consumed/dropped entries go stale in place
+	// and are skipped on pop.
+	shadowFIFO []int64 //chrono:state ShadowFIFO
+	// shadowBase counts slow-tier base pages held by live shadows.
+	shadowBase int64 //chrono:state ShadowBase
+	// rShadow draws abort-on-write and shadow-dirtiness decisions. Seeded
+	// by hash, not forked from rMaster, so its existence perturbs no other
+	// stream; it advances only when transactional migration is used.
+	rShadow *rng.Source //chrono:state RShadow
+
+	// patternRestore lists processes whose workload opted into checkpoint
+	// pattern write-back (EnablePatternRestore): Restore copies the
+	// snapshot's per-page weight/read-fraction back into the process
+	// pattern arrays so dynamic (phase-changing) workloads resume
+	// bit-identically.
+	patternRestore []*vm.Process //chrono:rebuilt opt-in registrations, re-made by the workload's Build
+
 	pol policy.Policy //chrono:state PolicyName,Policy
 
 	// Kernel LRU (active/inactive per tier) maintained on faults and by
@@ -395,6 +431,22 @@ type Metrics struct {
 	PEBSDropped        float64
 	MoveTierErrors     int64
 
+	// Thrash accounting (every policy): promotions of pages that had been
+	// demoted before, demotions landing within one epoch of the page's
+	// promotion, and the migration bytes wasted on those round trips.
+	RePromotions    int64
+	ThrashDemotions int64
+	ThrashBytes     float64
+
+	// Transactional-migration accounting (Nomad-style shadow copies):
+	// zero-copy demotions into a clean shadow, shadows invalidated by
+	// writes at demote time, shadows dropped for slow-tier capacity, and
+	// promotions aborted by a write racing the copy.
+	ShadowDemotions int64
+	ShadowStale     int64
+	ShadowReclaims  int64
+	NomadAborts     int64
+
 	// Latency observations, weighted by access counts.
 	Lat      *stats.Histogram
 	LatRead  *stats.Histogram
@@ -482,6 +534,10 @@ func New(cfg Config) *Engine {
 	// deliberately ignores Shards/ShardWorkers, which must not affect
 	// results.
 	e.faultSeed = rng.Hash(cfg.Seed, 0x66a0, 1)
+	// The shadow stream is hash-seeded (not forked): deriving it consumes
+	// no rMaster draws, so engines predating transactional migration
+	// reproduce bit-identically.
+	e.rShadow = rng.New(rng.Hash(cfg.Seed, 0x5ad0, 2))
 	e.shards = make([]*engineShard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = &engineShard{}
@@ -816,6 +872,18 @@ func (e *Engine) ResidentFast(p *vm.Process) int64 { return e.byPID[p.PID].resid
 
 // ResidentSlow returns the resident slow-tier base pages of p.
 func (e *Engine) ResidentSlow(p *vm.Process) int64 { return e.byPID[p.PID].residentSlow }
+
+// EnablePatternRestore opts a process's access pattern into checkpoint
+// write-back: Restore copies the snapshot's per-page weight and read
+// fraction back into the process pattern arrays (see restorePattern).
+// Dynamic workloads that rewrite patterns at phase boundaries call this
+// from Build; the contract in exchange is base-page mapping and strictly
+// positive weights everywhere, so the write-back reconstructs the exact
+// pattern the snapshot saw and the resumed run's phase ticks observe the
+// same dirty sets an uninterrupted run would.
+func (e *Engine) EnablePatternRestore(p *vm.Process) {
+	e.patternRestore = append(e.patternRestore, p)
+}
 
 // AttachPolicy installs the tiering policy. Must be called after MapAll
 // and before Run.

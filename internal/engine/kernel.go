@@ -7,6 +7,7 @@ import (
 	"chrono/internal/pebs"
 	"chrono/internal/policy"
 	"chrono/internal/rng"
+	"chrono/internal/simclock"
 	"chrono/internal/units"
 	"chrono/internal/vm"
 )
@@ -143,13 +144,23 @@ func (e *Engine) TryPromote(pg *vm.Page) policy.MigrateResult {
 }
 
 // TryDemote implements policy.Kernel; same contract as TryPromote toward
-// the slow tier.
+// the slow tier. A page holding a clean shadow copy demotes for free: its
+// slow-tier frames are already current, so the "move" is a remap.
 func (e *Engine) TryDemote(pg *vm.Page) policy.MigrateResult {
 	if pg.Flags.Has(vm.FlagSwapped) {
 		return policy.MigrateNoCapacity // non-resident
 	}
 	if pg.Tier == mem.SlowTier {
 		return policy.MigrateOK
+	}
+	if e.shadowActive(pg.ID) {
+		return e.demoteToShadow(pg)
+	}
+	if e.node.Free(mem.SlowTier) < int64(pg.Size) {
+		// Before giving up, reclaim shadow copies: shadows are an
+		// optimization, never a reservation, and must not starve real
+		// demotions of slow-tier capacity.
+		e.reclaimShadows(int64(pg.Size))
 	}
 	if e.node.Free(mem.SlowTier) < int64(pg.Size) {
 		// Slow tier exhausted: would swap to disk, out of scope.
@@ -168,6 +179,199 @@ func (e *Engine) TryDemote(pg *vm.Page) policy.MigrateResult {
 		return policy.MigrateTransient
 	}
 	return policy.MigrateOK
+}
+
+// growShadow sizes the shadow columns to the page table. Lazy: engines
+// that never promote transactionally keep them empty.
+func (e *Engine) growShadow() {
+	if len(e.shadowed) < len(e.pages) {
+		e.shadowed = append(e.shadowed, make([]bool, len(e.pages)-len(e.shadowed))...)
+		e.shadowTS = append(e.shadowTS, make([]simclock.Time, len(e.pages)-len(e.shadowTS))...)
+	}
+}
+
+// shadowActive reports whether the page with the given ID holds a live
+// slow-tier shadow copy.
+func (e *Engine) shadowActive(id int64) bool {
+	return id >= 0 && id < int64(len(e.shadowed)) && e.shadowed[id]
+}
+
+// Shadowed implements policy.TransactionalKernel.
+func (e *Engine) Shadowed(pg *vm.Page) bool { return e.shadowActive(pg.ID) }
+
+// realWriteRate returns the writes/second one real 4 KB page covered by pg
+// sustains — the dirtying rate the transactional machinery reasons about
+// (the shadow copy of a real page goes stale on the first write to it).
+func (e *Engine) realWriteRate(pg *vm.Page) float64 {
+	return e.PageRate(pg) * (1 - e.pageRF[pg.ID]) / (e.cfg.CostScale * float64(pg.Size))
+}
+
+// PromoteShadowed implements policy.TransactionalKernel: TryPromote, but
+// on success the page's slow-tier frames are retained as a shadow copy,
+// and a write racing the copy aborts the transaction (Nomad's
+// abort-on-write) instead of migrating a torn page.
+func (e *Engine) PromoteShadowed(pg *vm.Page) policy.MigrateResult {
+	if pg.Flags.Has(vm.FlagSwapped) {
+		return e.TryPromote(pg) // swap-in: there is no slow copy to retain
+	}
+	if pg.Tier == mem.FastTier {
+		return policy.MigrateOK
+	}
+	if !e.ensureFastFree(int64(pg.Size)) {
+		return policy.MigrateNoCapacity
+	}
+	if e.inj.MigrationBusy() || e.allocFaultNear(mem.FastTier) {
+		e.abortMigration(pg)
+		e.M.FailedPromotions++
+		return policy.MigrateTransient
+	}
+	// Abort-on-write: the transaction spans the page's copy window; a
+	// write landing inside it dirties the source mid-copy and rolls the
+	// transaction back. The dirtying rate is per real page — the batch
+	// copy window is what one real page's transaction is exposed to.
+	if w := e.realWriteRate(pg); w > 0 {
+		window := e.node.CopyTime(int64(pg.Size)).Seconds()
+		if e.rShadow.Bool(1 - math.Exp(-w*window)) {
+			e.abortMigration(pg)
+			e.M.NomadAborts++
+			return policy.MigrateTransient
+		}
+	}
+	if !e.migBudgetOK(int64(pg.Size)) {
+		return policy.MigrateNoCapacity
+	}
+	if err := e.promoteShadow(pg); err != nil {
+		e.M.FailedPromotions++
+		return policy.MigrateTransient
+	}
+	return policy.MigrateOK
+}
+
+// promoteShadow performs the transactional promotion: copy to the fast
+// tier with full migration accounting, but keep the slow-tier allocation
+// as the page's shadow.
+func (e *Engine) promoteShadow(pg *vm.Page) error {
+	now := e.clock.Now()
+	copyTime, err := e.node.CopyPages(mem.SlowTier, mem.FastTier, int64(pg.Size))
+	if err != nil {
+		if e.sanitize {
+			sanitizeViolation("promoteShadow page %d (%d pages) after capacity check: %v",
+				pg.ID, pg.Size, err)
+		}
+		e.M.MoveTierErrors++
+		return err
+	}
+	e.ChargeKernel((e.cfg.MigrateFixedNS + e.cfg.MigratePerPageNS.Mul(float64(pg.Size))).Mul(e.cfg.CostScale) + units.NSOf(copyTime))
+	e.M.ContextSwitches += 0.5
+	bytes := float64(int64(pg.Size) * e.node.PageSizeBytes)
+	e.M.MigratedBytes += bytes
+	e.epochMigBytes += bytes
+	e.M.Promotions++
+	if pg.Flags.Has(vm.FlagProtNone) {
+		e.Unprotect(pg)
+	}
+	e.kLRU[mem.SlowTier].Drop(pg.ID)
+	e.kLRU[mem.FastTier].Active.PushFront(pg.ID)
+	ps := e.procs[pg.Proc.Slot]
+	w := e.pageW[pg.ID]
+	rf := e.pageRF[pg.ID]
+	ps.wRead[mem.SlowTier] -= w * rf
+	ps.wWrite[mem.SlowTier] -= w * (1 - rf)
+	ps.wRead[mem.FastTier] += w * rf
+	ps.wWrite[mem.FastTier] += w * (1 - rf)
+	ps.residentFast += int64(pg.Size)
+	ps.residentSlow -= int64(pg.Size)
+	pg.Tier = mem.FastTier
+	e.everPromoted[pg.ID] = true
+	if pg.DemoteTS > 0 {
+		e.M.RePromotions++
+	}
+	pg.PromoteTS = now
+	e.growShadow()
+	e.shadowed[pg.ID] = true
+	e.shadowTS[pg.ID] = now
+	e.shadowFIFO = append(e.shadowFIFO, pg.ID)
+	e.shadowBase += int64(pg.Size)
+	if e.pol != nil {
+		e.pol.OnMigrated(pg, mem.SlowTier, mem.FastTier)
+	}
+	return nil
+}
+
+// demoteToShadow demotes a shadowed page. Clean shadow: the slow copy is
+// current, so the demotion is a zero-copy remap — no page copy, no
+// migration bandwidth, no token charge. Dirty shadow (writes landed since
+// the shadow was cut): the copy is stale, drop it and take the regular
+// copying path.
+func (e *Engine) demoteToShadow(pg *vm.Page) policy.MigrateResult {
+	now := e.clock.Now()
+	id := pg.ID
+	if w := e.realWriteRate(pg); w > 0 {
+		if age := (now - e.shadowTS[id]).Seconds(); age > 0 {
+			if e.rShadow.Bool(1 - math.Exp(-w*age)) {
+				e.dropShadow(pg)
+				e.M.ShadowStale++
+				return e.TryDemote(pg) // shadow gone: regular copying demote
+			}
+		}
+	}
+	e.ChargeKernel(e.cfg.MigrateFixedNS.Mul(e.cfg.CostScale))
+	e.M.ContextSwitches += 0.5
+	e.M.ShadowDemotions++
+	if pg.PromoteTS > 0 && now-pg.PromoteTS <= e.cfg.ThrashWindowNS {
+		// The round trip still wasted the promotion's copy, even though
+		// the demotion itself was free.
+		e.M.ThrashDemotions++
+		e.M.ThrashBytes += float64(int64(pg.Size) * e.node.PageSizeBytes)
+	}
+	if pg.Flags.Has(vm.FlagProtNone) {
+		e.Unprotect(pg)
+	}
+	e.kLRU[mem.FastTier].Drop(id)
+	e.kLRU[mem.SlowTier].AddNew(id)
+	ps := e.procs[pg.Proc.Slot]
+	w := e.pageW[id]
+	rf := e.pageRF[id]
+	ps.wRead[mem.FastTier] -= w * rf
+	ps.wWrite[mem.FastTier] -= w * (1 - rf)
+	ps.wRead[mem.SlowTier] += w * rf
+	ps.wWrite[mem.SlowTier] += w * (1 - rf)
+	ps.residentFast -= int64(pg.Size)
+	ps.residentSlow += int64(pg.Size)
+	// Commit: the fast-tier frames retire and the shadow allocation
+	// becomes the page's slow-tier residency.
+	e.node.FreePages(mem.FastTier, int64(pg.Size))
+	e.shadowed[id] = false
+	e.shadowBase -= int64(pg.Size)
+	pg.Tier = mem.SlowTier
+	pg.DemoteTS = now
+	e.everSlow[id] = true
+	if e.pol != nil {
+		e.pol.OnMigrated(pg, mem.FastTier, mem.SlowTier)
+	}
+	return policy.MigrateOK
+}
+
+// dropShadow releases a page's shadow frames back to the slow tier. The
+// page itself is untouched; its FIFO entry goes stale in place.
+func (e *Engine) dropShadow(pg *vm.Page) {
+	e.node.FreePages(mem.SlowTier, int64(pg.Size))
+	e.shadowed[pg.ID] = false
+	e.shadowBase -= int64(pg.Size)
+}
+
+// reclaimShadows drops the oldest live shadows until the slow tier has
+// room for need pages or no shadows remain.
+func (e *Engine) reclaimShadows(need int64) {
+	for e.node.Free(mem.SlowTier) < need && len(e.shadowFIFO) > 0 {
+		id := e.shadowFIFO[0]
+		e.shadowFIFO = e.shadowFIFO[1:]
+		if id < 0 || id >= int64(len(e.pages)) || e.pages[id] == nil || !e.shadowActive(id) {
+			continue // stale entry: shadow already consumed or dropped
+		}
+		e.dropShadow(e.pages[id])
+		e.M.ShadowReclaims++
+	}
 }
 
 // allocFaultNear asks the injector for a transient allocation failure,
@@ -252,6 +456,11 @@ func (e *Engine) reclaimVictim() *vm.Page {
 // failed migration (the page stays put, the caller reports transient).
 func (e *Engine) moveTier(pg *vm.Page, to mem.TierID) error {
 	from := pg.Tier
+	if e.shadowActive(pg.ID) {
+		// Any copying move invalidates a retained shadow (the slow copy
+		// would alias the page's new frames or go stale unobserved).
+		e.dropShadow(pg)
+	}
 	copyTime, err := e.node.MovePages(from, to, int64(pg.Size))
 	if err != nil {
 		if e.sanitize {
@@ -302,10 +511,21 @@ func (e *Engine) moveTier(pg *vm.Page, to mem.TierID) error {
 		ps.residentSlow += int64(pg.Size)
 	}
 	pg.Tier = to
+	now := e.clock.Now()
 	if to == mem.SlowTier {
-		pg.DemoteTS = e.clock.Now()
+		if pg.PromoteTS > 0 && now-pg.PromoteTS <= e.cfg.ThrashWindowNS {
+			// Promote→demote round trip inside one thrash window: both copies
+			// were wasted bandwidth (the anti-thrashing metric of the report).
+			e.M.ThrashDemotions++
+			e.M.ThrashBytes += 2 * float64(int64(pg.Size)*e.node.PageSizeBytes)
+		}
+		pg.DemoteTS = now
 		e.everSlow[pg.ID] = true
 	} else {
+		if pg.DemoteTS > 0 {
+			e.M.RePromotions++
+		}
+		pg.PromoteTS = now
 		e.everPromoted[pg.ID] = true
 	}
 	if e.pol != nil {
@@ -352,6 +572,9 @@ func (e *Engine) SplitHuge(pg *vm.Page) []*vm.Page {
 	// Retire the huge page.
 	if pg.Flags.Has(vm.FlagProtNone) {
 		e.Unprotect(pg)
+	}
+	if e.shadowActive(pg.ID) {
+		e.dropShadow(pg) // the split pages no longer alias the shadow copy
 	}
 	e.kLRU[pg.Tier].Drop(pg.ID)
 	pg.Proc.RemovePage(pg)

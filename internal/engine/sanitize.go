@@ -56,10 +56,16 @@ func dumpPage(pg *vm.Page) string {
 //     counters reconcile with the page table.
 //  6. Migration accounting: promoted+demoted base pages reconcile with
 //     MigratedBytes, and each is at least the respective operation count.
+//  7. Shadow (transactional-migration) accounting: a shadowed page is
+//     live, resident, and in the fast tier — a shadow over a slow,
+//     swapped, or freed page would double-count its frames; ShadowBase
+//     equals the sum of shadowed page sizes; and the slow tier's used
+//     counter covers resident pages plus shadow copies.
 func (e *Engine) CheckInvariants() {
 	var (
 		residentPages [mem.NumTiers]int64 // page objects per tier
 		residentBase  [mem.NumTiers]int64 // base pages per tier
+		shadowBase    int64               // base pages held as shadow copies
 		perProcFast   = make(map[int]int64)
 		perProcSlow   = make(map[int]int64)
 		perProcSwap   = make(map[int]int64)
@@ -71,7 +77,19 @@ func (e *Engine) CheckInvariants() {
 			if e.links.OnAnyList(int64(id)) {
 				sanitizeViolation("freed page id %d still on a kernel LRU list", id)
 			}
+			if e.shadowActive(int64(id)) {
+				sanitizeViolation("freed page id %d still holds a shadow copy", id)
+			}
 			continue
+		}
+		if e.shadowActive(pg.ID) {
+			if pg.Flags.Has(vm.FlagSwapped) {
+				sanitizeViolation("swapped page holds a shadow copy: %s", dumpPage(pg))
+			}
+			if pg.Tier != mem.FastTier {
+				sanitizeViolation("shadowed page resident outside the fast tier (double residency): %s", dumpPage(pg))
+			}
+			shadowBase += int64(pg.Size)
 		}
 		if pg.ID != int64(id) {
 			sanitizeViolation("page table slot %d holds %s", id, dumpPage(pg))
@@ -115,9 +133,15 @@ func (e *Engine) CheckInvariants() {
 		// Raw node.Alloc (external pressure without backing pages, as the
 		// kswapd tests use) may push used above the page table's tally,
 		// but resident pages can never exceed the node's used counter.
-		if used < residentBase[t] {
-			sanitizeViolation("tier %v accounting: node used %d, page table holds %d base pages",
-				t, used, residentBase[t])
+		covered := residentBase[t]
+		if t == mem.SlowTier {
+			// Shadow copies occupy slow-tier frames without page-table
+			// residency; the used counter must cover both.
+			covered += shadowBase
+		}
+		if used < covered {
+			sanitizeViolation("tier %v accounting: node used %d, page table holds %d base pages (+%d shadow)",
+				t, used, residentBase[t], covered-residentBase[t])
 		}
 		if got, want := int64(e.kLRU[t].Len()), residentPages[t]; got != want {
 			sanitizeViolation("tier %v LRU length %d != %d resident pages", t, got, want)
@@ -127,6 +151,12 @@ func (e *Engine) CheckInvariants() {
 			sanitizeViolation("tier %v watermark order violated: min %d low %d high %d pro %d cap %d",
 				t, w.Min, w.Low, w.High, w.Pro, capacity)
 		}
+	}
+
+	// Shadow ledger reconciles with the page pass.
+	if e.shadowBase != shadowBase {
+		sanitizeViolation("shadow ledger holds %d base pages, page table says %d",
+			e.shadowBase, shadowBase)
 	}
 
 	// Per-process residency counters.

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chrono/internal/parallel"
+	"chrono/internal/report"
+	"chrono/internal/workload"
+)
+
+// Adversarial robustness sweep: the anti-thrashing scenario suite
+// (internal/workload/adversarial.go) crossed with the baseline policies,
+// each with and without the thrash guard, plus the Nomad transactional
+// baseline. Run with -faults to additionally cross the grid with an
+// injection plan — every cell goes through ResilientRun, so a policy that
+// panics under pressure lands in the failure manifest instead of taking
+// the sweep down.
+
+// AdversarialPolicies is the sweep's policy axis: each migration-heavy
+// baseline bare and guard-wrapped, plus Nomad (whose transactional
+// mechanism is its own thrash mitigation).
+var AdversarialPolicies = []string{
+	"TPP", "TPP+guard",
+	"Memtis", "Memtis+guard",
+	"FlexMem", "FlexMem+guard",
+	"Chrono", "Chrono+guard",
+	"Nomad",
+}
+
+// AdversarialScenarios is the scenario axis, by NewAdversarial name.
+var AdversarialScenarios = []string{"oscillation", "rotation", "pressure"}
+
+// NewAdversarial constructs a fresh adversarial scenario by name.
+func NewAdversarial(name string) (workload.Workload, error) {
+	switch name {
+	case "oscillation":
+		return &workload.Oscillation{}, nil
+	case "rotation":
+		return &workload.Rotation{}, nil
+	case "pressure":
+		return &workload.PressureSpike{}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown adversarial scenario %q", name)
+	}
+}
+
+// AdversarialSweep is the finished grid: one table per scenario plus the
+// failure manifest for cells that crashed or were interrupted.
+type AdversarialSweep struct {
+	Tables []*report.Table
+	Failed []*FailedRun
+}
+
+// RunAdversarial sweeps AdversarialPolicies × AdversarialScenarios.
+// RunOpts.Faults applies to every cell, so `reproduce -run adv -faults
+// aggressive` is the policies × scenarios × fault-plan cross the
+// robustness evaluation calls for.
+func RunAdversarial(o RunOpts) (*AdversarialSweep, error) {
+	o = o.withDefaults()
+	type cell struct {
+		thr, fmar, migGB, rePromo, thrashGB, shadowHit float64
+		aborts                                         int64
+		failed                                         *FailedRun
+	}
+	pols, scens := AdversarialPolicies, AdversarialScenarios
+	jobs := make([]func() (cell, error), 0, len(scens)*len(pols))
+	for _, scen := range scens {
+		for _, pol := range pols {
+			scen, pol := scen, pol
+			jobs = append(jobs, func() (cell, error) {
+				mk := func() workload.Workload {
+					w, err := NewAdversarial(scen)
+					if err != nil {
+						panic(err) // names come from AdversarialScenarios
+					}
+					return w
+				}
+				res, failed, err := ResilientRun("adv/"+scen, pol, mk, o)
+				if err != nil {
+					return cell{}, err
+				}
+				if failed != nil {
+					return cell{failed: failed}, nil
+				}
+				m := res.Metrics
+				c := cell{
+					thr:      m.Throughput(),
+					fmar:     m.FMAR() * 100,
+					migGB:    m.MigratedBytes / (1 << 30),
+					thrashGB: m.ThrashBytes / (1 << 30),
+					aborts:   m.NomadAborts,
+				}
+				if m.Promotions > 0 {
+					c.rePromo = 100 * float64(m.RePromotions) / float64(m.Promotions)
+				}
+				if tries := m.ShadowDemotions + m.ShadowStale; tries > 0 {
+					c.shadowHit = 100 * float64(m.ShadowDemotions) / float64(tries)
+				}
+				res.Compact()
+				return c, nil
+			})
+		}
+	}
+	cells, err := parallel.MapCtx(o.ctx(), o.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	s := &AdversarialSweep{}
+	for si, scen := range scens {
+		title := fmt.Sprintf("Adversarial: %s scenario", scen)
+		if o.Faults.Enabled() {
+			title += fmt.Sprintf(" under faults %q", o.Faults.String())
+		}
+		t := report.NewTable(title,
+			"Policy", "Thr (Mop/s)", "FMAR (%)", "Mig (GB)",
+			"RePromo (%)", "Thrash (GB)", "Aborts", "ShadowHit (%)")
+		for pi, pol := range pols {
+			c := cells[si*len(pols)+pi]
+			if c.failed != nil {
+				s.Failed = append(s.Failed, c.failed)
+				t.AddRow(pol, "FAILED", "FAILED", "FAILED",
+					"FAILED", "FAILED", "FAILED", "FAILED")
+				continue
+			}
+			t.AddRow(pol, c.thr, c.fmar, c.migGB,
+				c.rePromo, c.thrashGB, c.aborts, c.shadowHit)
+		}
+		t.Note = "RePromo = promotions of previously demoted pages; Thrash = bytes moved on promote→demote round trips " +
+			"within one thrash window (60 s); ShadowHit = clean zero-copy share of Nomad shadow demotions; +guard = same policy behind the anti-thrashing controller"
+		s.Tables = append(s.Tables, t)
+	}
+	return s, nil
+}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"chrono/internal/core"
@@ -126,11 +127,52 @@ func (o RunOpts) withDefaults() RunOpts {
 	return o
 }
 
+// GuardPresetFor returns the thrash-guard tunables a "+guard" policy
+// name resolves to. One size does not fit all: the guard's job is to
+// suppress *wasted* migration, and what counts as waste depends on the
+// base policy's own reaction machinery.
+//
+//   - Memtis/FlexMem sample continuously and re-promote within seconds,
+//     so the aggressive defaults (120 s window, hard governor clamp)
+//     remove almost all oscillation churn.
+//   - TPP's 60 s fault-scan cadence means round trips take minutes and
+//     much of its churn is genuinely hot; a window matched to one scan
+//     period and a loose governor trims waste without starving it.
+//     Nomad promotes on the same hint-fault recency signal, so it gets
+//     the same preset when wrapped.
+//   - Chrono's rate limiter already prevents ping-pong (round trips run
+//     128–512 s), so per-page backoff never fires; a mild governor is
+//     the only lever that cuts its residual phase-chasing bandwidth
+//     without costing hit rate.
+func GuardPresetFor(base string) policy.ThrashConfig {
+	switch base {
+	case "TPP", "Nomad":
+		return policy.ThrashConfig{
+			Window:     60 * simclock.Second,
+			Base:       15 * simclock.Second,
+			MaxBackoff: 60 * simclock.Second,
+			MinAllow:   512,
+		}
+	case "Chrono", "Chrono-full", "Chrono-basic", "Chrono-twice", "Chrono-thrice", "Chrono-manual":
+		return policy.ThrashConfig{MinAllow: 256}
+	}
+	return policy.ThrashConfig{}
+}
+
 // NewPolicy constructs a fresh policy instance by its report name.
 // Chrono variants for the design-choice analysis (Figure 13) are named
 // "Chrono-basic", "Chrono-twice", "Chrono-thrice", "Chrono-full",
-// "Chrono-manual".
+// "Chrono-manual". A "+guard" suffix wraps any base policy in the
+// anti-thrashing controller (policy.WithThrashGuard) with the
+// per-policy preset from GuardPresetFor — e.g. "TPP+guard".
 func NewPolicy(name string) (policy.Policy, error) {
+	if base, ok := strings.CutSuffix(name, "+guard"); ok {
+		inner, err := NewPolicy(base)
+		if err != nil {
+			return nil, err
+		}
+		return policy.WithThrashGuard(inner, GuardPresetFor(base)), nil
+	}
 	switch name {
 	case "Linux-NB":
 		return linuxnb.New(linuxnb.Config{}), nil
@@ -148,6 +190,8 @@ func NewPolicy(name string) (policy.Policy, error) {
 		return flexmem.New(flexmem.Config{}), nil
 	case "Telescope":
 		return telescope.New(telescope.Config{}), nil
+	case "Nomad":
+		return policy.NewNomad(policy.NomadConfig{}), nil
 	case "Chrono", "Chrono-full":
 		return core.New(core.Options{}), nil
 	case "Chrono-basic":
@@ -166,8 +210,10 @@ func NewPolicy(name string) (policy.Policy, error) {
 // DefaultModeFor returns the page-size mode a policy runs with in the
 // paper's main experiments: the PEBS-family systems (Memtis, HeMem,
 // FlexMem) are huge-page designs (Table 1); everything else runs base
-// pages.
+// pages. The thrash-guard wrapper does not change the mode of the
+// policy it wraps.
 func DefaultModeFor(polName string) engine.PageSizeMode {
+	polName, _ = strings.CutSuffix(polName, "+guard")
 	switch polName {
 	case "Memtis", "HeMem", "FlexMem":
 		return engine.HugePages

@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// full-length deterministic shape fences skip under it: they re-run the
+// exact event sequences the short chaos soak already exercises with the
+// detector on, so repeating them at 600 virtual seconds buys no new
+// interleavings — only a ~10x slower CI race job.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package experiments
+
+// raceEnabled: see race_off.go.
+const raceEnabled = true

@@ -275,6 +275,34 @@ func (n *Node) MovePages(from, to TierID, pages int64) (simclock.Duration, error
 	return simclock.Duration(ns), nil
 }
 
+// CopyPages replicates an allocation of pages from one tier into another
+// without releasing the source — the transactional (Nomad-style) migration
+// primitive: after the copy both tiers hold the pages, and the caller
+// decides later which side to free (commit) or whether to roll back.
+// Migration stats count the copy like a regular move; the retained source
+// allocation shows up as used > resident until the shadow is consumed.
+func (n *Node) CopyPages(from, to TierID, pages int64) (simclock.Duration, error) {
+	if err := n.Alloc(to, pages); err != nil {
+		return 0, err
+	}
+	if to == FastTier {
+		n.PromotedPages += pages
+	} else {
+		n.DemotedPages += pages
+	}
+	bytes := units.Bytes(pages * n.PageSizeBytes)
+	ns := bytes.Over(n.CopyBandwidthB).NS()
+	return simclock.Duration(ns), nil
+}
+
+// CopyTime returns the virtual time needed to copy pages between tiers at
+// the node's sustainable copy bandwidth (the transactional-abort window:
+// a write landing within it aborts a Nomad-style migration).
+func (n *Node) CopyTime(pages int64) simclock.Duration {
+	bytes := units.Bytes(pages * n.PageSizeBytes)
+	return simclock.Duration(bytes.Over(n.CopyBandwidthB).NS())
+}
+
 // FastRatio returns the share of total capacity provided by the fast tier,
 // e.g. 0.25 for the paper's 64 GB DRAM / 192 GB NVM split.
 func (n *Node) FastRatio() float64 {

@@ -1,0 +1,173 @@
+package policy
+
+// Nomad baseline (Xiang et al., OSDI '23): non-exclusive memory tiering
+// with transactional page migration. Two ideas distinguish it from the
+// copy-and-free baselines:
+//
+//   - Transactional promotion: the slow-tier copy of a promoted page is
+//     retained as a shadow, so demoting the page later — as long as no
+//     write dirtied it — is a zero-copy remap instead of a second copy.
+//     Under memory pressure (working set larger than the fast tier) this
+//     halves the bandwidth a promote→demote round trip costs.
+//   - Abort-on-write: a write arriving while the promotion copy is in
+//     flight aborts the transaction instead of migrating a torn page; the
+//     page simply stays in the slow tier until a later attempt.
+//
+// The promotion trigger itself is TPP-like (hint faults plus a recency
+// second chance): Nomad's contribution is the migration mechanism, not
+// the hotness signal, and sharing the trigger isolates exactly that in
+// the sweeps. The shadow machinery lives in the engine behind the
+// TransactionalKernel interface; on kernels without it (unit-test fakes)
+// the policy degrades to plain TryPromote.
+//
+// Nomad lives in this package rather than under policy/nomad because it
+// reuses the retry/backoff helpers and — unlike the other baselines — it
+// cannot import policy/scan (that package imports this one), so it walks
+// the dense page table with its own keyed ticker instead.
+
+import (
+	"encoding/json"
+
+	"chrono/internal/mem"
+	"chrono/internal/simclock"
+	"chrono/internal/vm"
+)
+
+// NomadConfig holds Nomad's tunables.
+type NomadConfig struct {
+	// ScanPeriod is the hint-fault scan cadence over the slow tier
+	// (default 60 s, matching the scan package's default).
+	ScanPeriod simclock.Duration
+	// StepPages is the number of page-table slots visited per scan tick;
+	// 0 derives it from the table size so one full pass takes roughly
+	// 1024 ticks, minimum 8 (the scan package's pacing rule).
+	StepPages int
+	// RecencyWindow is the re-reference second-chance window (default
+	// 3 min, as for TPP: hint faults arrive at most once per scan pass).
+	RecencyWindow simclock.Duration
+	// HeadroomFrac widens the fast tier's demotion target above the high
+	// watermark (default 0.02 of fast capacity).
+	HeadroomFrac float64
+}
+
+// Nomad is the transactional-migration baseline. The previous fault
+// timestamp is kept in pg.Meta (nanoseconds), like TPP.
+//
+//chrono:statesync nomadState
+type Nomad struct {
+	Base                       //chrono:rebuilt stateless method set
+	cfg    NomadConfig         //chrono:rebuilt configuration, finalized in Attach
+	k      Kernel              //chrono:rebuilt kernel handle, re-bound by Attach
+	tk     TransactionalKernel //chrono:rebuilt nil when the kernel lacks transactions
+	step   int                 //chrono:rebuilt pacing, derived from cfg and table size
+	cursor int64               //chrono:state Cursor
+}
+
+// NewNomad returns a Nomad policy.
+func NewNomad(cfg NomadConfig) *Nomad { return &Nomad{cfg: cfg} }
+
+// Name implements Policy.
+func (p *Nomad) Name() string { return "Nomad" }
+
+// Attach implements Policy.
+func (p *Nomad) Attach(k Kernel) {
+	p.k = k
+	p.tk, _ = k.(TransactionalKernel)
+	if p.cfg.ScanPeriod == 0 {
+		p.cfg.ScanPeriod = simclock.Minute
+	}
+	if p.cfg.RecencyWindow == 0 {
+		p.cfg.RecencyWindow = 3 * simclock.Minute
+	}
+	if p.cfg.HeadroomFrac == 0 {
+		p.cfg.HeadroomFrac = 0.02
+	}
+	p.step = p.cfg.StepPages
+	if p.step <= 0 {
+		p.step = len(k.Pages()) / 1024
+		if p.step < 8 {
+			p.step = 8
+		}
+	}
+	k.Clock().EveryKey("policy/nomad/scan", p.cfg.ScanPeriod/1024, func(now simclock.Time) {
+		p.scanStep()
+	})
+	node := k.Node()
+	high := node.Watermarks(mem.FastTier).High
+	node.SetProWatermark(high + int64(p.cfg.HeadroomFrac*float64(node.Capacity(mem.FastTier))))
+}
+
+// scanStep protects the next window of slow-tier pages, wrapping the
+// cursor over the dense page table. Protect charges the per-page scan
+// cost itself.
+func (p *Nomad) scanStep() {
+	pages := p.k.Pages()
+	if len(pages) == 0 {
+		return
+	}
+	if p.cursor >= int64(len(pages)) {
+		p.cursor = 0
+	}
+	for i := 0; i < p.step; i++ {
+		pg := pages[p.cursor]
+		p.cursor++
+		if p.cursor >= int64(len(pages)) {
+			p.cursor = 0
+		}
+		if pg != nil && pg.Tier == mem.SlowTier && !pg.Flags.Has(vm.FlagSwapped) {
+			p.k.Protect(pg)
+		}
+	}
+}
+
+// OnFault implements Policy: promote on re-reference within the recency
+// window, transactionally when the kernel supports it.
+func (p *Nomad) OnFault(pg *vm.Page, now simclock.Time) {
+	if pg.Tier != mem.SlowTier {
+		return
+	}
+	prev := simclock.Time(int64(pg.Meta))
+	pg.Meta = uint64(now)
+	if prev > 0 && now-prev <= p.cfg.RecencyWindow {
+		if p.promote(pg) == MigrateTransient {
+			// Busy page or aborted transaction: a bounded sim-time backoff
+			// retries it instead of waiting for another hint-fault pair.
+			PromoteBackoff(p.k, pg, 50*simclock.Millisecond, 3)
+		}
+	}
+}
+
+// promote runs one bounded transactional promotion attempt: two inline
+// tries (the migrate_pages-style loop), shadow-retaining when available.
+func (p *Nomad) promote(pg *vm.Page) MigrateResult {
+	if p.tk == nil {
+		return RetryPromote(p.k, pg, 2)
+	}
+	res := p.tk.PromoteShadowed(pg)
+	if res == MigrateTransient {
+		res = p.tk.PromoteShadowed(pg)
+	}
+	return res
+}
+
+// nomadState is Nomad's serializable dynamic state: per-page fault
+// timestamps ride in pg.Meta inside the engine snapshot, so only the
+// scan cursor is Nomad's own.
+type nomadState struct {
+	Cursor int64 `json:"cursor"`
+}
+
+// CheckpointState implements Checkpointable.
+func (p *Nomad) CheckpointState() (any, error) {
+	return nomadState{Cursor: p.cursor}, nil
+}
+
+// RestoreCheckpoint implements Checkpointable.
+func (p *Nomad) RestoreCheckpoint(data []byte) error {
+	var st nomadState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	p.cursor = st.Cursor
+	return nil
+}

@@ -138,6 +138,26 @@ type Kernel interface {
 	FastFree() int64
 }
 
+// TransactionalKernel is the optional Kernel extension for Nomad-style
+// transactional migration (Xiang et al., OSDI '23): promotion keeps a
+// shadow copy of the page in the slow tier, so demoting the page later is
+// free as long as no write dirtied it in the meantime. Kernels that
+// support it (internal/engine) also intercept TryDemote on shadowed pages
+// and turn clean demotions into zero-copy remaps. Policies type-assert
+// for it and fall back to plain TryPromote when absent.
+type TransactionalKernel interface {
+	Kernel
+	// PromoteShadowed promotes pg transactionally: on success the page is
+	// fast-tier resident and its slow-tier frames are retained as a shadow
+	// copy. A write arriving while the copy is in flight aborts the
+	// transaction (MigrateTransient, counted in the run metrics); swapped
+	// pages degrade to the regular swap-in promotion (no slow copy exists
+	// to retain).
+	PromoteShadowed(pg *vm.Page) MigrateResult
+	// Shadowed reports whether pg currently holds a slow-tier shadow copy.
+	Shadowed(pg *vm.Page) bool
+}
+
 // Policy is a tiered-memory management policy under evaluation.
 type Policy interface {
 	// Name identifies the policy in reports ("Chrono", "TPP", ...).

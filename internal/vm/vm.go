@@ -73,6 +73,10 @@ type Page struct {
 	LastFault simclock.Time
 	// DemoteTS is the time of the most recent demotion (thrash monitor).
 	DemoteTS simclock.Time
+	// PromoteTS is the time of the most recent promotion. Together with
+	// DemoteTS it lets the engine and anti-thrash controllers recognize
+	// promote→demote ping-pong without policy-private side tables.
+	PromoteTS simclock.Time
 	// ABitTS is the virtual time the simulated PTE accessed bit was last
 	// cleared; AccessedTestAndClear answers relative to it.
 	ABitTS simclock.Time

@@ -1,0 +1,131 @@
+package workload
+
+// Determinism fences for the adversarial scenario suite, mirroring the
+// faultinject rules: a scenario with jitter disabled makes zero stateless
+// draws, and no scenario ever touches the shared workload RNG stream
+// (whose position every existing run's results depend on).
+
+import (
+	"testing"
+
+	"chrono/internal/simclock"
+)
+
+// advWorkload is what the fences need from a scenario: buildable plus the
+// stateless draw counter.
+type advWorkload interface {
+	Workload
+	draws() int64
+}
+
+// advScenarios builds one fresh instance of each adversarial scenario.
+func advScenarios(jitter float64) map[string]advWorkload {
+	osc := &Oscillation{}
+	rot := &Rotation{}
+	spk := &PressureSpike{}
+	osc.RFJitter = jitter
+	rot.RFJitter = jitter
+	spk.RFJitter = jitter
+	return map[string]advWorkload{
+		"oscillation": osc,
+		"rotation":    rot,
+		"pressure":    spk,
+	}
+}
+
+// draws exposes the stateless draw counter to the fence.
+func (b *advBase) draws() int64 { return b.Draws }
+
+// TestScenarioNoJitterZeroDraws: the scenario analogue of faultinject's
+// zero-plan ⇒ zero-draws fence. With RFJitter negative, building and
+// running a scenario must make no stateless hash draws at all; with the
+// default jitter, it must make some (the counter is live, not vestigial).
+func TestScenarioNoJitterZeroDraws(t *testing.T) {
+	for name, w := range advScenarios(-1) {
+		e := newEngine()
+		if err := w.Build(e); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e.Run(30 * simclock.Second)
+		if n := w.draws(); n != 0 {
+			t.Errorf("%s: %d stateless draws with jitter disabled", name, n)
+		}
+	}
+	for name, w := range advScenarios(0) { // 0 = per-scenario default
+		e := newEngine()
+		if err := w.Build(e); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e.Run(30 * simclock.Second)
+		if w.draws() == 0 {
+			t.Errorf("%s: jittered build made no draws — counter dead?", name)
+		}
+	}
+}
+
+// TestScenarioLeavesWorkloadRNGAlone: building and running an adversarial
+// scenario must not advance the shared workload RNG stream. An untouched
+// engine and one that hosted each scenario must draw the same next value.
+func TestScenarioLeavesWorkloadRNGAlone(t *testing.T) {
+	ref := newEngine()
+	want := ref.WorkloadRNG().Uint64()
+	for name, w := range advScenarios(0) {
+		e := newEngine()
+		if err := w.Build(e); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e.Run(30 * simclock.Second)
+		if got := e.WorkloadRNG().Uint64(); got != want {
+			t.Errorf("%s: workload RNG stream advanced (next draw %d, want %d)", name, got, want)
+		}
+	}
+}
+
+// TestScenarioPhasePure: the phase index is a pure function of the clock,
+// never of accumulated state — the property that makes the scenarios
+// checkpointable.
+func TestScenarioPhasePure(t *testing.T) {
+	b := &advBase{PeriodS: 5}
+	for _, tc := range []struct {
+		now   simclock.Time
+		phase int64
+	}{
+		{0, 0},
+		{simclock.FromSeconds(4.999), 0},
+		{simclock.FromSeconds(5), 1},
+		{simclock.FromSeconds(12.5), 2},
+		{simclock.FromSeconds(600), 120},
+	} {
+		if got := b.phase(tc.now); got != tc.phase {
+			t.Errorf("phase(%v) = %d, want %d", tc.now, got, tc.phase)
+		}
+	}
+}
+
+// TestOscillationHotSetBreathes: the ground-truth hot set must actually
+// alternate between LoFrac·F and HiFrac·F across phases — the scenario is
+// only adversarial if the overflow phases really overflow.
+func TestOscillationHotSetBreathes(t *testing.T) {
+	e := newEngine()
+	w := &Oscillation{}
+	w.PeriodS = 5
+	if err := w.Build(e); err != nil {
+		t.Fatal(err)
+	}
+	F := fastPages(e)
+	lo, hi := uint64(0.75*float64(F)), uint64(1.25*float64(F))
+	if w.hotN != lo {
+		t.Fatalf("phase 0 hot set %d, want LoFrac %d", w.hotN, lo)
+	}
+	e.Run(simclock.FromSeconds(7)) // into phase 1
+	if w.hotN != hi {
+		t.Fatalf("phase 1 hot set %d, want HiFrac %d (must exceed fast tier %d)", w.hotN, hi, F)
+	}
+	if w.hotN <= F {
+		t.Fatalf("overflow phase does not overflow: %d <= %d", w.hotN, F)
+	}
+	e.Run(simclock.FromSeconds(5)) // t=12 s: into phase 2
+	if w.hotN != lo {
+		t.Fatalf("phase 2 hot set %d, want LoFrac %d", w.hotN, lo)
+	}
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench_snapshot.sh — record the tier-1 hot-path benchmark baseline.
 #
-# Runs the three tier-1 microbenchmarks (simclock event loop, engine
-# epoch, fault path) COUNT times each with -benchmem and writes every
+# Runs the tier-1 hot-path benchmarks (simclock event loop, engine
+# epoch, fault path, adversarial oscillation) COUNT times each with
+# -benchmem and writes every
 # sample into a dated JSON snapshot (BENCH_YYYY-MM.json) alongside the
 # toolchain/host metadata needed to interpret it later. The raw `go
 # test` output is benchstat-compatible; the JSON exists so a future
@@ -17,7 +18,7 @@ COUNT="${COUNT:-10}"
 BENCHTIME="${BENCHTIME:-1s}"
 STAMP="${STAMP:-$(date +%Y-%m)}"
 OUT="${OUT:-BENCH_${STAMP}.json}"
-BENCHES='BenchmarkSimclockEvents|BenchmarkEngineEpoch|BenchmarkEngineEpochShards8|BenchmarkEngineEpochHighFidelity|BenchmarkFaultPath'
+BENCHES='BenchmarkSimclockEvents|BenchmarkEngineEpoch|BenchmarkEngineEpochShards8|BenchmarkEngineEpochHighFidelity|BenchmarkFaultPath|BenchmarkAdversarialOscillation'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -28,6 +29,9 @@ go test -run '^$' -bench "^(${BENCHES})\$" -benchmem \
 # Fold the bench text into JSON. Lines of interest:
 #   goos: linux / goarch: amd64 / cpu: ...
 #   BenchmarkFaultPath-8   12345   987.6 ns/op   12 B/op   3 allocs/op
+# Values are located by their unit token, not by column position —
+# simulation benchmarks interleave custom b.ReportMetric units (FMAR%,
+# Mops/s, migGB, ...) among the standard ones.
 awk -v count="$COUNT" -v benchtime="$BENCHTIME" \
 	-v date="$(date +%Y-%m-%d)" -v gover="$(go env GOVERSION)" '
 function jescape(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
@@ -38,7 +42,13 @@ function jescape(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	sub(/^Benchmark/, "", name)
-	s = sprintf("{\"iters\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", $2, $3, $5, $7)
+	ns = "null"; bop = "null"; al = "null"
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		else if ($(i + 1) == "B/op") bop = $i
+		else if ($(i + 1) == "allocs/op") al = $i
+	}
+	s = sprintf("{\"iters\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", $2, ns, bop, al)
 	if (name in samples) samples[name] = samples[name] ", " s
 	else { samples[name] = s; order[++n] = name }
 }
