@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-suggest lint-sarif lint-budget bench-snapshot bench-diff simdebug chaos bench resume-check check clean
+.PHONY: build test race vet lint lint-suggest lint-sarif lint-budget bench-snapshot bench-diff simdebug chaos bench resume-check daemon-smoke results-drift check clean
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,19 @@ bench:
 # an uninterrupted run (fault injection active throughout).
 resume-check:
 	bash scripts/resume_check.sh
+
+# Daemon crash-recovery fence: start chronod, submit over the socket,
+# kill -9 mid-flight, restart, and require the auto-resumed run's final
+# table byte-identical to an uninterrupted reference — plus explicit
+# load-shedding of an over-capacity submit.
+daemon-smoke:
+	bash scripts/daemon_smoke.sh
+
+# Results-drift guard: regenerate the committed quick-mode table in
+# results/ and byte-diff it. Re-record an intentional change with
+# WRITE=1 bash scripts/results_drift.sh.
+results-drift:
+	bash scripts/results_drift.sh
 
 check: build vet lint race simdebug
 

@@ -1,14 +1,28 @@
 // Command chronoctl mirrors the paper's procfs/sysctl administration
-// surface (§4, Appendix A step 6): it lists, reads and writes Chrono's
-// runtime parameters against a live simulation, then reports the effect.
+// surface (§4, Appendix A step 6) and doubles as the client for a
+// running chronod daemon.
 //
-// Because the simulator is in-process, chronoctl demonstrates the control
-// flow by starting a short pmbench run, applying the requested parameter
-// writes mid-run (at half the duration), and printing before/after
-// throughput — the user-visible effect a real `echo N > /proc/sys/...`
-// would have.
+// Without -socket, chronoctl runs its classic local demonstration: it
+// lists, reads, and writes Chrono's runtime parameters against a live
+// in-process simulation, applying the writes mid-run and reporting the
+// throughput effect a real `echo N > /proc/sys/...` would have. Every
+// -set entry is validated *before* the simulation starts: a malformed
+// entry or unknown key exits non-zero immediately, with the parameter
+// table's "did you mean" suggestions.
 //
-// Examples:
+// With -socket, chronoctl speaks the chronod JSON protocol:
+//
+//	chronoctl -socket S -op submit -policy Chrono -workload pmbench -secs 120 -wait
+//	chronoctl -socket S -op list
+//	chronoctl -socket S -op dump -id r0000          # live metrics, memtierd-style
+//	chronoctl -socket S -op pause -id r0000
+//	chronoctl -socket S -op resume -id r0000
+//	chronoctl -socket S -op reconfigure -id r0000 -policy Memtis -set kernel/numa_tiering=1
+//	chronoctl -socket S -op cancel -id r0000
+//	chronoctl -socket S -op reload
+//	chronoctl -socket S -op shutdown
+//
+// Local examples:
 //
 //	chronoctl -list
 //	chronoctl -set chrono/rate_limit_bps=50000000 -secs 300
@@ -20,11 +34,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"chrono/internal/core"
+	"chrono/internal/daemon"
 	"chrono/internal/engine"
 	"chrono/internal/report"
 	"chrono/internal/simclock"
+	"chrono/internal/sysctl"
 	"chrono/internal/workload"
 )
 
@@ -40,61 +57,301 @@ func (s *setFlags) Set(v string) error {
 func main() {
 	var sets setFlags
 	var (
-		list = flag.Bool("list", false, "list all parameters with current values")
-		secs = flag.Float64("secs", 240, "virtual run seconds for the demonstration")
-		seed = flag.Uint64("seed", 42, "simulation seed")
+		// Daemon-client surface.
+		socket = flag.String("socket", "", "chronod unix socket; empty runs the local demonstration")
+		op     = flag.String("op", "", "daemon op: ping|submit|status|list|pause|resume|cancel|reconfigure|dump|reload|shutdown")
+		id     = flag.String("id", "", "run id for status/pause/resume/cancel/reconfigure/dump")
+		wait   = flag.Bool("wait", false, "after submit: poll until the run settles and print its final table")
+
+		// Shared simulation shape (submit spec / local demo).
+		policy  = flag.String("policy", "", "policy name (submit/reconfigure; empty keeps the default or current)")
+		wl      = flag.String("workload", "pmbench", "workload: pmbench|graph500|kvstore|multitenant")
+		procs   = flag.Int("procs", 0, "process count (pmbench/multitenant)")
+		ws      = flag.Float64("ws", 0, "working set GB per process (pmbench)")
+		readPct = flag.Float64("read", 0, "read percentage")
+		stride  = flag.Int("stride", 0, "pmbench stride")
+		total   = flag.Float64("total", 0, "total working set GB (graph500)")
+		flavor  = flag.String("flavor", "", "kvstore flavor: memcached|redis")
+		setget  = flag.String("setget", "", "kvstore SET:GET mix (1:10 or 1:1)")
+		huge    = flag.Bool("huge", false, "map huge pages")
+		secs    = flag.Float64("secs", 240, "virtual run seconds")
+		seed    = flag.Uint64("seed", 42, "simulation seed")
+		fastGB  = flag.Float64("fast", 0, "fast tier GB")
+		slowGB  = flag.Float64("slow", 0, "slow tier GB")
+		ppg     = flag.Int64("pages-per-gb", 0, "simulated pages per GB (capacity scale)")
+		faults  = flag.String("faults", "", "fault-injection plan spec")
+
+		list = flag.Bool("list", false, "local: list all parameters with current values")
 	)
 	flag.Var(&sets, "set", "parameter write, key=value (repeatable)")
 	flag.Parse()
 
+	if *socket != "" {
+		os.Exit(clientMain(&clientArgs{
+			socket: *socket, op: *op, id: *id, wait: *wait, policy: *policy,
+			sets: sets,
+			spec: daemon.RunSpec{
+				Policy: *policy, Workload: *wl, Procs: *procs, WSGB: *ws,
+				ReadPct: *readPct, Stride: *stride, TotalGB: *total,
+				Flavor: *flavor, SetGet: *setget, Huge: *huge, Seed: *seed,
+				DurationS: *secs, FastGB: *fastGB, SlowGB: *slowGB,
+				PagesPerGB: *ppg, Faults: *faults,
+			},
+		}))
+	}
+	os.Exit(localMain(sets, *list, *secs, *seed))
+}
+
+// localMain is the classic in-process demonstration.
+func localMain(sets setFlags, list bool, secs float64, seed uint64) int {
 	// Build a live system so the parameter table is fully populated.
-	e := engine.New(engine.Config{Seed: *seed})
+	e := engine.New(engine.Config{Seed: seed})
 	w := &workload.Pmbench{Processes: 20, WorkingSetGB: 12, ReadPct: 70, Stride: 2}
 	if err := w.Build(e); err != nil {
 		fmt.Fprintln(os.Stderr, "chronoctl:", err)
-		os.Exit(1)
+		return 1
 	}
 	ch := core.New(core.Options{})
 	e.AttachPolicy(ch)
 
-	if *list {
+	if list {
 		t := report.NewTable("Runtime parameters (sysctl/procfs controllers)",
 			"Path", "Value", "Description")
 		for _, p := range e.Sysctl().All() {
 			t.AddRow(p.Path, p.Get(), p.Description)
 		}
 		t.Fprint(os.Stdout)
-		return
+		return 0
 	}
 	if len(sets) == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
-	half := simclock.FromSeconds(*secs / 2)
+	// Validate every write before simulating anything: a typo'd key must
+	// cost an error message and a non-zero exit, not a wasted run.
+	writes, err := validateSets(e.Sysctl(), sets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chronoctl:", err)
+		return 1
+	}
+
+	half := simclock.FromSeconds(secs / 2)
 	var beforeThr float64
+	applyFailed := false
 	e.Clock().At(half, func(now simclock.Time) {
 		beforeThr = e.M.Accesses / now.Seconds() / 1e6
-		for _, kv := range sets {
-			parts := strings.SplitN(kv, "=", 2)
-			if len(parts) != 2 {
-				fmt.Fprintf(os.Stderr, "chronoctl: bad -set %q (want key=value)\n", kv)
-				os.Exit(2)
-			}
-			if err := e.Sysctl().Set(parts[0], parts[1]); err != nil {
+		for _, kv := range writes {
+			if err := e.Sysctl().Set(kv[0], kv[1]); err != nil {
+				// Keys were pre-validated; this is a value the parameter's
+				// own validator rejected.
 				fmt.Fprintln(os.Stderr, "chronoctl:", err)
-				os.Exit(1)
+				applyFailed = true
+				e.Clock().Stop()
+				return
 			}
-			fmt.Printf("applied %s = %s at t=%.0fs\n", parts[0], parts[1], now.Seconds())
+			fmt.Printf("applied %s = %s at t=%.0fs\n", kv[0], kv[1], now.Seconds())
 		}
 	})
-	m := e.Run(simclock.FromSeconds(*secs))
+	m := e.Run(simclock.FromSeconds(secs))
+	if applyFailed {
+		return 1
+	}
 
-	afterThr := (m.Accesses - beforeThr*half.Seconds()*1e6) / (*secs / 2) / 1e6
+	afterThr := (m.Accesses - beforeThr*half.Seconds()*1e6) / (secs / 2) / 1e6
 	t := report.NewTable("Effect of parameter writes", "Window", "Throughput (Mop/s)")
 	t.AddRow("before writes (first half)", beforeThr)
 	t.AddRow("after writes (second half)", afterThr)
 	t.Fprint(os.Stdout)
 	fmt.Printf("final CIT threshold: %.1f ms, rate limit: %.1f MB/s\n",
 		ch.ThresholdMS(), ch.RateLimitMBps())
+	return 0
+}
+
+// validateSets parses -set entries and checks every key against the
+// live parameter table before anything runs. Unknown keys fail with the
+// table's "did you mean" suggestions; malformed entries fail with the
+// expected syntax. Returns the parsed key/value pairs in entry order.
+func validateSets(tbl *sysctl.Table, entries []string) ([][2]string, error) {
+	writes := make([][2]string, 0, len(entries))
+	for _, kv := range entries {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok || key == "" {
+			return nil, fmt.Errorf("bad -set %q (want key=value)", kv)
+		}
+		if _, err := tbl.Get(key); err != nil {
+			return nil, err
+		}
+		writes = append(writes, [2]string{key, val})
+	}
+	return writes, nil
+}
+
+// clientArgs carries the daemon-mode invocation.
+type clientArgs struct {
+	socket string
+	op     string
+	id     string
+	wait   bool
+	policy string
+	sets   setFlags
+	spec   daemon.RunSpec
+}
+
+func clientMain(a *clientArgs) int {
+	c := &daemon.Client{Socket: a.socket}
+	fail := func(msg string) int {
+		fmt.Fprintln(os.Stderr, "chronoctl:", msg)
+		return 1
+	}
+	switch a.op {
+	case daemon.OpPing:
+		resp, err := c.Do(daemon.Request{Op: daemon.OpPing})
+		if err != nil {
+			return fail(err.Error())
+		}
+		fmt.Printf("ok (abandoned goroutines: %d)\n", resp.Abandoned)
+		return 0
+
+	case daemon.OpSubmit:
+		resp, err := c.Do(daemon.Request{Op: daemon.OpSubmit, Spec: &a.spec})
+		if err != nil {
+			return fail(err.Error())
+		}
+		if !resp.OK {
+			if resp.RetryAfterS > 0 {
+				// Load-shed: the structured retry hint gets a distinct
+				// exit status so scripts can back off instead of erroring.
+				fmt.Fprintln(os.Stderr, "chronoctl:", resp.Error)
+				return 3
+			}
+			return fail(resp.Error)
+		}
+		fmt.Printf("submitted %s\n", resp.ID)
+		if !a.wait {
+			return 0
+		}
+		return waitForRun(c, resp.ID)
+
+	case daemon.OpStatus:
+		resp, err := c.Do(daemon.Request{Op: daemon.OpStatus, ID: a.id})
+		if err != nil {
+			return fail(err.Error())
+		}
+		if !resp.OK {
+			return fail(resp.Error)
+		}
+		printRun(*resp.Run)
+		if resp.Table != "" {
+			fmt.Print(resp.Table)
+		}
+		return 0
+
+	case daemon.OpList:
+		resp, err := c.Do(daemon.Request{Op: daemon.OpList})
+		if err != nil {
+			return fail(err.Error())
+		}
+		t := report.NewTable("chronod runs", "ID", "State", "Policy", "Workload", "Sim time (s)", "Swaps", "Error")
+		for _, r := range resp.Runs {
+			t.AddRow(r.ID, r.State, r.Policy, r.Spec.Workload, r.SimNowS, r.Swaps, firstLine(r.Error))
+		}
+		t.Fprint(os.Stdout)
+		return 0
+
+	case daemon.OpPause, daemon.OpResume, daemon.OpCancel, daemon.OpDump:
+		resp, err := c.Do(daemon.Request{Op: a.op, ID: a.id})
+		if err != nil {
+			return fail(err.Error())
+		}
+		if !resp.OK {
+			return fail(resp.Error)
+		}
+		if resp.Table != "" {
+			fmt.Print(resp.Table)
+		} else if resp.Run != nil {
+			printRun(*resp.Run)
+		}
+		return 0
+
+	case daemon.OpReconfigure:
+		set := map[string]string{}
+		for _, kv := range a.sets {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok || key == "" {
+				return fail(fmt.Sprintf("bad -set %q (want key=value)", kv))
+			}
+			set[key] = val
+		}
+		resp, err := c.Do(daemon.Request{Op: daemon.OpReconfigure, ID: a.id, Policy: a.policy, Set: set})
+		if err != nil {
+			return fail(err.Error())
+		}
+		if !resp.OK {
+			return fail(resp.Error)
+		}
+		fmt.Printf("reconfigured %s (%d clock events dropped by the swap)\n", a.id, resp.Dropped)
+		printRun(*resp.Run)
+		return 0
+
+	case daemon.OpReload, daemon.OpShutdown:
+		resp, err := c.Do(daemon.Request{Op: a.op})
+		if err != nil {
+			return fail(err.Error())
+		}
+		if !resp.OK {
+			return fail(resp.Error)
+		}
+		fmt.Println("ok")
+		return 0
+
+	default:
+		return fail(fmt.Sprintf("unknown -op %q (ping|submit|status|list|pause|resume|cancel|reconfigure|dump|reload|shutdown)", a.op))
+	}
+}
+
+// waitForRun polls until the run settles, then prints its final state
+// and table. Exit status mirrors the run's fate.
+func waitForRun(c *daemon.Client, id string) int {
+	for {
+		resp, err := c.Do(daemon.Request{Op: daemon.OpStatus, ID: id})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chronoctl:", err)
+			return 1
+		}
+		if !resp.OK {
+			fmt.Fprintln(os.Stderr, "chronoctl:", resp.Error)
+			return 1
+		}
+		switch resp.Run.State {
+		case daemon.StateDone:
+			fmt.Print(resp.Table)
+			return 0
+		case daemon.StateFailed, daemon.StateCancelled, daemon.StateInterrupted, daemon.StatePaused:
+			printRun(*resp.Run)
+			return 1
+		}
+		time.Sleep(250 * time.Millisecond) //chrono:wallclock client polling cadence
+	}
+}
+
+func printRun(r daemon.RunInfo) {
+	fmt.Printf("%s: %s  policy=%s workload=%s sim=%.1fs", r.ID, r.State, r.Policy, r.Spec.Workload, r.SimNowS)
+	if r.Swaps > 0 {
+		fmt.Printf(" swaps=%d dropped_events=%d", r.Swaps, r.DroppedEvents)
+	}
+	if r.AbandonedGoroutine {
+		fmt.Print(" abandoned_goroutine=true")
+	}
+	if r.Error != "" {
+		fmt.Printf("\n  error: %s", firstLine(r.Error))
+	}
+	fmt.Println()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }

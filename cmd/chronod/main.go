@@ -1,0 +1,102 @@
+// Command chronod is the long-running simulation service: it hosts many
+// concurrent simulator engines behind a unix-socket JSON API
+// (internal/daemon) and is robust by construction — per-run panic
+// confinement, stall watchdogs, bounded admission with explicit
+// load-shedding, two-stage signal drain, and crash recovery that
+// auto-resumes in-flight runs byte-identically after a kill -9.
+//
+// Usage:
+//
+//	chronod -state /var/lib/chronod &
+//	chronoctl -socket /var/lib/chronod/chronod.sock -op submit -policy Chrono -workload pmbench
+//
+// Signals: the first SIGINT/SIGTERM drains (runs checkpoint at their
+// next event boundary, the process exits 130 with a resume hint); a
+// second signal exits immediately. SIGHUP reloads the -config file with
+// validate-then-swap semantics: a bad config is rejected and the old
+// one stays in force.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"chrono/internal/daemon"
+	"chrono/internal/sigdrain"
+	"chrono/internal/watchdog"
+)
+
+func main() {
+	var (
+		stateDir = flag.String("state", "chronod-state", "state directory (runs, checkpoints, final tables)")
+		socket   = flag.String("socket", "", "unix socket path (default <state>/chronod.sock)")
+		cfgPath  = flag.String("config", "", "optional JSON config file, reloaded on SIGHUP")
+	)
+	flag.Parse()
+	if *socket == "" {
+		*socket = filepath.Join(*stateDir, "chronod.sock")
+	}
+
+	if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+		log.Fatalf("chronod: %v", err)
+	}
+	d, err := daemon.New(*stateDir, *cfgPath)
+	if err != nil {
+		log.Fatalf("chronod: %v", err)
+	}
+	l, err := daemon.Listen(*socket)
+	if err != nil {
+		log.Fatalf("chronod: %v", err)
+	}
+	log.Printf("chronod: serving on %s (state %s)", *socket, *stateDir)
+
+	ctx, stop := sigdrain.Install(context.Background(), sigdrain.Options{Name: "chronod"})
+	defer stop()
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if resp := d.Reload(); !resp.OK {
+				log.Printf("chronod: %s", resp.Error)
+			}
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.Serve(l) }()
+
+	drained := false
+	select {
+	case <-ctx.Done():
+		drained = true
+	case <-d.ShutdownRequested():
+		log.Printf("chronod: shutdown requested over the socket; draining")
+	case err := <-serveErr:
+		if err != nil {
+			log.Printf("chronod: serve: %v", err)
+		}
+	}
+	_ = l.Close()
+	d.Shutdown()
+
+	if n := watchdog.Abandoned(); n > 0 {
+		fmt.Fprintf(os.Stderr,
+			"chronod: WARNING: %d run goroutine(s) were abandoned after hard stalls; see abandoned_goroutine runs in the registry\n", n)
+	}
+	if n := d.InterruptedCount(); n > 0 {
+		hint := fmt.Sprintf("restart chronod with -state %s to auto-resume %d interrupted run(s)", *stateDir, n)
+		if drained {
+			sigdrain.Drained(sigdrain.Options{Name: "chronod"}, hint) // exits 130
+		}
+		fmt.Fprintf(os.Stderr, "chronod: %s\n", hint)
+	}
+	stop()
+}

@@ -46,13 +46,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
-	"syscall"
 	"time"
 
 	"chrono/internal/checkpoint"
@@ -60,7 +58,9 @@ import (
 	"chrono/internal/faultinject"
 	"chrono/internal/parallel"
 	"chrono/internal/report"
+	"chrono/internal/sigdrain"
 	"chrono/internal/simclock"
+	"chrono/internal/watchdog"
 )
 
 func main() {
@@ -165,20 +165,10 @@ func main() {
 	// Graceful shutdown: the first SIGINT/SIGTERM cancels the sweep
 	// context — unstarted cells are skipped, in-flight cells drain to a
 	// resume snapshot at their next event boundary. A second signal
-	// hard-exits immediately.
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	// hard-exits immediately (see internal/sigdrain).
+	ctx, stopDrain := sigdrain.Install(context.Background(), sigdrain.Options{Name: "reproduce"})
+	defer stopDrain()
 	o.Ctx = ctx
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigc
-		fmt.Fprintln(os.Stderr, "reproduce: signal received; draining in-flight runs (second signal exits immediately)")
-		cancel()
-		<-sigc
-		fmt.Fprintln(os.Stderr, "reproduce: second signal; exiting now")
-		os.Exit(130)
-	}()
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -427,6 +417,9 @@ func main() {
 		if crashed > 0 {
 			fmt.Fprintf(os.Stderr, "WARNING: %d run(s) crashed every attempt; their table cells read FAILED\n", crashed)
 		}
+		if n := watchdog.Abandoned(); n > 0 {
+			fmt.Fprintf(os.Stderr, "WARNING: %d hard-stalled run goroutine(s) were abandoned and leak until exit; see abandoned_goroutine entries in the failure manifest\n", n)
+		}
 		for i := range failedRuns {
 			fmt.Fprintln(os.Stderr, "  "+failedRuns[i].String())
 		}
@@ -448,11 +441,11 @@ func main() {
 	}
 
 	if drained {
-		fmt.Fprintln(os.Stderr, "reproduce: drained before completion; output above is partial")
+		hint := ""
 		if *ckptDir != "" {
-			fmt.Fprintf(os.Stderr, "reproduce: rerun with -resume -checkpoint-dir %s to continue\n", *ckptDir)
+			hint = fmt.Sprintf("rerun with -resume -checkpoint-dir %s to continue", *ckptDir)
 		}
-		os.Exit(130)
+		sigdrain.Drained(sigdrain.Options{Name: "reproduce"}, hint)
 	}
 }
 

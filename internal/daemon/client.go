@@ -1,0 +1,48 @@
+package daemon
+
+// Client is the thin protocol wrapper cmd/chronoctl and the tests use:
+// dial, one request, one response.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client talks to a daemon over its unix socket.
+type Client struct {
+	Socket string
+	// Timeout bounds the whole exchange (default 10 minutes — a dump of
+	// a busy run answers at its next event, which is quick; submission
+	// and status are immediate; only a reconfigure of a run near its
+	// horizon can take a while).
+	Timeout time.Duration
+}
+
+// Do performs one request/response exchange. A Response carrying an
+// application-level Error is returned with err == nil; err is reserved
+// for transport failures.
+func (c *Client) Do(req Request) (Response, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Minute
+	}
+	conn, err := net.DialTimeout("unix", c.Socket, timeout)
+	if err != nil {
+		return Response{}, fmt.Errorf("daemon: dial %s: %w", c.Socket, err)
+	}
+	defer conn.Close()
+	//chrono:wallclock network deadline is host-side
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return Response{}, err
+	}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return Response{}, fmt.Errorf("daemon: send: %w", err)
+	}
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("daemon: receive: %w", err)
+	}
+	return resp, nil
+}

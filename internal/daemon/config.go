@@ -1,0 +1,110 @@
+package daemon
+
+// Hot-reloadable daemon configuration. The file is plain JSON; omitted
+// fields take defaults. Reload follows the validate-then-swap
+// discipline: a config that fails to parse or validate is rejected and
+// the daemon keeps running on the previous one — a bad edit can never
+// take the service down.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Config are the daemon's operational knobs.
+type Config struct {
+	// MaxActive is how many runs execute concurrently (default 2).
+	MaxActive int `json:"max_active,omitempty"`
+	// MaxQueued bounds the admission queue (default 8). A submit that
+	// arrives with MaxActive runs active and MaxQueued queued is shed
+	// with an explicit rejection and a retry-after hint. Runs requeued
+	// by crash recovery or an explicit resume are exempt: they were
+	// already admitted once.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// CheckpointIntervalS is the wall-clock cadence of periodic per-run
+	// snapshots in seconds (default 15).
+	CheckpointIntervalS float64 `json:"checkpoint_interval_s,omitempty"`
+	// StallTimeoutS arms the per-run stall watchdog: a run whose virtual
+	// time stops advancing for this many wall seconds is checkpointed
+	// and failed; after twice that, its goroutine is abandoned and
+	// counted. 0 keeps the default (120); negative disables the
+	// watchdog.
+	StallTimeoutS float64 `json:"stall_timeout_s,omitempty"`
+	// RetryHintS scales the load-shed retry-after hint: a rejected
+	// submit is told to come back after (queued+1) × RetryHintS seconds
+	// (default 5). Deterministic on purpose — tests assert it.
+	RetryHintS float64 `json:"retry_hint_s,omitempty"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxActive == 0 {
+		c.MaxActive = 2
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 8
+	}
+	if c.CheckpointIntervalS == 0 {
+		c.CheckpointIntervalS = 15
+	}
+	if c.StallTimeoutS == 0 {
+		c.StallTimeoutS = 120
+	}
+	if c.RetryHintS == 0 {
+		c.RetryHintS = 5
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.MaxActive < 1 {
+		return fmt.Errorf("daemon: max_active must be >= 1 (got %d)", c.MaxActive)
+	}
+	if c.MaxQueued < 0 {
+		return fmt.Errorf("daemon: max_queued must be >= 0 (got %d)", c.MaxQueued)
+	}
+	if c.CheckpointIntervalS < 0 {
+		return fmt.Errorf("daemon: checkpoint_interval_s must be >= 0 (got %g)", c.CheckpointIntervalS)
+	}
+	if c.RetryHintS < 0 {
+		return fmt.Errorf("daemon: retry_hint_s must be >= 0 (got %g)", c.RetryHintS)
+	}
+	return nil
+}
+
+func (c Config) checkpointInterval() time.Duration {
+	return time.Duration(c.CheckpointIntervalS * float64(time.Second))
+}
+
+// stallTimeout maps the config field to the watchdog arm: <0 disables.
+func (c Config) stallTimeout() time.Duration {
+	if c.StallTimeoutS < 0 {
+		return 0
+	}
+	return time.Duration(c.StallTimeoutS * float64(time.Second))
+}
+
+// LoadConfig reads and validates a config file. An empty path yields
+// the defaults.
+func LoadConfig(path string) (Config, error) {
+	if path == "" {
+		return Config{}.withDefaults(), nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var c Config
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("daemon: parse config %s: %w", path, err)
+	}
+	c = c.withDefaults()
+	if err := c.validate(); err != nil {
+		return Config{}, fmt.Errorf("daemon: config %s: %w", path, err)
+	}
+	return c, nil
+}

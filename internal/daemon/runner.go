@@ -1,0 +1,657 @@
+package daemon
+
+// Per-run execution. Each admitted run gets a driver goroutine that
+// executes the simulation in *segments*: a segment is one engine build
+// (plus optional restore) followed by Run/ResumeRun until the horizon,
+// a control event, or a failure ends it. Live reconfiguration ends a
+// segment at the next epoch boundary with an in-memory snapshot; the
+// next segment restores that snapshot into the new policy
+// (engine.RestoreSwap) or rolls back to the old one when validation
+// fails — the run itself survives either way.
+//
+// Robustness boundaries per segment:
+//   - the simulation executes through parallel.MapRecover, so a panic
+//     is confined to the run and lands in its record;
+//   - the stall watchdog (internal/watchdog) checkpoints and fails a
+//     run whose virtual time freezes, and abandons — counting and
+//     logging the leak — a goroutine wedged inside a single event;
+//   - the AfterStep hook checkpoints periodically and on drain, so
+//     kill -9 at any moment loses at most one checkpoint interval.
+//
+// Wall-clock use in this file is host-side only (cadence, watchdog),
+// annotated for the detclock linter.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"chrono/internal/checkpoint"
+	"chrono/internal/core"
+	"chrono/internal/engine"
+	"chrono/internal/experiments"
+	"chrono/internal/parallel"
+	"chrono/internal/report"
+	"chrono/internal/simclock"
+	"chrono/internal/watchdog"
+	"chrono/internal/workload"
+)
+
+// Test seams. testBuildHook runs after every engine build and before
+// any restore — tests install keyed pacing tickers there so a run stays
+// in flight long enough to poke at. testStartGate, when non-nil, holds
+// every driver before its first segment so admission tests can fill the
+// queue deterministically.
+var (
+	testBuildHook func(e *engine.Engine)
+	testStartGate chan struct{}
+)
+
+// ctrlMsg travels from the API surface into the AfterStep hook.
+type ctrlMsg struct {
+	op     string // OpPause | OpReconfigure | OpDump
+	policy string
+	set    map[string]string
+	reply  chan ctrlReply
+}
+
+type ctrlReply struct {
+	err     error
+	table   string
+	dropped int
+}
+
+type segOutcome int
+
+const (
+	segFinished segOutcome = iota
+	segFailed
+	segInterrupted // ctx cancelled: user cancel or daemon drain
+	segPaused
+	segStalled
+	segSwap // snapshot captured for a pending reconfiguration
+)
+
+type segResult struct {
+	outcome   segOutcome
+	errMsg    string
+	abandoned bool
+	metrics   *engine.Metrics
+	// Swap handoff: the epoch-boundary snapshot and the request that
+	// asked for it.
+	snap    *engine.EngineState
+	swapMsg *ctrlMsg
+}
+
+// drive owns one run from scheduling to a terminal state.
+func (d *Daemon) drive(r *run) {
+	// Release any control caller still waiting once the run settles.
+	// Only THIS driver's context is cancelled — the pause path swaps in
+	// a fresh one (under the same lock that publishes the paused state,
+	// so a racing Resume can never pick up a doomed context), and
+	// cancelling the old one must only wake waiters, never poison the
+	// next segment.
+	r.mu.Lock()
+	myCancel := r.cancel
+	r.mu.Unlock()
+	defer myCancel()
+	defer r.persist()
+	defer d.drainCtrl(r)
+
+	if g := testStartGate; g != nil {
+		select {
+		case <-g:
+		case <-r.context().Done():
+			d.settleInterrupt(r)
+			return
+		}
+	}
+
+	r.mu.Lock()
+	pol := r.policy
+	resume := r.resume
+	r.mu.Unlock()
+
+	e, w, _, err := d.prepare(r, pol, nil, false)
+	if errors.Is(err, errStaleSnapshot) {
+		// The on-disk snapshot does not overlay a fresh build (version
+		// drift, hand-edited state). Replay from scratch: determinism
+		// means the replay reaches the same end state.
+		d.logf("chronod: run %s snapshot not restorable; replaying from start", r.id)
+		resume = false
+		r.mu.Lock()
+		r.resume = false
+		r.mu.Unlock()
+		e, w, _, err = d.prepare(r, pol, nil, false)
+	}
+	if err != nil {
+		d.settleFail(r, err.Error(), false)
+		return
+	}
+
+	for {
+		seg := d.execute(r, e, w, resume)
+		switch seg.outcome {
+		case segFinished:
+			d.settleDone(r, e, w, seg.metrics)
+			return
+		case segFailed:
+			d.settleFail(r, seg.errMsg, false)
+			return
+		case segStalled:
+			d.settleFail(r, seg.errMsg, seg.abandoned)
+			return
+		case segInterrupted:
+			d.settleInterrupt(r)
+			return
+		case segPaused:
+			// Fresh context and paused state become visible atomically: a
+			// Resume that sees "paused" is guaranteed the new context.
+			r.mu.Lock()
+			r.ctx, r.cancel = context.WithCancel(d.ctx)
+			r.state = StatePaused
+			r.mu.Unlock()
+			d.logf("chronod: run %s paused at %.1fs virtual", r.id, simclock.Duration(r.simNow.Load()).Seconds())
+			return
+		case segSwap:
+			e, w = d.applySwap(r, seg)
+			if e == nil {
+				// Rollback itself failed; the run is unrecoverable.
+				return
+			}
+			resume = true
+		}
+	}
+}
+
+// errStaleSnapshot marks an on-disk snapshot that exists but cannot be
+// restored onto a fresh build; the driver replays from scratch.
+var errStaleSnapshot = errors.New("daemon: snapshot not restorable")
+
+// prepare builds the run's engine under polName and overlays state:
+// from snap when given (live reconfiguration; swap selects RestoreSwap
+// vs Restore), else from the on-disk checkpoint when the run resumes.
+// dropped reports clock events a cross-policy restore could not carry
+// over; the caller charges it to the run only once the whole swap
+// (including its sysctl stage) has succeeded.
+func (d *Daemon) prepare(r *run, polName string, snap *engine.EngineState, swap bool) (_ *engine.Engine, _ workload.Workload, dropped int, _ error) {
+	e, w, err := r.spec.buildEngine(polName)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if h := testBuildHook; h != nil {
+		h(e)
+	}
+	switch {
+	case snap != nil && swap:
+		dropped, err = e.RestoreSwap(snap)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	case snap != nil:
+		if err := e.Restore(snap); err != nil {
+			return nil, nil, 0, err
+		}
+	default:
+		r.mu.Lock()
+		resume := r.resume
+		r.mu.Unlock()
+		if !resume {
+			return e, w, 0, nil
+		}
+		var ck runCheckpoint
+		if err := checkpoint.Load(r.ckptPath(), &ck); err != nil || ck.State == nil {
+			_ = os.Remove(r.ckptPath())
+			return nil, nil, 0, fmt.Errorf("%w: %v", errStaleSnapshot, err)
+		}
+		if ck.Policy != polName {
+			// The snapshot was taken under a later policy (live swap
+			// before the crash); rebuild under that policy instead.
+			return d.prepare(r, ck.Policy, nil, false)
+		}
+		if err := e.Restore(ck.State); err != nil {
+			_ = os.Remove(r.ckptPath())
+			return nil, nil, 0, fmt.Errorf("%w: %v", errStaleSnapshot, err)
+		}
+		r.mu.Lock()
+		r.policy = ck.Policy
+		r.mu.Unlock()
+	}
+	return e, w, 0, nil
+}
+
+// saveCkpt snapshots the engine to the run's on-disk checkpoint.
+func (d *Daemon) saveCkpt(r *run, e *engine.Engine, polName string) error {
+	st, err := e.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := checkpoint.Save(r.ckptPath(), runCheckpoint{Spec: r.spec, Policy: polName, State: st}); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.resume = true
+	r.mu.Unlock()
+	return nil
+}
+
+// nextEpoch is the first multiple of epoch strictly after now — where a
+// live reconfiguration takes effect.
+func nextEpoch(now simclock.Time, epoch simclock.Duration) simclock.Time {
+	return simclock.Time((int64(now)/int64(epoch) + 1) * int64(epoch))
+}
+
+// execute runs one segment to its end. It installs the AfterStep hook
+// (control servicing, periodic checkpoint, drain, stall response),
+// arms the watchdog, and confines the simulation in MapRecover.
+func (d *Daemon) execute(r *run, e *engine.Engine, w workload.Workload, resumed bool) segResult {
+	cfg := d.Config()
+	clock := e.Clock()
+	epoch := e.Config().EpochNS
+	ctx := r.context()
+
+	r.mu.Lock()
+	polName := r.policy
+	r.mu.Unlock()
+
+	var (
+		res         segResult
+		snapBroken  bool
+		interrupted bool
+		stalled     bool
+		paused      bool
+		swapping    bool
+		swapMsg     *ctrlMsg
+		swapAt      simclock.Time
+	)
+	var stallReq atomic.Bool
+	var abandoned atomic.Bool
+	r.simNow.Store(int64(clock.Now()))
+	lastSave := time.Now() //chrono:wallclock checkpoint cadence is host-side
+	interval := cfg.checkpointInterval()
+
+	clock.SetAfterStep(func() {
+		if abandoned.Load() {
+			// The driver walked away after a hard stall; park this leaked
+			// run at the next event boundary.
+			clock.Stop()
+			return
+		}
+		now := clock.Now()
+		r.simNow.Store(int64(now))
+
+		// Service control requests. One swap may be pending at a time;
+		// everything else answers immediately.
+		for more := true; more; {
+			select {
+			case msg := <-r.ctrl:
+				switch msg.op {
+				case OpDump:
+					msg.reply <- ctrlReply{table: renderLiveTable(r, polName, w, e, now)}
+				case OpPause:
+					if err := d.saveCkpt(r, e, polName); err != nil {
+						msg.reply <- ctrlReply{err: fmt.Errorf("daemon: cannot pause: %w", err)}
+						break
+					}
+					paused = true
+					msg.reply <- ctrlReply{}
+					clock.Stop()
+				case OpReconfigure:
+					if err := validateSwap(e, polName, msg); err != nil {
+						msg.reply <- ctrlReply{err: err}
+						break
+					}
+					if swapMsg != nil {
+						msg.reply <- ctrlReply{err: fmt.Errorf("daemon: a reconfiguration is already pending")}
+						break
+					}
+					swapMsg = msg
+					swapAt = nextEpoch(now, epoch)
+					// The reply waits until the swap applies or rolls back.
+				default:
+					msg.reply <- ctrlReply{err: fmt.Errorf("daemon: unknown control op %q", msg.op)}
+				}
+			default:
+				more = false
+			}
+		}
+
+		if swapMsg != nil && now >= swapAt {
+			st, err := e.Snapshot()
+			if err != nil {
+				swapMsg.reply <- ctrlReply{err: fmt.Errorf("daemon: cannot reconfigure: %w", err)}
+				swapMsg = nil
+			} else {
+				res.snap = st
+				res.swapMsg = swapMsg
+				swapping = true
+				clock.Stop()
+				return
+			}
+		}
+
+		switch {
+		case ctx.Err() != nil:
+			_ = d.saveCkpt(r, e, polName) // best-effort resume point
+			interrupted = true
+			clock.Stop()
+		case stallReq.Load():
+			_ = d.saveCkpt(r, e, polName)
+			stalled = true
+			clock.Stop()
+		case !snapBroken && interval > 0:
+			//chrono:wallclock checkpoint cadence is host-side
+			if time.Since(lastSave) >= interval {
+				if err := d.saveCkpt(r, e, polName); err != nil {
+					snapBroken = true
+				}
+				lastSave = time.Now() //chrono:wallclock checkpoint cadence is host-side
+			}
+		}
+	})
+
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	var hardStall chan struct{}
+	if st := cfg.stallTimeout(); st > 0 {
+		hardStall = make(chan struct{})
+		go watchdog.Watch(st, &r.simNow, &stallReq, hardStall, stopWatch)
+	}
+
+	// The simulation itself, confined: a panic in a policy or workload
+	// becomes an error on this run, never a daemon crash. The channel is
+	// buffered so an abandoned goroutine can still deliver and exit.
+	type runOut struct {
+		ms   []*engine.Metrics
+		errs []error
+	}
+	out := make(chan runOut, 1)
+	//chrono:allow goroscope deliberately abandonable: a hard-stalled run goroutine is parked by the AfterStep hook and its engine discarded (see the hardStall arm below)
+	go func() {
+		ms, errs := parallel.MapRecover(1, []func() (*engine.Metrics, error){
+			func() (*engine.Metrics, error) {
+				if resumed {
+					return e.ResumeRun(), nil
+				}
+				return e.Run(r.spec.duration()), nil
+			},
+		})
+		out <- runOut{ms, errs}
+	}()
+
+	var ms []*engine.Metrics
+	var errs []error
+	select {
+	case ro := <-out:
+		ms, errs = ro.ms, ro.errs
+		clock.SetAfterStep(nil)
+	case <-hardStall:
+		// Wedged inside a single event: no hook, no checkpoint, no way to
+		// preempt. Abandon the goroutine — counted and logged so the debt
+		// is visible — and fail the run from its last snapshot.
+		abandoned.Store(true)
+		watchdog.NoteAbandoned(fmt.Sprintf("daemon run %s policy=%s workload=%s seed=%d",
+			r.id, polName, r.spec.Workload, r.spec.Seed))
+		res.outcome = segStalled
+		res.abandoned = true
+		res.errMsg = fmt.Sprintf("stalled hard: no sim-time progress for %v and the event handler never yielded",
+			2*cfg.stallTimeout())
+		return res
+	}
+
+	if len(errs) > 0 && errs[0] != nil {
+		var pv *parallel.Panic
+		if errors.As(errs[0], &pv) {
+			res.outcome = segFailed
+			res.errMsg = fmt.Sprintf("panic: %v\n%s", pv.Value, pv.Stack)
+			return res
+		}
+		res.outcome = segFailed
+		res.errMsg = errs[0].Error()
+		return res
+	}
+
+	switch {
+	case swapping:
+		res.outcome = segSwap
+	case paused:
+		res.outcome = segPaused
+	case interrupted:
+		res.outcome = segInterrupted
+	case stalled:
+		res.outcome = segStalled
+		res.errMsg = fmt.Sprintf("stalled: no sim-time progress for %v", cfg.stallTimeout())
+	default:
+		res.outcome = segFinished
+		res.metrics = ms[0]
+	}
+	return res
+}
+
+// validateSwap pre-flights a reconfiguration before anything stops: the
+// policy must exist and be instantiable, and — for a knob-only swap —
+// every sysctl key must be known, so a typo costs an error reply with
+// the table's "did you mean" list, not a run interruption. Keys of a
+// cross-policy swap can only be checked against the *new* policy's
+// table, so they validate after the restore; a failure there rolls the
+// whole swap back.
+func validateSwap(e *engine.Engine, current string, msg *ctrlMsg) error {
+	pol := msg.policy
+	if pol == "" {
+		pol = current
+	}
+	if _, err := experiments.NewPolicy(pol); err != nil {
+		return err
+	}
+	if pol == current {
+		for _, k := range sortedKeys(msg.set) {
+			if _, err := e.Sysctl().Get(k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// applySwap performs the restore-into-new-policy handoff:
+// snapshot (already taken at the epoch boundary) → build a fresh engine
+// under the new policy → RestoreSwap (or Restore for a knob-only swap)
+// → apply the sysctl assignments. Any failure rolls back: the old
+// policy is rebuilt from the same snapshot and the run continues as if
+// the request never happened. The reply to the waiting client is sent
+// from here either way.
+func (d *Daemon) applySwap(r *run, seg segResult) (*engine.Engine, workload.Workload) {
+	msg, snap := seg.swapMsg, seg.snap
+	r.mu.Lock()
+	oldPol := r.policy
+	r.mu.Unlock()
+	newPol := msg.policy
+	if newPol == "" {
+		newPol = oldPol
+	}
+	cross := newPol != oldPol
+
+	e, w, dropped, err := d.prepare(r, newPol, snap, cross)
+	if err == nil {
+		err = applySets(e, msg.set)
+	}
+	if err != nil {
+		// Roll back onto the old policy from the same snapshot. The
+		// snapshot was taken under oldPol, so a plain Restore applies.
+		re, rw, _, rerr := d.prepare(r, oldPol, snap, false)
+		if rerr != nil {
+			msg.reply <- ctrlReply{err: fmt.Errorf("daemon: swap failed (%v) and rollback failed (%v)", err, rerr)}
+			d.settleFail(r, fmt.Sprintf("reconfiguration rollback failed: %v", rerr), false)
+			return nil, nil
+		}
+		msg.reply <- ctrlReply{err: fmt.Errorf("daemon: reconfiguration rejected, run continues under %s: %w", oldPol, err)}
+		d.logf("chronod: run %s reconfiguration rejected (%v); rolled back to %s", r.id, err, oldPol)
+		return re, rw
+	}
+
+	r.mu.Lock()
+	r.policy = newPol
+	r.swaps++
+	r.dropped += dropped
+	r.mu.Unlock()
+	r.persist()
+	// Checkpoint immediately so a crash right after the swap resumes
+	// into the new configuration, not the old one.
+	if err := d.saveCkpt(r, e, newPol); err != nil {
+		d.logf("chronod: run %s post-swap checkpoint failed: %v", r.id, err)
+	}
+	msg.reply <- ctrlReply{dropped: dropped}
+	d.logf("chronod: run %s reconfigured %s -> %s at %.1fs virtual (%d events dropped)",
+		r.id, oldPol, newPol, simclock.Duration(r.simNow.Load()).Seconds(), dropped)
+	return e, w
+}
+
+// applySets applies sysctl assignments in sorted key order —
+// deterministic, and validation errors (range checks) surface the first
+// offending key.
+func applySets(e *engine.Engine, set map[string]string) error {
+	for _, k := range sortedKeys(set) {
+		if err := e.Sysctl().Set(k, set[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainCtrl answers any control requests that raced with the run's end.
+func (d *Daemon) drainCtrl(r *run) {
+	for {
+		select {
+		case msg := <-r.ctrl:
+			msg.reply <- ctrlReply{err: fmt.Errorf("daemon: run %s is no longer running", r.id)}
+		default:
+			return
+		}
+	}
+}
+
+// Terminal-state settlement. Each persists the record; settleDone also
+// renders the final metrics table and clears the snapshot.
+
+func (d *Daemon) settleDone(r *run, e *engine.Engine, w workload.Workload, m *engine.Metrics) {
+	r.mu.Lock()
+	pol := r.policy
+	r.mu.Unlock()
+	// The table lands on disk before the state flips: a Status that sees
+	// "done" is guaranteed to find the final table.
+	table := renderFinalTable(r.spec, pol, w, e, m)
+	_ = checkpoint.WriteFileAtomic(r.tablePath(), []byte(table))
+	_ = os.Remove(r.ckptPath())
+	r.setState(StateDone)
+	r.persist()
+	d.logf("chronod: run %s done (%s on %s)", r.id, pol, r.spec.Workload)
+}
+
+func (d *Daemon) settleFail(r *run, errMsg string, abandoned bool) {
+	r.mu.Lock()
+	r.state = StateFailed
+	r.errMsg = errMsg
+	r.abandonedG = abandoned
+	r.mu.Unlock()
+	r.persist()
+	d.logf("chronod: run %s failed: %s", r.id, firstLine(errMsg))
+}
+
+func (d *Daemon) settleInterrupt(r *run) {
+	r.mu.Lock()
+	cancelled := r.userCancel
+	if cancelled {
+		r.state = StateCancelled
+	} else {
+		r.state = StateInterrupted
+	}
+	r.mu.Unlock()
+	r.persist()
+	if cancelled {
+		d.logf("chronod: run %s cancelled", r.id)
+	} else {
+		d.logf("chronod: run %s interrupted; will auto-resume on restart", r.id)
+	}
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// renderFinalTable is the chronosim metrics table for a finished run —
+// rendered identically whether the run was interrupted and resumed or
+// ran straight through, which is exactly what the byte-identical
+// crash-recovery fence diffs.
+func renderFinalTable(spec RunSpec, polName string, w workload.Workload, e *engine.Engine, m *engine.Metrics) string {
+	t := report.NewTable(fmt.Sprintf("%s on %s (%.0fs virtual)", polName, w.Name(), spec.DurationS),
+		"Metric", "Value")
+	addMetricRows(t, m)
+	res := &experiments.Result{Policy: polName, Metrics: m, Engine: e, Workload: w}
+	if c, ok := e.Policy().(*core.Chrono); ok {
+		res.Chrono = c
+	}
+	cls, f1, ppr := experiments.Score(res)
+	t.AddRow("F1-score", f1)
+	t.AddRow("Precision", cls.Precision())
+	t.AddRow("Recall", cls.Recall())
+	t.AddRow("PPR", ppr)
+	if res.Chrono != nil {
+		t.AddRow("CIT threshold (ms)", res.Chrono.ThresholdMS())
+		t.AddRow("Rate limit (MB/s)", res.Chrono.RateLimitMBps())
+		t.AddRow("Thrash events", res.Chrono.ThrashTotal)
+		t.AddRow("DCSC samples", res.Chrono.DCSCSamples)
+	}
+	return t.String()
+}
+
+// renderLiveTable is the memtierd-style mid-run dump: the same counters
+// over the virtual time elapsed so far. It runs inside the AfterStep
+// hook — the only context where reading the engine mid-run is safe.
+func renderLiveTable(r *run, polName string, w workload.Workload, e *engine.Engine, now simclock.Time) string {
+	st := e.M.State()
+	m, err := st.Materialize()
+	if err != nil {
+		return fmt.Sprintf("daemon: metrics unavailable: %v\n", err)
+	}
+	if m.Duration == 0 {
+		m.Duration = now // rates are "so far", not end-of-run
+	}
+	t := report.NewTable(fmt.Sprintf("%s: %s on %s at %.1fs virtual (live)",
+		r.id, polName, w.Name(), simclock.Duration(now).Seconds()), "Metric", "Value")
+	addMetricRows(t, m)
+	return t.String()
+}
+
+// addMetricRows adds the counter/rate rows shared by the live dump and
+// the final table.
+func addMetricRows(t *report.Table, m *engine.Metrics) {
+	t.AddRow("Throughput (Mop/s)", m.Throughput())
+	t.AddRow("FMAR (%)", m.FMAR()*100)
+	t.AddRow("Avg latency (ns)", m.Lat.Mean())
+	t.AddRow("P50 latency (ns)", m.Lat.Percentile(0.5))
+	t.AddRow("P99 latency (ns)", m.Lat.Percentile(0.99))
+	t.AddRow("Kernel time (%)", m.KernelTimeFrac()*100)
+	t.AddRow("Context switches (/s)", m.ContextSwitchRate())
+	t.AddRow("Hint faults", m.Faults)
+	t.AddRow("Promotions (pages)", m.Promotions)
+	t.AddRow("Demotions (pages)", m.Demotions)
+	t.AddRow("Migrated (GB)", m.MigratedBytes/1e9)
+}

@@ -1,0 +1,110 @@
+package daemon
+
+// Unix-socket front-end: accept, decode one Request, dispatch, encode
+// one Response, close. One connection per request keeps the protocol
+// trivially scriptable and means a wedged client can never wedge the
+// daemon — the handler goroutine holds no daemon locks while blocked on
+// the network.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"chrono/internal/watchdog"
+)
+
+// Listen binds the unix socket, replacing a stale socket file left by a
+// crashed predecessor (detected by a failed dial, so a live daemon is
+// never displaced).
+func Listen(path string) (net.Listener, error) {
+	l, err := net.Listen("unix", path)
+	if err == nil {
+		return l, nil
+	}
+	// Address in use: stale socket from a kill -9, or a live daemon?
+	if c, derr := net.Dial("unix", path); derr == nil {
+		c.Close()
+		return nil, fmt.Errorf("daemon: %s already serves a live daemon", path)
+	}
+	if rmErr := os.Remove(path); rmErr != nil {
+		return nil, err
+	}
+	return net.Listen("unix", path)
+}
+
+// Serve accepts connections until the listener closes. The caller
+// closes the listener to stop (cmd/chronod does so when its drain
+// context fires).
+func (d *Daemon) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || d.ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		d.wg.Add(1)
+		go d.serveConn(conn)
+	}
+}
+
+// serveConn owns one connection's lifetime; Shutdown waits for it via
+// the daemon WaitGroup.
+func (d *Daemon) serveConn(conn net.Conn) {
+	defer d.wg.Done()
+	d.handle(conn)
+}
+
+func (d *Daemon) handle(conn net.Conn) {
+	defer conn.Close()
+	// Bound the whole exchange so a wedged client can delay Shutdown's
+	// WaitGroup by at most this window, never wedge the daemon.
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Minute)) //chrono:wallclock network I/O deadline is host-side
+	var req Request
+	if err := json.NewDecoder(conn).Decode(&req); err != nil {
+		_ = json.NewEncoder(conn).Encode(Response{Error: fmt.Sprintf("daemon: bad request: %v", err)})
+		return
+	}
+	resp := d.dispatch(req)
+	_ = json.NewEncoder(conn).Encode(resp)
+}
+
+// dispatch routes one request. Every arm returns a Response; only
+// transport failures escape as errors.
+func (d *Daemon) dispatch(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true, Abandoned: watchdog.Abandoned()}
+	case OpSubmit:
+		if req.Spec == nil {
+			return Response{Error: "daemon: submit needs a spec"}
+		}
+		return d.Submit(*req.Spec)
+	case OpStatus:
+		return d.Status(req.ID)
+	case OpList:
+		return d.List()
+	case OpCancel:
+		return d.Cancel(req.ID)
+	case OpPause:
+		return d.Pause(req.ID)
+	case OpResume:
+		return d.Resume(req.ID)
+	case OpReconfigure:
+		return d.Reconfigure(req.ID, req.Policy, req.Set)
+	case OpDump:
+		return d.Dump(req.ID)
+	case OpReload:
+		return d.Reload()
+	case OpShutdown:
+		d.RequestShutdown()
+		return Response{OK: true}
+	default:
+		return Response{Error: fmt.Sprintf("daemon: unknown op %q", req.Op)}
+	}
+}

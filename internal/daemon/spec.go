@@ -1,0 +1,187 @@
+package daemon
+
+// RunSpec validation and materialization: the submit payload mirrors
+// cmd/chronosim's flags, and building an engine from it is split from
+// running so the driver can interleave restores (crash recovery, live
+// reconfiguration) between construction and execution.
+
+import (
+	"fmt"
+
+	"chrono/internal/engine"
+	"chrono/internal/experiments"
+	"chrono/internal/faultinject"
+	"chrono/internal/simclock"
+	"chrono/internal/units"
+	"chrono/internal/workload"
+)
+
+// RunSpec describes one simulation to host. The zero value of every
+// field means "default" (see withDefaults), so a minimal submission is
+// just {"workload":"pmbench"}.
+type RunSpec struct {
+	// Policy is the initial tiering policy (default Chrono). Live
+	// reconfiguration may replace it later.
+	Policy string `json:"policy,omitempty"`
+	// Workload selects pmbench|graph500|kvstore|multitenant.
+	Workload string `json:"workload,omitempty"`
+
+	// Workload shape, mirroring chronosim's flags.
+	Procs   int     `json:"procs,omitempty"`    // pmbench/multitenant (default 50)
+	WSGB    float64 `json:"ws_gb,omitempty"`    // pmbench per-process working set (default 5)
+	ReadPct float64 `json:"read_pct,omitempty"` // default 70
+	Stride  int     `json:"stride,omitempty"`   // pmbench (default 2)
+	TotalGB float64 `json:"total_gb,omitempty"` // graph500 (default 256)
+	Flavor  string  `json:"flavor,omitempty"`   // kvstore: memcached|redis
+	SetGet  string  `json:"set_get,omitempty"`  // kvstore mix: 1:10|1:1
+	Huge    bool    `json:"huge,omitempty"`     // map huge pages
+
+	// Simulation knobs.
+	Seed       uint64  `json:"seed,omitempty"`         // default 42
+	DurationS  float64 `json:"duration_s,omitempty"`   // virtual seconds (default 600)
+	FastGB     float64 `json:"fast_gb,omitempty"`      // default 64
+	SlowGB     float64 `json:"slow_gb,omitempty"`      // default 192
+	PagesPerGB int64   `json:"pages_per_gb,omitempty"` // default 256
+	// Faults is a fault-injection plan spec (internal/faultinject syntax,
+	// e.g. "aggressive" or "alloc=0.001;seed=9"). Empty disables it.
+	Faults string `json:"faults,omitempty"`
+}
+
+func (s RunSpec) withDefaults() RunSpec {
+	if s.Policy == "" {
+		s.Policy = "Chrono"
+	}
+	if s.Workload == "" {
+		s.Workload = "pmbench"
+	}
+	if s.Procs == 0 {
+		s.Procs = 50
+	}
+	if s.WSGB == 0 {
+		s.WSGB = 5
+	}
+	if s.ReadPct == 0 {
+		s.ReadPct = 70
+	}
+	if s.Stride == 0 {
+		s.Stride = 2
+	}
+	if s.TotalGB == 0 {
+		s.TotalGB = 256
+	}
+	if s.Flavor == "" {
+		s.Flavor = "memcached"
+	}
+	if s.SetGet == "" {
+		s.SetGet = "1:10"
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.DurationS == 0 {
+		s.DurationS = 600
+	}
+	if s.FastGB == 0 {
+		s.FastGB = 64
+	}
+	if s.SlowGB == 0 {
+		s.SlowGB = 192
+	}
+	if s.PagesPerGB == 0 {
+		s.PagesPerGB = 256
+	}
+	return s
+}
+
+// validate rejects a spec before it is admitted, so a bad submission
+// costs one error response, never a failed run. It must be called on a
+// defaulted spec.
+func (s RunSpec) validate() error {
+	if _, err := experiments.NewPolicy(s.Policy); err != nil {
+		return err
+	}
+	if _, err := s.buildWorkload(); err != nil {
+		return err
+	}
+	if _, err := faultinject.ParsePlan(s.Faults); err != nil {
+		return fmt.Errorf("daemon: fault plan: %w", err)
+	}
+	if s.DurationS < 0 || s.FastGB <= 0 || s.SlowGB <= 0 || s.PagesPerGB < 0 {
+		return fmt.Errorf("daemon: non-positive size or duration in spec")
+	}
+	return nil
+}
+
+// duration is the run's virtual horizon.
+func (s RunSpec) duration() simclock.Duration { return simclock.FromSeconds(s.DurationS) }
+
+// buildWorkload constructs a fresh workload from the spec — fresh per
+// attempt, because Build mutates workload state.
+func (s RunSpec) buildWorkload() (workload.Workload, error) {
+	mode := engine.BasePages
+	if s.Huge {
+		mode = engine.HugePages
+	}
+	switch s.Workload {
+	case "pmbench":
+		return &workload.Pmbench{
+			Processes: s.Procs, WorkingSetGB: units.GB(s.WSGB), ReadPct: s.ReadPct,
+			Stride: s.Stride, Mode: mode,
+		}, nil
+	case "graph500":
+		return &workload.Graph500{TotalGB: units.GB(s.TotalGB), Mode: mode}, nil
+	case "kvstore":
+		f := workload.Memcached
+		switch s.Flavor {
+		case "memcached":
+		case "redis":
+			f = workload.Redis
+		default:
+			return nil, fmt.Errorf("daemon: unknown kvstore flavor %q (memcached|redis)", s.Flavor)
+		}
+		set, get := 1.0, 10.0
+		switch s.SetGet {
+		case "1:10":
+		case "1:1":
+			get = 1
+		default:
+			return nil, fmt.Errorf("daemon: unknown kvstore mix %q (1:10|1:1)", s.SetGet)
+		}
+		return &workload.KVStore{Flavor: f, StoreGB: 160, SetRatio: set, GetRatio: get, Mode: mode}, nil
+	case "multitenant":
+		return &workload.MultiTenant{Tenants: s.Procs}, nil
+	default:
+		return nil, fmt.Errorf("daemon: unknown workload %q (pmbench|graph500|kvstore|multitenant)", s.Workload)
+	}
+}
+
+// buildEngine materializes the spec into a ready-to-run engine with
+// polName attached. polName is passed separately from s.Policy because
+// live reconfiguration and rollback rebuild the same spec under a
+// different policy.
+func (s RunSpec) buildEngine(polName string) (*engine.Engine, workload.Workload, error) {
+	plan, err := faultinject.ParsePlan(s.Faults)
+	if err != nil {
+		return nil, nil, fmt.Errorf("daemon: fault plan: %w", err)
+	}
+	e := engine.New(engine.Config{
+		Seed:       s.Seed,
+		PagesPerGB: s.PagesPerGB,
+		FastGB:     units.GB(s.FastGB),
+		SlowGB:     units.GB(s.SlowGB),
+		Faults:     plan,
+	})
+	w, err := s.buildWorkload()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := w.Build(e); err != nil {
+		return nil, nil, fmt.Errorf("daemon: build %s: %w", w.Name(), err)
+	}
+	pol, err := experiments.NewPolicy(polName)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.AttachPolicy(pol)
+	return e, w, nil
+}

@@ -406,25 +406,48 @@ func (m *Metrics) State() MetricsState {
 //
 //chrono:merge scatters flat checkpoint state back across every shard
 func (e *Engine) Restore(st *EngineState) error {
+	_, err := e.restore(st, false)
+	return err
+}
+
+// RestoreSwap overlays a captured EngineState onto an engine freshly built
+// from the same Config and workload but with a DIFFERENT policy attached —
+// the live-reconfiguration path. The recorded policy state is discarded
+// (the new policy keeps its Attach-time state, exactly as if it had just
+// been handed a running system), and the clock is rebuilt with
+// simclock.RestoreInto: the old policy's pending periodic work is dropped
+// and the new policy's tickers are adopted on their natural phase. All
+// simulation state — pages, processes, LRUs, RNG streams, metrics, pending
+// faults — carries over verbatim, so the run continues without dropping.
+// Returns the number of old-policy clock events dropped.
+func (e *Engine) RestoreSwap(st *EngineState) (dropped int, err error) {
+	return e.restore(st, true)
+}
+
+// restore is the shared body of Restore and RestoreSwap; swap selects the
+// cross-policy behavior described on RestoreSwap.
+//
+//chrono:merge scatters flat checkpoint state back across every shard
+func (e *Engine) restore(st *EngineState, swap bool) (dropped int, err error) {
 	polName := ""
 	if e.pol != nil {
 		polName = e.pol.Name()
 	}
-	if polName != st.PolicyName {
-		return fmt.Errorf("engine: restore: checkpoint is for policy %q, engine has %q", st.PolicyName, polName)
+	if !swap && polName != st.PolicyName {
+		return 0, fmt.Errorf("engine: restore: checkpoint is for policy %q, engine has %q", st.PolicyName, polName)
 	}
 	if (e.inj == nil) != (st.Inj == nil) {
-		return fmt.Errorf("engine: restore: fault-injection plan mismatch (checkpoint injector: %v, engine injector: %v)",
+		return 0, fmt.Errorf("engine: restore: fault-injection plan mismatch (checkpoint injector: %v, engine injector: %v)",
 			st.Inj != nil, e.inj != nil)
 	}
 	if err := e.restorePages(&st.Pages); err != nil {
-		return err
+		return 0, err
 	}
 	if err := e.restoreProcs(st.Procs); err != nil {
-		return err
+		return 0, err
 	}
 	if err := e.restorePattern(); err != nil {
-		return err
+		return 0, err
 	}
 	// Scatter the flat pending-fault state back into shard ownership. The
 	// restoring engine may use a different shard count than the one that
@@ -436,13 +459,13 @@ func (e *Engine) Restore(st *EngineState) error {
 	}
 	for _, en := range st.PendingFaults {
 		if en.ID < 0 || en.ID >= int64(len(e.pages)) || e.pages[en.ID] == nil {
-			return fmt.Errorf("engine: restore: pending fault references page %d", en.ID)
+			return 0, fmt.Errorf("engine: restore: pending fault references page %d", en.ID)
 		}
 		e.ownerShard(en.ID).queue.Push(en)
 	}
 	for _, pp := range st.PendingProts {
 		if pp.ID < 0 || pp.ID >= int64(len(e.pages)) || e.pages[pp.ID] == nil {
-			return fmt.Errorf("engine: restore: pending protect references page %d", pp.ID)
+			return 0, fmt.Errorf("engine: restore: pending protect references page %d", pp.ID)
 		}
 		sh := e.ownerShard(pp.ID)
 		sh.pending = append(sh.pending, pendingProt{id: pp.ID, seq: pp.Seq, delay: pp.DelayNS})
@@ -457,14 +480,14 @@ func (e *Engine) Restore(st *EngineState) error {
 		for _, ids := range [][]int64{st.KLRU[t].Active, st.KLRU[t].Inactive} {
 			for _, id := range ids {
 				if id < 0 || id >= int64(len(e.pages)) || e.pages[id] == nil {
-					return fmt.Errorf("engine: restore: LRU tier %d references page %d", t, id)
+					return 0, fmt.Errorf("engine: restore: LRU tier %d references page %d", t, id)
 				}
 			}
 		}
 		e.kLRU[t].SetState(st.KLRU[t])
 	}
 	if err := e.node.SetState(st.Node); err != nil {
-		return err
+		return 0, err
 	}
 
 	e.rMaster.SetState(st.RMaster)
@@ -501,12 +524,15 @@ func (e *Engine) Restore(st *EngineState) error {
 	e.horizon = st.Horizon
 
 	if err := e.restoreMetrics(&st.Metrics); err != nil {
-		return err
+		return 0, err
 	}
 
-	if e.pol != nil {
+	// On a swap the recorded policy state belongs to the old policy and is
+	// discarded: the new policy keeps the state its Attach just built, as
+	// if it had been handed a running system.
+	if !swap && e.pol != nil {
 		if err := e.pol.(policy.Checkpointable).RestoreCheckpoint(st.Policy); err != nil {
-			return fmt.Errorf("engine: restore policy %s: %w", st.PolicyName, err)
+			return 0, fmt.Errorf("engine: restore policy %s: %w", st.PolicyName, err)
 		}
 	}
 
@@ -515,10 +541,17 @@ func (e *Engine) Restore(st *EngineState) error {
 	// must come last: every keyed ticker and binder has to be registered
 	// before the recorded events can resolve.
 	e.startTickers()
-	if err := e.clock.Restore(st.Clock); err != nil {
-		return fmt.Errorf("engine: restore clock: %w", err)
+	if swap {
+		dropped, err = e.clock.RestoreInto(st.Clock)
+		if err != nil {
+			return dropped, fmt.Errorf("engine: restore clock: %w", err)
+		}
+		return dropped, nil
 	}
-	return nil
+	if err := e.clock.Restore(st.Clock); err != nil {
+		return 0, fmt.Errorf("engine: restore clock: %w", err)
+	}
+	return 0, nil
 }
 
 // restorePages reconciles the fresh page table against the snapshot.

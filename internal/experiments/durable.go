@@ -21,14 +21,16 @@ package experiments
 //
 // The same AfterStep hook implements two more host-side concerns:
 //
-//   - Stall watchdog: a goroutine watches the sim-time watermark the hook
-//     publishes. If it stops advancing for CheckpointOpts.StallTimeout of
-//     wall time, the hook is asked to checkpoint and stop the clock; the
-//     cell is recorded as Stalled in the failure manifest with a resume
-//     pointer. A cell stuck *inside* one event can't run the hook — after
-//     a second timeout the watchdog abandons it (the goroutine leaks, by
-//     design: there is no safe way to preempt it) and reports the stall
-//     from the last snapshot.
+//   - Stall watchdog (internal/watchdog): a goroutine watches the
+//     sim-time watermark the hook publishes. If it stops advancing for
+//     CheckpointOpts.StallTimeout of wall time, the hook is asked to
+//     checkpoint and stop the clock; the cell is recorded as Stalled in
+//     the failure manifest with a resume pointer. A cell stuck *inside*
+//     one event can't run the hook — after a second timeout the watchdog
+//     abandons it (the goroutine leaks, by design: there is no safe way
+//     to preempt it), counts and logs the abandonment through
+//     watchdog.NoteAbandoned, and reports the stall from the last
+//     snapshot with AbandonedGoroutine set.
 //
 //   - Graceful drain: when RunOpts.Ctx is cancelled (SIGINT/SIGTERM in
 //     cmd/reproduce), the hook checkpoints at the next event boundary and
@@ -54,6 +56,7 @@ import (
 	"chrono/internal/checkpoint"
 	"chrono/internal/engine"
 	"chrono/internal/simclock"
+	"chrono/internal/watchdog"
 	"chrono/internal/workload"
 )
 
@@ -365,7 +368,7 @@ func (dc *durableCell) run(e *engine.Engine, o RunOpts) (*engine.Metrics, *Faile
 	var hardStall chan struct{}
 	if dc.opts.StallTimeout > 0 {
 		hardStall = make(chan struct{})
-		go dc.watchdog(&progress, &stallReq, hardStall, stopWatch)
+		go watchdog.Watch(dc.opts.StallTimeout, &progress, &stallReq, hardStall, stopWatch)
 	}
 
 	out := make(chan cellOutcome, 1)
@@ -409,46 +412,17 @@ func (dc *durableCell) run(e *engine.Engine, o RunOpts) (*engine.Metrics, *Faile
 		// The run goroutine is wedged inside a single event and cannot be
 		// preempted; abandon it (it parks itself at the next event
 		// boundary, if one ever comes) and report from the last snapshot.
+		// The leak is deliberate but no longer invisible: it is counted
+		// and logged so long-lived processes can see the debt accumulate.
 		dc.abandoned.Store(true)
-		return nil, dc.failure(
+		watchdog.NoteAbandoned(fmt.Sprintf("cell %s policy=%s workload=%s seed=%d",
+			dc.spec.Experiment, dc.spec.Policy, dc.spec.Workload, dc.spec.Seed))
+		f := dc.failure(
 			fmt.Sprintf("stalled hard: no sim-time progress for %v and the event handler never yielded",
 				2*dc.opts.StallTimeout),
-			true, false, firedW.Load()), nil
+			true, false, firedW.Load())
+		f.AbandonedGoroutine = true
+		return nil, f, nil
 	}
 }
 
-// watchdog polls the sim-time watermark on the wall clock. All of this
-// is host-side instrumentation: it influences *whether* a cell keeps
-// running, never what the simulation computes.
-func (dc *durableCell) watchdog(progress *atomic.Int64, stallReq *atomic.Bool, hardStall, stop chan struct{}) {
-	tick := dc.opts.StallTimeout / 8
-	if tick < time.Millisecond {
-		tick = time.Millisecond
-	}
-	t := time.NewTicker(tick) //chrono:wallclock stall detection is host-side
-	defer t.Stop()
-	last := progress.Load()
-	lastChange := time.Now() //chrono:wallclock stall detection is host-side
-	for {
-		select {
-		case <-stop:
-			return
-		case <-t.C:
-			cur := progress.Load()
-			if cur != last {
-				last = cur
-				lastChange = time.Now() //chrono:wallclock stall detection is host-side
-				continue
-			}
-			//chrono:wallclock stall detection is host-side
-			frozen := time.Since(lastChange)
-			if frozen >= dc.opts.StallTimeout {
-				stallReq.Store(true)
-			}
-			if frozen >= 2*dc.opts.StallTimeout {
-				close(hardStall)
-				return
-			}
-		}
-	}
-}

@@ -3,9 +3,11 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"chrono/internal/engine"
 	"chrono/internal/faultinject"
 	"chrono/internal/simclock"
+	"chrono/internal/watchdog"
 	"chrono/internal/workload"
 )
 
@@ -269,5 +272,73 @@ func TestPmbenchSweepDrainMarksInterrupted(t *testing.T) {
 	}
 	if len(s.Failed) != 0 {
 		t.Fatalf("skipped cells entered the failure manifest: %v", s.Failed)
+	}
+}
+
+// wedgeWorkload blocks inside a single event handler until released — the
+// hard-stall scenario: the AfterStep hook can never run, so the watchdog
+// must abandon the run goroutine.
+type wedgeWorkload struct {
+	workload.Pmbench
+	release chan struct{}
+	once    sync.Once
+}
+
+func (w *wedgeWorkload) Build(e *engine.Engine) error {
+	if err := w.Pmbench.Build(e); err != nil {
+		return err
+	}
+	e.Clock().EveryKey("test/wedge", 200*simclock.Millisecond, func(simclock.Time) {
+		w.once.Do(func() { <-w.release })
+	})
+	return nil
+}
+
+// TestHardStallAbandonsAndCounts: a run wedged inside one event must be
+// abandoned within 2x the stall timeout, marked AbandonedGoroutine in the
+// failure manifest, counted in watchdog.Abandoned, and logged.
+func TestHardStallAbandonsAndCounts(t *testing.T) {
+	var logged []string
+	var logMu sync.Mutex
+	oldLogf := watchdog.Logf
+	watchdog.Logf = func(format string, args ...any) {
+		logMu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	}
+	defer func() { watchdog.Logf = oldLogf }()
+
+	release := make(chan struct{})
+	defer close(release) // un-wedge so the abandoned goroutine parks and exits
+	mk := func() workload.Workload {
+		return &wedgeWorkload{
+			Pmbench: workload.Pmbench{Processes: 2, WorkingSetGB: 1, ReadPct: 70, Stride: 2},
+			release: release,
+		}
+	}
+
+	before := watchdog.Abandoned()
+	o := durableOpts(t.TempDir())
+	o.Checkpoint.StallTimeout = 25 * time.Millisecond
+	res, failed, err := ResilientRun("durable/hardstall", "TPP", mk, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatal("wedged cell returned a finished result")
+	}
+	if failed == nil || !failed.Stalled || !failed.AbandonedGoroutine {
+		t.Fatalf("hard stall not recorded as stalled+abandoned: %+v", failed)
+	}
+	if failed.Attempts != 1 {
+		t.Fatalf("hard-stalled cell was retried: attempts=%d", failed.Attempts)
+	}
+	if got := watchdog.Abandoned(); got != before+1 {
+		t.Fatalf("abandoned count %d, want %d", got, before+1)
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if len(logged) != 1 || !strings.Contains(logged[0], "durable/hardstall") {
+		t.Fatalf("abandonment not logged with cell identity: %q", logged)
 	}
 }

@@ -66,6 +66,10 @@ type FailedRun struct {
 	// one exists: rerunning the sweep with CheckpointOpts.Resume (or
 	// `reproduce -resume`) continues from exactly that point.
 	ResumeCkpt string `json:"resume_ckpt,omitempty"`
+	// AbandonedGoroutine marks a hard stall: the run goroutine was wedged
+	// inside a single event and was abandoned (it leaks until process
+	// exit). The process-wide total is watchdog.Abandoned().
+	AbandonedGoroutine bool `json:"abandoned_goroutine,omitempty"`
 }
 
 func (f *FailedRun) String() string {

@@ -1,0 +1,107 @@
+// Package sigdrain implements the two-stage graceful-shutdown contract
+// shared by cmd/reproduce and cmd/chronod:
+//
+//   - The first SIGINT/SIGTERM cancels the returned context. In-flight
+//     work drains: simulator runs checkpoint at their next event boundary
+//     and stop, unstarted work is skipped.
+//   - A second signal skips the drain and exits immediately with code 130
+//     (the shell convention for "killed by SIGINT").
+//
+// The final reporting half lives here too: Drained prints the
+// partial-output notice plus an optional resume hint and exits 130, so
+// the whole drain path — messages, hint, exit code — is testable at the
+// Go level instead of only through shell scripts in CI.
+package sigdrain
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// ExitDrained is the process exit code after a drain (clean or forced):
+// 128 + SIGINT, the shell convention scripts key on.
+const ExitDrained = 130
+
+// Options configure Install and Drained. The zero value is ready for
+// production use; tests override the seams.
+type Options struct {
+	// Name prefixes every message, e.g. "reproduce" or "chronod".
+	Name string
+	// Out receives the status messages (default os.Stderr).
+	Out io.Writer
+	// Exit terminates the process (default os.Exit). Tests stub it.
+	Exit func(code int)
+	// Signals to listen for (default SIGINT and SIGTERM). Tests use
+	// SIGUSR1 so a bug cannot kill the test run.
+	Signals []os.Signal
+}
+
+func (o Options) withDefaults() Options {
+	if o.Name == "" {
+		o.Name = "chrono"
+	}
+	if o.Out == nil {
+		o.Out = os.Stderr
+	}
+	if o.Exit == nil {
+		o.Exit = os.Exit
+	}
+	if len(o.Signals) == 0 {
+		o.Signals = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	return o
+}
+
+// Install registers the two-stage handler and returns a context that is
+// cancelled by the first signal, plus a stop function that uninstalls the
+// handler (idempotent; call it once the drain has completed so a late
+// signal after shutdown gets default handling again).
+func Install(parent context.Context, o Options) (context.Context, func()) {
+	o = o.withDefaults()
+	ctx, cancel := context.WithCancel(parent)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, o.Signals...)
+	quit := make(chan struct{})
+	go func() {
+		defer signal.Stop(sigc)
+		select {
+		case <-quit:
+			return
+		case <-sigc:
+		}
+		fmt.Fprintf(o.Out, "%s: signal received; draining in-flight runs (second signal exits immediately)\n", o.Name)
+		cancel()
+		select {
+		case <-quit:
+			return
+		case <-sigc:
+		}
+		fmt.Fprintf(o.Out, "%s: second signal; exiting now\n", o.Name)
+		o.Exit(ExitDrained)
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			close(quit)
+			cancel()
+		})
+	}
+	return ctx, stop
+}
+
+// Drained reports that the process stopped before completing its work —
+// output so far is partial — optionally prints a resume hint, and exits
+// with ExitDrained.
+func Drained(o Options, resumeHint string) {
+	o = o.withDefaults()
+	fmt.Fprintf(o.Out, "%s: drained before completion; output above is partial\n", o.Name)
+	if resumeHint != "" {
+		fmt.Fprintf(o.Out, "%s: %s\n", o.Name, resumeHint)
+	}
+	o.Exit(ExitDrained)
+}

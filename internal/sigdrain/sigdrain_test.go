@@ -1,0 +1,241 @@
+package sigdrain_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"chrono/internal/sigdrain"
+)
+
+// syncWriter serializes writes so the handler goroutine and test
+// assertions don't race on the buffer.
+type syncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// In-process: first SIGUSR1 cancels the context, second calls Exit(130).
+func TestTwoStageInProcess(t *testing.T) {
+	out := &syncWriter{}
+	exited := make(chan int, 1)
+	ctx, stop := sigdrain.Install(context.Background(), sigdrain.Options{
+		Name:    "test",
+		Out:     out,
+		Exit:    func(code int) { exited <- code },
+		Signals: []os.Signal{syscall.SIGUSR1},
+	})
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second): //chrono:wallclock test deadline
+		t.Fatal("first signal did not cancel the context")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if code != sigdrain.ExitDrained {
+			t.Fatalf("second signal exited %d, want %d", code, sigdrain.ExitDrained)
+		}
+	case <-time.After(5 * time.Second): //chrono:wallclock test deadline
+		t.Fatal("second signal did not exit")
+	}
+	got := out.String()
+	if !strings.Contains(got, "draining in-flight runs") || !strings.Contains(got, "second signal") {
+		t.Fatalf("messages missing: %q", got)
+	}
+}
+
+// stop() uninstalls cleanly and is idempotent; a never-signalled context
+// stays alive until stop.
+func TestStopUninstalls(t *testing.T) {
+	ctx, stop := sigdrain.Install(context.Background(), sigdrain.Options{
+		Name:    "test",
+		Out:     &syncWriter{},
+		Exit:    func(int) {},
+		Signals: []os.Signal{syscall.SIGUSR2},
+	})
+	select {
+	case <-ctx.Done():
+		t.Fatal("context cancelled without a signal")
+	default:
+	}
+	stop()
+	stop() // idempotent
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second): //chrono:wallclock test deadline
+		t.Fatal("stop did not cancel the context")
+	}
+}
+
+// Drained prints the notice plus the resume hint and exits 130.
+func TestDrainedExitCodeAndHint(t *testing.T) {
+	out := &syncWriter{}
+	code := -1
+	sigdrain.Drained(sigdrain.Options{
+		Name: "test",
+		Out:  out,
+		Exit: func(c int) { code = c },
+	}, "rerun with -resume -checkpoint-dir /tmp/ck to continue")
+	if code != sigdrain.ExitDrained {
+		t.Fatalf("exit code %d, want %d", code, sigdrain.ExitDrained)
+	}
+	got := out.String()
+	if !strings.Contains(got, "drained before completion") ||
+		!strings.Contains(got, "rerun with -resume -checkpoint-dir /tmp/ck to continue") {
+		t.Fatalf("notice or hint missing: %q", got)
+	}
+}
+
+// TestHelperProcess is the re-exec target for the subprocess tests: it
+// installs the real SIGINT/SIGTERM handler with the real os.Exit, prints
+// "ready", and either drains cleanly or wedges until the second signal.
+func TestHelperProcess(t *testing.T) {
+	mode := os.Getenv("SIGDRAIN_HELPER_MODE")
+	if mode == "" {
+		t.Skip("not a helper invocation")
+	}
+	ctx, _ := sigdrain.Install(context.Background(), sigdrain.Options{Name: "helper"})
+	fmt.Println("ready")
+	os.Stdout.Sync()
+	<-ctx.Done()
+	switch mode {
+	case "drain":
+		sigdrain.Drained(sigdrain.Options{Name: "helper"},
+			"rerun with -resume -checkpoint-dir /tmp/ck to continue")
+	case "wedge":
+		// Simulates a run that never reaches an event boundary: only the
+		// second signal can end the process.
+		select {}
+	}
+}
+
+// startHelper re-execs the test binary into helper mode and waits for it
+// to report readiness (the signal handler is installed before "ready").
+func startHelper(t *testing.T, mode string) (*exec.Cmd, *syncWriter) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperProcess")
+	cmd.Env = append(os.Environ(), "SIGDRAIN_HELPER_MODE="+mode)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr := &syncWriter{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	deadline := time.Now().Add(30 * time.Second) //chrono:wallclock subprocess startup
+	var got string
+	for !strings.Contains(got, "ready") {
+		if time.Now().After(deadline) { //chrono:wallclock subprocess startup
+			t.Fatalf("helper never became ready; stderr: %s", stderr.String())
+		}
+		n, rerr := stdout.Read(buf)
+		got += string(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	if !strings.Contains(got, "ready") {
+		t.Fatalf("helper never printed ready (got %q); stderr: %s", got, stderr.String())
+	}
+	return cmd, stderr
+}
+
+func exitCode(t *testing.T, cmd *exec.Cmd) int {
+	t.Helper()
+	err := cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if ok := errAs(err, &ee); ok {
+		return ee.ExitCode()
+	}
+	t.Fatalf("helper wait: %v", err)
+	return -1
+}
+
+func errAs(err error, target **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*target = ee
+	}
+	return ok
+}
+
+// One SIGINT: the helper drains, prints the resume hint, exits 130.
+func TestSubprocessGracefulDrain(t *testing.T) {
+	cmd, stderr := startHelper(t, "drain")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if code := exitCode(t, cmd); code != sigdrain.ExitDrained {
+		t.Fatalf("exit code %d, want %d; stderr: %s", code, sigdrain.ExitDrained, stderr.String())
+	}
+	got := stderr.String()
+	for _, want := range []string{
+		"helper: signal received; draining in-flight runs",
+		"helper: drained before completion",
+		"rerun with -resume -checkpoint-dir /tmp/ck to continue",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stderr missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// Two SIGINTs: the wedged helper is forced out, still with exit 130.
+func TestSubprocessSecondSignalForcesExit(t *testing.T) {
+	cmd, stderr := startHelper(t, "wedge")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the drain notice so the second signal is unambiguously the
+	// second one, then force.
+	deadline := time.Now().Add(30 * time.Second) //chrono:wallclock subprocess pacing
+	for !strings.Contains(stderr.String(), "draining in-flight runs") {
+		if time.Now().After(deadline) { //chrono:wallclock subprocess pacing
+			t.Fatalf("drain notice never appeared; stderr: %s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond) //chrono:wallclock subprocess pacing
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if code := exitCode(t, cmd); code != sigdrain.ExitDrained {
+		t.Fatalf("exit code %d, want %d; stderr: %s", code, sigdrain.ExitDrained, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "helper: second signal; exiting now") {
+		t.Fatalf("force-exit notice missing:\n%s", stderr.String())
+	}
+}

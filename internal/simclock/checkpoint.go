@@ -147,3 +147,111 @@ func (c *Clock) Restore(st *State) error {
 	c.seq = st.Seq
 	return nil
 }
+
+// RestoreInto rebuilds the clock's dynamic state from a snapshot taken on
+// a DIFFERENTLY configured clock — the live policy-swap path. Unlike
+// Restore, recorded events whose key has no registered ticker or binder
+// here (the old policy's periodic work) are dropped rather than rejected,
+// and freshly armed tickers with no recorded event (the new policy's
+// periodic work, armed at Attach on the just-built clock) are adopted:
+// each is re-armed at the first multiple of its period strictly after the
+// snapshot time — the schedule it would have had if the new configuration
+// had been running from t=0, so the swap point does not perturb phase.
+// Adopted tickers draw fresh sequence numbers above the snapshot's, in
+// sorted-key order, keeping the post-swap event order deterministic.
+// Returns how many recorded events were dropped.
+func (c *Clock) RestoreInto(st *State) (dropped int, err error) {
+	// Validate what will be kept up front so a failed RestoreInto leaves
+	// the clock untouched.
+	seenTicker := make(map[string]bool)
+	for _, rec := range st.Events {
+		if rec.At < st.Now {
+			return 0, fmt.Errorf("simclock: restore-into: event %q at %v precedes snapshot time %v", rec.Key, rec.At, st.Now)
+		}
+		if rec.Period > 0 {
+			if seenTicker[rec.Key] {
+				return 0, fmt.Errorf("simclock: restore-into: duplicate pending event for ticker %q", rec.Key)
+			}
+			seenTicker[rec.Key] = true
+		}
+	}
+
+	// The fresh queue is the just-built configuration's armed tickers;
+	// remember them so the ones without a recorded event can be adopted.
+	freshArmed := make(map[string]*Ticker)
+	for _, ev := range c.queue {
+		if ev.tkr != nil {
+			freshArmed[ev.key] = ev.tkr
+		}
+	}
+
+	// Drop the fresh queue, un-arming tickers so records can re-arm them.
+	for len(c.queue) > 0 {
+		ev := c.popMin()
+		if ev.tkr != nil {
+			ev.tkr.armed = false
+			ev.tkr.handle = Handle{}
+		}
+		c.release(ev)
+	}
+
+	c.stopped = false
+	c.now = st.Now
+	c.fired = st.Fired
+	for _, rec := range st.Events {
+		if rec.Period > 0 {
+			t, ok := c.tickers[rec.Key]
+			if !ok {
+				dropped++
+				continue
+			}
+			c.restoring = true
+			c.restoreSeq = rec.Seq
+			c.restoreUsed = false
+			t.cancel = false
+			t.period = rec.Period
+			if t.armed {
+				c.restoring = false
+				return dropped, fmt.Errorf("simclock: restore-into: duplicate pending event for ticker %q", rec.Key)
+			}
+			t.rearmAt(rec.At)
+			c.restoring = false
+			continue
+		}
+		bind, ok := c.binders[rec.Key]
+		if !ok {
+			dropped++
+			continue
+		}
+		c.restoring = true
+		c.restoreSeq = rec.Seq
+		c.restoreUsed = false
+		bind(rec)
+		used := c.restoreUsed
+		c.restoring = false
+		if !used {
+			return dropped, fmt.Errorf("simclock: restore-into: binder for key %q scheduled no event", rec.Key)
+		}
+	}
+	c.seq = st.Seq
+
+	// Adopt the new configuration's tickers, in sorted-key order so their
+	// fresh sequence numbers are deterministic.
+	adopt := make([]string, 0, len(freshArmed))
+	for k := range freshArmed {
+		if !seenTicker[k] {
+			adopt = append(adopt, k)
+		}
+	}
+	sort.Strings(adopt)
+	for _, k := range adopt {
+		t := freshArmed[k]
+		if t.period <= 0 {
+			continue
+		}
+		next := Time((int64(st.Now)/int64(t.period) + 1) * int64(t.period))
+		t.cancel = false
+		t.rearmAt(next)
+	}
+	return dropped, nil
+}

@@ -145,11 +145,12 @@ func (t *Table) Lookup(path string) *Param {
 	return t.params[path]
 }
 
-// Set writes value to the parameter at path.
+// Set writes value to the parameter at path. Unknown paths fail with a
+// did-you-mean hint (see Suggest) rather than a bare error.
 func (t *Table) Set(path, value string) error {
 	p := t.Lookup(path)
 	if p == nil {
-		return fmt.Errorf("sysctl: unknown parameter %q", path)
+		return t.UnknownKeyError(path)
 	}
 	return p.Set(value)
 }
@@ -158,7 +159,7 @@ func (t *Table) Set(path, value string) error {
 func (t *Table) Get(path string) (string, error) {
 	p := t.Lookup(path)
 	if p == nil {
-		return "", fmt.Errorf("sysctl: unknown parameter %q", path)
+		return "", t.UnknownKeyError(path)
 	}
 	return p.Get(), nil
 }

@@ -1,0 +1,93 @@
+package watchdog
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A frozen watermark must trip soft at Timeout and hard at 2×Timeout.
+func TestWatchEscalates(t *testing.T) {
+	var progress atomic.Int64
+	var soft atomic.Bool
+	hard := make(chan struct{})
+	stop := make(chan struct{})
+	defer close(stop)
+	go Watch(20*time.Millisecond, &progress, &soft, hard, stop)
+
+	select {
+	case <-hard:
+	case <-time.After(2 * time.Second): //chrono:wallclock test deadline
+		t.Fatal("hard stall never declared for a frozen watermark")
+	}
+	if !soft.Load() {
+		t.Fatal("hard stall declared without a soft stall first")
+	}
+}
+
+// An advancing watermark must never trip.
+func TestWatchQuietWhileProgressing(t *testing.T) {
+	var progress atomic.Int64
+	var soft atomic.Bool
+	hard := make(chan struct{})
+	stop := make(chan struct{})
+	go Watch(25*time.Millisecond, &progress, &soft, hard, stop)
+
+	deadline := time.Now().Add(150 * time.Millisecond) //chrono:wallclock test pacing
+	for time.Now().Before(deadline) {                  //chrono:wallclock test pacing
+		progress.Add(1)
+		select {
+		case <-hard:
+			t.Fatal("hard stall declared while the watermark was advancing")
+		case <-time.After(2 * time.Millisecond): //chrono:wallclock test pacing
+		}
+	}
+	if soft.Load() {
+		t.Fatal("soft stall flagged while the watermark was advancing")
+	}
+	close(stop)
+}
+
+// Closing stop must win over escalation.
+func TestWatchStops(t *testing.T) {
+	var progress atomic.Int64
+	var soft atomic.Bool
+	hard := make(chan struct{})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		Watch(10*time.Millisecond, &progress, &soft, hard, stop)
+		close(done)
+	}()
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second): //chrono:wallclock test deadline
+		t.Fatal("Watch did not return after stop")
+	}
+}
+
+// NoteAbandoned must count monotonically and log the caller's context.
+func TestNoteAbandoned(t *testing.T) {
+	var lines []string
+	old := Logf
+	Logf = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	defer func() { Logf = old }()
+
+	before := Abandoned()
+	n := NoteAbandoned("cell tpp/pmbench seed=7")
+	if n != before+1 || Abandoned() != before+1 {
+		t.Fatalf("count: note=%d total=%d want %d", n, Abandoned(), before+1)
+	}
+	NoteAbandoned("cell memtis/gups seed=9")
+	if Abandoned() != before+2 {
+		t.Fatalf("total=%d want %d", Abandoned(), before+2)
+	}
+	if len(lines) != 2 || !strings.Contains(lines[0], "cell tpp/pmbench seed=7") {
+		t.Fatalf("abandonment not logged with context: %q", lines)
+	}
+}

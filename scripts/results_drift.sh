@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# results_drift.sh — the results-drift guard.
+#
+# The committed results/quick_fig2a.txt is a quick-mode reproduction of
+# one small table at the default seed. CI regenerates it and requires a
+# byte-for-byte match: any change to the engine, a policy, the RNG
+# discipline, or the table renderer that moves a published number must
+# show up as a reviewable diff to a committed artifact, never as silent
+# drift.
+#
+# After an *intentional* change to the numbers, re-record with:
+#
+#   WRITE=1 bash scripts/results_drift.sh
+#
+# and commit the updated file alongside the change that moved it.
+set -u
+
+GOLDEN="results/quick_fig2a.txt"
+GEN=(go run ./cmd/reproduce -quick -experiment fig2a -seed 42)
+
+if [ "${WRITE:-0}" = "1" ]; then
+    "${GEN[@]}" >"$GOLDEN" || exit 1
+    echo "results-drift: re-recorded $GOLDEN"
+    exit 0
+fi
+
+[ -f "$GOLDEN" ] || { echo "results-drift: missing $GOLDEN (run WRITE=1 $0)" >&2; exit 1; }
+
+cur="$(mktemp)"
+trap 'rm -f "$cur"' EXIT
+"${GEN[@]}" >"$cur" || { echo "results-drift: reproduction failed" >&2; exit 1; }
+
+if ! diff -u "$GOLDEN" "$cur"; then
+    echo "results-drift: FAIL — regenerated table differs from committed $GOLDEN" >&2
+    echo "results-drift: if the change is intentional, WRITE=1 bash $0 and commit" >&2
+    exit 1
+fi
+echo "results-drift: PASS — $GOLDEN matches a fresh quick-mode reproduction"
